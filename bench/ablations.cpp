@@ -1,0 +1,144 @@
+// Ablation benches for the design choices DESIGN.md marks ✦:
+//   1. conservative backfilling: compression on/off,
+//   2. SMART: gamma sweep and replan-threshold sweep,
+//   3. PSRS: wide-job delay-factor sweep,
+//   4. estimate quality: over-estimation factor sweep (interpolating
+//      between Table 3 and Table 6).
+// A reduced CTC-like workload keeps the sweep affordable; scale with
+// JSCHED_CTC_JOBS / JSCHED_JOBS.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/env.h"
+#include "util/table.h"
+#include "workload/ctc_model.h"
+#include "workload/transforms.h"
+
+using namespace jsched;
+
+namespace {
+
+workload::Workload ablation_workload(const bench::BenchConfig& cfg) {
+  workload::CtcModelParams p;
+  p.job_count = static_cast<std::size_t>(
+      util::env_int("JSCHED_ABLATION_JOBS", 15'000));
+  auto w = workload::trim_to_machine(workload::generate_ctc(p, cfg.seed),
+                                     cfg.machine_nodes);
+  return bench::capped(std::move(w), cfg);
+}
+
+double art_of(const sim::Machine& m, const core::AlgorithmSpec& spec,
+              const workload::Workload& w) {
+  eval::ExperimentOptions opt;
+  opt.measure_cpu = false;
+  return eval::run_one(m, spec, w, opt).art;
+}
+
+}  // namespace
+
+int main() {
+  const auto cfg = bench::config_from_env();
+  const auto m = bench::machine_of(cfg);
+  std::printf("=== Ablations ===\n");
+  const auto w = ablation_workload(cfg);
+  bench::print_workload(w, cfg);
+
+  {
+    util::Table t({"configuration", "ART (s)"});
+    t.set_title("Ablation 1: conservative backfilling compression");
+    for (const int mode : {0, 1, 2, 3}) {
+      core::AlgorithmSpec spec;
+      spec.dispatch = core::DispatchKind::kConservative;
+      std::string label;
+      switch (mode) {
+        case 0:
+          spec.conservative.replan_prefix = 0;
+          label = "frozen reservations (no compression)";
+          break;
+        case 1:
+          spec.conservative.replan_prefix = 8;
+          label = "prefix replan, depth 8";
+          break;
+        case 2:
+          label = "prefix replan, depth 64 (default)";
+          break;
+        default:
+          spec.conservative.full_compression = true;
+          label = "full compression";
+          break;
+      }
+      t.add_row({label, util::sci(art_of(m, spec, w))});
+    }
+    std::printf("%s\n", t.to_ascii().c_str());
+  }
+
+  {
+    util::Table t({"gamma", "ART FFIA (s)", "ART NFIW (s)"});
+    t.set_title("Ablation 2a: SMART geometric bin ratio (paper uses 2)");
+    for (const double gamma : {1.3, 2.0, 4.0, 16.0}) {
+      core::AlgorithmSpec ffia;
+      ffia.order = core::OrderKind::kSmartFfia;
+      ffia.dispatch = core::DispatchKind::kEasy;
+      ffia.smart.gamma = gamma;
+      core::AlgorithmSpec nfiw = ffia;
+      nfiw.order = core::OrderKind::kSmartNfiw;
+      t.add_row({util::fixed(gamma, 1), util::sci(art_of(m, ffia, w)),
+                 util::sci(art_of(m, nfiw, w))});
+    }
+    std::printf("%s\n", t.to_ascii().c_str());
+  }
+
+  {
+    util::Table t({"replan threshold", "ART (s)", "replan note"});
+    t.set_title(
+        "Ablation 2b: SMART replan trigger (paper uses 2/3 of the queue)");
+    for (const double thr : {0.25, 0.5, 2.0 / 3.0, 1.0}) {
+      core::AlgorithmSpec spec;
+      spec.order = core::OrderKind::kSmartFfia;
+      spec.dispatch = core::DispatchKind::kEasy;
+      spec.smart.planned_ratio_threshold = thr;
+      t.add_row({util::fixed(thr, 3), util::sci(art_of(m, spec, w)),
+                 thr >= 1.0 ? "replans on every arrival" : ""});
+    }
+    std::printf("%s\n", t.to_ascii().c_str());
+  }
+
+  {
+    util::Table t({"wide delay factor", "ART (s)"});
+    t.set_title("Ablation 3: PSRS wide-job preemption delay");
+    for (const double f : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+      core::AlgorithmSpec spec;
+      spec.order = core::OrderKind::kPsrs;
+      spec.dispatch = core::DispatchKind::kEasy;
+      spec.psrs.wide_delay_factor = f;
+      t.add_row({util::fixed(f, 1), util::sci(art_of(m, spec, w))});
+    }
+    std::printf("%s\n", t.to_ascii().c_str());
+  }
+
+  {
+    util::Table t({"extra over-estimation", "FCFS+EASY ART", "PSRS+EASY ART"});
+    t.set_title(
+        "Ablation 4: estimate quality (exact -> trace -> inflated)");
+    const auto exact = workload::with_exact_estimates(w);
+    core::AlgorithmSpec fcfs_easy;
+    fcfs_easy.dispatch = core::DispatchKind::kEasy;
+    core::AlgorithmSpec psrs_easy;
+    psrs_easy.order = core::OrderKind::kPsrs;
+    psrs_easy.dispatch = core::DispatchKind::kEasy;
+    t.add_row({"exact estimates", util::sci(art_of(m, fcfs_easy, exact)),
+               util::sci(art_of(m, psrs_easy, exact))});
+    t.add_row({"trace estimates", util::sci(art_of(m, fcfs_easy, w)),
+               util::sci(art_of(m, psrs_easy, w))});
+    for (const double f : {3.0, 10.0}) {
+      const auto inflated = workload::scale_estimates(w, f);
+      t.add_row({"x" + util::fixed(f, 0),
+                 util::sci(art_of(m, fcfs_easy, inflated)),
+                 util::sci(art_of(m, psrs_easy, inflated))});
+    }
+    std::printf("%s\n", t.to_ascii().c_str());
+  }
+
+  return 0;
+}

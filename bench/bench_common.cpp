@@ -1,0 +1,95 @@
+#include "bench_common.h"
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "util/env.h"
+#include "workload/ctc_model.h"
+#include "workload/transforms.h"
+
+namespace jsched::bench {
+
+BenchConfig config_from_env() {
+  BenchConfig cfg;
+  cfg.ctc_jobs = static_cast<std::size_t>(
+      util::env_int("JSCHED_CTC_JOBS", static_cast<std::int64_t>(cfg.ctc_jobs)));
+  cfg.synth_jobs = static_cast<std::size_t>(util::env_int(
+      "JSCHED_SYNTH_JOBS", static_cast<std::int64_t>(cfg.synth_jobs)));
+  cfg.cap = static_cast<std::size_t>(util::env_int("JSCHED_JOBS", 0));
+  cfg.seed = static_cast<std::uint64_t>(
+      util::env_int("JSCHED_SEED", static_cast<std::int64_t>(cfg.seed)));
+  cfg.machine_nodes =
+      static_cast<int>(util::env_int("JSCHED_MACHINE", cfg.machine_nodes));
+  return cfg;
+}
+
+sim::Machine machine_of(const BenchConfig& cfg) {
+  sim::Machine m;
+  m.nodes = cfg.machine_nodes;
+  return m;
+}
+
+workload::Workload capped(workload::Workload w, const BenchConfig& cfg) {
+  if (cfg.cap != 0 && cfg.cap < w.size()) {
+    return workload::take_prefix(w, cfg.cap);
+  }
+  return w;
+}
+
+workload::Workload ctc_workload(const BenchConfig& cfg) {
+  workload::CtcModelParams params;
+  params.job_count = cfg.ctc_jobs;
+  workload::Workload raw = workload::generate_ctc(params, cfg.seed);
+  std::size_t dropped = 0;
+  workload::Workload trimmed =
+      workload::trim_to_machine(raw, cfg.machine_nodes, &dropped);
+  std::printf("trimmed %zu jobs wider than %d nodes (%.2f%%), as in §6.1\n",
+              dropped, cfg.machine_nodes,
+              100.0 * static_cast<double>(dropped) /
+                  static_cast<double>(raw.size()));
+  return capped(std::move(trimmed), cfg);
+}
+
+void print_workload(const workload::Workload& w, const BenchConfig& cfg) {
+  std::printf("workload: %s\n", w.name().c_str());
+  const auto s = workload::summarize(w);
+  std::fputs(workload::describe(s).c_str(), stdout);
+  std::printf("offered load on %d nodes: %.2f\n\n", cfg.machine_nodes,
+              s.offered_load(cfg.machine_nodes));
+}
+
+std::vector<eval::RunResult> run_grid_verbose(const sim::Machine& m,
+                                              core::WeightKind weight,
+                                              const workload::Workload& w,
+                                              bool measure_cpu) {
+  eval::ExperimentOptions opt;
+  opt.measure_cpu = measure_cpu;
+  opt.on_run = [&](const std::string& name) {
+    std::fprintf(stderr, "  [%s] %s ...\n", core::to_string(weight),
+                 name.c_str());
+  };
+  const auto t0 = std::chrono::steady_clock::now();
+  auto results = eval::run_grid(m, weight, w, opt);
+  const auto dt = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  std::fprintf(stderr, "  grid done in %.1fs\n", dt);
+  return results;
+}
+
+void print_shape_checks(const std::vector<ShapeCheck>& checks) {
+  std::printf("shape checks against the paper's findings:\n");
+  for (const auto& c : checks) {
+    std::printf("  [%s] %s\n", c.pass ? "PASS" : "FAIL", c.description.c_str());
+  }
+  std::printf("\n");
+}
+
+double metric_of(const std::vector<eval::RunResult>& results,
+                 core::OrderKind order, core::DispatchKind dispatch,
+                 double eval::RunResult::* metric) {
+  return eval::find(results, order, dispatch).*metric;
+}
+
+}  // namespace jsched::bench

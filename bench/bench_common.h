@@ -1,0 +1,67 @@
+// Shared scaffolding for the table/figure reproduction benches.
+//
+// Every bench accepts the same environment knobs so one binary serves both
+// paper-scale runs and quick smoke runs:
+//   JSCHED_CTC_JOBS    jobs in the CTC-like trace        (default 79164)
+//   JSCHED_SYNTH_JOBS  jobs in probabilistic/randomized  (default 50000)
+//   JSCHED_JOBS        cap applied to EVERY workload     (default: off)
+//   JSCHED_SEED        master seed                       (default 19990412)
+//   JSCHED_MACHINE     batch partition size              (default 256)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "eval/reporting.h"
+#include "sim/machine.h"
+#include "workload/workload.h"
+
+namespace jsched::bench {
+
+struct BenchConfig {
+  std::size_t ctc_jobs = 79'164;    // paper Table 1
+  std::size_t synth_jobs = 50'000;  // paper Table 1
+  std::size_t cap = 0;              // 0 = no cap
+  std::uint64_t seed = 19'990'412;
+  int machine_nodes = 256;          // Institution B's batch partition
+};
+
+BenchConfig config_from_env();
+
+sim::Machine machine_of(const BenchConfig& cfg);
+
+/// The CTC-like trace (430-node model) trimmed to the configured machine,
+/// capped to JSCHED_JOBS when set. Prints the trim statistics.
+workload::Workload ctc_workload(const BenchConfig& cfg);
+
+/// Apply the JSCHED_JOBS cap.
+workload::Workload capped(workload::Workload w, const BenchConfig& cfg);
+
+/// Print the workload's summary block.
+void print_workload(const workload::Workload& w, const BenchConfig& cfg);
+
+/// Run the 13-configuration grid for one objective, with progress dots on
+/// stderr, and return the results.
+std::vector<eval::RunResult> run_grid_verbose(const sim::Machine& m,
+                                              core::WeightKind weight,
+                                              const workload::Workload& w,
+                                              bool measure_cpu = true);
+
+/// One qualitative expectation from the paper ("who wins"), checked
+/// against measured data and printed as a PASS/FAIL line. These are the
+/// machine-checkable halves of EXPERIMENTS.md.
+struct ShapeCheck {
+  std::string description;
+  bool pass;
+};
+
+void print_shape_checks(const std::vector<ShapeCheck>& checks);
+
+/// Convenience accessors into grid results.
+double metric_of(const std::vector<eval::RunResult>& results,
+                 core::OrderKind order, core::DispatchKind dispatch,
+                 double eval::RunResult::* metric);
+
+}  // namespace jsched::bench

@@ -1,0 +1,107 @@
+// The experiment the paper's administrator defers to future work (§7):
+// "In addition she must evaluate the effect of combining the selected
+// algorithms."
+//
+// Institution B's policy wants small response times on weekday daytimes
+// (Rule 5 -> unweighted winner: SMART/PSRS + backfilling) and high load —
+// operationalized as the weighted objective — at night and on weekends
+// (Rule 6 -> winner: Garey&Graham). The PhasedScheduler switches between
+// the two winners at the policy boundaries; this bench evaluates the
+// combination against both pure strategies with the metrics split by
+// phase: ART over daytime-submitted jobs, AWRT over night-submitted jobs.
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+#include "core/phased_scheduler.h"
+#include "metrics/objectives.h"
+#include "sim/simulator.h"
+#include "util/table.h"
+
+using namespace jsched;
+
+namespace {
+
+struct PhaseMetrics {
+  double day_art;
+  double night_awrt;
+  double overall_art;
+  double overall_awrt;
+};
+
+PhaseMetrics evaluate(const sim::Schedule& s, const workload::Workload& w,
+                      const core::PhaseWindow& window) {
+  auto in_day = [&](JobId id, const sim::JobRecord&) {
+    return window.contains(w.job(id).submit);
+  };
+  auto in_night = [&](JobId id, const sim::JobRecord& r) {
+    return !in_day(id, r);
+  };
+  return {metrics::average_response_time_if(s, in_day),
+          metrics::average_weighted_response_time_if(s, in_night),
+          metrics::average_response_time(s),
+          metrics::average_weighted_response_time(s)};
+}
+
+}  // namespace
+
+int main() {
+  const auto cfg = bench::config_from_env();
+  const auto machine = bench::machine_of(cfg);
+  std::printf("=== Combining the selected algorithms (paper §7) ===\n");
+  const auto w = bench::ctc_workload(cfg);
+  bench::print_workload(w, cfg);
+
+  const core::PhaseWindow window{7 * kHour, 20 * kHour, true};
+
+  util::Table t({"scheduler", "day ART (s)", "night AWRT", "overall ART",
+                 "overall AWRT"});
+  t.set_title("phase-split objectives (Rule 5: day ART / Rule 6: night AWRT)");
+
+  std::vector<std::pair<std::string, PhaseMetrics>> rows;
+  auto run = [&](const std::string& label,
+                 std::unique_ptr<sim::Scheduler> sched) {
+    std::fprintf(stderr, "  %s ...\n", label.c_str());
+    const auto schedule = sim::simulate(machine, *sched, w);
+    const auto pm = evaluate(schedule, w, window);
+    rows.emplace_back(label, pm);
+    t.add_row({label, util::sci(pm.day_art), util::sci(pm.night_awrt),
+               util::sci(pm.overall_art), util::sci(pm.overall_awrt)});
+  };
+
+  // The two pure winners and the reference.
+  core::AlgorithmSpec smart_easy;
+  smart_easy.order = core::OrderKind::kSmartFfia;
+  smart_easy.dispatch = core::DispatchKind::kEasy;
+  run("SMART-FFIA+EASY (pure)", core::make_scheduler(smart_easy));
+
+  core::AlgorithmSpec gg;
+  gg.dispatch = core::DispatchKind::kFirstFit;
+  run("Garey&Graham (pure)", core::make_scheduler(gg));
+
+  core::AlgorithmSpec fcfs_easy;
+  fcfs_easy.dispatch = core::DispatchKind::kEasy;
+  run("FCFS+EASY (reference)", core::make_scheduler(fcfs_easy));
+
+  run("combined day[SMART+EASY]/night[G&G]",
+      core::make_institution_b_combined());
+
+  std::printf("%s\n", t.to_ascii().c_str());
+
+  const auto& smart = rows[0].second;
+  const auto& pure_gg = rows[1].second;
+  const auto& combined = rows[3].second;
+
+  std::vector<bench::ShapeCheck> checks;
+  checks.push_back(
+      {"combined daytime ART stays close to the pure unweighted winner",
+       combined.day_art < 1.5 * smart.day_art});
+  checks.push_back(
+      {"combined night AWRT improves on the pure unweighted winner",
+       combined.night_awrt < smart.night_awrt * 1.05});
+  checks.push_back(
+      {"combined dominates pure G&G on the daytime objective",
+       combined.day_art < pure_gg.day_art * 1.05});
+  bench::print_shape_checks(checks);
+  return 0;
+}

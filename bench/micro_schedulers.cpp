@@ -1,0 +1,124 @@
+// Micro-benchmarks (google-benchmark) for the scheduler building blocks:
+// availability-profile operations, SMART planning, PSRS planning, and
+// end-to-end simulation throughput per algorithm. These quantify the
+// computation-time observations of Tables 7/8 at the operation level.
+#include <benchmark/benchmark.h>
+
+#include "core/factory.h"
+#include "core/psrs.h"
+#include "core/smart.h"
+#include "sim/profile.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "workload/ctc_model.h"
+#include "workload/transforms.h"
+
+namespace {
+
+using namespace jsched;
+
+const workload::Workload& bench_workload() {
+  static const workload::Workload w = [] {
+    workload::CtcModelParams p;
+    p.job_count = 5000;
+    return workload::trim_to_machine(workload::generate_ctc(p, 42), 256);
+  }();
+  return w;
+}
+
+core::JobStore filled_store(std::size_t n, std::vector<JobId>& ids) {
+  core::JobStore store;
+  util::Rng rng(7);
+  ids.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    Job j;
+    j.id = static_cast<JobId>(i);
+    j.nodes = static_cast<int>(rng.uniform_int(1, 256));
+    j.estimate = rng.uniform_int(300, 86'400);
+    j.runtime = 0;  // scheduler view
+    store.put(j);
+    ids.push_back(j.id);
+  }
+  return store;
+}
+
+void BM_ProfileEarliestFit(benchmark::State& state) {
+  const auto reservations = static_cast<std::size_t>(state.range(0));
+  sim::Profile profile(256);
+  util::Rng rng(3);
+  Time t = 0;
+  for (std::size_t i = 0; i < reservations; ++i) {
+    const int nodes = static_cast<int>(rng.uniform_int(1, 128));
+    const Duration dur = rng.uniform_int(60, 7200);
+    const Time start = profile.earliest_fit(t, dur, nodes);
+    profile.allocate(start, dur, nodes);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profile.earliest_fit(0, 3600, 64));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ProfileEarliestFit)->Range(16, 4096)->Complexity();
+
+void BM_ProfileAllocateRelease(benchmark::State& state) {
+  sim::Profile profile(256);
+  for (auto _ : state) {
+    profile.allocate(1000, 3600, 64);
+    profile.release(1000, 3600, 64);
+  }
+}
+BENCHMARK(BM_ProfileAllocateRelease);
+
+void BM_SmartPlan(benchmark::State& state) {
+  std::vector<JobId> ids;
+  const auto store = filled_store(static_cast<std::size_t>(state.range(0)), ids);
+  core::SmartParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::smart_plan(ids, store, 256, params));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SmartPlan)->Range(64, 8192)->Complexity();
+
+void BM_SmartPlanNfiw(benchmark::State& state) {
+  std::vector<JobId> ids;
+  const auto store = filled_store(static_cast<std::size_t>(state.range(0)), ids);
+  core::SmartParams params;
+  params.variant = core::SmartVariant::kNfiw;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::smart_plan(ids, store, 256, params));
+  }
+}
+BENCHMARK(BM_SmartPlanNfiw)->Range(64, 8192);
+
+void BM_PsrsPlan(benchmark::State& state) {
+  std::vector<JobId> ids;
+  const auto store = filled_store(static_cast<std::size_t>(state.range(0)), ids);
+  const core::PsrsParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::psrs_plan(ids, store, 256, params));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PsrsPlan)->Range(64, 8192)->Complexity();
+
+void BM_SimulateGrid(benchmark::State& state) {
+  const auto& w = bench_workload();
+  const auto grid = core::paper_grid(core::WeightKind::kUnit);
+  const auto& spec = grid[static_cast<std::size_t>(state.range(0))];
+  sim::Machine m;
+  m.nodes = 256;
+  auto scheduler = core::make_scheduler(spec);
+  sim::SimOptions opt;
+  opt.validate = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate(m, *scheduler, w, opt));
+  }
+  state.SetLabel(spec.display_name() + " / " + std::to_string(w.size()) +
+                 " jobs");
+}
+BENCHMARK(BM_SimulateGrid)->DenseRange(0, 12)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

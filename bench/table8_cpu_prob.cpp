@@ -1,0 +1,71 @@
+// Table 8: scheduler computation time on the probability-distribution
+// workload, relative to FCFS+EASY. The paper notes "similar results [to
+// Table 7] with a few observations being noteworthy", among them that the
+// classical list scheduler costs about the same on both workloads while
+// most other algorithms scale with the job count.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "workload/stats_model.h"
+
+using namespace jsched;
+using bench::ShapeCheck;
+using core::DispatchKind;
+using core::OrderKind;
+
+int main() {
+  const auto cfg = bench::config_from_env();
+  const auto machine = bench::machine_of(cfg);
+  std::printf(
+      "=== Table 8: scheduler computation time, probabilistic workload ===\n");
+  const auto source = bench::ctc_workload(cfg);
+  auto w = bench::capped(
+      workload::generate_probabilistic(source, cfg.synth_jobs,
+                                       cfg.seed ^ 0xab1e),
+      cfg);
+  bench::print_workload(w, cfg);
+
+  const auto unweighted =
+      bench::run_grid_verbose(machine, core::WeightKind::kUnit, w, true);
+  const auto weighted = bench::run_grid_verbose(
+      machine, core::WeightKind::kEstimatedArea, w, true);
+
+  std::printf("%s\n",
+              eval::cpu_time_table(unweighted,
+                                   "Table 8 (unweighted case): scheduler CPU "
+                                   "time, probabilistic workload")
+                  .to_ascii()
+                  .c_str());
+  std::printf("%s\n",
+              eval::cpu_time_table(weighted,
+                                   "Table 8 (weighted case): scheduler CPU "
+                                   "time, probabilistic workload")
+                  .to_ascii()
+                  .c_str());
+
+  auto cpu_u = [&](OrderKind o, DispatchKind d) {
+    return bench::metric_of(unweighted, o, d,
+                            &eval::RunResult::scheduler_cpu_seconds);
+  };
+  const double ref = cpu_u(OrderKind::kFcfs, DispatchKind::kEasy);
+
+  // See table7_cpu_ctc on scope: absolute CPU percentages are
+  // implementation properties; the robust observations are checked.
+  std::vector<ShapeCheck> checks;
+  checks.push_back(
+      {"every configuration (incl. conservative) schedules 50k jobs in < 60 s\n       of CPU",
+       [&] {
+         for (const auto& r : unweighted) {
+           if (r.scheduler_cpu_seconds >= 60.0) return false;
+         }
+         return true;
+       }()});
+  checks.push_back(
+      {"SMART plain-list ordering is cheaper than the EASY reference",
+       cpu_u(OrderKind::kSmartFfia, DispatchKind::kList) < ref});
+  checks.push_back(
+      {"G&G cheaper than the reference",
+       cpu_u(OrderKind::kFcfs, DispatchKind::kFirstFit) < ref});
+  bench::print_shape_checks(checks);
+  return 0;
+}

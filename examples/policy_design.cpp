@@ -1,0 +1,131 @@
+// Example 1 walk-through: from policy rules to an objective function
+// (paper §2.1-§2.2).
+//
+// The chemistry department of University A wrote five rules; two of them
+// conflict (drug-design jobs vs the theoretical chemistry lab course).
+// This example shows the methodology the paper proposes:
+//   1. encode the rules, let the library detect structural conflicts,
+//   2. generate a variety of schedules for a typical job set,
+//   3. select the Pareto-optimal ones under the conflicting criteria,
+//   4. elicit a partial order and derive an objective function that
+//      generates it.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "core/easy_backfill.h"
+#include "core/factory.h"
+#include "core/list_scheduler.h"
+#include "metrics/objectives.h"
+#include "metrics/pareto.h"
+#include "policy/policy.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace jsched;
+
+namespace {
+
+workload::Workload chemistry_week(std::uint64_t seed) {
+  util::Rng rng(seed);
+  workload::Workload w;
+  Time now = 0;
+  for (int i = 0; i < 1200; ++i) {
+    now += static_cast<Duration>(rng.exponential(1.0 / 400.0));
+    Job j;
+    j.submit = now;
+    j.nodes = static_cast<int>(rng.uniform_int(1, 48));
+    j.runtime = static_cast<Duration>(rng.log_uniform(120.0, 4.0 * 3600.0));
+    j.estimate = static_cast<Duration>(
+        static_cast<double>(j.runtime) * rng.log_uniform(1.0, 5.0));
+    j.priority_class = rng.bernoulli(0.2) ? 2 : (rng.bernoulli(0.4) ? 1 : 0);
+    w.add(j);
+  }
+  w.finalize();
+  w.set_name("chemistry-week");
+  return w;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Example 1: policy design for University A ===\n\n");
+
+  // Step 1: the rules, and conflict detection.
+  const policy::Policy pol = policy::example1_policy();
+  std::printf("policy '%s': %zu rules\n", pol.name().c_str(), pol.size());
+  const auto conflicts = pol.conflicts();
+  std::printf("structural conflicts: %zu\n", conflicts.size());
+  std::printf("priority rank of the drug-design lab (class 2): %d\n\n",
+              pol.rank_of(2));
+
+  // Step 2: a typical job set and a variety of schedules.
+  const auto w = chemistry_week(42);
+  sim::Machine m;
+  m.nodes = 64;
+
+  struct Outcome {
+    std::string label;
+    double drug_art;     // Rule 1 criterion
+    double everyone_art; // the implicit "serve everybody" rule
+  };
+  std::vector<Outcome> outcomes;
+
+  auto record = [&](const std::string& label, sim::Scheduler& s) {
+    const auto schedule = sim::simulate(m, s, w);
+    outcomes.push_back(
+        {label, metrics::class_average_response_time(schedule, w, 2),
+         metrics::average_response_time(schedule)});
+  };
+
+  for (const auto& spec : core::paper_grid(core::WeightKind::kUnit)) {
+    auto s = core::make_scheduler(spec);
+    record(spec.display_name(), *s);
+  }
+  core::ListScheduler prio(std::make_unique<core::PriorityFcfsOrder>(),
+                           std::make_unique<core::EasyBackfillDispatch>());
+  record("PRIO+EASY (Rule 1 enforced)", prio);
+
+  // Step 3: Pareto-optimal schedules under (drug ART, overall ART).
+  std::vector<metrics::CriteriaPoint> points;
+  for (const auto& o : outcomes) {
+    points.push_back({o.label, {o.drug_art, o.everyone_art}});
+  }
+  const auto front = metrics::pareto_front(points);
+
+  util::Table t({"schedule", "drug-design ART (s)", "overall ART (s)",
+                 "Pareto"});
+  t.set_title("candidate schedules (criteria as costs)");
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const bool on_front =
+        std::find(front.begin(), front.end(), i) != front.end();
+    t.add_row({outcomes[i].label, util::fixed(outcomes[i].drug_art, 0),
+               util::fixed(outcomes[i].everyone_art, 0),
+               on_front ? "*" : ""});
+  }
+  std::printf("%s\n", t.to_ascii().c_str());
+
+  // Step 4: the owner ranks drug-design service above overall service;
+  // find a scalarization that generates this order over the front.
+  std::size_t best_drug = front[0];
+  std::size_t best_all = front[0];
+  for (std::size_t i : front) {
+    if (points[i].costs[0] < points[best_drug].costs[0]) best_drug = i;
+    if (points[i].costs[1] < points[best_all].costs[1]) best_all = i;
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> prefs;
+  if (best_drug != best_all) prefs.push_back({best_drug, best_all});
+
+  for (const double lambda : {0.0, 1.0, 10.0}) {
+    const std::vector<double> weights = {1.0 + lambda, 1.0};
+    std::printf(
+        "objective cost = %.0f x drug_ART + 1 x overall_ART -> %zu violated "
+        "preference(s)\n",
+        1.0 + lambda, metrics::order_violations(points, prefs, weights));
+  }
+  std::printf(
+      "\nThe first weighting that yields 0 violations is an objective\n"
+      "function 'generating the desired partial order' (§2.2, step 3).\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Quickstart: simulate two schedulers on a tiny hand-written workload and
+// compare the two objective functions of the paper.
+//
+//   $ ./build/examples/quickstart
+//
+// Walk-through of the public API:
+//   1. build a Workload (jobs with submit time, nodes, runtime, estimate),
+//   2. pick an algorithm via core::AlgorithmSpec / make_scheduler,
+//   3. run sim::simulate on a Machine,
+//   4. evaluate the resulting Schedule with metrics::*.
+#include <cstdio>
+
+#include "core/factory.h"
+#include "metrics/objectives.h"
+#include "sim/simulator.h"
+#include "util/table.h"
+#include "workload/workload.h"
+
+using namespace jsched;
+
+int main() {
+  // 1. A morning on a small 16-node cluster. Estimates are what the users
+  //    *claim*; runtimes are the ground truth the scheduler cannot see.
+  workload::Workload w;
+  auto add = [&](Time submit, int nodes, Duration runtime, Duration estimate) {
+    Job j;
+    j.submit = submit;
+    j.nodes = nodes;
+    j.runtime = runtime;
+    j.estimate = estimate;
+    w.add(j);
+  };
+  add(0, 8, 3600, 4 * 3600);    // big simulation, heavily over-estimated
+  add(60, 8, 1800, 1800);       // exact estimate
+  add(120, 16, 600, 900);       // full-machine job -> will queue
+  add(180, 2, 300, 600);        // small job: a backfilling candidate
+  add(240, 2, 7200, 8 * 3600);  // long narrow job
+  add(300, 4, 900, 1200);
+  w.finalize();
+
+  // 2./3. Run plain FCFS and FCFS with EASY backfilling.
+  sim::Machine machine;
+  machine.nodes = 16;
+
+  util::Table table({"scheduler", "avg response (s)", "avg weighted response",
+                     "makespan (s)", "utilization"});
+  table.set_title("quickstart: FCFS vs EASY backfilling on 16 nodes");
+
+  for (const core::DispatchKind dispatch :
+       {core::DispatchKind::kList, core::DispatchKind::kEasy}) {
+    core::AlgorithmSpec spec;
+    spec.dispatch = dispatch;
+    auto scheduler = core::make_scheduler(spec);
+    const sim::Schedule schedule = sim::simulate(machine, *scheduler, w);
+
+    // 4. Objective functions (paper §4).
+    table.add_row({scheduler->name(),
+                   util::fixed(metrics::average_response_time(schedule), 0),
+                   util::sci(metrics::average_weighted_response_time(schedule)),
+                   util::fixed(static_cast<double>(schedule.makespan()), 0),
+                   util::fixed(100.0 * metrics::utilization(schedule), 1) + "%"});
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+
+  std::printf(
+      "The small job submitted at t=180 backfills into the idle nodes under\n"
+      "EASY while plain FCFS leaves them empty behind the full-machine job\n"
+      "— the paper's §5.1/§5.2 contrast in one run.\n");
+  return 0;
+}

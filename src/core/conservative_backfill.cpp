@@ -1,0 +1,195 @@
+#include "core/conservative_backfill.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace jsched::core {
+
+ConservativeBackfillDispatch::ConservativeBackfillDispatch(
+    const ConservativeParams& params)
+    : params_(params) {
+  if (params_.reservation_depth < 1) {
+    throw std::invalid_argument("ConservativeBackfill: reservation_depth < 1");
+  }
+}
+
+void ConservativeBackfillDispatch::reset(const sim::Machine& machine,
+                                         const JobStore& store) {
+  store_ = &store;
+  profile_ = sim::Profile(machine.nodes);
+  reserved_.clear();
+  wakeups_ = {};
+}
+
+void ConservativeBackfillDispatch::reserve(JobId id, Time from) {
+  const Job& j = store_->get(id);
+  const Time start = profile_.earliest_fit(from, j.estimate, j.nodes);
+  profile_.allocate(start, j.estimate, j.nodes);
+  reserved_.insert_or_assign(id, start);
+  wakeups_.push({start, id});
+}
+
+void ConservativeBackfillDispatch::on_enqueue(JobId id, Time now) {
+  if (reserved_.size() < params_.reservation_depth) reserve(id, now);
+}
+
+void ConservativeBackfillDispatch::on_start(JobId id, Time now) {
+  // select() already removed the reservation entry; the job's allocation
+  // [now, now+estimate) stays in the profile and now represents the
+  // running job (on_complete returns the unused tail when the job beats
+  // its estimate).
+  assert(!reserved_.contains(id));
+  (void)id;
+  (void)now;
+}
+
+void ConservativeBackfillDispatch::on_complete(
+    JobId id, Time now, Time estimated_end, const std::vector<JobId>& order) {
+  const Job& j = store_->get(id);
+  if (now < estimated_end) {
+    profile_.release(now, estimated_end - now, j.nodes);
+  }
+  if (params_.full_compression &&
+      reserved_.size() <= params_.compression_queue_limit) {
+    replan(order, now, reserved_.size());
+  } else if (params_.replan_prefix > 0) {
+    replan(order, now, params_.replan_prefix);
+  }
+  profile_.compact(now);
+  // Replanning leaves stale heap entries behind; rebuild once they
+  // dominate so the heap stays proportional to the reserved set.
+  if (wakeups_.size() > 4 * reserved_.size() + 1024) {
+    wakeups_ = {};
+    for (const auto& [rid, start] : reserved_) wakeups_.push({start, rid});
+  }
+}
+
+void ConservativeBackfillDispatch::replan(const std::vector<JobId>& order,
+                                          Time now, std::size_t limit) {
+  // Lift the first `limit` reserved jobs (queue order) out of the profile
+  // and re-place them from `now`. Capacity only ever increased since the
+  // previous plan, so each re-placed reservation is at or before its old
+  // time — the conservative guarantee survives compression.
+  std::size_t planned = 0;
+  for (JobId id : order) {
+    if (planned >= limit) break;
+    auto it = reserved_.find(id);
+    if (it == reserved_.end()) continue;  // dormant (beyond depth)
+    const Job& j = store_->get(id);
+    profile_.release(it->second, j.estimate, j.nodes);
+    ++planned;
+  }
+  planned = 0;
+  for (JobId id : order) {
+    if (planned >= limit) break;
+    if (!reserved_.contains(id)) continue;
+    reserve(id, now);
+    ++planned;
+  }
+}
+
+void ConservativeBackfillDispatch::on_reorder(const std::vector<JobId>& order,
+                                              Time now) {
+  // A new priority order invalidates every reservation: lift all of them
+  // and re-place in the new order.
+  for (const auto& [id, start] : reserved_) {
+    const Job& j = store_->get(id);
+    profile_.release(start, j.estimate, j.nodes);
+  }
+  const std::size_t count = reserved_.size();
+  std::size_t planned = 0;
+  wakeups_ = {};
+  for (JobId id : order) {
+    if (planned >= count) break;
+    if (!reserved_.contains(id)) continue;
+    reserve(id, now);
+    ++planned;
+  }
+}
+
+void ConservativeBackfillDispatch::adopt(
+    Time now, const std::vector<JobId>& order,
+    const std::vector<RunningJob>& running) {
+  // Rebuild the profile from scratch: running jobs occupy capacity until
+  // their estimated ends, then every queued job gets a fresh reservation
+  // in the adopted order.
+  profile_ = sim::Profile(profile_.total_nodes());
+  reserved_.clear();
+  wakeups_ = {};
+  for (const RunningJob& r : running) {
+    if (r.estimated_end > now) {
+      profile_.allocate(now, r.estimated_end - now, r.nodes);
+    }
+  }
+  for (JobId id : order) {
+    if (reserved_.size() >= params_.reservation_depth) break;
+    reserve(id, now);
+  }
+}
+
+void ConservativeBackfillDispatch::promote(const std::vector<JobId>& order,
+                                           Time now) {
+  if (reserved_.size() >= params_.reservation_depth ||
+      reserved_.size() >= order.size()) {
+    return;
+  }
+  for (JobId id : order) {
+    if (reserved_.size() >= params_.reservation_depth) break;
+    if (!reserved_.contains(id)) reserve(id, now);
+  }
+}
+
+std::vector<JobId> ConservativeBackfillDispatch::select(
+    Time now, int free_nodes, const std::vector<JobId>& order,
+    const std::vector<RunningJob>&) {
+  promote(order, now);
+
+  std::vector<JobId> starts;
+  int budget = free_nodes;
+
+  // Start every reservation that is due. Capacity is guaranteed by the
+  // profile, so they all fit together.
+  while (!wakeups_.empty() && wakeups_.top().t <= now) {
+    const Wakeup w = wakeups_.top();
+    wakeups_.pop();
+    auto it = reserved_.find(w.id);
+    if (it == reserved_.end() || it->second != w.t) continue;  // stale
+    assert(store_->get(w.id).nodes <= budget);
+    budget -= store_->get(w.id).nodes;
+    // Normalize the allocation when the reservation was planned for an
+    // earlier instant that had no event of its own, then retire the
+    // reservation here so duplicate heap entries cannot start it twice.
+    if (w.t < now) {
+      const Job& j = store_->get(w.id);
+      profile_.release(w.t, j.estimate, j.nodes);
+      profile_.allocate(now, j.estimate, j.nodes);
+    }
+    reserved_.erase(it);
+    starts.push_back(w.id);
+  }
+  (void)budget;
+
+  if (!starts.empty()) profile_.compact(now);
+  return starts;
+}
+
+Time ConservativeBackfillDispatch::next_wakeup(Time) const {
+  while (!wakeups_.empty()) {
+    const Wakeup w = wakeups_.top();
+    auto it = reserved_.find(w.id);
+    if (it == reserved_.end() || it->second != w.t) {
+      wakeups_.pop();  // stale
+      continue;
+    }
+    return w.t;
+  }
+  return kTimeInfinity;
+}
+
+Time ConservativeBackfillDispatch::reservation_of(JobId id) const {
+  auto it = reserved_.find(id);
+  return it == reserved_.end() ? kTimeInfinity : it->second;
+}
+
+}  // namespace jsched::core

@@ -1,0 +1,96 @@
+// Dispatch policies: how an ordered wait queue is placed on the machine.
+//
+//  * HeadOnlyDispatch — the plain "greedy list schedule" of the paper: the
+//    next job in the list is started as soon as the necessary resources
+//    are available; a blocked head blocks everything behind it (§5.1).
+//  * FirstFitDispatch — the classical Garey&Graham list scheduling (§5.3):
+//    "always starts the next job for which enough resources are
+//    available"; backfilling is a no-op on top of this by construction.
+//  * EasyBackfillDispatch / ConservativeBackfillDispatch — §5.2, in their
+//    own headers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/job_store.h"
+#include "sim/machine.h"
+#include "util/time.h"
+
+namespace jsched::core {
+
+/// Per-select context handed from the ListScheduler to its dispatcher.
+struct RunningJob {
+  JobId id;
+  Time start;
+  Time estimated_end;  // start + estimate; actual end may come earlier
+  int nodes;
+};
+
+class Dispatcher {
+ public:
+  virtual ~Dispatcher() = default;
+
+  /// Name suffix, e.g. "EASY"; empty for the plain list schedule.
+  virtual std::string name() const = 0;
+
+  virtual void reset(const sim::Machine& machine, const JobStore& store) = 0;
+
+  /// Queue/lifecycle notifications (defaults: stateless dispatchers ignore
+  /// them).
+  virtual void on_enqueue(JobId, Time) {}
+  virtual void on_start(JobId, Time) {}
+  virtual void on_complete(JobId, Time, Time /*estimated_end*/,
+                           const std::vector<JobId>& /*order*/) {}
+  virtual void on_reorder(const std::vector<JobId>&, Time) {}
+
+  /// Take over a machine mid-flight (phase-switched schedulers): rebuild
+  /// any internal state from the currently running jobs and the queue
+  /// order. Stateless dispatchers need nothing beyond the default.
+  virtual void adopt(Time now, const std::vector<JobId>& order,
+                     const std::vector<RunningJob>& running) {
+    (void)running;
+    on_reorder(order, now);
+  }
+
+  /// Pick the jobs to start now. `order` is the current queue (highest
+  /// priority first); `running` the active jobs. Returned jobs must fit in
+  /// free_nodes cumulatively.
+  virtual std::vector<JobId> select(Time now, int free_nodes,
+                                    const std::vector<JobId>& order,
+                                    const std::vector<RunningJob>& running) = 0;
+
+  /// See sim::Scheduler::next_wakeup.
+  virtual Time next_wakeup(Time) const { return kTimeInfinity; }
+};
+
+/// Greedy list schedule: start from the head, stop at the first job that
+/// does not fit.
+class HeadOnlyDispatch final : public Dispatcher {
+ public:
+  std::string name() const override { return ""; }
+  void reset(const sim::Machine&, const JobStore& store) override { store_ = &store; }
+  std::vector<JobId> select(Time now, int free_nodes,
+                            const std::vector<JobId>& order,
+                            const std::vector<RunningJob>& running) override;
+
+ private:
+  const JobStore* store_ = nullptr;
+};
+
+/// Garey & Graham: start every job that fits, scanning the whole queue
+/// (ties broken by queue position).
+class FirstFitDispatch final : public Dispatcher {
+ public:
+  std::string name() const override { return "FF"; }
+  void reset(const sim::Machine&, const JobStore& store) override { store_ = &store; }
+  std::vector<JobId> select(Time now, int free_nodes,
+                            const std::vector<JobId>& order,
+                            const std::vector<RunningJob>& running) override;
+
+ private:
+  const JobStore* store_ = nullptr;
+};
+
+}  // namespace jsched::core

@@ -1,0 +1,60 @@
+#include "core/drain_window.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace jsched::core {
+
+DrainWindowDispatch::DrainWindowDispatch(std::unique_ptr<Dispatcher> inner,
+                                         PhaseWindow window)
+    : inner_(std::move(inner)), window_(window) {
+  if (!inner_) throw std::invalid_argument("DrainWindowDispatch: null inner");
+}
+
+std::string DrainWindowDispatch::name() const {
+  const std::string n = inner_->name();
+  return n.empty() ? "DRAIN" : n + "+DRAIN";
+}
+
+void DrainWindowDispatch::reset(const sim::Machine& machine,
+                                const JobStore& store) {
+  inner_->reset(machine, store);
+  store_ = &store;
+  queue_pending_ = false;
+  vetoed_ = 0;
+}
+
+std::vector<JobId> DrainWindowDispatch::select(
+    Time now, int free_nodes, const std::vector<JobId>& order,
+    const std::vector<RunningJob>& running) {
+  queue_pending_ = !order.empty();
+  if (window_.contains(now)) return {};  // the class owns the machine
+
+  const Time window_opens = window_.next_boundary(now);
+  std::vector<JobId> starts = inner_->select(now, free_nodes, order, running);
+  const auto vetoed_it = std::remove_if(
+      starts.begin(), starts.end(), [&](JobId id) {
+        const Duration estimate = store_->get(id).estimate;
+        return window_opens != kTimeInfinity && now + estimate > window_opens;
+      });
+  vetoed_ += static_cast<std::size_t>(starts.end() - vetoed_it);
+  starts.erase(vetoed_it, starts.end());
+  queue_pending_ = queue_pending_ && order.size() > starts.size();
+  return starts;
+}
+
+Time DrainWindowDispatch::next_wakeup(Time now) const {
+  Time wake = inner_->next_wakeup(now);
+  if (queue_pending_) {
+    // Retry as soon as the current (or next) window closes: jobs vetoed
+    // for crossing the window start exactly then.
+    Time boundary = window_.next_boundary(std::max<Time>(now, 0));
+    if (!window_.contains(now) && boundary != kTimeInfinity) {
+      boundary = window_.next_boundary(boundary);  // end of the next window
+    }
+    wake = std::min(wake, boundary);
+  }
+  return wake;
+}
+
+}  // namespace jsched::core

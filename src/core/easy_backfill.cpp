@@ -1,0 +1,58 @@
+#include "core/easy_backfill.h"
+
+#include <algorithm>
+
+namespace jsched::core {
+
+std::vector<JobId> EasyBackfillDispatch::select(
+    Time now, int free_nodes, const std::vector<JobId>& order,
+    const std::vector<RunningJob>& running) {
+  std::vector<JobId> starts;
+
+  // Greedy phase: start head jobs while they fit.
+  std::size_t head = 0;
+  std::vector<RunningJob> active = running;
+  while (head < order.size()) {
+    const Job& j = store_->get(order[head]);
+    if (j.nodes > free_nodes) break;
+    free_nodes -= j.nodes;
+    starts.push_back(order[head]);
+    active.push_back({order[head], now, now + j.estimate, j.nodes});
+    ++head;
+  }
+  if (head >= order.size()) return starts;
+
+  // Reservation for the head: walk estimated completions until enough
+  // nodes accumulate.
+  const Job& head_job = store_->get(order[head]);
+  std::sort(active.begin(), active.end(),
+            [](const RunningJob& a, const RunningJob& b) {
+              return a.estimated_end < b.estimated_end;
+            });
+  Time shadow = now;
+  int avail = free_nodes;
+  for (const auto& r : active) {
+    if (avail >= head_job.nodes) break;
+    avail += r.nodes;
+    shadow = r.estimated_end;
+  }
+  // `avail` nodes are free once the head can start; whatever the head does
+  // not need may be held past the shadow time by backfilled jobs.
+  int extra = avail - head_job.nodes;
+
+  // Backfill phase: any later job may start now if it fits and does not
+  // disturb the head's reservation.
+  for (std::size_t i = head + 1; i < order.size() && free_nodes > 0; ++i) {
+    const Job& j = store_->get(order[i]);
+    if (j.nodes > free_nodes) continue;
+    const bool ends_before_shadow = now + j.estimate <= shadow;
+    if (ends_before_shadow || j.nodes <= extra) {
+      free_nodes -= j.nodes;
+      if (!ends_before_shadow) extra -= j.nodes;
+      starts.push_back(order[i]);
+    }
+  }
+  return starts;
+}
+
+}  // namespace jsched::core

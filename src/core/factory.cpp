@@ -1,0 +1,113 @@
+#include "core/factory.h"
+
+#include <stdexcept>
+
+#include "core/easy_backfill.h"
+#include "core/list_scheduler.h"
+
+namespace jsched::core {
+
+const char* to_string(OrderKind k) {
+  switch (k) {
+    case OrderKind::kFcfs: return "FCFS";
+    case OrderKind::kSmartFfia: return "SMART-FFIA";
+    case OrderKind::kSmartNfiw: return "SMART-NFIW";
+    case OrderKind::kPsrs: return "PSRS";
+  }
+  return "?";
+}
+
+const char* to_string(DispatchKind k) {
+  switch (k) {
+    case DispatchKind::kList: return "List";
+    case DispatchKind::kFirstFit: return "G&G";
+    case DispatchKind::kConservative: return "Backfilling";
+    case DispatchKind::kEasy: return "EASY-Backfilling";
+  }
+  return "?";
+}
+
+std::string AlgorithmSpec::display_name() const {
+  if (dispatch == DispatchKind::kFirstFit) return "Garey&Graham";
+  std::string n = to_string(order);
+  switch (dispatch) {
+    case DispatchKind::kList: break;
+    case DispatchKind::kConservative: n += "+CONS"; break;
+    case DispatchKind::kEasy: n += "+EASY"; break;
+    case DispatchKind::kFirstFit: break;
+  }
+  return n;
+}
+
+std::unique_ptr<sim::Scheduler> make_scheduler(const AlgorithmSpec& spec) {
+  std::unique_ptr<OrderingPolicy> order;
+  switch (spec.order) {
+    case OrderKind::kFcfs:
+      order = std::make_unique<FcfsOrder>();
+      break;
+    case OrderKind::kSmartFfia:
+    case OrderKind::kSmartNfiw: {
+      SmartParams p = spec.smart;
+      p.variant = spec.order == OrderKind::kSmartFfia ? SmartVariant::kFfia
+                                                      : SmartVariant::kNfiw;
+      p.weight = spec.weight;
+      order = std::make_unique<SmartOrder>(p);
+      break;
+    }
+    case OrderKind::kPsrs: {
+      PsrsParams p = spec.psrs;
+      p.weight = spec.weight;
+      order = std::make_unique<PsrsOrder>(p);
+      break;
+    }
+  }
+
+  std::unique_ptr<Dispatcher> dispatch;
+  switch (spec.dispatch) {
+    case DispatchKind::kList:
+      dispatch = std::make_unique<HeadOnlyDispatch>();
+      break;
+    case DispatchKind::kFirstFit:
+      if (spec.order != OrderKind::kFcfs) {
+        throw std::invalid_argument(
+            "Garey&Graham uses the submission order (ties broken "
+            "arbitrarily); combine FirstFit with FCFS");
+      }
+      dispatch = std::make_unique<FirstFitDispatch>();
+      break;
+    case DispatchKind::kConservative:
+      dispatch = std::make_unique<ConservativeBackfillDispatch>(spec.conservative);
+      break;
+    case DispatchKind::kEasy:
+      dispatch = std::make_unique<EasyBackfillDispatch>();
+      break;
+  }
+
+  return std::make_unique<ListScheduler>(std::move(order), std::move(dispatch));
+}
+
+std::vector<AlgorithmSpec> paper_grid(WeightKind weight) {
+  std::vector<AlgorithmSpec> grid;
+  const OrderKind orders[] = {OrderKind::kFcfs, OrderKind::kPsrs,
+                              OrderKind::kSmartFfia, OrderKind::kSmartNfiw};
+  const DispatchKind dispatches[] = {DispatchKind::kList,
+                                     DispatchKind::kConservative,
+                                     DispatchKind::kEasy};
+  for (OrderKind o : orders) {
+    for (DispatchKind d : dispatches) {
+      AlgorithmSpec s;
+      s.order = o;
+      s.dispatch = d;
+      s.weight = weight;
+      grid.push_back(s);
+    }
+  }
+  AlgorithmSpec gg;
+  gg.order = OrderKind::kFcfs;
+  gg.dispatch = DispatchKind::kFirstFit;
+  gg.weight = weight;
+  grid.push_back(gg);
+  return grid;
+}
+
+}  // namespace jsched::core

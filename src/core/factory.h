@@ -1,0 +1,45 @@
+// Construction of the paper's algorithm grid.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/conservative_backfill.h"
+#include "core/job_store.h"
+#include "core/psrs.h"
+#include "core/smart.h"
+#include "sim/scheduler.h"
+
+namespace jsched::core {
+
+enum class OrderKind { kFcfs, kSmartFfia, kSmartNfiw, kPsrs };
+enum class DispatchKind { kList, kFirstFit, kConservative, kEasy };
+
+const char* to_string(OrderKind k);
+const char* to_string(DispatchKind k);
+
+/// Full specification of one evaluated algorithm.
+struct AlgorithmSpec {
+  OrderKind order = OrderKind::kFcfs;
+  DispatchKind dispatch = DispatchKind::kList;
+  /// Objective the algorithm optimizes internally (paper §7 runs the whole
+  /// grid once per objective).
+  WeightKind weight = WeightKind::kUnit;
+
+  SmartParams smart{};              // .weight is overridden by `weight`
+  PsrsParams psrs{};                // .weight is overridden by `weight`
+  ConservativeParams conservative{};
+
+  std::string display_name() const;
+};
+
+std::unique_ptr<sim::Scheduler> make_scheduler(const AlgorithmSpec& spec);
+
+/// The 13 configurations of the paper's evaluation (Tables 3-6 rows x
+/// columns): {FCFS, PSRS, SMART-FFIA, SMART-NFIW} x {list, conservative,
+/// EASY} plus Garey&Graham (list only — "application of backfilling will
+/// be of no benefit for this method").
+std::vector<AlgorithmSpec> paper_grid(WeightKind weight);
+
+}  // namespace jsched::core

@@ -1,0 +1,51 @@
+// Submission-data storage shared by ordering policies and dispatchers.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "workload/job.h"
+
+namespace jsched::core {
+
+/// Dense JobId -> submission data. Only data legitimately visible to an
+/// on-line scheduler is stored (the simulator scrubs `runtime` before
+/// on_submit, so the copies here carry runtime == 0).
+class JobStore {
+ public:
+  void clear() { jobs_.clear(); }
+
+  void put(const Job& j) {
+    if (j.id >= jobs_.size()) jobs_.resize(j.id + 1);
+    jobs_[j.id] = j;
+  }
+
+  const Job& get(JobId id) const {
+    assert(id < jobs_.size());
+    return jobs_[id];
+  }
+
+  std::size_t capacity() const noexcept { return jobs_.size(); }
+
+ private:
+  std::vector<Job> jobs_;
+};
+
+/// Which job weight an algorithm optimizes for (paper §4): the unweighted
+/// average response time uses weight 1; the weighted variant uses the
+/// job's resource consumption. On-line algorithms only know estimates, so
+/// their internal weight is nodes x *estimated* time.
+enum class WeightKind {
+  kUnit,
+  kEstimatedArea,
+};
+
+inline double scheduling_weight(const Job& j, WeightKind k) {
+  return k == WeightKind::kUnit ? 1.0 : j.estimated_area();
+}
+
+inline const char* to_string(WeightKind k) {
+  return k == WeightKind::kUnit ? "unit" : "area";
+}
+
+}  // namespace jsched::core

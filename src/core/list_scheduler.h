@@ -1,0 +1,47 @@
+// Composition of an OrderingPolicy with a Dispatcher into an on-line
+// scheduler — the paper's architecture in one class: every evaluated
+// algorithm is "a job order" (FCFS / SMART / PSRS) "plus a greedy list
+// dispatch" (head-only, Garey&Graham first fit, EASY or conservative
+// backfilling).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dispatch.h"
+#include "core/job_store.h"
+#include "core/ordering.h"
+#include "sim/scheduler.h"
+
+namespace jsched::core {
+
+class ListScheduler final : public sim::Scheduler {
+ public:
+  ListScheduler(std::unique_ptr<OrderingPolicy> ordering,
+                std::unique_ptr<Dispatcher> dispatcher);
+
+  std::string name() const override;
+  void reset(const sim::Machine& machine) override;
+  void on_submit(const Job& job, Time now) override;
+  void on_complete(JobId id, Time now) override;
+  std::vector<JobId> select_starts(Time now, int free_nodes) override;
+  Time next_wakeup(Time now) const override;
+  std::size_t queue_length() const override;
+
+  /// Introspection for tests.
+  const OrderingPolicy& ordering() const { return *ordering_; }
+  const Dispatcher& dispatcher() const { return *dispatcher_; }
+  const std::vector<RunningJob>& running() const { return running_; }
+
+ private:
+  void sync_order_version(Time now);
+
+  std::unique_ptr<OrderingPolicy> ordering_;
+  std::unique_ptr<Dispatcher> dispatcher_;
+  JobStore store_;
+  std::vector<RunningJob> running_;
+  std::uint64_t seen_version_ = 0;
+};
+
+}  // namespace jsched::core

@@ -1,0 +1,92 @@
+#include "core/ordering.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace jsched::core {
+
+void FcfsOrder::reset(const sim::Machine&, const JobStore&) { order_.clear(); }
+
+void FcfsOrder::on_submit(JobId id, Time) { order_.push_back(id); }
+
+void FcfsOrder::on_remove(JobId id, Time) {
+  auto it = std::find(order_.begin(), order_.end(), id);
+  if (it == order_.end()) {
+    throw std::logic_error("FcfsOrder: removing job not in queue");
+  }
+  order_.erase(it);
+}
+
+void PriorityFcfsOrder::reset(const sim::Machine&, const JobStore& store) {
+  store_ = &store;
+  order_.clear();
+  version_ = 1;
+}
+
+void PriorityFcfsOrder::on_submit(JobId id, Time) {
+  const std::int32_t cls = store_->get(id).priority_class;
+  // Insert behind the last queued job with priority >= cls (stable FCFS
+  // inside a class).
+  auto it = order_.end();
+  while (it != order_.begin() &&
+         store_->get(*std::prev(it)).priority_class < cls) {
+    --it;
+  }
+  const bool mid_queue = it != order_.end();
+  order_.insert(it, id);
+  if (mid_queue) ++version_;
+}
+
+void PriorityFcfsOrder::on_remove(JobId id, Time) {
+  auto it = std::find(order_.begin(), order_.end(), id);
+  if (it == order_.end()) {
+    throw std::logic_error("PriorityFcfsOrder: removing job not in queue");
+  }
+  order_.erase(it);
+}
+
+ReplanningOrder::ReplanningOrder(double planned_ratio_threshold)
+    : threshold_(planned_ratio_threshold) {
+  if (threshold_ <= 0.0 || threshold_ > 1.0) {
+    throw std::invalid_argument("ReplanningOrder: threshold out of (0,1]");
+  }
+}
+
+void ReplanningOrder::reset(const sim::Machine& machine, const JobStore& store) {
+  machine.validate();
+  store_ = &store;
+  machine_nodes_ = machine.nodes;
+  order_.clear();
+  planned_ = 0;
+  version_ = 1;
+  replans_ = 0;
+}
+
+void ReplanningOrder::on_submit(JobId id, Time) {
+  // Unplanned jobs queue FCFS behind the planned prefix until a replan
+  // folds them in.
+  order_.push_back(id);
+  maybe_replan();
+}
+
+void ReplanningOrder::on_remove(JobId id, Time) {
+  auto it = std::find(order_.begin(), order_.end(), id);
+  if (it == order_.end()) {
+    throw std::logic_error("ReplanningOrder: removing job not in queue");
+  }
+  if (static_cast<std::size_t>(it - order_.begin()) < planned_) --planned_;
+  order_.erase(it);
+}
+
+void ReplanningOrder::maybe_replan() {
+  if (order_.empty()) return;
+  const double ratio = static_cast<double>(planned_) /
+                       static_cast<double>(order_.size());
+  if (ratio >= threshold_) return;
+  order_ = plan(order_);
+  planned_ = order_.size();
+  ++version_;
+  ++replans_;
+}
+
+}  // namespace jsched::core

@@ -1,0 +1,181 @@
+#include "core/phased_scheduler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/easy_backfill.h"
+#include "core/smart.h"
+
+namespace jsched::core {
+
+bool PhaseWindow::contains(Time t) const noexcept {
+  const long long day_index = t / kDay;
+  if (weekdays_only && (day_index % 7) >= 5) return false;  // day 0 = Monday
+  const Duration second = t % kDay;
+  if (start_second <= end_second) {
+    return second >= start_second && second < end_second;
+  }
+  return second >= start_second || second < end_second;
+}
+
+Time PhaseWindow::next_boundary(Time t) const noexcept {
+  // Coarse scan (hours) for the first phase change within a week, then a
+  // binary search down to the second. A week always contains a boundary
+  // unless the window covers everything or nothing.
+  const bool here = contains(t);
+  Time hi = t;
+  bool found = false;
+  for (int h = 1; h <= 24 * 7 + 1; ++h) {
+    hi = t + h * kHour;
+    if (contains(hi) != here) {
+      found = true;
+      break;
+    }
+  }
+  if (!found) return kTimeInfinity;
+  Time lo = hi - kHour;
+  while (lo + 1 < hi) {
+    const Time mid = lo + (hi - lo) / 2;
+    if (contains(mid) != here) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+PhasedScheduler::PhasedScheduler(PhaseWindow window,
+                                 std::unique_ptr<OrderingPolicy> day_order,
+                                 std::unique_ptr<Dispatcher> day_dispatch,
+                                 std::unique_ptr<OrderingPolicy> night_order,
+                                 std::unique_ptr<Dispatcher> night_dispatch)
+    : window_(window),
+      day_order_(std::move(day_order)),
+      day_dispatch_(std::move(day_dispatch)),
+      night_order_(std::move(night_order)),
+      night_dispatch_(std::move(night_dispatch)) {
+  if (!day_order_ || !day_dispatch_ || !night_order_ || !night_dispatch_) {
+    throw std::invalid_argument("PhasedScheduler: null component");
+  }
+}
+
+std::string PhasedScheduler::name() const {
+  auto half = [](const OrderingPolicy& o, const Dispatcher& d) {
+    return d.name().empty() ? o.name() : o.name() + "+" + d.name();
+  };
+  return "day[" + half(*day_order_, *day_dispatch_) + "]/night[" +
+         half(*night_order_, *night_dispatch_) + "]";
+}
+
+void PhasedScheduler::reset(const sim::Machine& machine) {
+  store_.clear();
+  running_.clear();
+  day_order_->reset(machine, store_);
+  day_dispatch_->reset(machine, store_);
+  night_order_->reset(machine, store_);
+  night_dispatch_->reset(machine, store_);
+  day_active_ = window_.contains(0);
+  flips_ = 0;
+  last_sync_ = -1;
+  seen_version_ = order().version();
+}
+
+void PhasedScheduler::sync_phase(Time now) {
+  if (now == last_sync_) return;
+  last_sync_ = now;
+  const bool want_day = window_.contains(now);
+  if (want_day == day_active_) return;
+  ++flips_;
+
+  // Hand the queue over in submission order (ids are submission-ordered),
+  // letting the incoming policy impose its own priorities.
+  std::vector<JobId> queued = order().order();
+  std::sort(queued.begin(), queued.end());
+  OrderingPolicy& incoming = want_day ? *day_order_ : *night_order_;
+  for (JobId id : queued) {
+    // The outgoing policy keeps its (stale) state; it is reset on the next
+    // flip back, so remove jobs from it now to keep it consistent.
+    order().on_remove(id, now);
+  }
+  for (JobId id : queued) incoming.on_submit(id, now);
+
+  day_active_ = want_day;
+  dispatch().adopt(now, order().order(), running_);
+  seen_version_ = order().version();
+}
+
+void PhasedScheduler::sync_order_version(Time now) {
+  if (order().version() != seen_version_) {
+    seen_version_ = order().version();
+    dispatch().on_reorder(order().order(), now);
+  }
+}
+
+void PhasedScheduler::on_submit(const Job& job, Time now) {
+  sync_phase(now);
+  store_.put(job);
+  const std::uint64_t before = order().version();
+  order().on_submit(job.id, now);
+  if (order().version() != before) {
+    seen_version_ = order().version();
+    dispatch().on_reorder(order().order(), now);
+  } else {
+    dispatch().on_enqueue(job.id, now);
+  }
+}
+
+void PhasedScheduler::on_complete(JobId id, Time now) {
+  sync_phase(now);
+  auto it = std::find_if(running_.begin(), running_.end(),
+                         [&](const RunningJob& r) { return r.id == id; });
+  if (it == running_.end()) {
+    throw std::logic_error("PhasedScheduler: completion for job not running");
+  }
+  const Time estimated_end = it->estimated_end;
+  running_.erase(it);
+  dispatch().on_complete(id, now, estimated_end, order().order());
+  sync_order_version(now);
+}
+
+std::vector<JobId> PhasedScheduler::select_starts(Time now, int free_nodes) {
+  sync_phase(now);
+  std::vector<JobId> starts =
+      dispatch().select(now, free_nodes, order().order(), running_);
+  for (JobId id : starts) {
+    order().on_remove(id, now);
+    dispatch().on_start(id, now);
+    const Job& j = store_.get(id);
+    running_.push_back({id, now, now + j.estimate, j.nodes});
+  }
+  sync_order_version(now);
+  return starts;
+}
+
+Time PhasedScheduler::next_wakeup(Time now) const {
+  // Wake for the dispatcher's reservations and for the next phase flip
+  // (only needed while there is anything to schedule).
+  Time wake = dispatch().next_wakeup(now);
+  if (!running_.empty() || queue_length() > 0) {
+    wake = std::min(wake, window_.next_boundary(std::max<Time>(now, 0)));
+  }
+  return wake;
+}
+
+std::size_t PhasedScheduler::queue_length() const {
+  return day_active_ ? day_order_->order().size()
+                     : night_order_->order().size();
+}
+
+std::unique_ptr<sim::Scheduler> make_institution_b_combined() {
+  SmartParams smart;
+  smart.variant = SmartVariant::kFfia;
+  smart.weight = WeightKind::kUnit;
+  return std::make_unique<PhasedScheduler>(
+      PhaseWindow{7 * kHour, 20 * kHour, true},
+      std::make_unique<SmartOrder>(smart),
+      std::make_unique<EasyBackfillDispatch>(),
+      std::make_unique<FcfsOrder>(), std::make_unique<FirstFitDispatch>());
+}
+
+}  // namespace jsched::core

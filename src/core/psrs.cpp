@@ -1,0 +1,209 @@
+#include "core/psrs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace jsched::core {
+namespace {
+
+/// Smith-order comparison: largest modified Smith ratio first; ties by
+/// submission order (id) for determinism and on-line fairness.
+struct SmithLess {
+  const JobStore& store;
+  WeightKind weight;
+  bool operator()(JobId a, JobId b) const {
+    const Job& ja = store.get(a);
+    const Job& jb = store.get(b);
+    const double ra = scheduling_weight(ja, weight) / ja.estimated_area();
+    const double rb = scheduling_weight(jb, weight) / jb.estimated_area();
+    if (ra != rb) return ra > rb;
+    return a < b;
+  }
+};
+
+/// Geometric bin of a completion time: smallest k >= 0 with
+/// c <= offset * 2^k.
+std::size_t completion_bin(double c, double offset) {
+  assert(c > 0.0 && offset > 0.0);
+  if (c <= offset) return 0;
+  auto k = static_cast<std::size_t>(std::ceil(std::log2(c / offset)));
+  while (k > 0 && offset * std::pow(2.0, static_cast<double>(k - 1)) >= c) --k;
+  while (offset * std::pow(2.0, static_cast<double>(k)) < c) ++k;
+  return k;
+}
+
+/// How many pending small jobs a start pass may examine. The plan is a
+/// scheduling artifact, not the executed schedule; bounding the first-fit
+/// scan keeps replanning near-linear on very deep queues without touching
+/// behaviour at realistic queue depths.
+constexpr std::size_t kStartScanLimit = 512;
+
+}  // namespace
+
+PsrsPreemptiveResult psrs_preemptive_schedule(const std::vector<JobId>& jobs,
+                                              const JobStore& store,
+                                              int machine_nodes,
+                                              const PsrsParams& params) {
+  if (machine_nodes < 1) throw std::invalid_argument("PSRS: machine_nodes < 1");
+  if (params.wide_delay_factor < 0.0) {
+    throw std::invalid_argument("PSRS: negative wide_delay_factor");
+  }
+
+  PsrsPreemptiveResult res;
+  res.smith_order = jobs;
+  std::sort(res.smith_order.begin(), res.smith_order.end(),
+            SmithLess{store, params.weight});
+
+  const std::size_t n = res.smith_order.size();
+  res.completion.assign(n, 0);
+  res.wide.assign(n, false);
+
+  const int half = machine_nodes / 2;
+
+  // Virtual state: remaining time per job, running small jobs, pending
+  // indices (into smith_order) split by width.
+  std::vector<Duration> remaining(n);
+  std::vector<std::size_t> pending_small;
+  std::vector<std::size_t> pending_wide;  // Smith order preserved
+  for (std::size_t i = 0; i < n; ++i) {
+    const Job& j = store.get(res.smith_order[i]);
+    remaining[i] = j.estimate;
+    res.wide[i] = j.nodes > half;
+    (res.wide[i] ? pending_wide : pending_small).push_back(i);
+  }
+
+  struct RunningSmall {
+    std::size_t idx;
+    Duration end;
+  };
+  std::vector<RunningSmall> running;
+  Duration v = 0;  // virtual clock
+  int free_nodes = machine_nodes;
+  std::size_t next_wide = 0;
+
+  auto start_smalls = [&] {
+    std::size_t examined = 0;
+    for (auto it = pending_small.begin();
+         it != pending_small.end() && free_nodes > 0 &&
+         examined < kStartScanLimit;) {
+      const std::size_t idx = *it;
+      const Job& j = store.get(res.smith_order[idx]);
+      if (j.nodes <= free_nodes) {
+        free_nodes -= j.nodes;
+        running.push_back({idx, v + remaining[idx]});
+        it = pending_small.erase(it);
+      } else {
+        ++it;
+        ++examined;
+      }
+    }
+  };
+
+  while (!pending_small.empty() || next_wide < pending_wide.size() ||
+         !running.empty()) {
+    start_smalls();
+
+    // Trigger time of the next wide job in Smith order: it has been
+    // waiting since virtual time 0 and forces preemption after
+    // wide_delay_factor x its own time.
+    Duration wide_trigger = kTimeInfinity;
+    if (next_wide < pending_wide.size()) {
+      const std::size_t widx = pending_wide[next_wide];
+      wide_trigger = static_cast<Duration>(std::ceil(
+          params.wide_delay_factor * static_cast<double>(remaining[widx])));
+      wide_trigger = std::max(wide_trigger, v);
+    }
+
+    Duration next_end = kTimeInfinity;
+    for (const auto& r : running) next_end = std::min(next_end, r.end);
+
+    if (wide_trigger <= next_end && next_wide < pending_wide.size()) {
+      // Preempt everything, run the wide job alone, resume afterwards.
+      v = wide_trigger;
+      const std::size_t widx = pending_wide[next_wide];
+      ++next_wide;
+      if (!running.empty()) ++res.preemptions;
+      for (auto& r : running) remaining[r.idx] = r.end - v;  // pause
+      const Duration wide_time = remaining[widx];
+      v += wide_time;
+      res.completion[widx] = v;
+      for (auto& r : running) r.end = v + remaining[r.idx];  // resume
+      continue;
+    }
+
+    if (next_end == kTimeInfinity) {
+      // Nothing running and no wide to trigger: only unstarted smalls that
+      // exceeded the scan bound remain; the scan restarts each loop, so
+      // force progress by starting the first pending small directly.
+      if (!pending_small.empty() && free_nodes > 0) {
+        const std::size_t idx = pending_small.front();
+        pending_small.erase(pending_small.begin());
+        const Job& j = store.get(res.smith_order[idx]);
+        assert(j.nodes <= machine_nodes);
+        free_nodes -= j.nodes;
+        running.push_back({idx, v + remaining[idx]});
+        continue;
+      }
+      break;
+    }
+
+    // Advance to the earliest small completion.
+    v = next_end;
+    for (std::size_t i = running.size(); i-- > 0;) {
+      if (running[i].end == v) {
+        res.completion[running[i].idx] = v;
+        free_nodes += store.get(res.smith_order[running[i].idx]).nodes;
+        running[i] = running.back();
+        running.pop_back();
+      }
+    }
+  }
+  return res;
+}
+
+std::vector<JobId> psrs_plan(const std::vector<JobId>& jobs,
+                             const JobStore& store, int machine_nodes,
+                             const PsrsParams& params) {
+  const PsrsPreemptiveResult pre =
+      psrs_preemptive_schedule(jobs, store, machine_nodes, params);
+
+  // Assign jobs to the two geometric bin sequences by preemptive
+  // completion time; Smith order inside each bin is preserved because we
+  // iterate smith_order.
+  std::vector<std::vector<JobId>> small_bins;
+  std::vector<std::vector<JobId>> wide_bins;
+  for (std::size_t i = 0; i < pre.smith_order.size(); ++i) {
+    const double c = static_cast<double>(pre.completion[i]);
+    auto& seq = pre.wide[i] ? wide_bins : small_bins;
+    const double offset =
+        pre.wide[i] ? params.wide_bin_offset : params.small_bin_offset;
+    const std::size_t bin = completion_bin(c, offset);
+    if (bin >= seq.size()) seq.resize(bin + 1);
+    seq[bin].push_back(pre.smith_order[i]);
+  }
+
+  // Alternate the sequences, small bins first: S0 W0 S1 W1 ...
+  std::vector<JobId> order;
+  order.reserve(pre.smith_order.size());
+  const std::size_t rounds = std::max(small_bins.size(), wide_bins.size());
+  for (std::size_t k = 0; k < rounds; ++k) {
+    if (k < small_bins.size()) {
+      order.insert(order.end(), small_bins[k].begin(), small_bins[k].end());
+    }
+    if (k < wide_bins.size()) {
+      order.insert(order.end(), wide_bins[k].begin(), wide_bins[k].end());
+    }
+  }
+  return order;
+}
+
+PsrsOrder::PsrsOrder(const PsrsParams& params)
+    : ReplanningOrder(params.planned_ratio_threshold), params_(params) {}
+
+std::vector<JobId> PsrsOrder::plan(const std::vector<JobId>& jobs) const {
+  return psrs_plan(jobs, store(), machine_nodes(), params_);
+}
+
+}  // namespace jsched::core

@@ -1,0 +1,137 @@
+#include "core/smart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace jsched::core {
+namespace {
+
+/// Bin index of an execution time under geometric bounds ]0,1], ]1,g],
+/// ]g,g^2], ...: the smallest k with t <= g^(k-1) scaled so that k=0 is
+/// ]0,1].
+std::size_t bin_index(double t, double gamma) {
+  if (t <= 1.0) return 0;
+  // k = ceil(log_gamma(t)); guard against floating-point edges by checking
+  // the neighbors.
+  auto k = static_cast<std::size_t>(std::ceil(std::log(t) / std::log(gamma)));
+  while (k > 0 && std::pow(gamma, static_cast<double>(k - 1)) >= t) --k;
+  while (std::pow(gamma, static_cast<double>(k)) < t) ++k;
+  return k;
+}
+
+struct Shelf {
+  std::vector<JobId> jobs;
+  int used_nodes = 0;
+  double weight_sum = 0.0;
+  double max_time = 0.0;
+  std::size_t bin = 0;
+  std::size_t index_in_bin = 0;  // creation order, for deterministic ties
+
+  double smith_ratio() const noexcept {
+    return max_time > 0.0 ? weight_sum / max_time : 0.0;
+  }
+};
+
+}  // namespace
+
+std::vector<JobId> smart_plan(const std::vector<JobId>& jobs,
+                              const JobStore& store, int machine_nodes,
+                              const SmartParams& params) {
+  if (params.gamma <= 1.0) throw std::invalid_argument("SMART: gamma <= 1");
+  if (machine_nodes < 1) throw std::invalid_argument("SMART: machine_nodes < 1");
+
+  // Step 1: bins by (estimated) execution time.
+  std::map<std::size_t, std::vector<JobId>> bins;
+  for (JobId id : jobs) {
+    const Job& j = store.get(id);
+    bins[bin_index(static_cast<double>(j.estimate), params.gamma)].push_back(id);
+  }
+
+  // Step 2: pack each bin's jobs onto shelves.
+  std::vector<Shelf> shelves;
+  for (auto& [bin, members] : bins) {
+    // Variant-specific job order inside the bin.
+    if (params.variant == SmartVariant::kFfia) {
+      // First Fit Increasing Area: smallest (estimated) area first.
+      std::stable_sort(members.begin(), members.end(), [&](JobId a, JobId b) {
+        return store.get(a).estimated_area() < store.get(b).estimated_area();
+      });
+    } else {
+      // Next Fit Increasing Width-to-Weight: ascending nodes/weight.
+      std::stable_sort(members.begin(), members.end(), [&](JobId a, JobId b) {
+        const Job& ja = store.get(a);
+        const Job& jb = store.get(b);
+        const double ra = static_cast<double>(ja.nodes) /
+                          scheduling_weight(ja, params.weight);
+        const double rb = static_cast<double>(jb.nodes) /
+                          scheduling_weight(jb, params.weight);
+        return ra < rb;
+      });
+    }
+
+    const std::size_t bin_first_shelf = shelves.size();
+    for (JobId id : members) {
+      const Job& j = store.get(id);
+      Shelf* target = nullptr;
+      if (params.variant == SmartVariant::kFfia) {
+        // All shelves of this bin are considered, first fit.
+        for (std::size_t s = bin_first_shelf; s < shelves.size(); ++s) {
+          if (shelves[s].used_nodes + j.nodes <= machine_nodes) {
+            target = &shelves[s];
+            break;
+          }
+        }
+      } else {
+        // Only the current (last) shelf of this bin is considered.
+        if (shelves.size() > bin_first_shelf &&
+            shelves.back().used_nodes + j.nodes <= machine_nodes) {
+          target = &shelves.back();
+        }
+      }
+      if (target == nullptr) {
+        Shelf s;
+        s.bin = bin;
+        s.index_in_bin = shelves.size() - bin_first_shelf;
+        shelves.push_back(std::move(s));
+        target = &shelves.back();
+      }
+      target->jobs.push_back(id);
+      target->used_nodes += j.nodes;
+      target->weight_sum += scheduling_weight(j, params.weight);
+      target->max_time =
+          std::max(target->max_time, static_cast<double>(j.estimate));
+    }
+  }
+
+  // Step 3: Smith's rule across all shelves, largest ratio first.
+  std::stable_sort(shelves.begin(), shelves.end(),
+                   [](const Shelf& a, const Shelf& b) {
+                     if (a.smith_ratio() != b.smith_ratio()) {
+                       return a.smith_ratio() > b.smith_ratio();
+                     }
+                     if (a.bin != b.bin) return a.bin < b.bin;
+                     return a.index_in_bin < b.index_in_bin;
+                   });
+
+  std::vector<JobId> order;
+  order.reserve(jobs.size());
+  for (const Shelf& s : shelves) {
+    order.insert(order.end(), s.jobs.begin(), s.jobs.end());
+  }
+  return order;
+}
+
+SmartOrder::SmartOrder(const SmartParams& params)
+    : ReplanningOrder(params.planned_ratio_threshold), params_(params) {}
+
+std::string SmartOrder::name() const {
+  return params_.variant == SmartVariant::kFfia ? "SMART-FFIA" : "SMART-NFIW";
+}
+
+std::vector<JobId> SmartOrder::plan(const std::vector<JobId>& jobs) const {
+  return smart_plan(jobs, store(), machine_nodes(), params_);
+}
+
+}  // namespace jsched::core

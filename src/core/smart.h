@@ -1,0 +1,60 @@
+// SMART (Turek, Schwiegelshohn, Wolf, Yu) — paper §5.4.
+//
+// Off-line shelf algorithm with a constant worst-case factor for (weighted)
+// response time:
+//  1. jobs are assigned to bins by execution time; bin upper bounds form a
+//     geometric sequence ]0,1], ]1,gamma], ]gamma,gamma^2], ...
+//  2. within a bin, jobs are packed onto shelves (all jobs of a shelf start
+//     concurrently) — two variants:
+//       FFIA: First Fit Increasing Area — sort by area (nodes x time)
+//             ascending, place each job on the first shelf of its bin with
+//             room, new shelf on top otherwise;
+//       NFIW: Next Fit Increasing Width-to-Weight — sort by nodes/weight
+//             ascending, fill the current shelf, open a new one when full;
+//  3. shelves are sequenced by Smith's rule: sum of shelf weights divided
+//     by the shelf's maximal execution time, largest ratio first.
+//
+// The on-line adaptation (the administrator's modification in the paper)
+// lives in ReplanningOrder: SMART only ever produces the wait-queue order,
+// user estimates stand in for execution times, and the plan is recomputed
+// when the queue holds too many unplanned jobs.
+#pragma once
+
+#include <vector>
+
+#include "core/ordering.h"
+
+namespace jsched::core {
+
+enum class SmartVariant { kFfia, kNfiw };
+
+struct SmartParams {
+  SmartVariant variant = SmartVariant::kFfia;
+  /// Geometric bin ratio; "the parameter gamma is chosen to be 2".
+  double gamma = 2.0;
+  /// Job weight used in shelf Smith ratios (unit or estimated area).
+  WeightKind weight = WeightKind::kUnit;
+  /// Replan threshold (see ReplanningOrder).
+  double planned_ratio_threshold = 2.0 / 3.0;
+};
+
+class SmartOrder final : public ReplanningOrder {
+ public:
+  explicit SmartOrder(const SmartParams& params);
+
+  std::string name() const override;
+
+ protected:
+  std::vector<JobId> plan(const std::vector<JobId>& jobs) const override;
+
+ private:
+  SmartParams params_;
+};
+
+/// The pure off-line SMART pass, exposed for tests and benchmarks: given
+/// jobs (all assumed available), returns the shelf-sequenced order.
+std::vector<JobId> smart_plan(const std::vector<JobId>& jobs,
+                              const JobStore& store, int machine_nodes,
+                              const SmartParams& params);
+
+}  // namespace jsched::core

@@ -1,0 +1,55 @@
+#include "eval/experiment.h"
+
+#include <stdexcept>
+
+#include "metrics/objectives.h"
+#include "sim/simulator.h"
+
+namespace jsched::eval {
+
+RunResult run_one(const sim::Machine& machine, const core::AlgorithmSpec& spec,
+                  const workload::Workload& workload,
+                  const ExperimentOptions& options) {
+  if (options.on_run) options.on_run(spec.display_name());
+
+  auto scheduler = core::make_scheduler(spec);
+  sim::SimOptions sim_options;
+  sim_options.validate = options.validate;
+  sim_options.measure_scheduler_cpu = options.measure_cpu;
+  const sim::Schedule schedule =
+      sim::simulate(machine, *scheduler, workload, sim_options);
+
+  RunResult r;
+  r.spec = spec;
+  r.scheduler_name = scheduler->name();
+  r.jobs = workload.size();
+  r.art = metrics::average_response_time(schedule);
+  r.awrt = metrics::average_weighted_response_time(schedule);
+  r.wait = metrics::average_wait_time(schedule);
+  r.makespan = static_cast<double>(metrics::makespan(schedule));
+  r.utilization = metrics::utilization(schedule);
+  r.scheduler_cpu_seconds = schedule.scheduler_cpu_seconds;
+  r.max_queue_length = schedule.max_queue_length;
+  return r;
+}
+
+std::vector<RunResult> run_grid(const sim::Machine& machine,
+                                core::WeightKind weight,
+                                const workload::Workload& workload,
+                                const ExperimentOptions& options) {
+  std::vector<RunResult> out;
+  for (const core::AlgorithmSpec& spec : core::paper_grid(weight)) {
+    out.push_back(run_one(machine, spec, workload, options));
+  }
+  return out;
+}
+
+const RunResult& find(const std::vector<RunResult>& results,
+                      core::OrderKind order, core::DispatchKind dispatch) {
+  for (const RunResult& r : results) {
+    if (r.spec.order == order && r.spec.dispatch == dispatch) return r;
+  }
+  throw std::out_of_range("eval::find: configuration not in results");
+}
+
+}  // namespace jsched::eval

@@ -1,0 +1,59 @@
+// The evaluation harness: run the paper's algorithm grid over a workload
+// and collect every metric the tables and figures report.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/factory.h"
+#include "sim/machine.h"
+#include "workload/workload.h"
+
+namespace jsched::eval {
+
+/// Everything measured for one (algorithm, workload) simulation.
+struct RunResult {
+  core::AlgorithmSpec spec;
+  std::string scheduler_name;
+  std::size_t jobs = 0;
+
+  double art = 0.0;      // average response time (s)
+  double awrt = 0.0;     // average weighted response time (node-s * s / job)
+  double wait = 0.0;     // average wait time (s)
+  double makespan = 0.0;
+  double utilization = 0.0;
+  double scheduler_cpu_seconds = 0.0;
+  std::size_t max_queue_length = 0;
+
+  /// The metric matching the run's objective (art for unit weight, awrt
+  /// for area weight).
+  double objective_cost() const {
+    return spec.weight == core::WeightKind::kUnit ? art : awrt;
+  }
+};
+
+struct ExperimentOptions {
+  bool measure_cpu = true;
+  bool validate = true;
+  /// Called before each run with the algorithm display name (progress
+  /// reporting in long benches); may be empty.
+  std::function<void(const std::string&)> on_run;
+};
+
+/// Simulate one algorithm over one workload.
+RunResult run_one(const sim::Machine& machine, const core::AlgorithmSpec& spec,
+                  const workload::Workload& workload,
+                  const ExperimentOptions& options = {});
+
+/// Simulate the paper's full grid (13 configurations) for one objective.
+std::vector<RunResult> run_grid(const sim::Machine& machine,
+                                core::WeightKind weight,
+                                const workload::Workload& workload,
+                                const ExperimentOptions& options = {});
+
+/// Find the grid entry with the given order/dispatch; throws if absent.
+const RunResult& find(const std::vector<RunResult>& results,
+                      core::OrderKind order, core::DispatchKind dispatch);
+
+}  // namespace jsched::eval

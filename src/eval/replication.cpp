@@ -1,0 +1,41 @@
+#include "eval/replication.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace jsched::eval {
+
+ReplicatedResult run_replicated(
+    const sim::Machine& machine, const core::AlgorithmSpec& spec,
+    const std::function<workload::Workload(std::uint64_t)>& make_workload,
+    std::span<const std::uint64_t> seeds, const ExperimentOptions& options) {
+  if (seeds.empty()) {
+    throw std::invalid_argument("run_replicated: no seeds");
+  }
+  ReplicatedResult out;
+  out.spec = spec;
+  for (std::uint64_t seed : seeds) {
+    const workload::Workload w = make_workload(seed);
+    const RunResult r = run_one(machine, spec, w, options);
+    out.scheduler_name = r.scheduler_name;
+    out.art.add(r.art);
+    out.awrt.add(r.awrt);
+    out.utilization.add(r.utilization);
+  }
+  return out;
+}
+
+bool robustly_better_art(const ReplicatedResult& a, const ReplicatedResult& b,
+                         double z) {
+  if (a.art.count() < 2 || b.art.count() < 2) {
+    throw std::invalid_argument("robustly_better_art: need >= 2 replicates");
+  }
+  const double se_a =
+      a.art.stddev() / std::sqrt(static_cast<double>(a.art.count()));
+  const double se_b =
+      b.art.stddev() / std::sqrt(static_cast<double>(b.art.count()));
+  const double pooled = std::sqrt(se_a * se_a + se_b * se_b);
+  return a.art.mean() + z * pooled < b.art.mean();
+}
+
+}  // namespace jsched::eval

@@ -1,0 +1,49 @@
+// Multi-seed replication (paper §2.3).
+//
+// "The reliability of this method depends on several factors [...] the
+//  procedure is repeated with a large number of input data sets."
+//
+// A single simulated workload is one draw from the workload model; the
+// honest version of the paper's comparison repeats each configuration
+// over independently seeded workloads and reports the dispersion — so a
+// ranking can be read as "robust" rather than "lucky seed".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "util/stats.h"
+
+namespace jsched::eval {
+
+/// Aggregate of one algorithm over several independently seeded workloads.
+struct ReplicatedResult {
+  core::AlgorithmSpec spec;
+  std::string scheduler_name;
+  util::RunningStats art;
+  util::RunningStats awrt;
+  util::RunningStats utilization;
+
+  /// Coefficient of variation of the ART across seeds (stddev / mean) —
+  /// a quick robustness indicator.
+  double art_cv() const {
+    return art.mean() > 0.0 ? art.stddev() / art.mean() : 0.0;
+  }
+};
+
+/// Run `spec` once per seed; `make_workload` maps a seed to a workload
+/// (typically a generator + trim pipeline).
+ReplicatedResult run_replicated(
+    const sim::Machine& machine, const core::AlgorithmSpec& spec,
+    const std::function<workload::Workload(std::uint64_t)>& make_workload,
+    std::span<const std::uint64_t> seeds, const ExperimentOptions& options = {});
+
+/// True when `a` beats `b` on the mean ART by more than `z` pooled
+/// standard errors — the "is this ranking robust?" question of §2.3.
+bool robustly_better_art(const ReplicatedResult& a, const ReplicatedResult& b,
+                         double z = 2.0);
+
+}  // namespace jsched::eval

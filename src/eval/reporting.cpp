@@ -1,0 +1,108 @@
+#include "eval/reporting.h"
+
+#include <array>
+
+namespace jsched::eval {
+namespace {
+
+constexpr std::array<core::OrderKind, 4> kRowOrders = {
+    core::OrderKind::kFcfs, core::OrderKind::kPsrs,
+    core::OrderKind::kSmartFfia, core::OrderKind::kSmartNfiw};
+
+const RunResult* try_find(const std::vector<RunResult>& results,
+                          core::OrderKind order, core::DispatchKind dispatch) {
+  for (const RunResult& r : results) {
+    if (r.spec.order == order && r.spec.dispatch == dispatch) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+util::Table response_time_table(const std::vector<RunResult>& results,
+                                double RunResult::* metric,
+                                const std::string& title) {
+  const RunResult& ref =
+      find(results, core::OrderKind::kFcfs, core::DispatchKind::kEasy);
+  const double reference = ref.*metric;
+
+  util::Table t({"Algorithm", "Listscheduler", "pct", "Backfilling", "pct",
+                 "EASY-Backfilling", "pct"});
+  t.set_title(title);
+  for (core::OrderKind order : kRowOrders) {
+    std::vector<std::string> row;
+    row.push_back(core::to_string(order));
+    for (core::DispatchKind dispatch :
+         {core::DispatchKind::kList, core::DispatchKind::kConservative,
+          core::DispatchKind::kEasy}) {
+      const RunResult* r = try_find(results, order, dispatch);
+      if (r != nullptr) {
+        row.push_back(util::sci(r->*metric));
+        row.push_back(util::pct(r->*metric, reference));
+      } else {
+        row.push_back("-");
+        row.push_back("-");
+      }
+    }
+    t.add_row(std::move(row));
+  }
+  if (const RunResult* gg = try_find(results, core::OrderKind::kFcfs,
+                                     core::DispatchKind::kFirstFit)) {
+    t.add_row({"Garey&Graham", util::sci(gg->*metric),
+               util::pct(gg->*metric, reference), "-", "-", "-", "-"});
+  }
+  return t;
+}
+
+util::Table cpu_time_table(const std::vector<RunResult>& results,
+                           const std::string& title) {
+  const RunResult& ref =
+      find(results, core::OrderKind::kFcfs, core::DispatchKind::kEasy);
+  const double reference = ref.scheduler_cpu_seconds;
+
+  util::Table t({"Algorithm", "Listscheduler", "pct", "EASY-Backfilling",
+                 "pct"});
+  t.set_title(title);
+  for (core::OrderKind order : kRowOrders) {
+    std::vector<std::string> row;
+    row.push_back(core::to_string(order));
+    for (core::DispatchKind dispatch :
+         {core::DispatchKind::kList, core::DispatchKind::kEasy}) {
+      const RunResult* r = try_find(results, order, dispatch);
+      if (r != nullptr) {
+        row.push_back(util::fixed(r->scheduler_cpu_seconds, 3) + "s");
+        row.push_back(util::pct(r->scheduler_cpu_seconds, reference));
+      } else {
+        row.push_back("-");
+        row.push_back("-");
+      }
+    }
+    t.add_row(std::move(row));
+  }
+  if (const RunResult* gg = try_find(results, core::OrderKind::kFcfs,
+                                     core::DispatchKind::kFirstFit)) {
+    t.add_row({"Garey&Graham", util::fixed(gg->scheduler_cpu_seconds, 3) + "s",
+               util::pct(gg->scheduler_cpu_seconds, reference), "-", "-"});
+  }
+  return t;
+}
+
+std::string figure_csv(const std::vector<RunResult>& results,
+                       double RunResult::* metric) {
+  util::Table t({"algorithm", "dispatch", "value"});
+  for (const RunResult& r : results) {
+    t.add_row({core::to_string(r.spec.order), core::to_string(r.spec.dispatch),
+               util::sci(r.*metric, 6)});
+  }
+  return t.to_csv();
+}
+
+std::string experiment_title(const std::string& workload_name,
+                             std::size_t jobs, core::WeightKind weight) {
+  std::string objective = weight == core::WeightKind::kUnit
+                              ? "unweighted (average response time)"
+                              : "weighted (average weighted response time)";
+  return workload_name + " (" + std::to_string(jobs) + " jobs), " + objective;
+}
+
+}  // namespace jsched::eval

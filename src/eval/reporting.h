@@ -1,0 +1,37 @@
+// Rendering of grid results in the paper's table layouts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "util/table.h"
+
+namespace jsched::eval {
+
+/// Tables 3-6 layout: one row per ordering algorithm (+ Garey&Graham),
+/// columns Listscheduler / Backfilling / EASY-Backfilling, each with the
+/// absolute metric and the percentage relative to FCFS+EASY (the paper's
+/// reference, "as this algorithm is used by the CTC").
+///
+/// `metric` selects which RunResult field is shown (art or awrt).
+util::Table response_time_table(const std::vector<RunResult>& results,
+                                double RunResult::* metric,
+                                const std::string& title);
+
+/// Tables 7/8 layout: scheduler computation time as a percentage relative
+/// to FCFS+EASY for the Listscheduler and EASY columns (the paper reports
+/// SMART as a single row; we keep both variants).
+util::Table cpu_time_table(const std::vector<RunResult>& results,
+                           const std::string& title);
+
+/// Figures 3-6 are bar charts over the same data; emit them as CSV series
+/// (one row per algorithm/dispatch with the metric value) for plotting.
+std::string figure_csv(const std::vector<RunResult>& results,
+                       double RunResult::* metric);
+
+/// Convenience: title string "<workload> (n jobs), <objective>".
+std::string experiment_title(const std::string& workload_name,
+                             std::size_t jobs, core::WeightKind weight);
+
+}  // namespace jsched::eval

@@ -1,0 +1,91 @@
+#include "metrics/bounds.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace jsched::metrics {
+
+Time makespan_lower_bound(const workload::Workload& w,
+                          const sim::Machine& machine) {
+  machine.validate();
+  Time bound = 0;
+  double area = 0.0;
+  for (const Job& j : w) {
+    // Occupied time is the runtime, or the limit if the job overruns it
+    // and is cancelled (Rule 2).
+    const auto p = static_cast<double>(std::min(j.runtime, j.estimate));
+    bound = std::max(bound, j.submit + std::min(j.runtime, j.estimate));
+    area += static_cast<double>(j.nodes) * p;
+  }
+  const auto area_bound =
+      static_cast<Time>(area / static_cast<double>(machine.nodes));
+  return std::max(bound, area_bound);
+}
+
+double art_lower_bound(const workload::Workload& w,
+                       const sim::Machine& machine) {
+  machine.validate();
+  if (w.empty()) return 0.0;
+  const auto n = static_cast<double>(w.size());
+
+  // Trivial bound: every job responds in at least its own runtime.
+  double runtime_sum = 0.0;
+  for (const Job& j : w) {
+    runtime_sum += static_cast<double>(std::min(j.runtime, j.estimate));
+  }
+  const double runtime_bound = runtime_sum / n;
+
+  // Capacity bound on the sum of completion times: if C_(1) <= ... <= C_(n)
+  // are the completions of ANY valid schedule, then
+  //   (a) the i jobs finished by C_(i) carry at least the i smallest areas,
+  //       and no schedule completes more than `nodes` node-seconds per
+  //       second, so C_(i) >= prefix_smallest_areas(i) / nodes;
+  //   (b) any i-element subset's largest (release + runtime) is at least
+  //       the i-th smallest such value over all jobs, so C_(i) >= that.
+  std::vector<double> areas;
+  std::vector<double> ready;  // r_j + p_j
+  areas.reserve(w.size());
+  ready.reserve(w.size());
+  double release_sum = 0.0;
+  for (const Job& j : w) {
+    const auto p = static_cast<double>(std::min(j.runtime, j.estimate));
+    areas.push_back(static_cast<double>(j.nodes) * p);
+    ready.push_back(static_cast<double>(j.submit) + p);
+    release_sum += static_cast<double>(j.submit);
+  }
+  std::sort(areas.begin(), areas.end());
+  std::sort(ready.begin(), ready.end());
+  double completion_sum = 0.0;
+  double prefix = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    prefix += areas[i];
+    completion_sum +=
+        std::max(prefix / static_cast<double>(machine.nodes), ready[i]);
+  }
+  const double capacity_bound = (completion_sum - release_sum) / n;
+
+  return std::max(runtime_bound, capacity_bound);
+}
+
+double awrt_lower_bound(const workload::Workload& w) {
+  if (w.empty()) return 0.0;
+  double sum = 0.0;
+  for (const Job& j : w) {
+    const auto p = static_cast<double>(std::min(j.runtime, j.estimate));
+    sum += static_cast<double>(j.nodes) * p * p;  // weight x response >= area x runtime
+  }
+  return sum / static_cast<double>(w.size());
+}
+
+double potential_improvement(double measured, double bound) {
+  if (measured <= 0.0) throw std::invalid_argument("potential_improvement: measured <= 0");
+  if (bound < 0.0 || bound > measured) {
+    // A bound above the measurement signals an invalid bound (or an
+    // invalid schedule); clamp defensively to "no improvement possible".
+    return 0.0;
+  }
+  return (measured - bound) / measured;
+}
+
+}  // namespace jsched::metrics

@@ -1,0 +1,44 @@
+// Schedule lower bounds (paper §2.3).
+//
+// "Occasionally, [algorithmic theory] is used to determine lower bounds
+//  for schedules. These lower bounds can provide an estimate for a
+//  potential improvement of the schedule by switching to a different
+//  algorithm."
+//
+// All bounds here hold for EVERY valid schedule of the workload on the
+// given machine — including clairvoyant off-line ones — so the gap between
+// a simulated cost and the bound caps how much any better algorithm could
+// still gain.
+#pragma once
+
+#include "sim/machine.h"
+#include "util/time.h"
+#include "workload/workload.h"
+
+namespace jsched::metrics {
+
+/// Lower bound on the makespan: no schedule can beat the total work spread
+/// over the full machine, the longest single job (from its release), or
+/// the last submission.
+Time makespan_lower_bound(const workload::Workload& w,
+                          const sim::Machine& machine);
+
+/// Lower bound on the average response time. Combines
+///  * the run-time bound: every job responds in at least its runtime, and
+///  * a capacity bound: ranking jobs by area, the machine cannot finish
+///    more than `nodes` node-seconds per second, so even a clairvoyant
+///    preemptive schedule must delay some jobs once the instantaneous
+///    offered load exceeds capacity (computed via a fluid busy-period
+///    sweep over the arrival sequence).
+double art_lower_bound(const workload::Workload& w,
+                       const sim::Machine& machine);
+
+/// Lower bound on the average weighted response time (weights = areas):
+/// every job contributes at least weight x runtime.
+double awrt_lower_bound(const workload::Workload& w);
+
+/// "Potential improvement" report line for a measured cost vs its bound:
+/// (measured - bound) / measured, in [0, 1); 0 means provably optimal.
+double potential_improvement(double measured, double bound);
+
+}  // namespace jsched::metrics

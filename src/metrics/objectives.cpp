@@ -1,0 +1,160 @@
+#include "metrics/objectives.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace jsched::metrics {
+namespace {
+
+double job_weight(const sim::JobRecord& r) {
+  // Resource consumption as executed: nodes x occupied time. For a
+  // cancelled job the occupied time is its upper limit.
+  return static_cast<double>(r.nodes) * static_cast<double>(r.end - r.start);
+}
+
+void require_jobs(const sim::Schedule& s, const char* what) {
+  if (s.size() == 0) {
+    throw std::invalid_argument(std::string(what) + " of an empty schedule");
+  }
+}
+
+}  // namespace
+
+double average_response_time(const sim::Schedule& s) {
+  require_jobs(s, "average_response_time");
+  double sum = 0.0;
+  for (const auto& r : s.records()) sum += static_cast<double>(r.response());
+  return sum / static_cast<double>(s.size());
+}
+
+double average_weighted_response_time(const sim::Schedule& s) {
+  require_jobs(s, "average_weighted_response_time");
+  double sum = 0.0;
+  for (const auto& r : s.records()) {
+    sum += job_weight(r) * static_cast<double>(r.response());
+  }
+  return sum / static_cast<double>(s.size());
+}
+
+double weight_normalized_response_time(const sim::Schedule& s) {
+  require_jobs(s, "weight_normalized_response_time");
+  double sum = 0.0;
+  double weights = 0.0;
+  for (const auto& r : s.records()) {
+    sum += job_weight(r) * static_cast<double>(r.response());
+    weights += job_weight(r);
+  }
+  return weights > 0.0 ? sum / weights : 0.0;
+}
+
+double average_response_time_if(
+    const sim::Schedule& s,
+    const std::function<bool(JobId, const sim::JobRecord&)>& pred) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (JobId id = 0; id < s.size(); ++id) {
+    if (!pred(id, s[id])) continue;
+    sum += static_cast<double>(s[id].response());
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double average_weighted_response_time_if(
+    const sim::Schedule& s,
+    const std::function<bool(JobId, const sim::JobRecord&)>& pred) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (JobId id = 0; id < s.size(); ++id) {
+    if (!pred(id, s[id])) continue;
+    sum += job_weight(s[id]) * static_cast<double>(s[id].response());
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double average_wait_time(const sim::Schedule& s) {
+  require_jobs(s, "average_wait_time");
+  double sum = 0.0;
+  for (const auto& r : s.records()) sum += static_cast<double>(r.wait());
+  return sum / static_cast<double>(s.size());
+}
+
+double average_bounded_slowdown(const sim::Schedule& s, Duration tau) {
+  require_jobs(s, "average_bounded_slowdown");
+  double sum = 0.0;
+  for (const auto& r : s.records()) {
+    const double p =
+        static_cast<double>(std::max<Duration>(r.end - r.start, tau));
+    sum += static_cast<double>(r.response()) / p;
+  }
+  return sum / static_cast<double>(s.size());
+}
+
+Time makespan(const sim::Schedule& s) { return s.makespan(); }
+
+double utilization(const sim::Schedule& s) {
+  const Time m = s.makespan();
+  if (m <= 0) return 0.0;
+  double busy = 0.0;
+  for (const auto& r : s.records()) busy += job_weight(r);
+  return busy / (static_cast<double>(s.machine().nodes) * static_cast<double>(m));
+}
+
+double idle_node_seconds(const sim::Schedule& s, Time frame_start,
+                         Time frame_end) {
+  if (frame_end <= frame_start) {
+    throw std::invalid_argument("idle_node_seconds: empty frame");
+  }
+  double busy = 0.0;
+  for (const auto& r : s.records()) {
+    const Time lo = std::max(r.start, frame_start);
+    const Time hi = std::min(r.end, frame_end);
+    if (hi > lo) busy += static_cast<double>(r.nodes) * static_cast<double>(hi - lo);
+  }
+  const double total = static_cast<double>(s.machine().nodes) *
+                       static_cast<double>(frame_end - frame_start);
+  return total - busy;
+}
+
+double fraction_within(const sim::Schedule& s, const workload::Workload& w,
+                       std::int32_t priority_class, Duration deadline) {
+  std::size_t total = 0;
+  std::size_t within = 0;
+  for (JobId id = 0; id < s.size(); ++id) {
+    if (w.job(id).priority_class != priority_class) continue;
+    ++total;
+    if (s[id].response() <= deadline) ++within;
+  }
+  return total == 0 ? 1.0
+                    : static_cast<double>(within) / static_cast<double>(total);
+}
+
+double class_average_response_time(const sim::Schedule& s,
+                                   const workload::Workload& w,
+                                   std::int32_t priority_class) {
+  std::size_t total = 0;
+  double sum = 0.0;
+  for (JobId id = 0; id < s.size(); ++id) {
+    if (w.job(id).priority_class != priority_class) continue;
+    ++total;
+    sum += static_cast<double>(s[id].response());
+  }
+  return total == 0 ? 0.0 : sum / static_cast<double>(total);
+}
+
+Objective unweighted_objective() {
+  return {"average response time",
+          [](const sim::Schedule& s) { return average_response_time(s); },
+          true};
+}
+
+Objective weighted_objective() {
+  return {"average weighted response time",
+          [](const sim::Schedule& s) {
+            return average_weighted_response_time(s);
+          },
+          true};
+}
+
+}  // namespace jsched::metrics

@@ -1,0 +1,99 @@
+// Objective functions (paper §2.2 / §4).
+//
+// "An objective function must be defined that assigns a scalar value, the
+//  so-called schedule cost, to each schedule."
+//
+// The evaluation example derives two objectives from Institution B's
+// policy rules:
+//  * daytime (Rule 5): the average response time — "the sum of the
+//    differences between the completion time and submission time for each
+//    job divided by the number of jobs";
+//  * night/weekend (Rule 6): originally the sum of idle times, replaced —
+//    because a time-frame criterion does not support on-line scheduling —
+//    by the average *weighted* response time "where the weight is
+//    identical to the resource consumption of a job, that is, the product
+//    of the execution time and the number of required nodes".
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/schedule.h"
+#include "util/time.h"
+#include "workload/workload.h"
+
+namespace jsched::metrics {
+
+/// Average response time: (1/n) * sum_j (c_j - r_j).
+double average_response_time(const sim::Schedule& s);
+
+/// Average weighted response time with w_j = nodes_j x runtime_j (actual
+/// resource consumption): (1/n) * sum_j w_j (c_j - r_j), the direct
+/// reading of §4 ("calculated in the same fashion ... with the exception
+/// that the difference ... is multiplied with the weight").
+double average_weighted_response_time(const sim::Schedule& s);
+
+/// Variant normalized by total weight instead of job count:
+/// sum_j w_j (c_j - r_j) / sum_j w_j. Ordering of schedules is identical
+/// (the denominator is schedule-independent); provided for comparison with
+/// later AWRT literature.
+double weight_normalized_response_time(const sim::Schedule& s);
+
+/// Average wait time: (1/n) * sum_j (s_j - r_j).
+double average_wait_time(const sim::Schedule& s);
+
+/// Average response time restricted to the jobs selected by `pred`
+/// (e.g. "submitted during the daytime window"); 0 when none match.
+/// Backbone of the phase-split evaluation of combined schedulers (§7).
+double average_response_time_if(
+    const sim::Schedule& s,
+    const std::function<bool(JobId, const sim::JobRecord&)>& pred);
+
+/// Average weighted response time restricted to selected jobs; 0 when
+/// none match.
+double average_weighted_response_time_if(
+    const sim::Schedule& s,
+    const std::function<bool(JobId, const sim::JobRecord&)>& pred);
+
+/// Average bounded slowdown: (1/n) * sum_j (c_j - r_j) / max(p_j, tau).
+double average_bounded_slowdown(const sim::Schedule& s, Duration tau = 10);
+
+/// Completion time of the last job.
+Time makespan(const sim::Schedule& s);
+
+/// Machine utilization over [0, makespan]: busy node-seconds / available
+/// node-seconds.
+double utilization(const sim::Schedule& s);
+
+/// Sum of idle node-seconds within [frame_start, frame_end) — the
+/// time-frame criterion of Rule 6 that the paper discusses and then
+/// replaces for on-line use.
+double idle_node_seconds(const sim::Schedule& s, Time frame_start,
+                         Time frame_end);
+
+/// Share of jobs of `priority_class` completed within `deadline` of
+/// submission (policy-layer criterion, used by the Example 1 analysis).
+double fraction_within(const sim::Schedule& s, const workload::Workload& w,
+                       std::int32_t priority_class, Duration deadline);
+
+/// Average response time restricted to one priority class; 0 when the
+/// class is empty.
+double class_average_response_time(const sim::Schedule& s,
+                                   const workload::Workload& w,
+                                   std::int32_t priority_class);
+
+/// A named scalar objective — the "objective function" component of the
+/// paper's scheduling-system decomposition, as a first-class value.
+struct Objective {
+  std::string name;
+  std::function<double(const sim::Schedule&)> cost;
+  /// True when smaller cost is better (all objectives here are costs).
+  bool minimize = true;
+};
+
+/// The two objectives of the evaluation example.
+Objective unweighted_objective();
+Objective weighted_objective();
+
+}  // namespace jsched::metrics

@@ -1,0 +1,57 @@
+#include "metrics/pareto.h"
+
+#include <stdexcept>
+
+namespace jsched::metrics {
+
+bool dominates(const CriteriaPoint& a, const CriteriaPoint& b) {
+  if (a.costs.size() != b.costs.size()) {
+    throw std::invalid_argument("dominates: criterion count mismatch");
+  }
+  bool strictly = false;
+  for (std::size_t i = 0; i < a.costs.size(); ++i) {
+    if (a.costs[i] > b.costs[i]) return false;
+    if (a.costs[i] < b.costs[i]) strictly = true;
+  }
+  return strictly;
+}
+
+std::vector<std::size_t> pareto_front(const std::vector<CriteriaPoint>& points) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (j != i && dominates(points[j], points[i])) dominated = true;
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+double scalarize(const CriteriaPoint& p, const std::vector<double>& weights) {
+  if (p.costs.size() != weights.size()) {
+    throw std::invalid_argument("scalarize: weight count mismatch");
+  }
+  double v = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) v += weights[i] * p.costs[i];
+  return v;
+}
+
+std::size_t order_violations(
+    const std::vector<CriteriaPoint>& points,
+    const std::vector<std::pair<std::size_t, std::size_t>>& preferences,
+    const std::vector<double>& weights) {
+  std::size_t violations = 0;
+  for (const auto& [better, worse] : preferences) {
+    if (better >= points.size() || worse >= points.size()) {
+      throw std::invalid_argument("order_violations: preference out of range");
+    }
+    if (!(scalarize(points[better], weights) <
+          scalarize(points[worse], weights))) {
+      ++violations;
+    }
+  }
+  return violations;
+}
+
+}  // namespace jsched::metrics

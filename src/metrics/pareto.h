@@ -1,0 +1,45 @@
+// Multi-criteria schedule comparison (paper §2.2, Fig. 1/2).
+//
+// The paper's objective-function methodology starts from Pareto-optimal
+// schedules under several policy criteria: "at first all Pareto-optimal
+// schedules are selected", then a partial order over them is elicited and
+// an objective function derived that generates this order. These tools
+// implement that pipeline over arbitrary criterion vectors.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace jsched::metrics {
+
+/// One evaluated schedule in criterion space; all criteria are costs
+/// (smaller is better — invert benefit criteria before building points).
+struct CriteriaPoint {
+  std::string label;           // e.g. the scheduler that produced it
+  std::vector<double> costs;   // one entry per criterion
+};
+
+/// True if a weakly dominates b (a <= b everywhere, < somewhere).
+bool dominates(const CriteriaPoint& a, const CriteriaPoint& b);
+
+/// Indices of the Pareto-optimal points (no other point dominates them).
+/// Deterministic: preserves input order.
+std::vector<std::size_t> pareto_front(const std::vector<CriteriaPoint>& points);
+
+/// A linear scalarization sum_i lambda_i * cost_i — the simplest objective
+/// function consistent with a Pareto analysis; `weights` must match the
+/// criterion count.
+double scalarize(const CriteriaPoint& p, const std::vector<double>& weights);
+
+/// Check whether the scalarization with `weights` reproduces a desired
+/// partial order: for every pair (better, worse) in `preferences`
+/// (indices into `points`), scalarize(points[better]) <
+/// scalarize(points[worse]). Returns the number of violated preferences —
+/// 0 means the objective function "generates this order" (§2.2, step 3).
+std::size_t order_violations(
+    const std::vector<CriteriaPoint>& points,
+    const std::vector<std::pair<std::size_t, std::size_t>>& preferences,
+    const std::vector<double>& weights);
+
+}  // namespace jsched::metrics

@@ -1,0 +1,160 @@
+#include "policy/policy.h"
+
+#include <algorithm>
+
+namespace jsched::policy {
+namespace {
+
+bool windows_overlap(const TimeWindowGoalRule& a, const TimeWindowGoalRule& b) {
+  // Expand wrapping windows into [start, end) pairs over a two-day span.
+  auto expand = [](const TimeWindowGoalRule& r) {
+    std::vector<std::pair<Duration, Duration>> spans;
+    if (r.start_second <= r.end_second) {
+      spans.emplace_back(r.start_second, r.end_second);
+    } else {
+      spans.emplace_back(r.start_second, kDay);
+      spans.emplace_back(0, r.end_second);
+    }
+    return spans;
+  };
+  for (const auto& [as, ae] : expand(a)) {
+    for (const auto& [bs, be] : expand(b)) {
+      if (as < be && bs < ae) return true;
+    }
+  }
+  return false;
+}
+
+bool in_window(const TimeWindowGoalRule& r, Time t) {
+  const Duration second_of_day = t % kDay;
+  const long long day_index = t / kDay;
+  // Day 0 is a Monday; Saturday/Sunday are indices 5 and 6 (mod 7).
+  const bool weekday = (day_index % 7) < 5;
+  if (r.weekdays_only && !weekday) return false;
+  if (r.weekends_only && weekday) return false;
+  if (r.start_second <= r.end_second) {
+    return second_of_day >= r.start_second && second_of_day < r.end_second;
+  }
+  return second_of_day >= r.start_second || second_of_day < r.end_second;
+}
+
+}  // namespace
+
+std::vector<Conflict> Policy::conflicts() const {
+  std::vector<Conflict> out;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (const auto* limit = std::get_if<UserJobLimitRule>(&rules_[i])) {
+      if (limit->max_active_jobs_per_user < 1) {
+        out.push_back({i, i, "user job limit below 1 blocks all jobs"});
+      }
+    }
+    if (const auto* quota = std::get_if<QuotaRule>(&rules_[i])) {
+      if (quota->share <= 0.0 || quota->share > 1.0) {
+        out.push_back({i, i, "quota share outside (0, 1]"});
+      }
+    }
+    for (std::size_t j = i + 1; j < rules_.size(); ++j) {
+      const auto* wa = std::get_if<TimeWindowGoalRule>(&rules_[i]);
+      const auto* wb = std::get_if<TimeWindowGoalRule>(&rules_[j]);
+      // Two goal windows conflict when their day sets intersect, their
+      // time-of-day spans overlap, and the objectives differ.
+      const bool disjoint_days =
+          wa && wb &&
+          ((wa->weekdays_only && wb->weekends_only) ||
+           (wa->weekends_only && wb->weekdays_only));
+      if (wa && wb && !disjoint_days &&
+          wa->objective.name != wb->objective.name &&
+          windows_overlap(*wa, *wb)) {
+        out.push_back({i, j, "overlapping goal windows with different objectives"});
+      }
+      const auto* pa = std::get_if<PriorityRule>(&rules_[i]);
+      const auto* pb = std::get_if<PriorityRule>(&rules_[j]);
+      if (pa && pb && pa->priority_class != pb->priority_class &&
+          pa->rank == pb->rank) {
+        out.push_back({i, j, "distinct classes share a priority rank"});
+      }
+      if (pa && pb && pa->priority_class == pb->priority_class &&
+          pa->rank != pb->rank) {
+        out.push_back({i, j, "one class given two different ranks"});
+      }
+    }
+  }
+  // Quota shares must not sum above 1.
+  double total_share = 0.0;
+  std::size_t last_quota = 0;
+  bool any_quota = false;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (const auto* quota = std::get_if<QuotaRule>(&rules_[i])) {
+      total_share += quota->share;
+      last_quota = i;
+      any_quota = true;
+    }
+  }
+  if (any_quota && total_share > 1.0) {
+    out.push_back({last_quota, last_quota, "quota shares sum above 1"});
+  }
+  return out;
+}
+
+std::optional<metrics::Objective> Policy::objective_at(Time t) const {
+  for (const Rule& r : rules_) {
+    if (const auto* w = std::get_if<TimeWindowGoalRule>(&r)) {
+      if (in_window(*w, t)) return w->objective;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<int> Policy::user_job_limit() const {
+  std::optional<int> limit;
+  for (const Rule& r : rules_) {
+    if (const auto* l = std::get_if<UserJobLimitRule>(&r)) {
+      limit = limit ? std::min(*limit, l->max_active_jobs_per_user)
+                    : l->max_active_jobs_per_user;
+    }
+  }
+  return limit;
+}
+
+int Policy::rank_of(std::int32_t priority_class) const {
+  int rank = 0;
+  for (const Rule& r : rules_) {
+    if (const auto* p = std::get_if<PriorityRule>(&r)) {
+      if (p->priority_class == priority_class) rank = std::max(rank, p->rank);
+    }
+  }
+  return rank;
+}
+
+Policy institution_b_policy() {
+  Policy p("Institution B");
+  p.add(UserJobLimitRule{2, "Rule 4: at most two batch jobs per user"});
+  p.add(TimeWindowGoalRule{7 * kHour, 20 * kHour, /*weekdays_only=*/true,
+                           /*weekends_only=*/false,
+                           metrics::unweighted_objective(),
+                           "Rule 5: weekdays 7am-8pm, minimize response time"});
+  p.add(TimeWindowGoalRule{20 * kHour, 7 * kHour, /*weekdays_only=*/true,
+                           /*weekends_only=*/false,
+                           metrics::weighted_objective(),
+                           "Rule 6a: weekday nights, high system load"});
+  p.add(TimeWindowGoalRule{0, kDay, /*weekdays_only=*/false,
+                           /*weekends_only=*/true,
+                           metrics::weighted_objective(),
+                           "Rule 6b: weekends and holidays, high system load"});
+  return p;
+}
+
+Policy example1_policy() {
+  Policy p("University A chemistry department");
+  p.add(PriorityRule{2, 2, "Rule 1: drug-design jobs as soon as possible"});
+  p.add(PriorityRule{1, 1, "Rule 3: chemistry labs have preferred access"});
+  p.add(PriorityRule{0, 0, "Rule 3: rest of the university accepted"});
+  p.add(QuotaRule{3, 0.1, "Rule 4: computation time sold to industry"});
+  p.add(TimeWindowGoalRule{10 * kHour, 11 * kHour, /*weekdays_only=*/true,
+                           /*weekends_only=*/false,
+                           metrics::unweighted_objective(),
+                           "Rule 5: theoretical chemistry lab course"});
+  return p;
+}
+
+}  // namespace jsched::policy

@@ -1,0 +1,114 @@
+// The scheduling-policy layer (paper §2.1): "a collection of rules to
+// determine the resource allocation if not enough resources are available
+// to satisfy all requests immediately", owned by the machine's
+// administrator.
+//
+// The paper's quality bar for a policy: (1) it contains rules to resolve
+// conflicts between other rules if those conflicts may occur, and (2) it
+// can be implemented. This module represents rules as data, detects the
+// conflicts the paper warns about, and maps time-window goal rules to the
+// objective function in force at a given instant — the §4 derivation
+// (Rule 5 daytime -> average response time; Rule 6 nights/weekends ->
+// average weighted response time).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "metrics/objectives.h"
+#include "util/time.h"
+
+namespace jsched::policy {
+
+/// Jobs of `priority_class` are more important than lower classes
+/// (Example 1, Rule 1: drug-design jobs "must be executed as soon as
+/// possible").
+struct PriorityRule {
+  std::int32_t priority_class;
+  int rank;  // higher rank = served first
+  std::string description;
+};
+
+/// Between [start_second, end_second) of a day the named objective is in
+/// force (Example 5, Rules 5/6). Seconds are relative to midnight;
+/// wrapping windows (start > end) cover midnight.
+struct TimeWindowGoalRule {
+  Duration start_second;
+  Duration end_second;
+  bool weekdays_only = false;
+  bool weekends_only = false;
+  metrics::Objective objective;
+  std::string description;
+};
+
+/// Per-user concurrency cap (Example 5, Rule 4: "every user is allowed at
+/// most two batch jobs on the machine at any time").
+struct UserJobLimitRule {
+  int max_active_jobs_per_user;
+  std::string description;
+};
+
+/// A share of capacity earmarked for a priority class (Example 1, Rule 4:
+/// computation time sold to industry partners).
+struct QuotaRule {
+  std::int32_t priority_class;
+  double share;  // in (0, 1]
+  std::string description;
+};
+
+using Rule = std::variant<PriorityRule, TimeWindowGoalRule, UserJobLimitRule,
+                          QuotaRule>;
+
+/// A detected conflict between two rules plus a human-readable reason.
+struct Conflict {
+  std::size_t rule_a;
+  std::size_t rule_b;
+  std::string reason;
+};
+
+class Policy {
+ public:
+  explicit Policy(std::string name = "policy") : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t size() const noexcept { return rules_.size(); }
+  const Rule& rule(std::size_t i) const { return rules_.at(i); }
+
+  Policy& add(Rule r) {
+    rules_.push_back(std::move(r));
+    return *this;
+  }
+
+  /// Conflicts the paper warns about: overlapping goal windows with
+  /// different objectives, duplicate priority ranks for distinct classes,
+  /// quota shares exceeding 1, non-positive user limits.
+  std::vector<Conflict> conflicts() const;
+
+  /// The goal objective in force at absolute time t (day 0 of the
+  /// simulation is taken to be a Monday). nullopt when no window matches.
+  std::optional<metrics::Objective> objective_at(Time t) const;
+
+  /// Strictest user limit, if any rule sets one.
+  std::optional<int> user_job_limit() const;
+
+  /// Priority rank of a class (0 when no rule mentions it).
+  int rank_of(std::int32_t priority_class) const;
+
+ private:
+  std::string name_;
+  std::vector<Rule> rules_;
+};
+
+/// Institution B's policy (Example 5) with the paper's §4 objective
+/// mapping baked in: 7am-8pm weekdays -> average response time, the rest
+/// -> average weighted response time.
+Policy institution_b_policy();
+
+/// The chemistry-department policy of Example 1 (priority classes:
+/// 2 = drug-design lab, 1 = chemistry department, 0 = rest of university).
+Policy example1_policy();
+
+}  // namespace jsched::policy

@@ -1,0 +1,66 @@
+#include "policy/user_limit.h"
+
+#include <stdexcept>
+
+namespace jsched::policy {
+
+UserLimitScheduler::UserLimitScheduler(std::unique_ptr<sim::Scheduler> inner,
+                                       int limit)
+    : inner_(std::move(inner)), limit_(limit) {
+  if (!inner_) throw std::invalid_argument("UserLimitScheduler: null inner");
+  if (limit_ < 1) throw std::invalid_argument("UserLimitScheduler: limit < 1");
+}
+
+std::string UserLimitScheduler::name() const {
+  return inner_->name() + "/limit" + std::to_string(limit_);
+}
+
+void UserLimitScheduler::reset(const sim::Machine& machine) {
+  inner_->reset(machine);
+  active_.clear();
+  held_.clear();
+  user_of_.clear();
+  held_total_ = 0;
+}
+
+void UserLimitScheduler::on_submit(const Job& job, Time now) {
+  user_of_[job.id] = job.user;
+  if (active_[job.user] < limit_) {
+    ++active_[job.user];
+    inner_->on_submit(job, now);
+  } else {
+    held_[job.user].push_back(job);
+    ++held_total_;
+  }
+}
+
+void UserLimitScheduler::on_complete(JobId id, Time now) {
+  inner_->on_complete(id, now);
+  const std::int32_t user = user_of_.at(id);
+  user_of_.erase(id);
+  --active_[user];
+  auto it = held_.find(user);
+  if (it != held_.end() && !it->second.empty() && active_[user] < limit_) {
+    Job next = it->second.front();
+    it->second.pop_front();
+    --held_total_;
+    ++active_[user];
+    // The job was submitted earlier but only reaches the scheduler now;
+    // its queue position reflects the admission time, as on a real system.
+    inner_->on_submit(next, now);
+  }
+}
+
+std::vector<JobId> UserLimitScheduler::select_starts(Time now, int free_nodes) {
+  return inner_->select_starts(now, free_nodes);
+}
+
+Time UserLimitScheduler::next_wakeup(Time now) const {
+  return inner_->next_wakeup(now);
+}
+
+std::size_t UserLimitScheduler::queue_length() const {
+  return inner_->queue_length() + held_total_;
+}
+
+}  // namespace jsched::policy

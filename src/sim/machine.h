@@ -1,0 +1,26 @@
+// The target machine model of the evaluation example (paper §3):
+// a space-shared MPP with identical nodes, variable partitioning, no time
+// sharing, and exclusive access of batch jobs to their partition.
+#pragma once
+
+#include <stdexcept>
+
+namespace jsched::sim {
+
+struct Machine {
+  /// Number of identical nodes in the batch partition (Institution B: 256;
+  /// CTC: 430).
+  int nodes = 256;
+
+  /// The machine does not support time sharing (paper §3); kept as an
+  /// explicit capability flag so the schedule validator can reject
+  /// preemptive schedules on this target while PSRS's *internal* preemptive
+  /// plan remains a pure planning artifact.
+  bool time_sharing = false;
+
+  void validate() const {
+    if (nodes < 1) throw std::invalid_argument("Machine: nodes < 1");
+  }
+};
+
+}  // namespace jsched::sim

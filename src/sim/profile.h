@@ -1,0 +1,66 @@
+// Future node-availability profile.
+//
+// Backfilling (paper §5.2) plans against *estimated* completion times: the
+// profile is a piecewise-constant map from time to free nodes, updated as
+// jobs are allocated (running jobs until their estimated end, reservations
+// for queued jobs) and as capacity is returned early when a job finishes
+// before its estimate.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "util/time.h"
+
+namespace jsched::sim {
+
+/// Piecewise-constant free-capacity timeline.
+///
+/// Stored as an ordered map time -> free nodes valid from that time until
+/// the next entry; the final entry extends to infinity. There is always an
+/// entry at or before any queried time (the initial entry sits at time 0,
+/// or at the `horizon_start` passed to compact()).
+class Profile {
+ public:
+  explicit Profile(int total_nodes);
+
+  int total_nodes() const noexcept { return total_; }
+
+  /// Free nodes at time t.
+  int capacity_at(Time t) const;
+
+  /// True if `nodes` are free throughout [start, start + duration).
+  bool fits(Time start, Duration duration, int nodes) const;
+
+  /// Earliest t >= from such that `nodes` are free throughout
+  /// [t, t + duration). Always exists (the profile eventually returns to
+  /// full capacity).
+  Time earliest_fit(Time from, Duration duration, int nodes) const;
+
+  /// Subtract `nodes` over [start, start + duration). Precondition: fits().
+  void allocate(Time start, Duration duration, int nodes);
+
+  /// Add `nodes` back over [start, start + duration). Inverse of allocate;
+  /// also used to return capacity early when a job beats its estimate.
+  void release(Time start, Duration duration, int nodes);
+
+  /// Drop entries strictly before `now` (keeping the value in effect at
+  /// `now`). Call as simulation time advances to keep operations O(future).
+  void compact(Time now);
+
+  /// Number of stored breakpoints (for tests/benchmarks).
+  std::size_t breakpoints() const noexcept { return cap_.size(); }
+
+  /// Debug rendering "t0:c0 t1:c1 ...".
+  std::string dump() const;
+
+ private:
+  void add_over_range(Time start, Time end, int delta);
+  std::map<Time, int>::const_iterator at(Time t) const;
+
+  int total_;
+  std::map<Time, int> cap_;
+};
+
+}  // namespace jsched::sim

@@ -1,0 +1,90 @@
+#include "sim/schedule.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace jsched::sim {
+
+Schedule::Schedule(Machine machine, std::size_t job_count,
+                   std::string scheduler_name)
+    : machine_(machine),
+      scheduler_name_(std::move(scheduler_name)),
+      records_(job_count) {
+  machine_.validate();
+}
+
+void Schedule::record_start(JobId id, Time submit, Time start, int nodes) {
+  JobRecord& r = records_.at(id);
+  r.submit = submit;
+  r.start = start;
+  r.nodes = nodes;
+  r.end = kTimeInfinity;
+}
+
+void Schedule::record_end(JobId id, Time end, bool cancelled) {
+  JobRecord& r = records_.at(id);
+  r.end = end;
+  r.cancelled = cancelled;
+}
+
+Time Schedule::makespan() const noexcept {
+  Time m = 0;
+  for (const auto& r : records_) m = std::max(m, r.end);
+  return m;
+}
+
+void validate_schedule(const Schedule& s, const workload::Workload& w) {
+  auto fail = [](const std::string& msg) { throw std::logic_error("schedule: " + msg); };
+  if (s.size() != w.size()) fail("job count mismatch");
+
+  struct Edge {
+    Time t;
+    int delta;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(2 * s.size());
+
+  for (JobId id = 0; id < s.size(); ++id) {
+    const JobRecord& r = s[id];
+    const Job& j = w.job(id);
+    std::ostringstream who;
+    who << "job " << id << ": ";
+    if (r.end == kTimeInfinity) fail(who.str() + "never completed");
+    if (r.nodes != j.nodes) fail(who.str() + "node count mismatch");
+    if (r.submit != j.submit) fail(who.str() + "submit time mismatch");
+    if (r.start < j.submit) fail(who.str() + "started before submission");
+    if (r.cancelled) {
+      if (r.end - r.start != j.estimate) {
+        fail(who.str() + "cancelled at other than the upper limit");
+      }
+      if (j.runtime <= j.estimate) {
+        fail(who.str() + "cancelled although it fit its limit");
+      }
+    } else {
+      if (r.end - r.start != j.runtime) {
+        fail(who.str() + "ran for other than its runtime (no time sharing)");
+      }
+    }
+    edges.push_back({r.start, j.nodes});
+    edges.push_back({r.end, -j.nodes});
+  }
+
+  // Capacity sweep: releases before acquisitions at equal times (a node
+  // freed at t is usable by a job starting at t).
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.delta < b.delta;
+  });
+  int in_use = 0;
+  for (const auto& e : edges) {
+    in_use += e.delta;
+    if (in_use > s.machine().nodes) {
+      fail("node capacity exceeded at time " + std::to_string(e.t));
+    }
+    if (in_use < 0) fail("negative usage at time " + std::to_string(e.t));
+  }
+  if (in_use != 0) fail("dangling allocations after last completion");
+}
+
+}  // namespace jsched::sim

@@ -1,0 +1,79 @@
+// The produced schedule: "an allocation of system resources to individual
+// jobs for certain time periods" (paper §2). The simulator fills one of
+// these; the metrics library evaluates it; the validator enforces the
+// machine's validity constraints.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/machine.h"
+#include "util/time.h"
+#include "workload/workload.h"
+
+namespace jsched::sim {
+
+/// Per-job outcome. Indexed by JobId in the owning Schedule.
+struct JobRecord {
+  Time submit = 0;
+  Time start = 0;
+  Time end = 0;  // completion (or cancellation) time
+  int nodes = 0;
+  /// True when the job hit its user-provided upper limit and was cancelled
+  /// (Example 5, Rule 2).
+  bool cancelled = false;
+
+  Duration response() const noexcept { return end - submit; }
+  Duration wait() const noexcept { return start - submit; }
+};
+
+/// A complete executed schedule.
+class Schedule {
+ public:
+  Schedule() = default;
+  Schedule(Machine machine, std::size_t job_count, std::string scheduler_name);
+
+  const Machine& machine() const noexcept { return machine_; }
+  const std::string& scheduler_name() const noexcept { return scheduler_name_; }
+
+  std::size_t size() const noexcept { return records_.size(); }
+  const JobRecord& operator[](JobId id) const noexcept { return records_[id]; }
+  const std::vector<JobRecord>& records() const noexcept { return records_; }
+
+  void record_start(JobId id, Time submit, Time start, int nodes);
+  void record_end(JobId id, Time end, bool cancelled);
+
+  /// Completion time of the last job (0 for an empty schedule).
+  Time makespan() const noexcept;
+
+  /// CPU seconds spent inside the scheduler (paper Tables 7/8).
+  double scheduler_cpu_seconds = 0.0;
+
+  /// Peak number of simultaneously waiting jobs (backlog indicator, §6.1).
+  std::size_t max_queue_length = 0;
+
+  /// Queue length after each event (only filled when
+  /// SimOptions::record_backlog is set): the §6.1 "larger job backlog
+  /// during the simulation" as a plottable time series. Consecutive
+  /// samples at one instant are coalesced to the last value.
+  std::vector<std::pair<Time, std::size_t>> backlog;
+
+ private:
+  Machine machine_;
+  std::string scheduler_name_;
+  std::vector<JobRecord> records_;
+};
+
+/// Validity constraints of the target machine (paper §2): node capacity is
+/// never exceeded at any instant, partitions are exclusive (implied by
+/// capacity in the identical-node model), no job starts before submission,
+/// every job runs for exactly its runtime (or is cancelled at its
+/// estimate), and — since the machine has no time sharing — allocations are
+/// contiguous in time.
+///
+/// Throws std::logic_error describing the first violation.
+void validate_schedule(const Schedule& s, const workload::Workload& w);
+
+}  // namespace jsched::sim

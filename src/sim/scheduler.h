@@ -1,0 +1,63 @@
+// The on-line scheduler contract.
+//
+// The paper's scheduling system "receives a stream of job submission data
+// and produces a valid schedule" (§2) and "may not be aware of any data
+// arriving in the future". This interface encodes exactly that information
+// boundary:
+//
+//  * on_submit delivers a job's *submission data* — nodes and the user's
+//    estimate; the actual runtime is ground truth owned by the simulator,
+//  * on_complete reveals an actual completion, possibly earlier than the
+//    estimate implied,
+//  * select_starts asks which waiting jobs to start right now,
+//  * next_wakeup lets a scheduler holding future reservations fire them at
+//    times where no arrival/completion event happens to occur.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/machine.h"
+#include "util/time.h"
+#include "workload/job.h"
+
+namespace jsched::sim {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Display name, e.g. "SMART-FFIA+EASY".
+  virtual std::string name() const = 0;
+
+  /// Called once before a simulation; drop all state.
+  virtual void reset(const Machine& machine) = 0;
+
+  /// A job has been submitted. Only submission data may be retained: using
+  /// job.runtime for decisions would break the on-line model (the
+  /// simulator hands schedulers a copy with runtime scrubbed to 0).
+  virtual void on_submit(const Job& job, Time now) = 0;
+
+  /// A previously started job has completed (or was cancelled).
+  virtual void on_complete(JobId id, Time now) = 0;
+
+  /// Return the jobs to start at `now`, in start order. `free_nodes` is
+  /// the machine capacity not occupied by running jobs before any of the
+  /// returned jobs start. The simulator starts them all; returning a job
+  /// set that exceeds capacity is a scheduler bug (the simulator throws).
+  virtual std::vector<JobId> select_starts(Time now, int free_nodes) = 0;
+
+  /// Earliest future time at which this scheduler wants to be invoked even
+  /// if no arrival/completion occurs (e.g. a reservation computed from
+  /// estimated completions that actual completions never touch).
+  /// kTimeInfinity when no such time exists.
+  virtual Time next_wakeup(Time now) const {
+    (void)now;
+    return kTimeInfinity;
+  }
+
+  /// Number of jobs currently waiting (for backlog accounting).
+  virtual std::size_t queue_length() const = 0;
+};
+
+}  // namespace jsched::sim

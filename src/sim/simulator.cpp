@@ -1,0 +1,152 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <ctime>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace jsched::sim {
+namespace {
+
+/// Thread CPU time in seconds (Linux/glibc).
+double cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+struct Completion {
+  Time t;
+  JobId id;
+  bool operator>(const Completion& o) const noexcept {
+    return t != o.t ? t > o.t : id > o.id;
+  }
+};
+
+}  // namespace
+
+Schedule simulate(const Machine& machine, Scheduler& scheduler,
+                  const workload::Workload& workload,
+                  const SimOptions& options) {
+  machine.validate();
+  if (workload.max_nodes() > machine.nodes) {
+    throw std::invalid_argument(
+        "simulate: workload contains jobs wider than the machine; "
+        "trim_to_machine() first");
+  }
+
+  Schedule schedule(machine, workload.size(), scheduler.name());
+
+  double cpu = 0.0;
+  auto timed = [&](auto&& fn) {
+    if (options.measure_scheduler_cpu) {
+      const double t0 = cpu_seconds();
+      fn();
+      cpu += cpu_seconds() - t0;
+    } else {
+      fn();
+    }
+  };
+
+  timed([&] { scheduler.reset(machine); });
+
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<>>
+      completions;
+  std::size_t next_arrival = 0;
+  int free_nodes = machine.nodes;
+  std::vector<char> submitted(workload.size(), 0);
+  std::vector<char> running(workload.size(), 0);
+  std::vector<char> done(workload.size(), 0);
+  std::size_t remaining = workload.size();
+  Time prev_t = -1;
+
+  while (remaining > 0) {
+    // Next event time: arrival, completion, or scheduler wakeup.
+    Time t = kTimeInfinity;
+    if (next_arrival < workload.size()) {
+      t = workload[next_arrival].submit;
+    }
+    if (!completions.empty()) t = std::min(t, completions.top().t);
+    // Honor a scheduler wakeup that strictly advances time (stale wakeups
+    // are ignored so a buggy scheduler cannot stall the clock).
+    const Time wake = scheduler.next_wakeup(prev_t);
+    if (wake > prev_t && wake < t) t = wake;
+    if (t == kTimeInfinity) {
+      throw std::logic_error("simulate: no events left but " +
+                             std::to_string(remaining) + " jobs pending (" +
+                             scheduler.name() + " starved them)");
+    }
+    prev_t = t;
+
+    // Deliver all completions at t (release first: a node freed at t is
+    // available to a job starting at t).
+    while (!completions.empty() && completions.top().t == t) {
+      const Completion c = completions.top();
+      completions.pop();
+      free_nodes += workload.job(c.id).nodes;
+      running[c.id] = 0;
+      done[c.id] = 1;
+      --remaining;
+      timed([&] { scheduler.on_complete(c.id, t); });
+    }
+
+    // Deliver all arrivals at t with the runtime scrubbed: schedulers see
+    // submission data only (on-line model).
+    while (next_arrival < workload.size() &&
+           workload[next_arrival].submit == t) {
+      Job visible = workload[next_arrival];
+      visible.runtime = 0;
+      submitted[visible.id] = 1;
+      ++next_arrival;
+      timed([&] { scheduler.on_submit(visible, t); });
+    }
+
+    // Ask for start decisions until the scheduler has none at this time.
+    while (true) {
+      std::vector<JobId> starts;
+      timed([&] { starts = scheduler.select_starts(t, free_nodes); });
+      if (starts.empty()) break;
+      for (JobId id : starts) {
+        if (id >= workload.size() || !submitted[id]) {
+          throw std::logic_error("simulate: scheduler started unknown job");
+        }
+        if (running[id] || done[id]) {
+          throw std::logic_error("simulate: scheduler started job " +
+                                 std::to_string(id) + " twice");
+        }
+        const Job& j = workload.job(id);
+        if (j.nodes > free_nodes) {
+          throw std::logic_error(
+              "simulate: scheduler oversubscribed the machine with job " +
+              std::to_string(id));
+        }
+        free_nodes -= j.nodes;
+        running[id] = 1;
+        schedule.record_start(id, j.submit, t, j.nodes);
+        // Rule 2: jobs exceeding their upper limit are cancelled there.
+        const bool cancelled = j.runtime > j.estimate;
+        const Duration lifetime = cancelled ? j.estimate : j.runtime;
+        schedule.record_end(id, t + lifetime, cancelled);
+        completions.push({t + lifetime, id});
+      }
+    }
+
+    schedule.max_queue_length =
+        std::max(schedule.max_queue_length, scheduler.queue_length());
+    if (options.record_backlog) {
+      if (!schedule.backlog.empty() && schedule.backlog.back().first == t) {
+        schedule.backlog.back().second = scheduler.queue_length();
+      } else {
+        schedule.backlog.emplace_back(t, scheduler.queue_length());
+      }
+    }
+  }
+
+  schedule.scheduler_cpu_seconds = cpu;
+  if (options.validate) validate_schedule(schedule, workload);
+  return schedule;
+}
+
+}  // namespace jsched::sim

@@ -1,0 +1,33 @@
+// Discrete-event simulator driving an on-line scheduler over a workload.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/machine.h"
+#include "sim/schedule.h"
+#include "sim/scheduler.h"
+#include "workload/workload.h"
+
+namespace jsched::sim {
+
+struct SimOptions {
+  /// Validate the produced schedule before returning (cheap: O(n log n)).
+  bool validate = true;
+
+  /// Measure CPU time spent in scheduler callbacks (Tables 7/8). Uses
+  /// thread CPU clock; adds two clock reads per callback.
+  bool measure_scheduler_cpu = false;
+
+  /// Record the queue-length time series into Schedule::backlog.
+  bool record_backlog = false;
+};
+
+/// Run `scheduler` over `workload` on `machine`; returns the executed
+/// schedule. The scheduler is reset() first, so a scheduler instance can be
+/// reused across runs. Throws std::logic_error if the scheduler starts a
+/// job that does not fit or that it was never given.
+Schedule simulate(const Machine& machine, Scheduler& scheduler,
+                  const workload::Workload& workload,
+                  const SimOptions& options = {});
+
+}  // namespace jsched::sim

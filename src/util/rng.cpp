@@ -1,0 +1,163 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace jsched::util {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  // SplitMix64 expansion guarantees a non-degenerate state for any seed.
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 random bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  assert(lo <= hi);
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Rejection sampling for exact uniformity.
+  const std::uint64_t limit = (~0ULL) - (~0ULL) % range;
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return lo + static_cast<std::int64_t>(v % range);
+}
+
+bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
+
+double Rng::exponential(double rate) noexcept {
+  assert(rate > 0.0);
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log1p(-u) / rate;
+}
+
+double Rng::weibull(double shape, double scale) noexcept {
+  assert(shape > 0.0 && scale > 0.0);
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return scale * std::pow(-std::log1p(-u), 1.0 / shape);
+}
+
+double Rng::log_uniform(double lo, double hi) noexcept {
+  assert(lo > 0.0 && lo <= hi);
+  return std::exp(uniform(std::log(lo), std::log(hi)));
+}
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double m = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * m;
+  has_cached_normal_ = true;
+  return u * m;
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+std::size_t Rng::discrete(std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  assert(total > 0.0);
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  // Numerical leftover: return the last positive-weight category.
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::split() noexcept {
+  Rng child(0);
+  for (auto& s : child.s_) s = next_u64();
+  // Guard against the (astronomically unlikely) all-zero state.
+  bool all_zero = true;
+  for (auto s : child.s_) all_zero = all_zero && s == 0;
+  if (all_zero) child.s_[0] = 1;
+  return child;
+}
+
+DiscreteCdf::DiscreteCdf(std::span<const double> weights) {
+  cdf_.reserve(weights.size());
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+  double acc = 0.0;
+  for (double w : weights) {
+    acc += w / total;
+    cdf_.push_back(acc);
+  }
+  cdf_.back() = 1.0;
+}
+
+std::size_t DiscreteCdf::sample(Rng& rng) const noexcept {
+  assert(!cdf_.empty());
+  const double u = rng.uniform();
+  auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double DiscreteCdf::probability(std::size_t i) const noexcept {
+  assert(i < cdf_.size());
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+}  // namespace jsched::util

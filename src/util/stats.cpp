@@ -1,0 +1,117 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace jsched::util {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double quantile(std::span<const double> values, double q) {
+  if (values.empty()) throw std::invalid_argument("quantile of empty sample");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile q out of [0,1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size(), 0) {
+  if (bounds_.empty()) throw std::invalid_argument("Histogram needs >= 1 bound");
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument("Histogram bounds must be strictly increasing");
+  }
+}
+
+std::size_t Histogram::bin_of(double x) const noexcept {
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  if (it == bounds_.end()) return bounds_.size() - 1;
+  return static_cast<std::size_t>(it - bounds_.begin());
+}
+
+void Histogram::add(double x) noexcept {
+  ++counts_[bin_of(x)];
+  ++total_;
+}
+
+double Histogram::lower_bound(std::size_t bin, double fallback_low) const noexcept {
+  return bin == 0 ? fallback_low : bounds_[bin - 1];
+}
+
+std::vector<double> Histogram::weights() const {
+  std::vector<double> w(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    w[i] = static_cast<double>(counts_[i]);
+  }
+  return w;
+}
+
+std::vector<double> geometric_bounds(double first, double ratio, std::size_t n) {
+  assert(first > 0.0 && ratio > 1.0 && n >= 1);
+  std::vector<double> bounds;
+  bounds.reserve(n);
+  double b = first;
+  for (std::size_t i = 0; i < n; ++i) {
+    bounds.push_back(b);
+    b *= ratio;
+  }
+  return bounds;
+}
+
+WeibullFit fit_weibull(std::span<const double> samples) {
+  // If X ~ Weibull(k, lambda) then log X has variance pi^2 / (6 k^2) and
+  // mean log(lambda) - gamma_E / k; solving the two moment equations gives
+  // closed-form estimates.
+  RunningStats logs;
+  for (double x : samples) {
+    if (x > 0.0) logs.add(std::log(x));
+  }
+  if (logs.count() < 2) throw std::invalid_argument("fit_weibull: need >= 2 positive samples");
+  constexpr double kEulerGamma = 0.5772156649015329;
+  constexpr double kPi = 3.141592653589793;
+  const double sd = std::max(logs.stddev(), 1e-12);
+  const double shape = kPi / (sd * std::sqrt(6.0));
+  const double scale = std::exp(logs.mean() + kEulerGamma / shape);
+  return {shape, scale};
+}
+
+}  // namespace jsched::util

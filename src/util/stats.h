@@ -1,0 +1,83 @@
+// Streaming and batch statistics used across workload analysis, metric
+// reporting and the probability-distribution workload model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace jsched::util {
+
+/// Numerically stable streaming moments (Welford) plus min/max.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Population variance; 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double sum() const noexcept { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact quantile of a sample (nearest-rank); q in [0, 1]. Copies & sorts.
+double quantile(std::span<const double> values, double q);
+
+/// Fixed-boundary histogram over doubles. Values below the first boundary
+/// fall into bin 0; values >= the last boundary into the last bin.
+///
+/// The paper's probability-distribution workload (§6.2) "creates bins for
+/// … various ranges of requested time and of actual execution length" and
+/// derives probabilities per bin — this is that structure.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing and non-empty; bin i covers
+  /// (upper_bounds[i-1], upper_bounds[i]] with bin 0 = (-inf, upper_bounds[0]].
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void add(double x) noexcept;
+  std::size_t bin_of(double x) const noexcept;
+
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const noexcept { return counts_[bin]; }
+  std::uint64_t total() const noexcept { return total_; }
+  double upper_bound(std::size_t bin) const noexcept { return bounds_[bin]; }
+  /// Lower edge of bin i (bounds_[i-1], or `fallback_low` for bin 0).
+  double lower_bound(std::size_t bin, double fallback_low) const noexcept;
+
+  /// Counts as doubles (for DiscreteCdf construction).
+  std::vector<double> weights() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Geometric bin boundaries: {first, first*ratio, first*ratio^2, ...} with
+/// `n` entries. Shared by the Histogram users and by SMART's execution-time
+/// binning (paper §5.4).
+std::vector<double> geometric_bounds(double first, double ratio, std::size_t n);
+
+/// Fit a Weibull distribution to strictly positive samples via the method
+/// of moments on log-values (fast, deterministic, adequate for workload
+/// modelling). Returns {shape, scale}; requires >= 2 positive samples.
+struct WeibullFit {
+  double shape;
+  double scale;
+};
+WeibullFit fit_weibull(std::span<const double> samples);
+
+}  // namespace jsched::util

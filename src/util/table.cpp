@@ -1,0 +1,124 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace jsched::util {
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' || c == '-' ||
+          c == '+' || c == 'e' || c == 'E' || c == '%')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("Table needs >= 1 column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("Table row width mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::to_ascii() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto rule = [&] {
+    os << '+';
+    for (auto w : width) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& cells, bool align_right) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const auto pad = width[c] - cells[c].size();
+      const bool right = align_right && looks_numeric(cells[c]);
+      os << ' ' << (right ? std::string(pad, ' ') + cells[c]
+                          : cells[c] + std::string(pad, ' '))
+         << ' ' << '|';
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  rule();
+  emit(header_, false);
+  rule();
+  for (const auto& row : rows_) emit(row, true);
+  rule();
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(cells[c]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string sci(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*E", digits, value);
+  return buf;
+}
+
+std::string pct(double value, double reference) {
+  if (reference == 0.0) return "n/a";
+  const double rel = (value - reference) / reference * 100.0;
+  if (std::abs(rel) < 0.05) return "0%";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.1f%%", rel);
+  return buf;
+}
+
+std::string fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.to_ascii();
+}
+
+}  // namespace jsched::util

@@ -1,0 +1,52 @@
+// ASCII / CSV table rendering for the evaluation harness.
+//
+// The bench binaries reproduce the paper's Tables 3-8; this renderer prints
+// them in the paper's layout (row label column + per-variant value/percent
+// column pairs) without each bench reimplementing formatting.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace jsched::util {
+
+/// A rectangular table of strings with a header row and optional title.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  std::size_t columns() const noexcept { return header_.size(); }
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Append a row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Render with box-drawing rules and right-aligned numeric-looking cells.
+  std::string to_ascii() const;
+
+  /// Render as RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string to_csv() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double in the paper's scientific style, e.g. "4.91E+06".
+std::string sci(double value, int digits = 2);
+
+/// Format a relative difference vs. a reference as the paper prints it,
+/// e.g. "-69.6%" or "+1143.0%"; the reference itself prints as "0%".
+std::string pct(double value, double reference);
+
+/// Fixed-point with the given number of decimals.
+std::string fixed(double value, int decimals = 1);
+
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+}  // namespace jsched::util

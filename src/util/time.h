@@ -1,0 +1,30 @@
+// Integer time base for the whole framework.
+//
+// All trace formats used in parallel-job scheduling (SWF in particular) are
+// second-resolution, so the simulator works in integral seconds. Using
+// integers keeps event ordering exact and runs deterministic across
+// platforms; doubles would make tie-breaking in the event queue fragile.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace jsched {
+
+/// Absolute simulation time in seconds since the simulation epoch (the
+/// submission time of the first job is typically shifted to 0).
+using Time = std::int64_t;
+
+/// A span of time in seconds.
+using Duration = std::int64_t;
+
+/// Sentinel for "never" / "unknown".
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::max();
+
+inline constexpr Duration kSecond = 1;
+inline constexpr Duration kMinute = 60;
+inline constexpr Duration kHour = 3600;
+inline constexpr Duration kDay = 24 * kHour;
+inline constexpr Duration kWeek = 7 * kDay;
+
+}  // namespace jsched

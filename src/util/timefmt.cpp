@@ -1,0 +1,64 @@
+#include "util/timefmt.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace jsched::util {
+
+std::string format_duration(Duration d) {
+  const bool neg = d < 0;
+  if (neg) d = -d;
+  const Duration days = d / kDay;
+  const Duration h = (d % kDay) / kHour;
+  const Duration m = (d % kHour) / kMinute;
+  const Duration s = d % kMinute;
+  char buf[64];
+  if (days > 0) {
+    std::snprintf(buf, sizeof buf, "%s%lldd %02lld:%02lld:%02lld",
+                  neg ? "-" : "", static_cast<long long>(days),
+                  static_cast<long long>(h), static_cast<long long>(m),
+                  static_cast<long long>(s));
+  } else {
+    std::snprintf(buf, sizeof buf, "%s%02lld:%02lld:%02lld", neg ? "-" : "",
+                  static_cast<long long>(h), static_cast<long long>(m),
+                  static_cast<long long>(s));
+  }
+  return buf;
+}
+
+namespace {
+
+// Civil-from-days algorithm (Howard Hinnant, public domain derivation).
+void civil_from_days(long long z, int& y, unsigned& mo, unsigned& da) {
+  z += 719468;
+  const long long era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const long long yy = static_cast<long long>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  da = doy - (153 * mp + 2) / 5 + 1;
+  mo = mp < 10 ? mp + 3 : mp - 9;
+  y = static_cast<int>(yy + (mo <= 2));
+}
+
+}  // namespace
+
+std::string format_time(Time t, Time unix_epoch_offset) {
+  const long long total = static_cast<long long>(t) + unix_epoch_offset;
+  long long days = total / kDay;
+  long long rem = total % kDay;
+  if (rem < 0) {
+    rem += kDay;
+    --days;
+  }
+  int y;
+  unsigned mo, da;
+  civil_from_days(days, y, mo, da);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%04d-%02u-%02u %02lld:%02lld:%02lld", y, mo,
+                da, rem / kHour, (rem % kHour) / kMinute, rem % kMinute);
+  return buf;
+}
+
+}  // namespace jsched::util

@@ -1,0 +1,18 @@
+// Human-readable formatting of the integer time types.
+#pragma once
+
+#include <string>
+
+#include "util/time.h"
+
+namespace jsched::util {
+
+/// "2d 03:14:07" style duration formatting (days only when nonzero).
+std::string format_duration(Duration d);
+
+/// "1996-07-14 08:00:00"-style formatting of an absolute simulation time
+/// given an epoch expressed as a Unix timestamp; pure arithmetic (UTC), no
+/// locale or timezone dependence.
+std::string format_time(Time t, Time unix_epoch_offset = 0);
+
+}  // namespace jsched::util

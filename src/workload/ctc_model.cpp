@@ -1,0 +1,142 @@
+#include "workload/ctc_model.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace jsched::workload {
+namespace {
+
+// Node-count mixture: (range, probability, power-of-two preference). The
+// shape follows published characterizations of the CTC SP2 workload: ~1/4
+// serial jobs, strong preference for powers of two, a thin tail of very
+// wide jobs (< 0.2% above 256 nodes, as the paper observes).
+struct NodeBucket {
+  int lo;
+  int hi;
+  double prob;
+};
+
+constexpr std::array<NodeBucket, 10> kNodeBuckets{{
+    {1, 1, 0.270},
+    {2, 2, 0.105},
+    {3, 4, 0.125},
+    {5, 8, 0.140},
+    {9, 16, 0.130},
+    {17, 32, 0.110},
+    {33, 64, 0.070},
+    {65, 128, 0.035},
+    {129, 256, 0.013},
+    {257, 430, 0.002},
+}};
+
+int sample_nodes(util::Rng& rng, int machine_nodes) {
+  std::array<double, kNodeBuckets.size()> weights;
+  for (std::size_t i = 0; i < kNodeBuckets.size(); ++i) {
+    weights[i] = kNodeBuckets[i].lo <= machine_nodes ? kNodeBuckets[i].prob : 0.0;
+  }
+  const auto& b = kNodeBuckets[rng.discrete(weights)];
+  const int hi = std::min(b.hi, machine_nodes);
+  if (b.lo >= hi) return b.lo;
+  // Prefer powers of two inside the range: users of SP2-class machines
+  // overwhelmingly request them.
+  if (rng.bernoulli(0.6)) {
+    int p = 1;
+    while (p < b.lo) p <<= 1;
+    if (p <= hi) return p;
+  }
+  return static_cast<int>(rng.uniform_int(b.lo, hi));
+}
+
+bool is_daytime(Time t) {
+  const Time hour = (t % kDay) / kHour;
+  return hour >= 8 && hour < 18;
+}
+
+}  // namespace
+
+Workload generate_ctc(const CtcModelParams& p, std::uint64_t seed) {
+  if (p.job_count == 0) throw std::invalid_argument("generate_ctc: job_count == 0");
+  if (p.machine_nodes < 1) throw std::invalid_argument("generate_ctc: machine_nodes < 1");
+  if (p.mean_interarrival <= 0 || p.interarrival_shape <= 0) {
+    throw std::invalid_argument("generate_ctc: invalid interarrival parameters");
+  }
+  if (p.max_runtime < p.min_runtime || p.min_runtime < 1) {
+    throw std::invalid_argument("generate_ctc: invalid runtime clamp");
+  }
+
+  util::Rng rng(seed);
+  util::Rng arrival_rng = rng.split();
+  util::Rng shape_rng = rng.split();   // nodes
+  util::Rng runtime_rng = rng.split();
+  util::Rng estimate_rng = rng.split();
+  util::Rng user_rng = rng.split();
+
+  // Weibull scale such that the mean equals mean_interarrival:
+  // E[X] = scale * Gamma(1 + 1/shape).
+  const double gamma_term = std::tgamma(1.0 + 1.0 / p.interarrival_shape);
+  const double scale = p.mean_interarrival / gamma_term;
+
+  // Normalize the diurnal multipliers so the long-run mean inter-arrival
+  // stays at mean_interarrival. Shorter day gaps mean *more* gaps fall in
+  // the 10 day hours, so the correct normalization equalizes arrival
+  // counts, not wall-time shares: with day/night gap multipliers d' and n',
+  // arrivals per day are 10h/d' + 14h/n' (in units of 1/mean); scaling both
+  // by alpha = (10/d + 14/n)/24 makes that exactly 24h/mean.
+  double day_mult = 1.0, night_mult = 1.0;
+  if (p.diurnal_cycle) {
+    const double alpha =
+        (10.0 / p.day_speedup + 14.0 / p.night_slowdown) / 24.0;
+    day_mult = p.day_speedup * alpha;
+    night_mult = p.night_slowdown * alpha;
+  }
+
+  // Zipf user-activity weights.
+  std::vector<double> user_weights(static_cast<std::size_t>(std::max(p.user_count, 1)));
+  for (std::size_t u = 0; u < user_weights.size(); ++u) {
+    user_weights[u] = 1.0 / static_cast<double>(u + 1);
+  }
+  const util::DiscreteCdf user_cdf(user_weights);
+
+  Workload w;
+  Time now = 0;
+  for (std::size_t i = 0; i < p.job_count; ++i) {
+    double gap = arrival_rng.weibull(p.interarrival_shape, scale);
+    gap *= is_daytime(now) ? day_mult : night_mult;
+    now += std::max<Duration>(0, static_cast<Duration>(std::llround(gap)));
+
+    Job j;
+    j.submit = now;
+    j.nodes = sample_nodes(shape_rng, p.machine_nodes);
+
+    const double raw_runtime =
+        runtime_rng.lognormal(p.runtime_log_mean, p.runtime_log_sigma);
+    j.runtime = std::clamp<Duration>(static_cast<Duration>(std::llround(raw_runtime)),
+                                     p.min_runtime, p.max_runtime);
+
+    double factor = 1.0;
+    if (!estimate_rng.bernoulli(p.exact_estimate_fraction)) {
+      factor = estimate_rng.log_uniform(1.0, p.max_overestimate);
+    }
+    auto est = static_cast<Duration>(
+        std::ceil(static_cast<double>(j.runtime) * factor));
+    if (p.estimate_granularity > 1) {
+      est = (est + p.estimate_granularity - 1) / p.estimate_granularity *
+            p.estimate_granularity;
+    }
+    j.estimate = std::clamp<Duration>(est, j.runtime,
+                                      std::max(p.max_runtime, j.runtime));
+
+    j.user = static_cast<std::int32_t>(user_cdf.sample(user_rng));
+    w.add(j);
+  }
+  w.set_name("ctc-like");
+  w.finalize();
+  return w;
+}
+
+}  // namespace jsched::workload

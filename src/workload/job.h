@@ -1,0 +1,62 @@
+// The rigid parallel job model of the paper (Example 5, Rule 2):
+// the user provides the exact number of nodes and an upper limit for the
+// execution time; jobs exceeding the limit may be cancelled.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.h"
+
+namespace jsched {
+
+/// Stable job identifier; dense indices into the owning Workload.
+using JobId = std::uint32_t;
+
+inline constexpr JobId kInvalidJob = static_cast<JobId>(-1);
+
+/// One rigid batch job.
+///
+/// The *scheduler* may only ever look at `submit`, `nodes` and `estimate`
+/// (plus `user`/`priority_class` for policy layers); `runtime` is ground
+/// truth known to the simulator alone and revealed through completion
+/// events — this is the paper's on-line model (§2, §5.2).
+struct Job {
+  JobId id = kInvalidJob;
+
+  /// Submission (release) time.
+  Time submit = 0;
+
+  /// Requested number of nodes (rigid). 1 <= nodes <= machine size.
+  int nodes = 1;
+
+  /// User-provided upper limit for the execution time (seconds, > 0).
+  Duration estimate = 1;
+
+  /// Actual execution time (seconds, > 0, <= estimate in valid workloads;
+  /// the simulator cancels at `estimate` otherwise, per Rule 2).
+  Duration runtime = 1;
+
+  /// Submitting user (used by policy rules and per-user limits).
+  std::int32_t user = 0;
+
+  /// Priority class assigned by the scheduling policy (0 = normal). Higher
+  /// values are more important (e.g. Example 1's drug-design lab).
+  std::int32_t priority_class = 0;
+
+  /// Resource consumption ("area") of the job: nodes x actual runtime.
+  /// This is the weight of the average *weighted* response time objective
+  /// (paper §4).
+  double area() const noexcept {
+    return static_cast<double>(nodes) * static_cast<double>(runtime);
+  }
+
+  /// Area as projected from the user estimate; what on-line algorithms may
+  /// use for their decisions (SMART/PSRS weights, §5.4/§5.5).
+  double estimated_area() const noexcept {
+    return static_cast<double>(nodes) * static_cast<double>(estimate);
+  }
+
+  friend bool operator==(const Job&, const Job&) = default;
+};
+
+}  // namespace jsched

@@ -1,0 +1,38 @@
+#include "workload/random_model.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace jsched::workload {
+
+Workload generate_random(const RandomModelParams& p, std::uint64_t seed) {
+  if (p.job_count == 0) throw std::invalid_argument("generate_random: job_count == 0");
+  if (p.min_nodes < 1 || p.max_nodes < p.min_nodes) {
+    throw std::invalid_argument("generate_random: invalid node range");
+  }
+  if (p.min_estimate < 1 || p.max_estimate < p.min_estimate) {
+    throw std::invalid_argument("generate_random: invalid estimate range");
+  }
+  if (p.min_runtime < 1) {
+    throw std::invalid_argument("generate_random: invalid min_runtime");
+  }
+
+  util::Rng rng(seed);
+  Workload w;
+  Time now = 0;
+  for (std::size_t i = 0; i < p.job_count; ++i) {
+    now += rng.uniform_int(0, p.max_interarrival);
+    Job j;
+    j.submit = now;
+    j.nodes = static_cast<int>(rng.uniform_int(p.min_nodes, p.max_nodes));
+    j.estimate = rng.uniform_int(p.min_estimate, p.max_estimate);
+    j.runtime = rng.uniform_int(std::min(p.min_runtime, j.estimate), j.estimate);
+    w.add(j);
+  }
+  w.set_name("randomized");
+  w.finalize();
+  return w;
+}
+
+}  // namespace jsched::workload

@@ -1,0 +1,39 @@
+// The paper's fully randomized workload (§6.3, Table 2): all parameters
+// equally distributed, deliberately unlike any real workload, to probe
+// scheduler behaviour "even in case of unusual job combinations".
+#pragma once
+
+#include <cstdint>
+
+#include "workload/workload.h"
+
+namespace jsched::workload {
+
+struct RandomModelParams {
+  /// Paper Table 1: 50,000 jobs.
+  std::size_t job_count = 50'000;
+
+  /// "Submission of jobs >= 1 job per hour": uniform inter-arrival in
+  /// [0, max_interarrival] seconds.
+  Duration max_interarrival = 3600;
+
+  /// "Requested number of nodes 1 - 256".
+  int min_nodes = 1;
+  int max_nodes = 256;
+
+  /// "Upper limit for the execution time 5 min - 24 h".
+  Duration min_estimate = 5 * 60;
+  Duration max_estimate = 24 * 3600;
+
+  /// "Actual execution time 1 s - upper limit" (lower bound configurable).
+  Duration min_runtime = 1;
+};
+
+/// Generate the randomized workload. Deterministic in (params, seed).
+Workload generate_random(const RandomModelParams& params, std::uint64_t seed);
+
+inline Workload generate_random(std::uint64_t seed) {
+  return generate_random(RandomModelParams{}, seed);
+}
+
+}  // namespace jsched::workload

@@ -1,0 +1,146 @@
+#include "workload/stats_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace jsched::workload {
+namespace {
+
+// Requested-time ranges: ]0,60], ]60,120], ... doubling up to 2^k minutes,
+// wide enough for any estimate in the source trace.
+std::vector<double> estimate_bin_bounds(double max_estimate) {
+  std::vector<double> bounds;
+  double b = 60.0;
+  while (b < max_estimate) {
+    bounds.push_back(b);
+    b *= 2.0;
+  }
+  bounds.push_back(b);
+  return bounds;
+}
+
+}  // namespace
+
+WorkloadStatistics WorkloadStatistics::extract(const Workload& source,
+                                               std::size_t accuracy_bins) {
+  if (source.size() < 2) {
+    throw std::invalid_argument("WorkloadStatistics: source too small");
+  }
+  if (accuracy_bins < 1) {
+    throw std::invalid_argument("WorkloadStatistics: accuracy_bins < 1");
+  }
+
+  WorkloadStatistics st;
+  st.accuracy_bins_ = accuracy_bins;
+
+  // 1. Weibull fit of inter-arrival times (paper: "a Weibull distribution
+  //    matches best the submission times").
+  std::vector<double> gaps;
+  gaps.reserve(source.size() - 1);
+  for (std::size_t i = 1; i < source.size(); ++i) {
+    const double g =
+        static_cast<double>(source[i].submit - source[i - 1].submit);
+    if (g > 0.0) gaps.push_back(g);
+  }
+  if (gaps.size() < 2) {
+    throw std::invalid_argument("WorkloadStatistics: degenerate arrivals");
+  }
+  st.arrival_ = util::fit_weibull(gaps);
+
+  // 2. One bin per possible node count (paper: "every possible requested
+  //    resource number").
+  const int max_n = source.max_nodes();
+  std::vector<double> node_counts(static_cast<std::size_t>(max_n), 0.0);
+  for (const auto& j : source) {
+    node_counts[static_cast<std::size_t>(j.nodes - 1)] += 1.0;
+  }
+  st.node_cdf_ = util::DiscreteCdf(node_counts);
+
+  // 3. Requested-time ranges with probabilities.
+  double max_est = 0.0;
+  for (const auto& j : source) {
+    max_est = std::max(max_est, static_cast<double>(j.estimate));
+  }
+  st.estimate_bounds_ = estimate_bin_bounds(max_est);
+  util::Histogram est_hist(st.estimate_bounds_);
+  for (const auto& j : source) est_hist.add(static_cast<double>(j.estimate));
+  st.estimate_cdf_ = util::DiscreteCdf(est_hist.weights());
+
+  // 4. Actual-execution-length information, represented as the accuracy
+  //    ratio runtime/estimate per requested-time bin so that sampled jobs
+  //    are always consistent (runtime <= estimate).
+  const std::size_t bins = st.estimate_bounds_.size();
+  std::vector<std::vector<double>> acc(bins,
+                                       std::vector<double>(accuracy_bins, 0.0));
+  for (const auto& j : source) {
+    const std::size_t eb = est_hist.bin_of(static_cast<double>(j.estimate));
+    const double ratio = static_cast<double>(j.runtime) /
+                         static_cast<double>(j.estimate);
+    auto ab = static_cast<std::size_t>(ratio * static_cast<double>(accuracy_bins));
+    ab = std::min(ab, accuracy_bins - 1);
+    acc[eb][ab] += 1.0;
+  }
+  st.accuracy_cdfs_.reserve(bins);
+  for (std::size_t b = 0; b < bins; ++b) {
+    double total = 0.0;
+    for (double v : acc[b]) total += v;
+    if (total == 0.0) acc[b][accuracy_bins - 1] = 1.0;  // unused bin: exact jobs
+    st.accuracy_cdfs_.emplace_back(acc[b]);
+  }
+  return st;
+}
+
+double WorkloadStatistics::node_probability(int nodes) const {
+  if (nodes < 1 || static_cast<std::size_t>(nodes) > node_cdf_.size()) return 0.0;
+  return node_cdf_.probability(static_cast<std::size_t>(nodes - 1));
+}
+
+Workload WorkloadStatistics::sample(std::size_t job_count,
+                                    std::uint64_t seed) const {
+  util::Rng rng(seed);
+  util::Rng arrival_rng = rng.split();
+  util::Rng node_rng = rng.split();
+  util::Rng estimate_rng = rng.split();
+  util::Rng accuracy_rng = rng.split();
+
+  Workload w;
+  Time now = 0;
+  for (std::size_t i = 0; i < job_count; ++i) {
+    now += static_cast<Duration>(std::llround(
+        arrival_rng.weibull(arrival_.shape, arrival_.scale)));
+
+    Job j;
+    j.submit = now;
+    j.nodes = static_cast<int>(node_cdf_.sample(node_rng)) + 1;
+
+    const std::size_t eb = estimate_cdf_.sample(estimate_rng);
+    const double lo = eb == 0 ? 1.0 : estimate_bounds_[eb - 1];
+    const double hi = estimate_bounds_[eb];
+    j.estimate = std::max<Duration>(
+        1, static_cast<Duration>(std::llround(
+               estimate_rng.log_uniform(std::max(lo, 1.0), hi))));
+
+    const std::size_t ab = accuracy_cdfs_[eb].sample(accuracy_rng);
+    const double frac_lo =
+        static_cast<double>(ab) / static_cast<double>(accuracy_bins_);
+    const double frac_hi =
+        static_cast<double>(ab + 1) / static_cast<double>(accuracy_bins_);
+    const double frac = accuracy_rng.uniform(frac_lo, frac_hi);
+    j.runtime = std::clamp<Duration>(
+        static_cast<Duration>(std::llround(frac * static_cast<double>(j.estimate))),
+        1, j.estimate);
+
+    w.add(j);
+  }
+  w.set_name("probabilistic");
+  w.finalize();
+  return w;
+}
+
+Workload generate_probabilistic(const Workload& source, std::size_t job_count,
+                                std::uint64_t seed) {
+  return WorkloadStatistics::extract(source).sample(job_count, seed);
+}
+
+}  // namespace jsched::workload

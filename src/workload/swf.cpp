@@ -1,0 +1,104 @@
+#include "workload/swf.h"
+
+#include <array>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace jsched::workload {
+namespace {
+
+// SWF field indices (0-based) per the Parallel Workloads Archive spec.
+constexpr std::size_t kSubmit = 1;
+constexpr std::size_t kRunTime = 3;
+constexpr std::size_t kAllocProcs = 4;
+constexpr std::size_t kReqProcs = 7;
+constexpr std::size_t kReqTime = 8;
+constexpr std::size_t kUser = 11;
+constexpr std::size_t kFieldCount = 18;
+
+}  // namespace
+
+Workload read_swf(std::istream& in, std::string name, SwfReadStats* stats) {
+  SwfReadStats local;
+  SwfReadStats& st = stats ? *stats : local;
+  st = {};
+
+  Workload w;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++st.lines;
+    // Strip UTF-8 BOM / leading whitespace.
+    std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == ';') {
+      ++st.comments;
+      continue;
+    }
+
+    std::istringstream fields(line);
+    std::array<double, kFieldCount> f;
+    f.fill(-1.0);
+    std::size_t n = 0;
+    double v;
+    while (n < kFieldCount && fields >> v) f[n++] = v;
+    if (n < kReqTime + 1) {
+      throw std::runtime_error("SWF: malformed record at line " +
+                               std::to_string(st.lines) + ": " + line);
+    }
+
+    Job j;
+    j.submit = static_cast<Time>(f[kSubmit]);
+    double procs = f[kReqProcs] > 0 ? f[kReqProcs] : f[kAllocProcs];
+    double runtime = f[kRunTime];
+    if (procs <= 0 || runtime <= 0 || j.submit < 0) {
+      ++st.skipped_invalid;
+      continue;
+    }
+    j.nodes = static_cast<int>(procs);
+    j.runtime = static_cast<Duration>(runtime);
+    j.estimate =
+        f[kReqTime] > 0 ? static_cast<Duration>(f[kReqTime]) : j.runtime;
+    if (j.estimate < j.runtime) {
+      // Archive traces contain jobs that overran their limit and were (or
+      // should have been) killed; model them as running to the limit.
+      j.estimate = j.runtime;
+      ++st.clamped_estimate;
+    }
+    j.user = f[kUser] > 0 ? static_cast<std::int32_t>(f[kUser]) : 0;
+    w.add(j);
+    ++st.accepted;
+  }
+  w.set_name(std::move(name));
+  w.finalize();
+  return w;
+}
+
+Workload read_swf_file(const std::string& path, SwfReadStats* stats) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open SWF file: " + path);
+  return read_swf(in, path, stats);
+}
+
+void write_swf(std::ostream& out, const Workload& w) {
+  out << "; SWF written by jsched\n"
+      << "; MaxProcs: " << w.max_nodes() << "\n"
+      << "; Jobs: " << w.size() << "\n";
+  for (const auto& j : w) {
+    // job submit wait run alloc cpu mem reqproc reqtime reqmem status user
+    // group app queue part prev think
+    out << (j.id + 1) << ' ' << j.submit << ' ' << -1 << ' ' << j.runtime
+        << ' ' << j.nodes << ' ' << -1 << ' ' << -1 << ' ' << j.nodes << ' '
+        << j.estimate << ' ' << -1 << ' ' << 1 << ' ' << j.user << ' ' << -1
+        << ' ' << -1 << ' ' << -1 << ' ' << -1 << ' ' << -1 << ' ' << -1
+        << '\n';
+  }
+}
+
+void write_swf_file(const std::string& path, const Workload& w) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open SWF file for write: " + path);
+  write_swf(out, w);
+}
+
+}  // namespace jsched::workload

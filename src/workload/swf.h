@@ -1,0 +1,45 @@
+// Standard Workload Format (SWF) I/O.
+//
+// SWF is the format of the Parallel Workloads Archive (Feitelson [1]) in
+// which the CTC SP2 trace used by the paper is published. Each record is a
+// whitespace-separated line of 18 fields; comment/header lines start with
+// ';'. We consume the fields the rigid-job model needs and preserve the
+// semantics the archive documents:
+//
+//   1 job number        5 run time (s)        8 requested processors
+//   2 submit time (s)   4/5 used for runtime  9 requested time (s)
+//   3 wait time (s)     7 allocated procs    12 user id
+//
+// Records with missing (-1) runtime or processors are skipped; a requested
+// time of -1 falls back to the run time (exact estimate).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/workload.h"
+
+namespace jsched::workload {
+
+struct SwfReadStats {
+  std::size_t lines = 0;
+  std::size_t comments = 0;
+  std::size_t accepted = 0;
+  std::size_t skipped_invalid = 0;   // unusable fields (runtime/procs <= 0)
+  std::size_t clamped_estimate = 0;  // estimate raised to runtime
+};
+
+/// Parse an SWF stream into a Workload. Throws std::runtime_error on
+/// malformed (non-comment, non-empty) lines.
+Workload read_swf(std::istream& in, std::string name = "swf",
+                  SwfReadStats* stats = nullptr);
+
+/// Convenience file overload; throws std::runtime_error if unreadable.
+Workload read_swf_file(const std::string& path, SwfReadStats* stats = nullptr);
+
+/// Serialize a workload as SWF (fields we don't model are -1). The output
+/// round-trips through read_swf.
+void write_swf(std::ostream& out, const Workload& w);
+void write_swf_file(const std::string& path, const Workload& w);
+
+}  // namespace jsched::workload

@@ -1,0 +1,48 @@
+#include "workload/transforms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace jsched::workload {
+
+Workload trim_to_machine(const Workload& w, int machine_nodes,
+                         std::size_t* dropped) {
+  if (machine_nodes < 1) {
+    throw std::invalid_argument("trim_to_machine: machine_nodes < 1");
+  }
+  std::vector<Job> kept;
+  kept.reserve(w.size());
+  for (const auto& j : w) {
+    if (j.nodes <= machine_nodes) kept.push_back(j);
+  }
+  if (dropped != nullptr) *dropped = w.size() - kept.size();
+  Workload out(std::move(kept), w.name() + "-trim" + std::to_string(machine_nodes));
+  return out;
+}
+
+Workload with_exact_estimates(const Workload& w) {
+  std::vector<Job> jobs(w.begin(), w.end());
+  for (auto& j : jobs) j.estimate = j.runtime;
+  return Workload(std::move(jobs), w.name() + "-exact");
+}
+
+Workload take_prefix(const Workload& w, std::size_t n) {
+  n = std::min(n, w.size());
+  std::vector<Job> jobs(w.begin(), w.begin() + static_cast<std::ptrdiff_t>(n));
+  return Workload(std::move(jobs), w.name());
+}
+
+Workload scale_estimates(const Workload& w, double factor) {
+  if (factor < 1.0) throw std::invalid_argument("scale_estimates: factor < 1");
+  std::vector<Job> jobs(w.begin(), w.end());
+  for (auto& j : jobs) {
+    const double scaled = static_cast<double>(j.estimate) * factor;
+    j.estimate = std::max<Duration>(
+        j.runtime, static_cast<Duration>(std::llround(scaled)));
+  }
+  return Workload(std::move(jobs), w.name() + "-est");
+}
+
+}  // namespace jsched::workload

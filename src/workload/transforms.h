@@ -1,0 +1,32 @@
+// Workload transformations used by the evaluation example (paper §6.1).
+#pragma once
+
+#include <cstddef>
+
+#include "workload/workload.h"
+
+namespace jsched::workload {
+
+/// Drop every job requesting more than `machine_nodes` nodes — the paper's
+/// adaptation of the 430-node CTC trace to the 256-node Institution-B
+/// machine ("less than 0.2% of all jobs require more than 256 nodes [...]
+/// she modifies the trace by simply deleting all those highly parallel
+/// jobs"). Returns the trimmed workload; `dropped` (optional) receives the
+/// number of removed jobs.
+Workload trim_to_machine(const Workload& w, int machine_nodes,
+                         std::size_t* dropped = nullptr);
+
+/// Replace every user estimate by the actual runtime — the paper's §6.1
+/// study of schedulers "under the assumption that precise job execution
+/// times are available at job submission" (Table 6 / Fig. 6).
+Workload with_exact_estimates(const Workload& w);
+
+/// Keep only the first `n` jobs (by submission order). Used to scale bench
+/// runs down via JSCHED_JOBS.
+Workload take_prefix(const Workload& w, std::size_t n);
+
+/// Multiply every estimate by `factor` (>= 1), keeping estimate >= runtime.
+/// Used by the estimate-accuracy ablation.
+Workload scale_estimates(const Workload& w, double factor);
+
+}  // namespace jsched::workload

@@ -1,0 +1,115 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/table.h"
+#include "util/timefmt.h"
+
+namespace jsched::workload {
+
+Workload::Workload(std::vector<Job> jobs, std::string name)
+    : jobs_(std::move(jobs)), name_(std::move(name)) {
+  finalize();
+}
+
+void Workload::add(Job j) {
+  j.id = static_cast<JobId>(jobs_.size());
+  jobs_.push_back(j);
+}
+
+void Workload::finalize() {
+  std::stable_sort(jobs_.begin(), jobs_.end(),
+                   [](const Job& a, const Job& b) { return a.submit < b.submit; });
+  if (!jobs_.empty()) {
+    const Time origin = jobs_.front().submit;
+    for (auto& j : jobs_) j.submit -= origin;
+  }
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    jobs_[i].id = static_cast<JobId>(i);
+  }
+  validate();
+}
+
+void Workload::validate() const {
+  Time prev = 0;
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    const Job& j = jobs_[i];
+    std::ostringstream err;
+    if (j.id != i) {
+      err << "job at index " << i << " has id " << j.id;
+    } else if (j.submit < prev) {
+      err << "job " << i << " submitted before its predecessor";
+    } else if (j.nodes < 1) {
+      err << "job " << i << " requests " << j.nodes << " nodes";
+    } else if (j.runtime < 1) {
+      err << "job " << i << " has runtime " << j.runtime;
+    } else if (j.estimate < 1) {
+      err << "job " << i << " has estimate " << j.estimate;
+    }
+    const std::string msg = err.str();
+    if (!msg.empty()) throw std::invalid_argument("Workload: " + msg);
+    prev = j.submit;
+  }
+}
+
+int Workload::max_nodes() const noexcept {
+  int m = 0;
+  for (const auto& j : jobs_) m = std::max(m, j.nodes);
+  return m;
+}
+
+Time Workload::span() const noexcept {
+  return jobs_.empty() ? 0 : jobs_.back().submit;
+}
+
+double Workload::total_area() const noexcept {
+  double a = 0.0;
+  for (const auto& j : jobs_) a += j.area();
+  return a;
+}
+
+double WorkloadSummary::offered_load(int machine_nodes) const noexcept {
+  if (machine_nodes <= 0 || span <= 0) return 0.0;
+  return total_area /
+         (static_cast<double>(machine_nodes) * static_cast<double>(span));
+}
+
+WorkloadSummary summarize(const Workload& w) {
+  WorkloadSummary s;
+  s.job_count = w.size();
+  s.span = w.span();
+  Time prev = 0;
+  bool first = true;
+  for (const auto& j : w) {
+    if (!first) s.interarrival.add(static_cast<double>(j.submit - prev));
+    first = false;
+    prev = j.submit;
+    s.nodes.add(static_cast<double>(j.nodes));
+    s.runtime.add(static_cast<double>(j.runtime));
+    s.estimate.add(static_cast<double>(j.estimate));
+    s.overestimate_factor.add(static_cast<double>(j.estimate) /
+                              static_cast<double>(j.runtime));
+    s.total_area += j.area();
+  }
+  return s;
+}
+
+std::string describe(const WorkloadSummary& s) {
+  std::ostringstream os;
+  os << "jobs:               " << s.job_count << "\n"
+     << "span:               " << util::format_duration(s.span) << "\n"
+     << "mean interarrival:  " << util::fixed(s.interarrival.mean(), 1) << " s\n"
+     << "nodes (mean/max):   " << util::fixed(s.nodes.mean(), 1) << " / "
+     << util::fixed(s.nodes.max(), 0) << "\n"
+     << "runtime (mean/max): " << util::fixed(s.runtime.mean(), 1) << " s / "
+     << util::format_duration(static_cast<Duration>(s.runtime.max())) << "\n"
+     << "estimate (mean):    " << util::fixed(s.estimate.mean(), 1) << " s\n"
+     << "overestimation:     x" << util::fixed(s.overestimate_factor.mean(), 2)
+     << " (mean estimate/runtime)\n"
+     << "total area:         " << util::sci(s.total_area) << " node-seconds\n";
+  return os.str();
+}
+
+}  // namespace jsched::workload

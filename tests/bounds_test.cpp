@@ -1,0 +1,106 @@
+#include "metrics/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "metrics/objectives.h"
+#include "test_support.h"
+#include "workload/ctc_model.h"
+#include "workload/random_model.h"
+#include "workload/transforms.h"
+
+namespace jsched::metrics {
+namespace {
+
+using test::make_job;
+
+sim::Machine machine(int nodes = 8) {
+  sim::Machine m;
+  m.nodes = nodes;
+  return m;
+}
+
+TEST(MakespanBound, SingleJob) {
+  const auto w = test::make_workload({make_job(0, 4, 100)});
+  EXPECT_EQ(makespan_lower_bound(w, machine()), 100);
+}
+
+TEST(MakespanBound, AreaDominates) {
+  // 4 jobs x 8 nodes x 100 s on an 8-node machine: 400 s of pure work.
+  const auto w = test::make_workload({
+      make_job(0, 8, 100), make_job(0, 8, 100),
+      make_job(0, 8, 100), make_job(0, 8, 100),
+  });
+  EXPECT_EQ(makespan_lower_bound(w, machine()), 400);
+}
+
+TEST(MakespanBound, LateArrivalDominates) {
+  const auto w = test::make_workload({
+      make_job(0, 1, 10),
+      make_job(1000, 1, 50),
+  });
+  EXPECT_EQ(makespan_lower_bound(w, machine()), 1050);
+}
+
+TEST(ArtBound, SingleJobIsTight) {
+  const auto w = test::make_workload({make_job(0, 4, 100)});
+  EXPECT_DOUBLE_EQ(art_lower_bound(w, machine()), 100.0);
+}
+
+TEST(ArtBound, SerializedFullMachineJobs) {
+  // Two full-machine 100 s jobs at t=0: any schedule serializes them, so
+  // responses are >= 100 and >= 200 -> ART >= 150.
+  const auto w = test::make_workload({
+      make_job(0, 8, 100),
+      make_job(0, 8, 100),
+  });
+  EXPECT_GE(art_lower_bound(w, machine()), 150.0);
+}
+
+TEST(AwrtBound, WeightTimesRuntime) {
+  // weight = 4*100 = 400; response >= 100 -> bound = 400*100 / 1.
+  const auto w = test::make_workload({make_job(0, 4, 100)});
+  EXPECT_DOUBLE_EQ(awrt_lower_bound(w), 40000.0);
+}
+
+TEST(Bounds, CancelledJobsUseTheirLimit) {
+  // runtime 100 > estimate 60: the job occupies 60 s, so bounds use 60.
+  const auto w = test::make_workload({make_job(0, 8, 100, 60)});
+  EXPECT_EQ(makespan_lower_bound(w, machine()), 60);
+  EXPECT_DOUBLE_EQ(art_lower_bound(w, machine()), 60.0);
+}
+
+TEST(PotentialImprovement, Basics) {
+  EXPECT_DOUBLE_EQ(potential_improvement(200.0, 100.0), 0.5);
+  EXPECT_DOUBLE_EQ(potential_improvement(100.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(potential_improvement(100.0, 150.0), 0.0);  // clamped
+  EXPECT_THROW(potential_improvement(0.0, 1.0), std::invalid_argument);
+}
+
+// The bounds must hold for every algorithm on every workload — the whole
+// point of §2.3's "potential improvement" estimate.
+class BoundsHold : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BoundsHold, EverySimulatedScheduleRespectsTheBounds) {
+  workload::CtcModelParams p;
+  p.job_count = 600;
+  const auto w =
+      workload::trim_to_machine(workload::generate_ctc(p, 99), 256);
+  const auto m = machine(256);
+  const double art_lb = art_lower_bound(w, m);
+  const double awrt_lb = awrt_lower_bound(w);
+  const Time ms_lb = makespan_lower_bound(w, m);
+
+  const auto spec = core::paper_grid(core::WeightKind::kUnit)[GetParam()];
+  SCOPED_TRACE(spec.display_name());
+  const auto s = test::run(spec, w, 256);
+  EXPECT_GE(average_response_time(s) * (1 + 1e-9), art_lb);
+  EXPECT_GE(average_weighted_response_time(s) * (1 + 1e-9), awrt_lb);
+  EXPECT_GE(s.makespan(), ms_lb);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, BoundsHold,
+                         ::testing::Range<std::size_t>(0, 13));
+
+}  // namespace
+}  // namespace jsched::metrics

@@ -1,0 +1,117 @@
+#include "core/dispatch.h"
+
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "test_support.h"
+
+namespace jsched::core {
+namespace {
+
+using test::make_job;
+
+AlgorithmSpec spec(DispatchKind d) {
+  AlgorithmSpec s;
+  s.dispatch = d;
+  return s;
+}
+
+TEST(HeadOnlyDispatch, BlockedHeadBlocksQueue) {
+  // Wide job 1 blocks narrow job 2 although node space is free: the plain
+  // greedy list schedule "may produce schedules with a relatively large
+  // percentage of idle nodes" (paper §5.1).
+  const auto w = test::make_workload({
+      make_job(0, 6, 100),   // 0: running, leaves 2 free
+      make_job(1, 4, 50),    // 1: head, needs 4 > 2 -> waits
+      make_job(2, 2, 10),    // 2: would fit, must not start (FCFS fairness)
+  });
+  const auto s = test::run(spec(DispatchKind::kList), w, 8);
+  EXPECT_EQ(s[0].start, 0);
+  EXPECT_EQ(s[1].start, 100);
+  EXPECT_GE(s[2].start, 100);  // strictly after the head started
+}
+
+TEST(HeadOnlyDispatch, StartsPrefixThatFits) {
+  const auto w = test::make_workload({
+      make_job(0, 3, 100),
+      make_job(0, 3, 100),
+      make_job(0, 3, 100),  // third doesn't fit on 8 nodes
+  });
+  const auto s = test::run(spec(DispatchKind::kList), w, 8);
+  EXPECT_EQ(s[0].start, 0);
+  EXPECT_EQ(s[1].start, 0);
+  EXPECT_EQ(s[2].start, 100);
+}
+
+TEST(FirstFitDispatch, SkipsBlockedHead) {
+  // Garey&Graham "always starts the next job for which enough resources
+  // are available" — job 2 jumps the blocked head.
+  const auto w = test::make_workload({
+      make_job(0, 6, 100),   // 0
+      make_job(1, 4, 50),    // 1: blocked
+      make_job(2, 2, 10),    // 2: fits the 2 free nodes
+  });
+  const auto s = test::run(spec(DispatchKind::kFirstFit), w, 8);
+  EXPECT_EQ(s[2].start, 2);   // starts on arrival
+  EXPECT_EQ(s[1].start, 100);
+}
+
+TEST(FirstFitDispatch, TakesMultipleFittingJobs) {
+  const auto w = test::make_workload({
+      make_job(0, 7, 100),   // 0: leaves 1 free
+      make_job(1, 2, 50),    // 1: blocked
+      make_job(2, 1, 10),    // 2: fits
+      make_job(3, 1, 10),    // 3: fits after 2? only 1 node free total
+  });
+  const auto s = test::run(spec(DispatchKind::kFirstFit), w, 8);
+  EXPECT_EQ(s[2].start, 2);
+  // Node freed by job 2 at t=12 lets job 3 start then (1 free node again).
+  EXPECT_EQ(s[3].start, 12);
+  EXPECT_EQ(s[1].start, 100);
+}
+
+TEST(FirstFitDispatch, NoEstimateKnowledgeRequired) {
+  // G&G must behave identically whether estimates are tight or wildly
+  // wrong — it never looks at them.
+  const auto tight = test::make_workload({
+      make_job(0, 6, 100, 100),
+      make_job(1, 4, 50, 50),
+      make_job(2, 2, 10, 10),
+  });
+  const auto loose = test::make_workload({
+      make_job(0, 6, 100, 86400),
+      make_job(1, 4, 50, 86400),
+      make_job(2, 2, 10, 86400),
+  });
+  const auto st = test::run(spec(DispatchKind::kFirstFit), tight, 8);
+  const auto sl = test::run(spec(DispatchKind::kFirstFit), loose, 8);
+  for (JobId i = 0; i < tight.size(); ++i) {
+    EXPECT_EQ(st[i].start, sl[i].start);
+  }
+}
+
+TEST(HeadOnlyDispatch, NoEstimateKnowledgeRequired) {
+  const auto tight = test::make_workload({
+      make_job(0, 6, 100, 100),
+      make_job(1, 4, 50, 50),
+  });
+  const auto loose = test::make_workload({
+      make_job(0, 6, 100, 86400),
+      make_job(1, 4, 50, 86400),
+  });
+  const auto st = test::run(spec(DispatchKind::kList), tight, 8);
+  const auto sl = test::run(spec(DispatchKind::kList), loose, 8);
+  for (JobId i = 0; i < tight.size(); ++i) {
+    EXPECT_EQ(st[i].start, sl[i].start);
+  }
+}
+
+TEST(FirstFitDispatch, FactoryRejectsNonFcfsOrder) {
+  AlgorithmSpec s;
+  s.order = OrderKind::kPsrs;
+  s.dispatch = DispatchKind::kFirstFit;
+  EXPECT_THROW(make_scheduler(s), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jsched::core

@@ -1,0 +1,130 @@
+#include "core/easy_backfill.h"
+
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "test_support.h"
+
+namespace jsched::core {
+namespace {
+
+using test::make_job;
+
+AlgorithmSpec easy() {
+  AlgorithmSpec s;
+  s.dispatch = DispatchKind::kEasy;
+  return s;
+}
+
+TEST(EasyBackfill, BackfillsShortJobBehindBlockedHead) {
+  const auto w = test::make_workload({
+      make_job(0, 6, 100, 100),  // 0: runs, 2 nodes free
+      make_job(1, 4, 50, 50),    // 1: head, blocked until t=100
+      make_job(2, 2, 10, 10),    // 2: fits now and ends before the shadow
+  });
+  const auto s = test::run(easy(), w, 8);
+  EXPECT_EQ(s[2].start, 2);     // backfilled on arrival
+  EXPECT_EQ(s[1].start, 100);   // head start unharmed
+}
+
+TEST(EasyBackfill, RefusesBackfillThatWouldDelayHead) {
+  const auto w = test::make_workload({
+      make_job(0, 6, 100, 100),  // 0: 2 nodes free until t=100
+      make_job(1, 4, 50, 50),    // 1: head, shadow = 100, extra = 8-...
+      make_job(2, 2, 200, 200),  // 2: fits now but would run past shadow
+  });
+  // At shadow t=100 all 8 nodes are free; head needs 4, extra = 4... but
+  // job 2 only needs 2 <= extra, so it MAY backfill under EASY. Construct
+  // a tighter variant where extra is exhausted:
+  const auto w2 = test::make_workload({
+      make_job(0, 6, 100, 100),   // 0
+      make_job(1, 7, 50, 50),     // 1: head needs 7 at t=100, extra = 1
+      make_job(2, 2, 200, 200),   // 2: 2 > extra and runs past shadow -> no
+  });
+  const auto s1 = test::run(easy(), w, 8);
+  EXPECT_EQ(s1[2].start, 2);      // allowed via extra nodes
+  EXPECT_EQ(s1[1].start, 100);
+
+  const auto s2 = test::run(easy(), w2, 8);
+  EXPECT_EQ(s2[1].start, 100);    // head unharmed
+  EXPECT_GE(s2[2].start, 100);    // backfill rejected
+}
+
+TEST(EasyBackfill, BackfillOnExtraNodesMayRunPastShadow) {
+  const auto w = test::make_workload({
+      make_job(0, 4, 100, 100),  // 0: 4 free
+      make_job(10, 8, 50, 50),   // 1: head needs the whole machine at 100
+      make_job(20, 2, 500, 500), // 2: would hold 2 nodes past the shadow
+  });
+  // extra = avail(8) - head(8) = 0, so job 2 must not backfill.
+  const auto s = test::run(easy(), w, 8);
+  EXPECT_EQ(s[1].start, 100);
+  EXPECT_EQ(s[2].start, 150);  // after the head completes
+}
+
+TEST(EasyBackfill, HeadMayBeDelayedByEarlyCompletions) {
+  // The §5.2 caveat: projections use estimates. Job 0 finishes far before
+  // its estimate; a backfill decision made beforehand now delays the head
+  // relative to a clairvoyant schedule — EASY permits this.
+  const auto w = test::make_workload({
+      make_job(0, 6, 10, 7200),   // 0: estimate 2h, actually 10 s
+      make_job(1, 4, 50, 50),     // 1: head; shadow computed at ~7200
+      make_job(2, 2, 3600, 3600), // 2: backfills against the 2h shadow
+  });
+  const auto s = test::run(easy(), w, 8);
+  EXPECT_EQ(s[2].start, 2);
+  // Job 0 ends at 10; head needs 4 nodes but job 2 holds 2 of 8 until
+  // 3602, leaving 6 — enough. Head starts at 10.
+  EXPECT_EQ(s[1].start, 10);
+
+  // Tighter: make the backfilled job hold nodes the head needs.
+  const auto w2 = test::make_workload({
+      make_job(0, 6, 10, 7200),
+      make_job(1, 7, 50, 50),
+      make_job(2, 2, 3600, 3600),
+  });
+  const auto s2 = test::run(easy(), w2, 8);
+  EXPECT_EQ(s2[2].start, 2);
+  EXPECT_EQ(s2[1].start, 3602);  // delayed by the backfill — the known
+                                 // EASY anomaly under bad estimates
+}
+
+TEST(EasyBackfill, MultipleBackfillsRespectRemainingFreeNodes) {
+  const auto w = test::make_workload({
+      make_job(0, 5, 100, 100),  // 3 free
+      make_job(1, 6, 50, 50),    // head blocked (needs 6)
+      make_job(2, 2, 10, 10),    // backfill
+      make_job(3, 2, 10, 10),    // must wait: only 1 node left
+      make_job(4, 1, 10, 10),    // backfill into the last node
+  });
+  const auto s = test::run(easy(), w, 8);
+  EXPECT_EQ(s[2].start, 2);
+  EXPECT_EQ(s[4].start, 4);
+  EXPECT_GT(s[3].start, 4);
+}
+
+TEST(EasyBackfill, EquivalentToListWhenNoBlocking) {
+  const auto w = test::make_workload({
+      make_job(0, 2, 50),
+      make_job(10, 2, 50),
+      make_job(20, 2, 50),
+  });
+  const auto list = test::run(AlgorithmSpec{}, w, 8);
+  const auto bf = test::run(easy(), w, 8);
+  for (JobId i = 0; i < w.size(); ++i) EXPECT_EQ(list[i].start, bf[i].start);
+}
+
+TEST(EasyBackfill, ImprovesArtOnMixedWorkload) {
+  const auto w = test::small_mixed_workload();
+  const auto list = test::run(AlgorithmSpec{}, w, 16);
+  const auto bf = test::run(easy(), w, 16);
+  double art_list = 0, art_bf = 0;
+  for (JobId i = 0; i < w.size(); ++i) {
+    art_list += static_cast<double>(list[i].response());
+    art_bf += static_cast<double>(bf[i].response());
+  }
+  EXPECT_LE(art_bf, art_list);
+}
+
+}  // namespace
+}  // namespace jsched::core

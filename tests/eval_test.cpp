@@ -1,0 +1,100 @@
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "eval/reporting.h"
+#include "test_support.h"
+
+namespace jsched::eval {
+namespace {
+
+sim::Machine machine16() {
+  sim::Machine m;
+  m.nodes = 16;
+  return m;
+}
+
+TEST(Experiment, RunOneFillsAllFields) {
+  const auto w = test::small_mixed_workload();
+  ExperimentOptions opt;
+  opt.measure_cpu = true;
+  core::AlgorithmSpec spec;
+  spec.dispatch = core::DispatchKind::kEasy;
+  const RunResult r = run_one(machine16(), spec, w, opt);
+  EXPECT_EQ(r.jobs, w.size());
+  EXPECT_EQ(r.scheduler_name, "FCFS+EASY");
+  EXPECT_GT(r.art, 0.0);
+  EXPECT_GT(r.awrt, 0.0);
+  EXPECT_GE(r.wait, 0.0);
+  EXPECT_GT(r.makespan, 0.0);
+  EXPECT_GT(r.utilization, 0.0);
+  EXPECT_GE(r.scheduler_cpu_seconds, 0.0);
+  EXPECT_GT(r.max_queue_length, 0u);
+}
+
+TEST(Experiment, ObjectiveCostFollowsWeightKind) {
+  const auto w = test::small_mixed_workload();
+  ExperimentOptions opt;
+  opt.measure_cpu = false;
+  core::AlgorithmSpec unit;
+  const auto ru = run_one(machine16(), unit, w, opt);
+  EXPECT_DOUBLE_EQ(ru.objective_cost(), ru.art);
+
+  core::AlgorithmSpec area;
+  area.weight = core::WeightKind::kEstimatedArea;
+  const auto ra = run_one(machine16(), area, w, opt);
+  EXPECT_DOUBLE_EQ(ra.objective_cost(), ra.awrt);
+}
+
+TEST(Experiment, ProgressCallbackFires) {
+  const auto w = workload::Workload(
+      {test::make_job(0, 1, 10)}, "tiny");
+  ExperimentOptions opt;
+  opt.measure_cpu = false;
+  std::vector<std::string> seen;
+  opt.on_run = [&](const std::string& name) { seen.push_back(name); };
+  run_grid(machine16(), core::WeightKind::kUnit, w, opt);
+  EXPECT_EQ(seen.size(), 13u);
+  EXPECT_EQ(seen.front(), "FCFS");
+  EXPECT_EQ(seen.back(), "Garey&Graham");
+}
+
+TEST(Experiment, FindLocatesConfigurations) {
+  const auto w = test::small_mixed_workload();
+  ExperimentOptions opt;
+  opt.measure_cpu = false;
+  const auto results = run_grid(machine16(), core::WeightKind::kUnit, w, opt);
+  const auto& gg =
+      find(results, core::OrderKind::kFcfs, core::DispatchKind::kFirstFit);
+  EXPECT_EQ(gg.scheduler_name, "FCFS+FF");
+  EXPECT_THROW(
+      find(std::vector<RunResult>{}, core::OrderKind::kFcfs,
+           core::DispatchKind::kList),
+      std::out_of_range);
+}
+
+TEST(Reporting, TableTitleIncludesObjective) {
+  EXPECT_NE(experiment_title("ctc", 100, core::WeightKind::kUnit)
+                .find("unweighted"),
+            std::string::npos);
+  EXPECT_NE(experiment_title("ctc", 100, core::WeightKind::kEstimatedArea)
+                .find("weighted"),
+            std::string::npos);
+}
+
+TEST(Reporting, FigureCsvHasOneRowPerResult) {
+  const auto w = test::small_mixed_workload();
+  ExperimentOptions opt;
+  opt.measure_cpu = false;
+  const auto results = run_grid(machine16(), core::WeightKind::kUnit, w, opt);
+  const std::string csv = figure_csv(results, &RunResult::art);
+  // Header + 13 rows = 14 newline-terminated lines.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(csv.begin(), csv.end(), '\n')),
+            14u);
+}
+
+}  // namespace
+}  // namespace jsched::eval

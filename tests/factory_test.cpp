@@ -1,0 +1,84 @@
+#include "core/factory.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_support.h"
+
+namespace jsched::core {
+namespace {
+
+TEST(Factory, PaperGridHas13Configurations) {
+  const auto grid = paper_grid(WeightKind::kUnit);
+  EXPECT_EQ(grid.size(), 13u);
+  // 4 orderings x 3 dispatches + Garey&Graham.
+  std::size_t gg = 0;
+  for (const auto& s : grid) gg += s.dispatch == DispatchKind::kFirstFit;
+  EXPECT_EQ(gg, 1u);
+}
+
+TEST(Factory, GridCarriesRequestedWeight) {
+  for (const auto& s : paper_grid(WeightKind::kEstimatedArea)) {
+    EXPECT_EQ(s.weight, WeightKind::kEstimatedArea);
+  }
+}
+
+TEST(Factory, DisplayNames) {
+  AlgorithmSpec s;
+  EXPECT_EQ(s.display_name(), "FCFS");
+  s.dispatch = DispatchKind::kEasy;
+  EXPECT_EQ(s.display_name(), "FCFS+EASY");
+  s.dispatch = DispatchKind::kConservative;
+  s.order = OrderKind::kSmartNfiw;
+  EXPECT_EQ(s.display_name(), "SMART-NFIW+CONS");
+  s.order = OrderKind::kFcfs;
+  s.dispatch = DispatchKind::kFirstFit;
+  EXPECT_EQ(s.display_name(), "Garey&Graham");
+}
+
+TEST(Factory, EveryGridEntryBuildsAndRuns) {
+  const auto w = test::small_mixed_workload();
+  for (const auto& spec : paper_grid(WeightKind::kUnit)) {
+    SCOPED_TRACE(spec.display_name());
+    auto scheduler = make_scheduler(spec);
+    ASSERT_NE(scheduler, nullptr);
+    EXPECT_FALSE(scheduler->name().empty());
+    const auto s = test::run(spec, w, 16);
+    EXPECT_EQ(s.size(), w.size());
+  }
+}
+
+TEST(Factory, SchedulerNamesDistinguishConfigurations) {
+  std::set<std::string> names;
+  for (const auto& spec : paper_grid(WeightKind::kUnit)) {
+    names.insert(make_scheduler(spec)->name());
+  }
+  EXPECT_EQ(names.size(), 13u);
+}
+
+TEST(Factory, SchedulerIsReusableAcrossRuns) {
+  AlgorithmSpec spec;
+  spec.dispatch = DispatchKind::kEasy;
+  auto scheduler = make_scheduler(spec);
+  sim::Machine m;
+  m.nodes = 16;
+  const auto w = test::small_mixed_workload();
+  const auto s1 = sim::simulate(m, *scheduler, w);
+  const auto s2 = sim::simulate(m, *scheduler, w);
+  for (JobId i = 0; i < w.size(); ++i) {
+    EXPECT_EQ(s1[i].start, s2[i].start);
+  }
+}
+
+TEST(Factory, ToStringCoversAllKinds) {
+  EXPECT_STREQ(to_string(OrderKind::kFcfs), "FCFS");
+  EXPECT_STREQ(to_string(OrderKind::kPsrs), "PSRS");
+  EXPECT_STREQ(to_string(OrderKind::kSmartFfia), "SMART-FFIA");
+  EXPECT_STREQ(to_string(OrderKind::kSmartNfiw), "SMART-NFIW");
+  EXPECT_STREQ(to_string(DispatchKind::kList), "List");
+  EXPECT_STREQ(to_string(DispatchKind::kEasy), "EASY-Backfilling");
+}
+
+}  // namespace
+}  // namespace jsched::core

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "workload/ctc_model.h"
+#include "workload/random_model.h"
+#include "workload/stats_model.h"
+#include "workload/transforms.h"
+
+namespace jsched::workload {
+namespace {
+
+CtcModelParams small_ctc() {
+  CtcModelParams p;
+  p.job_count = 5000;
+  return p;
+}
+
+TEST(CtcModel, DeterministicInSeed) {
+  const Workload a = generate_ctc(small_ctc(), 1);
+  const Workload b = generate_ctc(small_ctc(), 1);
+  ASSERT_EQ(a.size(), b.size());
+  for (JobId i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(CtcModel, SeedChangesWorkload) {
+  const Workload a = generate_ctc(small_ctc(), 1);
+  const Workload b = generate_ctc(small_ctc(), 2);
+  std::size_t same = 0;
+  for (JobId i = 0; i < std::min(a.size(), b.size()); ++i) same += a[i] == b[i];
+  EXPECT_LT(same, a.size() / 10);
+}
+
+TEST(CtcModel, JobsAreValidForTheModelMachine) {
+  const CtcModelParams p = small_ctc();
+  const Workload w = generate_ctc(p, 7);
+  ASSERT_EQ(w.size(), p.job_count);
+  for (const Job& j : w) {
+    EXPECT_GE(j.nodes, 1);
+    EXPECT_LE(j.nodes, p.machine_nodes);
+    EXPECT_GE(j.runtime, p.min_runtime);
+    EXPECT_LE(j.runtime, p.max_runtime);
+    EXPECT_GE(j.estimate, j.runtime);
+  }
+}
+
+TEST(CtcModel, MeanInterarrivalNearTarget) {
+  CtcModelParams p = small_ctc();
+  p.job_count = 20000;
+  const Workload w = generate_ctc(p, 11);
+  const WorkloadSummary s = summarize(w);
+  EXPECT_NEAR(s.interarrival.mean() / p.mean_interarrival, 1.0, 0.15);
+}
+
+TEST(CtcModel, FewJobsExceed256Nodes) {
+  CtcModelParams p = small_ctc();
+  p.job_count = 20000;
+  const Workload w = generate_ctc(p, 13);
+  std::size_t wide = 0;
+  for (const Job& j : w) wide += j.nodes > 256;
+  // Paper: "less than 0.2% of all jobs require more than 256 nodes".
+  EXPECT_LT(static_cast<double>(wide) / static_cast<double>(w.size()), 0.006);
+  EXPECT_GT(wide, 0u);  // the tail exists
+}
+
+TEST(CtcModel, EstimatesRoundedToGranularity) {
+  CtcModelParams p = small_ctc();
+  const Workload w = generate_ctc(p, 17);
+  std::size_t rounded = 0;
+  for (const Job& j : w) rounded += j.estimate % p.estimate_granularity == 0;
+  // Estimates are rounded unless the clamp to >= runtime interferes.
+  EXPECT_GT(static_cast<double>(rounded) / static_cast<double>(w.size()), 0.95);
+}
+
+TEST(CtcModel, SerialJobsAreCommon) {
+  const Workload w = generate_ctc(small_ctc(), 19);
+  std::size_t serial = 0;
+  for (const Job& j : w) serial += j.nodes == 1;
+  const double frac = static_cast<double>(serial) / static_cast<double>(w.size());
+  EXPECT_GT(frac, 0.15);
+  EXPECT_LT(frac, 0.45);
+}
+
+TEST(CtcModel, OfferedLoadInBacklogRegime) {
+  // The trimmed 256-node workload must be heavily loaded (the paper
+  // observes a growing backlog) but not absurdly overloaded.
+  CtcModelParams p;
+  p.job_count = 30000;
+  const Workload w = trim_to_machine(generate_ctc(p, 23), 256);
+  const double load = summarize(w).offered_load(256);
+  EXPECT_GT(load, 0.6);
+  EXPECT_LT(load, 1.3);
+}
+
+TEST(CtcModel, RejectsInvalidParams) {
+  CtcModelParams p;
+  p.job_count = 0;
+  EXPECT_THROW(generate_ctc(p, 1), std::invalid_argument);
+  p = CtcModelParams{};
+  p.machine_nodes = 0;
+  EXPECT_THROW(generate_ctc(p, 1), std::invalid_argument);
+  p = CtcModelParams{};
+  p.mean_interarrival = -1;
+  EXPECT_THROW(generate_ctc(p, 1), std::invalid_argument);
+  p = CtcModelParams{};
+  p.max_runtime = 0;
+  EXPECT_THROW(generate_ctc(p, 1), std::invalid_argument);
+}
+
+TEST(RandomModel, RespectsTable2Parameters) {
+  RandomModelParams p;
+  p.job_count = 5000;
+  const Workload w = generate_random(p, 3);
+  ASSERT_EQ(w.size(), p.job_count);
+  Time prev = 0;
+  for (const Job& j : w) {
+    EXPECT_LE(j.submit - prev, p.max_interarrival);
+    prev = j.submit;
+    EXPECT_GE(j.nodes, 1);
+    EXPECT_LE(j.nodes, 256);
+    EXPECT_GE(j.estimate, p.min_estimate);
+    EXPECT_LE(j.estimate, p.max_estimate);
+    EXPECT_GE(j.runtime, 1);
+    EXPECT_LE(j.runtime, j.estimate);
+  }
+}
+
+TEST(RandomModel, Deterministic) {
+  RandomModelParams p;
+  p.job_count = 500;
+  const Workload a = generate_random(p, 5);
+  const Workload b = generate_random(p, 5);
+  for (JobId i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(RandomModel, NodesRoughlyUniform) {
+  RandomModelParams p;
+  p.job_count = 50000;
+  const Workload w = generate_random(p, 7);
+  const WorkloadSummary s = summarize(w);
+  EXPECT_NEAR(s.nodes.mean(), 128.5, 3.0);
+}
+
+TEST(RandomModel, RejectsInvalidParams) {
+  RandomModelParams p;
+  p.job_count = 0;
+  EXPECT_THROW(generate_random(p, 1), std::invalid_argument);
+  p = RandomModelParams{};
+  p.min_nodes = 0;
+  EXPECT_THROW(generate_random(p, 1), std::invalid_argument);
+  p = RandomModelParams{};
+  p.max_estimate = p.min_estimate - 1;
+  EXPECT_THROW(generate_random(p, 1), std::invalid_argument);
+}
+
+TEST(StatsModel, ExtractRejectsTinySource) {
+  Workload w;
+  EXPECT_THROW(WorkloadStatistics::extract(w), std::invalid_argument);
+}
+
+TEST(StatsModel, SampledJobsAreConsistent) {
+  const Workload source = generate_ctc(small_ctc(), 31);
+  const Workload sampled = generate_probabilistic(source, 3000, 99);
+  ASSERT_EQ(sampled.size(), 3000u);
+  for (const Job& j : sampled) {
+    EXPECT_GE(j.nodes, 1);
+    EXPECT_LE(j.nodes, source.max_nodes());
+    EXPECT_GE(j.runtime, 1);
+    EXPECT_LE(j.runtime, j.estimate);
+  }
+}
+
+TEST(StatsModel, PreservesNodeDistributionShape) {
+  CtcModelParams p = small_ctc();
+  p.job_count = 20000;
+  const Workload source = generate_ctc(p, 37);
+  const WorkloadStatistics st = WorkloadStatistics::extract(source);
+  const Workload sampled = st.sample(20000, 101);
+
+  std::size_t src_serial = 0, dst_serial = 0;
+  for (const Job& j : source) src_serial += j.nodes == 1;
+  for (const Job& j : sampled) dst_serial += j.nodes == 1;
+  const double src_frac =
+      static_cast<double>(src_serial) / static_cast<double>(source.size());
+  const double dst_frac =
+      static_cast<double>(dst_serial) / static_cast<double>(sampled.size());
+  EXPECT_NEAR(dst_frac, src_frac, 0.02);
+}
+
+TEST(StatsModel, PreservesArrivalRate) {
+  CtcModelParams p = small_ctc();
+  p.job_count = 20000;
+  p.diurnal_cycle = false;  // pure Weibull source for a clean comparison
+  const Workload source = generate_ctc(p, 41);
+  const Workload sampled = generate_probabilistic(source, 20000, 103);
+  const double src_mean = summarize(source).interarrival.mean();
+  const double dst_mean = summarize(sampled).interarrival.mean();
+  EXPECT_NEAR(dst_mean / src_mean, 1.0, 0.15);
+}
+
+TEST(StatsModel, NodeProbabilityIntrospection) {
+  const Workload source = generate_ctc(small_ctc(), 43);
+  const WorkloadStatistics st = WorkloadStatistics::extract(source);
+  double total = 0.0;
+  for (int n = 1; n <= st.max_nodes(); ++n) total += st.node_probability(n);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(st.node_probability(0), 0.0);
+  EXPECT_EQ(st.node_probability(st.max_nodes() + 1), 0.0);
+}
+
+TEST(StatsModel, SamplingDeterministic) {
+  const Workload source = generate_ctc(small_ctc(), 47);
+  const WorkloadStatistics st = WorkloadStatistics::extract(source);
+  const Workload a = st.sample(1000, 7);
+  const Workload b = st.sample(1000, 7);
+  for (JobId i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace jsched::workload

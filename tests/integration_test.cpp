@@ -1,0 +1,179 @@
+// Cross-module integration: full simulations on generated workloads with
+// schedule validation, reproducing the paper's qualitative findings at
+// reduced scale.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "eval/experiment.h"
+#include "eval/reporting.h"
+#include "metrics/objectives.h"
+#include "test_support.h"
+#include "workload/ctc_model.h"
+#include "workload/swf.h"
+#include "workload/random_model.h"
+#include "workload/stats_model.h"
+#include "workload/transforms.h"
+
+namespace jsched {
+namespace {
+
+const workload::Workload& small_ctc() {
+  static const workload::Workload w = [] {
+    workload::CtcModelParams p;
+    p.job_count = 4000;
+    return workload::trim_to_machine(workload::generate_ctc(p, 2026), 256);
+  }();
+  return w;
+}
+
+sim::Machine institution_b() {
+  sim::Machine m;
+  m.nodes = 256;
+  return m;
+}
+
+TEST(Integration, AllPaperConfigurationsProduceValidSchedules) {
+  // validate=true inside run_one throws on any invalid schedule.
+  eval::ExperimentOptions opt;
+  opt.measure_cpu = false;
+  const auto results =
+      eval::run_grid(institution_b(), core::WeightKind::kUnit, small_ctc(), opt);
+  EXPECT_EQ(results.size(), 13u);
+  for (const auto& r : results) {
+    EXPECT_GT(r.art, 0.0) << r.scheduler_name;
+    EXPECT_GT(r.utilization, 0.0) << r.scheduler_name;
+    EXPECT_LE(r.utilization, 1.0) << r.scheduler_name;
+  }
+}
+
+TEST(Integration, BackfillingBeatsPlainFcfsOnCtcLikeLoad) {
+  // The paper's headline: "All algorithms are clearly better than FCFS".
+  eval::ExperimentOptions opt;
+  opt.measure_cpu = false;
+  core::AlgorithmSpec fcfs;
+  core::AlgorithmSpec easy;
+  easy.dispatch = core::DispatchKind::kEasy;
+  core::AlgorithmSpec cons;
+  cons.dispatch = core::DispatchKind::kConservative;
+
+  const auto rf = eval::run_one(institution_b(), fcfs, small_ctc(), opt);
+  const auto re = eval::run_one(institution_b(), easy, small_ctc(), opt);
+  const auto rc = eval::run_one(institution_b(), cons, small_ctc(), opt);
+  EXPECT_LT(re.art, rf.art);
+  EXPECT_LT(rc.art, rf.art);
+}
+
+TEST(Integration, GareyGrahamStrongInWeightedCase) {
+  // Weighted CTC: "The classical list scheduling algorithm clearly
+  // outperforms all other algorithms" — at minimum it must beat plain
+  // FCFS and the plain SMART/PSRS list variants.
+  eval::ExperimentOptions opt;
+  opt.measure_cpu = false;
+  const auto results = eval::run_grid(
+      institution_b(), core::WeightKind::kEstimatedArea, small_ctc(), opt);
+  const auto& gg = eval::find(results, core::OrderKind::kFcfs,
+                              core::DispatchKind::kFirstFit);
+  const auto& fcfs = eval::find(results, core::OrderKind::kFcfs,
+                                core::DispatchKind::kList);
+  const auto& psrs = eval::find(results, core::OrderKind::kPsrs,
+                                core::DispatchKind::kList);
+  EXPECT_LT(gg.awrt, fcfs.awrt);
+  EXPECT_LT(gg.awrt, psrs.awrt);
+}
+
+TEST(Integration, ExactEstimatesHelpUnweightedSmartAndPsrs) {
+  // Table 6: with exact runtimes PSRS/SMART improve substantially.
+  eval::ExperimentOptions opt;
+  opt.measure_cpu = false;
+  const auto exact = workload::with_exact_estimates(small_ctc());
+
+  core::AlgorithmSpec psrs_easy;
+  psrs_easy.order = core::OrderKind::kPsrs;
+  psrs_easy.dispatch = core::DispatchKind::kEasy;
+
+  const auto noisy = eval::run_one(institution_b(), psrs_easy, small_ctc(), opt);
+  const auto clean = eval::run_one(institution_b(), psrs_easy, exact, opt);
+  EXPECT_LT(clean.art, noisy.art * 1.05);  // never clearly worse
+}
+
+TEST(Integration, ProbabilisticWorkloadSupportsSameRanking) {
+  // §7: "The artificial workload based on probability distributions
+  // basically supports the results derived with the CTC workload."
+  eval::ExperimentOptions opt;
+  opt.measure_cpu = false;
+  const auto prob =
+      workload::generate_probabilistic(small_ctc(), 4000, 77);
+
+  core::AlgorithmSpec fcfs;
+  core::AlgorithmSpec easy;
+  easy.dispatch = core::DispatchKind::kEasy;
+  const auto rf = eval::run_one(institution_b(), fcfs, prob, opt);
+  const auto re = eval::run_one(institution_b(), easy, prob, opt);
+  EXPECT_LT(re.art, rf.art);
+}
+
+TEST(Integration, RandomizedWorkloadRunsAllConfigurations) {
+  workload::RandomModelParams p;
+  p.job_count = 800;
+  const auto w = workload::generate_random(p, 5);
+  eval::ExperimentOptions opt;
+  opt.measure_cpu = false;
+  for (const auto& spec : core::paper_grid(core::WeightKind::kUnit)) {
+    SCOPED_TRACE(spec.display_name());
+    const auto r = eval::run_one(institution_b(), spec, w, opt);
+    EXPECT_EQ(r.jobs, w.size());
+  }
+}
+
+TEST(Integration, ReportingTablesRender) {
+  eval::ExperimentOptions opt;
+  opt.measure_cpu = true;
+  const auto w = workload::take_prefix(small_ctc(), 800);
+  const auto results =
+      eval::run_grid(institution_b(), core::WeightKind::kUnit, w, opt);
+  const auto table = eval::response_time_table(
+      results, &eval::RunResult::art, "Table 3 (test)");
+  const std::string ascii = table.to_ascii();
+  EXPECT_NE(ascii.find("FCFS"), std::string::npos);
+  EXPECT_NE(ascii.find("Garey&Graham"), std::string::npos);
+  EXPECT_NE(ascii.find("EASY"), std::string::npos);
+
+  const auto cpu = eval::cpu_time_table(results, "Table 7 (test)");
+  EXPECT_NE(cpu.to_ascii().find("PSRS"), std::string::npos);
+
+  const std::string csv = eval::figure_csv(results, &eval::RunResult::art);
+  EXPECT_NE(csv.find("SMART-FFIA"), std::string::npos);
+}
+
+TEST(Integration, ReferenceEntryHasZeroPct) {
+  eval::ExperimentOptions opt;
+  opt.measure_cpu = false;
+  const auto w = workload::take_prefix(small_ctc(), 500);
+  const auto results =
+      eval::run_grid(institution_b(), core::WeightKind::kUnit, w, opt);
+  const auto table =
+      eval::response_time_table(results, &eval::RunResult::art, "t");
+  // FCFS row's EASY column is the reference -> "0%".
+  EXPECT_NE(table.to_ascii().find("0%"), std::string::npos);
+}
+
+TEST(Integration, SwfRoundTripThroughSimulation) {
+  // Workload -> SWF -> Workload -> simulate: identical metrics.
+  const auto w = workload::take_prefix(small_ctc(), 500);
+  std::stringstream buf;
+  workload::write_swf(buf, w);
+  const auto reread = workload::read_swf(buf, "rt");
+
+  core::AlgorithmSpec easy;
+  easy.dispatch = core::DispatchKind::kEasy;
+  eval::ExperimentOptions opt;
+  opt.measure_cpu = false;
+  const auto r1 = eval::run_one(institution_b(), easy, w, opt);
+  const auto r2 = eval::run_one(institution_b(), easy, reread, opt);
+  EXPECT_DOUBLE_EQ(r1.art, r2.art);
+  EXPECT_DOUBLE_EQ(r1.awrt, r2.awrt);
+}
+
+}  // namespace
+}  // namespace jsched

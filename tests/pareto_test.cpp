@@ -1,0 +1,81 @@
+#include "metrics/pareto.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace jsched::metrics {
+namespace {
+
+CriteriaPoint pt(std::string label, std::vector<double> costs) {
+  return {std::move(label), std::move(costs)};
+}
+
+TEST(Dominates, StrictAndWeak) {
+  EXPECT_TRUE(dominates(pt("a", {1, 2}), pt("b", {2, 2})));
+  EXPECT_TRUE(dominates(pt("a", {1, 1}), pt("b", {2, 2})));
+  EXPECT_FALSE(dominates(pt("a", {1, 2}), pt("b", {1, 2})));  // equal
+  EXPECT_FALSE(dominates(pt("a", {1, 3}), pt("b", {2, 2})));  // trade-off
+  EXPECT_FALSE(dominates(pt("a", {2, 2}), pt("b", {1, 2})));
+}
+
+TEST(Dominates, MismatchedDimensionsThrow) {
+  EXPECT_THROW(dominates(pt("a", {1}), pt("b", {1, 2})), std::invalid_argument);
+}
+
+TEST(ParetoFront, KeepsTradeOffCurve) {
+  const std::vector<CriteriaPoint> points = {
+      pt("a", {1, 10}),  // optimal on x
+      pt("b", {5, 5}),   // intermediate
+      pt("c", {10, 1}),  // optimal on y
+      pt("d", {6, 6}),   // dominated by b
+      pt("e", {1, 10}),  // duplicate of a (kept: equals don't dominate)
+  };
+  const auto front = pareto_front(points);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0, 1, 2, 4}));
+}
+
+TEST(ParetoFront, SinglePoint) {
+  EXPECT_EQ(pareto_front({pt("a", {3, 3})}), std::vector<std::size_t>{0});
+}
+
+TEST(ParetoFront, EmptyInput) {
+  EXPECT_TRUE(pareto_front({}).empty());
+}
+
+TEST(ParetoFront, TotallyOrderedChainKeepsBest) {
+  const std::vector<CriteriaPoint> points = {
+      pt("w", {3, 3}), pt("x", {2, 2}), pt("y", {1, 1}),
+  };
+  EXPECT_EQ(pareto_front(points), std::vector<std::size_t>{2});
+}
+
+TEST(Scalarize, LinearCombination) {
+  EXPECT_DOUBLE_EQ(scalarize(pt("a", {2, 3}), {10, 1}), 23.0);
+  EXPECT_THROW(scalarize(pt("a", {2}), {1, 2}), std::invalid_argument);
+}
+
+TEST(OrderViolations, CountsUnsatisfiedPreferences) {
+  // Two criteria: response time of priority jobs, availability loss.
+  const std::vector<CriteriaPoint> points = {
+      pt("s0", {300, 0.5}),
+      pt("s1", {600, 0.0}),
+      pt("s2", {100, 1.0}),
+  };
+  // The owner prefers s0 over s1 and s0 over s2 (Fig. 1's elicited order).
+  const std::vector<std::pair<std::size_t, std::size_t>> prefs = {{0, 1},
+                                                                  {0, 2}};
+  // Pure response-time objective violates s0 < s2.
+  EXPECT_EQ(order_violations(points, prefs, {1.0, 0.0}), 1u);
+  // A mixed objective generates the order.
+  EXPECT_EQ(order_violations(points, prefs, {1.0, 500.0}), 0u);
+}
+
+TEST(OrderViolations, OutOfRangePreferenceThrows) {
+  const std::vector<CriteriaPoint> points = {pt("a", {1})};
+  EXPECT_THROW(order_violations(points, {{0, 5}}, {1.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jsched::metrics

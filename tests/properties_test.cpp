@@ -1,0 +1,215 @@
+// Property sweeps: every algorithm of the paper's grid, over several
+// generated workloads, must uphold the model invariants. Schedule validity
+// (capacity, exclusivity, runtimes, cancellation) is checked by
+// validate_schedule inside every run; the assertions here cover metric
+// identities, determinism and algorithm-specific guarantees.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <tuple>
+
+#include "eval/experiment.h"
+#include "metrics/objectives.h"
+#include "test_support.h"
+#include "workload/ctc_model.h"
+#include "workload/random_model.h"
+#include "workload/stats_model.h"
+#include "workload/transforms.h"
+
+namespace jsched {
+namespace {
+
+struct WorkloadCase {
+  const char* name;
+  workload::Workload (*build)(std::uint64_t seed);
+  std::uint64_t seed;
+};
+
+workload::Workload build_ctc(std::uint64_t seed) {
+  workload::CtcModelParams p;
+  p.job_count = 900;
+  return workload::trim_to_machine(workload::generate_ctc(p, seed), 256);
+}
+
+workload::Workload build_random(std::uint64_t seed) {
+  workload::RandomModelParams p;
+  p.job_count = 500;
+  return workload::generate_random(p, seed);
+}
+
+workload::Workload build_probabilistic(std::uint64_t seed) {
+  workload::CtcModelParams p;
+  p.job_count = 2000;
+  const auto source =
+      workload::trim_to_machine(workload::generate_ctc(p, 1234), 256);
+  return workload::generate_probabilistic(source, 700, seed);
+}
+
+workload::Workload build_exact(std::uint64_t seed) {
+  return workload::with_exact_estimates(build_ctc(seed));
+}
+
+const WorkloadCase kWorkloads[] = {
+    {"ctc-a", build_ctc, 11},
+    {"ctc-b", build_ctc, 22},
+    {"random", build_random, 33},
+    {"probabilistic", build_probabilistic, 44},
+    {"exact", build_exact, 55},
+};
+
+class GridProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+ protected:
+  static const workload::Workload& workload_for(std::size_t wi) {
+    static std::map<std::size_t, workload::Workload> cache;
+    auto it = cache.find(wi);
+    if (it == cache.end()) {
+      it = cache.emplace(wi, kWorkloads[wi].build(kWorkloads[wi].seed)).first;
+    }
+    return it->second;
+  }
+};
+
+TEST_P(GridProperty, InvariantsHold) {
+  const auto [wi, si] = GetParam();
+  const auto& w = workload_for(wi);
+  const auto spec = core::paper_grid(core::WeightKind::kUnit)[si];
+  SCOPED_TRACE(spec.display_name());
+
+  // run() validates the schedule (throws on any capacity/ordering bug).
+  const auto s = test::run(spec, w, 256);
+
+  // Metric identities.
+  const double art = metrics::average_response_time(s);
+  const double wait = metrics::average_wait_time(s);
+  double mean_busy = 0.0;
+  for (const auto& r : s.records()) {
+    mean_busy += static_cast<double>(r.end - r.start);
+  }
+  mean_busy /= static_cast<double>(s.size());
+  EXPECT_NEAR(art, wait + mean_busy, 1e-6);
+
+  // Makespan bounds: at least the critical path of any single job and at
+  // least the total work over the machine width.
+  double max_single = 0.0;
+  for (JobId i = 0; i < w.size(); ++i) {
+    max_single = std::max(
+        max_single, static_cast<double>(w.job(i).submit) +
+                        static_cast<double>(s[i].end - s[i].start));
+  }
+  double busy_area = 0.0;
+  for (const auto& r : s.records()) {
+    busy_area +=
+        static_cast<double>(r.nodes) * static_cast<double>(r.end - r.start);
+  }
+  const auto ms = static_cast<double>(s.makespan());
+  EXPECT_GE(ms + 1e-9, max_single);
+  EXPECT_GE(ms * 256.0 + 1e-6, busy_area);
+
+  // Utilization in (0, 1].
+  const double util = metrics::utilization(s);
+  EXPECT_GT(util, 0.0);
+  EXPECT_LE(util, 1.0 + 1e-12);
+
+  // AWRT >= 0 and consistent with the normalized variant's ordering.
+  EXPECT_GE(metrics::average_weighted_response_time(s), 0.0);
+}
+
+TEST_P(GridProperty, DeterministicAcrossRuns) {
+  const auto [wi, si] = GetParam();
+  const auto& w = workload_for(wi);
+  const auto spec = core::paper_grid(core::WeightKind::kEstimatedArea)[si];
+  const auto s1 = test::run(spec, w, 256);
+  const auto s2 = test::run(spec, w, 256);
+  for (JobId i = 0; i < w.size(); ++i) {
+    ASSERT_EQ(s1[i].start, s2[i].start) << spec.display_name() << " job " << i;
+  }
+}
+
+std::string grid_param_name(
+    const ::testing::TestParamInfo<std::tuple<std::size_t, std::size_t>>&
+        info) {
+  const std::size_t wi = std::get<0>(info.param);
+  const std::size_t si = std::get<1>(info.param);
+  const auto spec = core::paper_grid(core::WeightKind::kUnit)[si];
+  std::string name =
+      std::string(kWorkloads[wi].name) + "_" + spec.display_name();
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloadsAllAlgorithms, GridProperty,
+    ::testing::Combine(::testing::Range<std::size_t>(0, 5),
+                       ::testing::Range<std::size_t>(0, 13)),
+    grid_param_name);
+
+// FCFS fairness: with the plain list dispatch, start times follow
+// submission order ("the completion time of each job is independent of any
+// job submitted later", §5.1 — in particular no later job starts first).
+class FcfsFairness : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FcfsFairness, StartsFollowSubmissionOrder) {
+  const auto& wc = kWorkloads[GetParam()];
+  const auto w = wc.build(wc.seed);
+  const auto s = test::run(core::AlgorithmSpec{}, w, 256);
+  for (JobId i = 1; i < w.size(); ++i) {
+    EXPECT_LE(s[i - 1].start, s[i].start);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, FcfsFairness,
+                         ::testing::Range<std::size_t>(0, 5));
+
+// Garey&Graham work-conservation: no job waits while enough nodes are
+// free. Verified against the executed schedule's free-capacity timeline.
+class GgConservation : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GgConservation, NeverIdlesAFittingJob) {
+  const auto& wc = kWorkloads[GetParam()];
+  const auto w = wc.build(wc.seed);
+  core::AlgorithmSpec gg;
+  gg.dispatch = core::DispatchKind::kFirstFit;
+  const auto s = test::run(gg, w, 256);
+
+  // Free capacity as a sorted breakpoint timeline.
+  std::map<Time, int> delta;
+  for (const auto& r : s.records()) {
+    delta[r.start] += r.nodes;
+    delta[r.end] -= r.nodes;
+  }
+  std::map<Time, int> used;  // usage from t onward
+  int acc = 0;
+  for (const auto& [t, d] : delta) {
+    acc += d;
+    used[t] = acc;
+  }
+
+  for (JobId i = 0; i < w.size(); ++i) {
+    const Job& j = w.job(i);
+    if (s[i].start == j.submit) continue;
+    // At every breakpoint in [submit, start) the job must not have fit.
+    for (auto it = used.lower_bound(j.submit);
+         it != used.end() && it->first < s[i].start; ++it) {
+      EXPECT_GT(it->second + j.nodes, 256)
+          << "job " << i << " idled at t=" << it->first;
+    }
+    // Also at the submission instant itself.
+    auto at = used.upper_bound(j.submit);
+    if (at != used.begin()) {
+      --at;
+      EXPECT_GT(at->second + j.nodes, 256)
+          << "job " << i << " idled at submit";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, GgConservation,
+                         ::testing::Range<std::size_t>(0, 5));
+
+}  // namespace
+}  // namespace jsched

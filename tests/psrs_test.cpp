@@ -1,0 +1,222 @@
+#include "core/psrs.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "test_support.h"
+
+namespace jsched::core {
+namespace {
+
+using test::make_job;
+
+JobStore store_with(std::vector<Job> jobs) {
+  JobStore s;
+  JobId id = 0;
+  for (Job j : jobs) {
+    j.id = id++;
+    s.put(j);
+  }
+  return s;
+}
+
+std::vector<JobId> ids(std::size_t n) {
+  std::vector<JobId> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<JobId>(i);
+  return v;
+}
+
+TEST(PsrsPreemptive, SmithOrderUnweightedPrefersSmallArea) {
+  // Unit weights: ratio = 1 / (nodes x time); the smallest area leads.
+  JobStore store = store_with({
+      make_job(0, 4, 0, 100),  // area 400
+      make_job(0, 1, 0, 10),   // area 10  -> first
+      make_job(0, 2, 0, 50),   // area 100
+  });
+  const auto res = psrs_preemptive_schedule(ids(3), store, 16, PsrsParams{});
+  ASSERT_EQ(res.smith_order.size(), 3u);
+  EXPECT_EQ(res.smith_order[0], 1u);
+  EXPECT_EQ(res.smith_order[1], 2u);
+  EXPECT_EQ(res.smith_order[2], 0u);
+}
+
+TEST(PsrsPreemptive, AreaWeightsDegenerateToSubmissionOrder) {
+  // weight = area makes every modified Smith ratio 1 — visible in the
+  // paper's Table 3 where weighted PSRS+EASY equals FCFS+EASY exactly.
+  JobStore store = store_with({
+      make_job(0, 4, 0, 100),
+      make_job(0, 1, 0, 10),
+      make_job(0, 2, 0, 50),
+  });
+  PsrsParams p;
+  p.weight = WeightKind::kEstimatedArea;
+  const auto res = psrs_preemptive_schedule(ids(3), store, 16, p);
+  EXPECT_EQ(res.smith_order[0], 0u);
+  EXPECT_EQ(res.smith_order[1], 1u);
+  EXPECT_EQ(res.smith_order[2], 2u);
+}
+
+TEST(PsrsPreemptive, SmallJobsRunConcurrently) {
+  JobStore store = store_with({
+      make_job(0, 4, 0, 100),
+      make_job(0, 4, 0, 100),
+  });
+  const auto res = psrs_preemptive_schedule(ids(2), store, 16, PsrsParams{});
+  EXPECT_EQ(res.completion[0], 100);
+  EXPECT_EQ(res.completion[1], 100);
+  EXPECT_EQ(res.preemptions, 0u);
+}
+
+TEST(PsrsPreemptive, WideJobPreemptsAfterItsDelay) {
+  // Small job (8 nodes, 1000 s) runs; wide job (12 > 16/2 nodes, 100 s)
+  // waits delay_factor x 100 = 100 s, then preempts, runs [100, 200); the
+  // small job resumes and finishes at 1100.
+  JobStore store = store_with({
+      make_job(0, 8, 0, 1000),   // area 8000 (smith-second), small
+      make_job(0, 12, 0, 100),   // area 1200 -> smith-first, but wide
+  });
+  const auto res = psrs_preemptive_schedule(ids(2), store, 16, PsrsParams{});
+  ASSERT_EQ(res.smith_order[0], 1u);
+  EXPECT_TRUE(res.wide[0]);
+  EXPECT_FALSE(res.wide[1]);
+  EXPECT_EQ(res.preemptions, 1u);
+  EXPECT_EQ(res.completion[0], 200);   // wide: starts at 100 after waiting
+  EXPECT_EQ(res.completion[1], 1100);  // small: 1000 of work + 100 pause
+}
+
+TEST(PsrsPreemptive, DelayFactorScalesWideWait) {
+  JobStore store = store_with({
+      make_job(0, 8, 0, 1000),
+      make_job(0, 12, 0, 100),
+  });
+  PsrsParams p;
+  p.wide_delay_factor = 3.0;
+  const auto res = psrs_preemptive_schedule(ids(2), store, 16, p);
+  EXPECT_EQ(res.completion[0], 400);  // waits 300, runs 100
+}
+
+TEST(PsrsPreemptive, ZeroDelayRunsWideImmediately) {
+  JobStore store = store_with({
+      make_job(0, 8, 0, 1000),
+      make_job(0, 12, 0, 100),
+  });
+  PsrsParams p;
+  p.wide_delay_factor = 0.0;
+  const auto res = psrs_preemptive_schedule(ids(2), store, 16, p);
+  EXPECT_EQ(res.completion[0], 100);
+  EXPECT_EQ(res.completion[1], 1100);
+}
+
+TEST(PsrsPreemptive, ExactlyHalfMachineIsNotWide) {
+  JobStore store = store_with({make_job(0, 8, 0, 100)});
+  const auto res = psrs_preemptive_schedule(ids(1), store, 16, PsrsParams{});
+  EXPECT_FALSE(res.wide[0]);
+}
+
+TEST(PsrsPreemptive, MultipleWideJobsRunInSmithOrder) {
+  JobStore store = store_with({
+      make_job(0, 12, 0, 100),  // wide, area 1200
+      make_job(0, 12, 0, 50),   // wide, area 600 -> smith-first
+  });
+  const auto res = psrs_preemptive_schedule(ids(2), store, 16, PsrsParams{});
+  ASSERT_EQ(res.smith_order[0], 1u);
+  // Job 1 waits 50, runs [50,100); job 0 then waits (trigger 100), runs
+  // [100, 200).
+  EXPECT_EQ(res.completion[0], 100);
+  EXPECT_EQ(res.completion[1], 200);
+}
+
+TEST(PsrsPreemptive, RejectsInvalidParams) {
+  JobStore store = store_with({make_job(0, 1, 0, 10)});
+  PsrsParams p;
+  p.wide_delay_factor = -1.0;
+  EXPECT_THROW(psrs_preemptive_schedule(ids(1), store, 16, p),
+               std::invalid_argument);
+  EXPECT_THROW(psrs_preemptive_schedule(ids(1), store, 0, PsrsParams{}),
+               std::invalid_argument);
+}
+
+TEST(PsrsPlan, PermutationOfInput) {
+  JobStore store = store_with({
+      make_job(0, 1, 0, 10), make_job(0, 12, 0, 100), make_job(0, 8, 0, 3),
+      make_job(0, 2, 0, 50), make_job(0, 16, 0, 1000), make_job(0, 3, 0, 7),
+  });
+  auto order = psrs_plan(ids(6), store, 16, PsrsParams{});
+  std::sort(order.begin(), order.end());
+  EXPECT_EQ(order, ids(6));
+}
+
+TEST(PsrsPlan, EmptyInput) {
+  JobStore store;
+  EXPECT_TRUE(psrs_plan({}, store, 16, PsrsParams{}).empty());
+}
+
+TEST(PsrsPlan, AlternatesSmallAndWideBins) {
+  // Small job completing early (bin S0) must precede the wide job (bin
+  // W-something), and a small job completing very late lands behind it.
+  JobStore store = store_with({
+      make_job(0, 1, 0, 1),      // small, completes ~1 -> S0
+      make_job(0, 12, 0, 4),     // wide
+      make_job(0, 1, 0, 4000),   // small, completes late -> deep S bin
+  });
+  const auto order = psrs_plan(ids(3), store, 16, PsrsParams{});
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 0u);  // S0 first (sequence starts small)
+  // Wide job comes before the slow small job (its completion bin is far
+  // earlier).
+  const auto pos = [&](JobId id) {
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  EXPECT_LT(pos(1), pos(2));
+}
+
+TEST(PsrsPlan, CompletionBinsDominateSmithOrder) {
+  JobStore store = store_with({
+      make_job(0, 2, 0, 100),  // area 200
+      make_job(0, 1, 0, 130),  // area 130 -> better ratio
+  });
+  const auto order = psrs_plan(ids(2), store, 16, PsrsParams{});
+  // Both run concurrently from 0: completions 100 and 130 land in
+  // geometric bins ]64,128] and ]128,256] (offset 1, factor 2), so the
+  // earlier-completing job leads even though its Smith ratio is worse.
+  EXPECT_EQ(order[0], 0u);
+  EXPECT_EQ(order[1], 1u);
+}
+
+TEST(PsrsOrderOnline, ProducesValidSchedules) {
+  AlgorithmSpec spec;
+  spec.order = OrderKind::kPsrs;
+  const auto s = test::run(spec, test::small_mixed_workload(), 16);
+  EXPECT_GT(s.makespan(), 0);
+}
+
+TEST(PsrsOrderOnline, WeightedPsrsEasyMatchesFcfsEasyOnUniformJobs) {
+  // The paper's Table 3 signature: with area weights all Smith ratios are
+  // 1, so PSRS degenerates toward FCFS (their weighted PSRS+EASY and
+  // FCFS+EASY agree to three digits). With uniform small jobs the bin
+  // conversion preserves submission order and the match is exact.
+  AlgorithmSpec psrs;
+  psrs.order = OrderKind::kPsrs;
+  psrs.dispatch = DispatchKind::kEasy;
+  psrs.weight = WeightKind::kEstimatedArea;
+  AlgorithmSpec fcfs;
+  fcfs.dispatch = DispatchKind::kEasy;
+  fcfs.weight = WeightKind::kEstimatedArea;
+
+  std::vector<Job> jobs;
+  for (int i = 0; i < 20; ++i) {
+    // Identical requests (4 nodes, est 100) with varying actual runtimes.
+    jobs.push_back(make_job(i * 7, 4, 20 + (i * 13) % 80, 100));
+  }
+  const auto w = test::make_workload(std::move(jobs));
+  const auto sp = test::run(psrs, w, 16);
+  const auto sf = test::run(fcfs, w, 16);
+  for (JobId i = 0; i < w.size(); ++i) {
+    EXPECT_EQ(sp[i].start, sf[i].start) << "job " << i;
+  }
+}
+
+}  // namespace
+}  // namespace jsched::core

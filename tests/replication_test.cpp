@@ -1,0 +1,70 @@
+#include "eval/replication.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+#include "workload/ctc_model.h"
+#include "workload/transforms.h"
+
+namespace jsched::eval {
+namespace {
+
+workload::Workload small_ctc(std::uint64_t seed) {
+  workload::CtcModelParams p;
+  p.job_count = 500;
+  return workload::trim_to_machine(workload::generate_ctc(p, seed), 256);
+}
+
+sim::Machine m256() {
+  sim::Machine m;
+  m.nodes = 256;
+  return m;
+}
+
+TEST(Replication, AggregatesAcrossSeeds) {
+  const std::uint64_t seeds[] = {1, 2, 3};
+  ExperimentOptions opt;
+  opt.measure_cpu = false;
+  const auto r = run_replicated(m256(), core::AlgorithmSpec{}, small_ctc,
+                                seeds, opt);
+  EXPECT_EQ(r.art.count(), 3u);
+  EXPECT_GT(r.art.mean(), 0.0);
+  EXPECT_GT(r.art.stddev(), 0.0);  // independent seeds really differ
+  EXPECT_EQ(r.scheduler_name, "FCFS");
+  EXPECT_GE(r.art_cv(), 0.0);
+}
+
+TEST(Replication, RejectsEmptySeedList) {
+  ExperimentOptions opt;
+  opt.measure_cpu = false;
+  EXPECT_THROW(run_replicated(m256(), core::AlgorithmSpec{}, small_ctc,
+                              std::span<const std::uint64_t>{}, opt),
+               std::invalid_argument);
+}
+
+TEST(Replication, EasyRobustlyBeatsPlainFcfs) {
+  // The paper's headline finding should survive replication: FCFS+EASY
+  // beats plain FCFS across seeds by far more than the noise.
+  const std::uint64_t seeds[] = {11, 22, 33};
+  ExperimentOptions opt;
+  opt.measure_cpu = false;
+  core::AlgorithmSpec easy;
+  easy.dispatch = core::DispatchKind::kEasy;
+  const auto re = run_replicated(m256(), easy, small_ctc, seeds, opt);
+  const auto rf = run_replicated(m256(), core::AlgorithmSpec{}, small_ctc,
+                                 seeds, opt);
+  EXPECT_TRUE(robustly_better_art(re, rf));
+  EXPECT_FALSE(robustly_better_art(rf, re));
+}
+
+TEST(Replication, RobustnessNeedsTwoReplicates) {
+  const std::uint64_t one[] = {5};
+  ExperimentOptions opt;
+  opt.measure_cpu = false;
+  const auto r = run_replicated(m256(), core::AlgorithmSpec{}, small_ctc,
+                                one, opt);
+  EXPECT_THROW(robustly_better_art(r, r), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jsched::eval

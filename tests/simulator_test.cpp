@@ -1,0 +1,206 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/factory.h"
+#include "test_support.h"
+
+namespace jsched::sim {
+namespace {
+
+using test::make_job;
+
+core::AlgorithmSpec fcfs() { return {}; }  // default spec is FCFS list
+
+TEST(Simulator, SingleJobRunsImmediately) {
+  // finalize() shifts the origin so the first submission lands at 0; the
+  // second job's relative offset is preserved and it also starts on
+  // arrival (the machine has room).
+  const auto w = test::make_workload({make_job(10, 4, 100),
+                                      make_job(20, 2, 30)});
+  const Schedule s = test::run(fcfs(), w, 8);
+  EXPECT_EQ(s[0].submit, 0);
+  EXPECT_EQ(s[0].start, 0);
+  EXPECT_EQ(s[0].end, 100);
+  EXPECT_EQ(s[1].start, 10);
+  EXPECT_EQ(s[1].end, 40);
+  EXPECT_FALSE(s[0].cancelled);
+}
+
+TEST(Simulator, RejectsJobWiderThanMachine) {
+  const auto w = test::make_workload({make_job(0, 9, 10)});
+  EXPECT_THROW(test::run(fcfs(), w, 8), std::invalid_argument);
+}
+
+TEST(Simulator, QueuesWhenMachineBusy) {
+  const auto w = test::make_workload({
+      make_job(0, 8, 100),
+      make_job(1, 8, 50),
+  });
+  const Schedule s = test::run(fcfs(), w, 8);
+  EXPECT_EQ(s[0].start, 0);
+  EXPECT_EQ(s[1].start, 100);
+  EXPECT_EQ(s[1].end, 150);
+}
+
+TEST(Simulator, ParallelJobsShareMachine) {
+  const auto w = test::make_workload({
+      make_job(0, 3, 100),
+      make_job(0, 5, 100),
+  });
+  const Schedule s = test::run(fcfs(), w, 8);
+  EXPECT_EQ(s[0].start, 0);
+  EXPECT_EQ(s[1].start, 0);
+}
+
+TEST(Simulator, CancelsJobAtItsLimit) {
+  const auto w = test::make_workload({make_job(0, 1, 100, 60)});
+  const Schedule s = test::run(fcfs(), w, 8);
+  EXPECT_TRUE(s[0].cancelled);
+  EXPECT_EQ(s[0].end, 60);
+}
+
+TEST(Simulator, SchedulerSeesScrubbedRuntime) {
+  // A scheduler that tries to exploit job.runtime would see 0. We verify
+  // via a probe scheduler.
+  class Probe final : public Scheduler {
+   public:
+    std::string name() const override { return "probe"; }
+    void reset(const Machine&) override {}
+    void on_submit(const Job& job, Time) override {
+      saw_runtime = job.runtime;
+      pending.push_back(job.id);
+    }
+    void on_complete(JobId, Time) override {}
+    std::vector<JobId> select_starts(Time, int) override {
+      auto out = pending;
+      pending.clear();
+      return out;
+    }
+    std::size_t queue_length() const override { return pending.size(); }
+    Duration saw_runtime = -1;
+    std::vector<JobId> pending;
+  };
+
+  const auto w = test::make_workload({make_job(0, 1, 77, 100)});
+  Machine m;
+  m.nodes = 4;
+  Probe probe;
+  const Schedule s = simulate(m, probe, w);
+  EXPECT_EQ(probe.saw_runtime, 0);
+  EXPECT_EQ(s[0].end - s[0].start, 77);  // ground truth still applies
+}
+
+TEST(Simulator, ThrowsWhenSchedulerOversubscribes) {
+  class Bad final : public Scheduler {
+   public:
+    std::string name() const override { return "bad"; }
+    void reset(const Machine&) override {}
+    void on_submit(const Job& job, Time) override { pending.push_back(job.id); }
+    void on_complete(JobId, Time) override {}
+    std::vector<JobId> select_starts(Time, int) override {
+      auto out = pending;
+      pending.clear();
+      return out;  // starts everything regardless of capacity
+    }
+    std::size_t queue_length() const override { return pending.size(); }
+    std::vector<JobId> pending;
+  };
+
+  const auto w = test::make_workload({make_job(0, 5, 10), make_job(0, 5, 10)});
+  Machine m;
+  m.nodes = 8;
+  Bad bad;
+  EXPECT_THROW(simulate(m, bad, w), std::logic_error);
+}
+
+TEST(Simulator, ThrowsWhenSchedulerStarvesJobs) {
+  class Lazy final : public Scheduler {
+   public:
+    std::string name() const override { return "lazy"; }
+    void reset(const Machine&) override {}
+    void on_submit(const Job&, Time) override { ++queued; }
+    void on_complete(JobId, Time) override {}
+    std::vector<JobId> select_starts(Time, int) override { return {}; }
+    std::size_t queue_length() const override { return queued; }
+    std::size_t queued = 0;
+  };
+
+  const auto w = test::make_workload({make_job(0, 1, 10)});
+  Machine m;
+  m.nodes = 8;
+  Lazy lazy;
+  EXPECT_THROW(simulate(m, lazy, w), std::logic_error);
+}
+
+TEST(Simulator, ThrowsWhenSchedulerStartsTwice) {
+  class Doubler final : public Scheduler {
+   public:
+    std::string name() const override { return "doubler"; }
+    void reset(const Machine&) override {}
+    void on_submit(const Job& job, Time) override { id = job.id; }
+    void on_complete(JobId, Time) override {}
+    std::vector<JobId> select_starts(Time, int) override {
+      if (fired > 1) return {};
+      ++fired;
+      return {id};
+    }
+    std::size_t queue_length() const override { return 0; }
+    JobId id = 0;
+    int fired = 0;
+  };
+
+  const auto w = test::make_workload({make_job(0, 1, 10)});
+  Machine m;
+  m.nodes = 8;
+  Doubler d;
+  EXPECT_THROW(simulate(m, d, w), std::logic_error);
+}
+
+TEST(Simulator, MeasuresSchedulerCpuWhenAsked) {
+  const auto w = test::small_mixed_workload();
+  Machine m;
+  m.nodes = 16;
+  auto sched = core::make_scheduler(fcfs());
+  SimOptions opt;
+  opt.measure_scheduler_cpu = true;
+  const Schedule s = simulate(m, *sched, w, opt);
+  EXPECT_GE(s.scheduler_cpu_seconds, 0.0);
+  EXPECT_LT(s.scheduler_cpu_seconds, 5.0);
+}
+
+TEST(Simulator, TracksMaxQueueLength) {
+  const auto w = test::make_workload({
+      make_job(0, 8, 1000),
+      make_job(1, 8, 10),
+      make_job(2, 8, 10),
+      make_job(3, 8, 10),
+  });
+  const Schedule s = test::run(fcfs(), w, 8);
+  EXPECT_EQ(s.max_queue_length, 3u);
+}
+
+TEST(Simulator, SimultaneousArrivalsKeepSubmissionOrder) {
+  const auto w = test::make_workload({
+      make_job(0, 8, 100),  // id 0
+      make_job(0, 8, 100),  // id 1
+  });
+  const Schedule s = test::run(fcfs(), w, 8);
+  EXPECT_LT(s[0].start, s[1].start);
+}
+
+TEST(Simulator, EmptyWorkloadYieldsEmptySchedule) {
+  workload::Workload w;
+  w.finalize();
+  Machine m;
+  m.nodes = 8;
+  auto sched = core::make_scheduler(fcfs());
+  const Schedule s = simulate(m, *sched, w);
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.makespan(), 0);
+}
+
+}  // namespace
+}  // namespace jsched::sim

@@ -1,0 +1,195 @@
+#include "core/smart.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "test_support.h"
+
+namespace jsched::core {
+namespace {
+
+using test::make_job;
+
+JobStore store_with(std::vector<Job> jobs) {
+  JobStore s;
+  JobId id = 0;
+  for (Job j : jobs) {
+    j.id = id++;
+    s.put(j);
+  }
+  return s;
+}
+
+std::vector<JobId> ids(std::size_t n) {
+  std::vector<JobId> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<JobId>(i);
+  return v;
+}
+
+SmartParams ffia() { return {}; }
+SmartParams nfiw() {
+  SmartParams p;
+  p.variant = SmartVariant::kNfiw;
+  return p;
+}
+
+TEST(SmartPlan, PermutationOfInput) {
+  JobStore store = store_with({
+      make_job(0, 1, 0, 10), make_job(0, 4, 0, 100), make_job(0, 8, 0, 3),
+      make_job(0, 2, 0, 50), make_job(0, 16, 0, 1000),
+  });
+  for (const auto& params : {ffia(), nfiw()}) {
+    auto order = smart_plan(ids(5), store, 16, params);
+    std::sort(order.begin(), order.end());
+    EXPECT_EQ(order, ids(5));
+  }
+}
+
+TEST(SmartPlan, EmptyInput) {
+  JobStore store;
+  EXPECT_TRUE(smart_plan({}, store, 16, ffia()).empty());
+}
+
+TEST(SmartPlan, ShortJobsScheduledBeforeLongOnes) {
+  // Equal widths and unit weights: shelf Smith ratio = count / max_time,
+  // so the bin of short jobs wins. Job 0 is 8x longer than job 1.
+  JobStore store = store_with({
+      make_job(0, 4, 0, 800),
+      make_job(0, 4, 0, 100),
+  });
+  const auto order = smart_plan(ids(2), store, 16, ffia());
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 0u);
+}
+
+TEST(SmartPlan, JobsInSameBinShareShelfUpToCapacity) {
+  // Three 8-node jobs with near-equal times on a 16-node machine: two fit
+  // one shelf, the third opens a new shelf. The two-job shelf has the
+  // larger weight sum (unit weights) and goes first.
+  JobStore store = store_with({
+      make_job(0, 8, 0, 60),
+      make_job(0, 8, 0, 61),
+      make_job(0, 8, 0, 62),
+  });
+  const auto order = smart_plan(ids(3), store, 16, ffia());
+  ASSERT_EQ(order.size(), 3u);
+  // FFIA sorts by area ascending: 60, 61 fill shelf 1; 62 overflows.
+  EXPECT_EQ(order[2], 2u);
+}
+
+TEST(SmartPlan, FfiaConsidersAllShelvesOfBin) {
+  // Shelf 1: jobs of width 10+4 = 14/16; a later width-2 job still fits
+  // shelf 1 under FFIA (first fit over all shelves) even though shelf 2
+  // exists by then.
+  JobStore store = store_with({
+      make_job(0, 10, 0, 100),  // area 1000
+      make_job(0, 12, 0, 100),  // area 1200 -> opens shelf 2
+      make_job(0, 4, 0, 101),   // area 404
+      make_job(0, 2, 0, 127),   // area 254
+  });
+  // FFIA order by area: 3 (254), 2 (404), 0 (1000), 1 (1200).
+  // shelf1: 3 (2), 2 (+4 = 6), 0 (+10 = 16 full); shelf2: 1.
+  const auto order = smart_plan(ids(4), store, 16, ffia());
+  ASSERT_EQ(order.size(), 4u);
+  // Shelf 1 has weight 3 / max_time 127; shelf 2 weight 1 / 100.
+  EXPECT_EQ(order[3], 1u);
+  // Shelf 1 members keep insertion (area) order.
+  EXPECT_EQ(order[0], 3u);
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 0u);
+}
+
+TEST(SmartPlan, NfiwOnlyConsidersCurrentShelf) {
+  // NFIW (unit weights) sorts by nodes ascending: 2, 4, 10, 12.
+  // shelf1: 2+4+10 = 16 full; 12 opens shelf2 and becomes current; nothing
+  // returns to shelf1.
+  JobStore store = store_with({
+      make_job(0, 10, 0, 100),
+      make_job(0, 12, 0, 100),
+      make_job(0, 4, 0, 101),
+      make_job(0, 2, 0, 127),
+  });
+  const auto order = smart_plan(ids(4), store, 16, nfiw());
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 3u);
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 0u);
+  EXPECT_EQ(order[3], 1u);
+}
+
+TEST(SmartPlan, BinsSeparateByGeometricExecutionTime) {
+  // gamma = 2: times 1, 2, 4 land in bins 0, 1, 2 (]0,1], ]1,2], ]2,4]).
+  JobStore store = store_with({
+      make_job(0, 1, 0, 1),
+      make_job(0, 1, 0, 2),
+      make_job(0, 1, 0, 4),
+      make_job(0, 1, 0, 3),  // also bin 2 (]2,4])
+  });
+  const auto order = smart_plan(ids(4), store, 16, ffia());
+  // Shelf ratios: bin0 1/1=1, bin1 1/2, bin2 2/4 — bin0 first, then the
+  // two-job bin-2 shelf ties bin1 at 0.5; stable tie-break by bin index.
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 0u);
+  EXPECT_EQ(order[1], 1u);
+}
+
+TEST(SmartPlan, WeightedVariantPrefersHeavyShelves) {
+  // Two jobs, same execution time (same bin), too wide to share a shelf.
+  // Unit weights: tie broken by creation order (area ascending -> the
+  // narrow job's shelf first). Area weights: the wide job's shelf has
+  // weight 12*100 vs 4*100 and must come first.
+  JobStore store = store_with({
+      make_job(0, 4, 0, 100),
+      make_job(0, 12, 0, 100),
+  });
+  SmartParams unit = ffia();
+  const auto u = smart_plan(ids(2), store, 15, unit);
+  EXPECT_EQ(u[0], 0u);
+
+  SmartParams area = ffia();
+  area.weight = WeightKind::kEstimatedArea;
+  const auto a = smart_plan(ids(2), store, 15, area);
+  EXPECT_EQ(a[0], 1u);
+}
+
+TEST(SmartPlan, GammaValidation) {
+  JobStore store = store_with({make_job(0, 1, 0, 10)});
+  SmartParams p = ffia();
+  p.gamma = 1.0;
+  EXPECT_THROW(smart_plan(ids(1), store, 16, p), std::invalid_argument);
+  EXPECT_THROW(smart_plan(ids(1), store, 0, ffia()), std::invalid_argument);
+}
+
+TEST(SmartPlan, GammaControlsBinning) {
+  // With a huge gamma all jobs share one bin; NFIW then packs by width
+  // regardless of execution time.
+  JobStore store = store_with({
+      make_job(0, 8, 0, 10),
+      make_job(0, 8, 0, 10000),
+  });
+  SmartParams p = nfiw();
+  p.gamma = 1e9;
+  const auto order = smart_plan(ids(2), store, 16, p);
+  // Single shelf: both jobs start concurrently, so one shelf holds both.
+  ASSERT_EQ(order.size(), 2u);
+}
+
+TEST(SmartOrder, OnlineAdaptationProducesValidSchedules) {
+  AlgorithmSpec spec;
+  spec.order = OrderKind::kSmartFfia;
+  const auto s = test::run(spec, test::small_mixed_workload(), 16);
+  EXPECT_GT(s.makespan(), 0);
+}
+
+TEST(SmartOrder, NameReflectsVariant) {
+  SmartOrder f{ffia()};
+  SmartOrder n{nfiw()};
+  EXPECT_EQ(f.name(), "SMART-FFIA");
+  EXPECT_EQ(n.name(), "SMART-NFIW");
+}
+
+}  // namespace
+}  // namespace jsched::core

@@ -1,0 +1,104 @@
+#include "workload/swf.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_support.h"
+
+namespace jsched::workload {
+namespace {
+
+// One valid SWF record: job 1, submit 100, wait 5, run 600, alloc 4, ...
+// req_procs 4, req_time 1200, user 12.
+constexpr const char* kRecord =
+    "1 100 5 600 4 -1 -1 4 1200 -1 1 12 -1 -1 -1 -1 -1 -1\n";
+
+TEST(SwfReader, ParsesBasicRecord) {
+  std::istringstream in(std::string("; header comment\n") + kRecord);
+  SwfReadStats stats;
+  const Workload w = read_swf(in, "t", &stats);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(stats.comments, 1u);
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(w[0].submit, 0);  // origin-shifted
+  EXPECT_EQ(w[0].nodes, 4);
+  EXPECT_EQ(w[0].runtime, 600);
+  EXPECT_EQ(w[0].estimate, 1200);
+  EXPECT_EQ(w[0].user, 12);
+}
+
+TEST(SwfReader, SkipsUnusableRecords) {
+  std::istringstream in(
+      "1 100 5 -1 4 -1 -1 4 1200 -1 1 12 -1 -1 -1 -1 -1 -1\n"  // no runtime
+      "2 100 5 600 -1 -1 -1 -1 1200 -1 1 12 -1 -1 -1 -1 -1 -1\n"  // no procs
+      + std::string(kRecord));
+  SwfReadStats stats;
+  const Workload w = read_swf(in, "t", &stats);
+  EXPECT_EQ(stats.skipped_invalid, 2u);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(SwfReader, ClampsOverrunEstimates) {
+  // Runtime 600 but requested time only 300: job overran and should be
+  // modelled as running to (a raised) limit.
+  std::istringstream in("1 0 0 600 2 -1 -1 2 300 -1 1 1 -1 -1 -1 -1 -1 -1\n");
+  SwfReadStats stats;
+  const Workload w = read_swf(in, "t", &stats);
+  EXPECT_EQ(stats.clamped_estimate, 1u);
+  EXPECT_EQ(w[0].estimate, 600);
+}
+
+TEST(SwfReader, FallsBackToAllocatedProcs) {
+  std::istringstream in("1 0 0 600 8 -1 -1 -1 900 -1 1 1 -1 -1 -1 -1 -1 -1\n");
+  const Workload w = read_swf(in);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0].nodes, 8);
+}
+
+TEST(SwfReader, MissingRequestedTimeUsesRuntime) {
+  std::istringstream in("1 0 0 600 2 -1 -1 2 -1 -1 1 1 -1 -1 -1 -1 -1 -1\n");
+  const Workload w = read_swf(in);
+  EXPECT_EQ(w[0].estimate, 600);
+}
+
+TEST(SwfReader, ThrowsOnMalformedLine) {
+  std::istringstream in("garbage line\n");
+  EXPECT_THROW(read_swf(in), std::runtime_error);
+}
+
+TEST(SwfReader, ShortRecordThrows) {
+  std::istringstream in("1 2 3\n");
+  EXPECT_THROW(read_swf(in), std::runtime_error);
+}
+
+TEST(SwfReader, EmptyStreamYieldsEmptyWorkload) {
+  std::istringstream in("; only comments\n\n");
+  const Workload w = read_swf(in);
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(SwfRoundTrip, WriteThenReadPreservesJobs) {
+  const Workload original = test::make_workload({
+      test::make_job(0, 4, 100, 200),
+      test::make_job(50, 16, 3600, 7200),
+      test::make_job(700, 1, 1, 1),
+  });
+  std::stringstream buf;
+  write_swf(buf, original);
+  const Workload reread = read_swf(buf, "roundtrip");
+  ASSERT_EQ(reread.size(), original.size());
+  for (JobId i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(reread[i].submit, original[i].submit);
+    EXPECT_EQ(reread[i].nodes, original[i].nodes);
+    EXPECT_EQ(reread[i].runtime, original[i].runtime);
+    EXPECT_EQ(reread[i].estimate, original[i].estimate);
+  }
+}
+
+TEST(SwfFile, MissingFileThrows) {
+  EXPECT_THROW(read_swf_file("/nonexistent/path.swf"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace jsched::workload

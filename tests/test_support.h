@@ -1,0 +1,28 @@
+// Shared fixtures and builders for the test suite.
+#pragma once
+
+#include <vector>
+
+#include "core/factory.h"
+#include "sim/machine.h"
+#include "sim/schedule.h"
+#include "sim/simulator.h"
+#include "workload/workload.h"
+
+namespace jsched::test {
+
+/// Shorthand job builder (id assigned by Workload::finalize).
+Job make_job(Time submit, int nodes, Duration runtime, Duration estimate = 0);
+
+/// Build a finalized workload from jobs (estimates default to runtimes).
+workload::Workload make_workload(std::vector<Job> jobs);
+
+/// Simulate `spec` over `w` on an `nodes`-wide machine with validation on.
+sim::Schedule run(const core::AlgorithmSpec& spec, const workload::Workload& w,
+                  int nodes = 16);
+
+/// A small mixed workload exercising queueing, backfilling holes and
+/// over-estimation; deterministic.
+workload::Workload small_mixed_workload();
+
+}  // namespace jsched::test

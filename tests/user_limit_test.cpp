@@ -1,0 +1,109 @@
+#include "policy/user_limit.h"
+
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "sim/simulator.h"
+#include "test_support.h"
+
+namespace jsched::policy {
+namespace {
+
+using test::make_job;
+
+sim::Schedule run_limited(const workload::Workload& w, int limit,
+                          int nodes = 16) {
+  sim::Machine m;
+  m.nodes = nodes;
+  UserLimitScheduler sched(core::make_scheduler(core::AlgorithmSpec{}), limit);
+  return sim::simulate(m, sched, w);
+}
+
+workload::Workload user_burst() {
+  // One user submits four 1-node jobs at once; plenty of free nodes.
+  std::vector<Job> jobs;
+  for (int i = 0; i < 4; ++i) {
+    Job j = make_job(0, 1, 100);
+    j.user = 7;
+    jobs.push_back(j);
+  }
+  return test::make_workload(std::move(jobs));
+}
+
+TEST(UserLimit, CapsConcurrentJobsPerUser) {
+  const auto s = run_limited(user_burst(), 2);
+  // Jobs 0,1 run immediately; 2,3 only after a completion each.
+  EXPECT_EQ(s[0].start, 0);
+  EXPECT_EQ(s[1].start, 0);
+  EXPECT_EQ(s[2].start, 100);
+  EXPECT_EQ(s[3].start, 100);
+}
+
+TEST(UserLimit, LimitOneSerializes) {
+  const auto s = run_limited(user_burst(), 1);
+  for (JobId i = 0; i < 4; ++i) {
+    EXPECT_EQ(s[i].start, static_cast<Time>(100 * i));
+  }
+}
+
+TEST(UserLimit, DifferentUsersUnaffected) {
+  std::vector<Job> jobs;
+  for (int u = 0; u < 4; ++u) {
+    Job j = make_job(0, 1, 100);
+    j.user = u;
+    jobs.push_back(j);
+  }
+  const auto s = run_limited(test::make_workload(std::move(jobs)), 1);
+  for (JobId i = 0; i < 4; ++i) EXPECT_EQ(s[i].start, 0);
+}
+
+TEST(UserLimit, HeldJobsAdmittedInSubmissionOrder) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 3; ++i) {
+    Job j = make_job(i, 1, 50);
+    j.user = 1;
+    jobs.push_back(j);
+  }
+  const auto s = run_limited(test::make_workload(std::move(jobs)), 1);
+  EXPECT_LT(s[0].start, s[1].start);
+  EXPECT_LT(s[1].start, s[2].start);
+}
+
+TEST(UserLimit, WrapsAnyScheduler) {
+  core::AlgorithmSpec spec;
+  spec.dispatch = core::DispatchKind::kEasy;
+  sim::Machine m;
+  m.nodes = 16;
+  UserLimitScheduler sched(core::make_scheduler(spec), 2);
+  const auto s = sim::simulate(m, sched, test::small_mixed_workload());
+  EXPECT_EQ(s.size(), test::small_mixed_workload().size());
+  EXPECT_NE(sched.name().find("EASY"), std::string::npos);
+  EXPECT_NE(sched.name().find("limit2"), std::string::npos);
+}
+
+TEST(UserLimit, QueueLengthIncludesHeldJobs) {
+  sim::Machine m;
+  m.nodes = 16;
+  UserLimitScheduler sched(core::make_scheduler(core::AlgorithmSpec{}), 1);
+  sched.reset(m);
+  Job a = make_job(0, 1, 100);
+  a.id = 0;
+  a.user = 3;
+  Job b = make_job(0, 1, 100);
+  b.id = 1;
+  b.user = 3;
+  sched.on_submit(a, 0);
+  sched.on_submit(b, 0);
+  EXPECT_EQ(sched.held_count(), 1u);
+  EXPECT_EQ(sched.queue_length(), 2u);
+}
+
+TEST(UserLimit, RejectsBadConstruction) {
+  EXPECT_THROW(UserLimitScheduler(nullptr, 2), std::invalid_argument);
+  EXPECT_THROW(
+      UserLimitScheduler(core::make_scheduler(core::AlgorithmSpec{}), 0),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jsched::policy

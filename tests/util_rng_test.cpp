@@ -1,0 +1,204 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace jsched::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-5.0, 3.0);
+    EXPECT_GE(u, -5.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(3);
+  std::array<int, 5> seen{};
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(10, 14);
+    ASSERT_GE(v, 10);
+    ASSERT_LE(v, 14);
+    ++seen[static_cast<std::size_t>(v - 10)];
+  }
+  for (int c : seen) EXPECT_GT(c, 800);  // roughly uniform
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-7, -3);
+    EXPECT_GE(v, -7);
+    EXPECT_LE(v, -3);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(0.25);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, WeibullShapeOneIsExponential) {
+  // Weibull(k=1, lambda) == Exponential(rate 1/lambda): compare means.
+  Rng rng(17);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.weibull(1.0, 3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, WeibullMeanMatchesGammaFormula) {
+  Rng rng(19);
+  const double shape = 0.65, scale = 263.0;
+  double sum = 0;
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) sum += rng.weibull(shape, scale);
+  const double expected = scale * std::tgamma(1.0 + 1.0 / shape);
+  EXPECT_NEAR(sum / n / expected, 1.0, 0.03);
+}
+
+TEST(Rng, LogUniformWithinBounds) {
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.log_uniform(2.0, 2000.0);
+    EXPECT_GE(v, 2.0 * (1 - 1e-12));
+    EXPECT_LE(v, 2000.0 * (1 + 1e-12));
+  }
+}
+
+TEST(Rng, LogUniformMedianIsGeometricMean) {
+  Rng rng(29);
+  std::vector<double> v;
+  for (int i = 0; i < 50001; ++i) v.push_back(rng.log_uniform(1.0, 10000.0));
+  std::nth_element(v.begin(), v.begin() + 25000, v.end());
+  EXPECT_NEAR(v[25000], 100.0, 8.0);  // sqrt(1 * 10000)
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(31);
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sq / n - mean * mean), 2.0, 0.05);
+}
+
+TEST(Rng, DiscretePicksOnlyPositiveWeights) {
+  Rng rng(37);
+  const std::vector<double> w = {0.0, 3.0, 0.0, 1.0};
+  for (int i = 0; i < 5000; ++i) {
+    const auto idx = rng.discrete(w);
+    EXPECT_TRUE(idx == 1 || idx == 3);
+  }
+}
+
+TEST(Rng, DiscreteProportions) {
+  Rng rng(41);
+  const std::vector<double> w = {1.0, 3.0};
+  int ones = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ones += rng.discrete(w) == 1;
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.02);
+}
+
+TEST(Rng, SplitStreamsAreIndependentlySeeded) {
+  Rng parent(99);
+  Rng a = parent.split();
+  Rng b = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng p1(123), p2(123);
+  Rng c1 = p1.split();
+  Rng c2 = p2.split();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(c1.next_u64(), c2.next_u64());
+}
+
+TEST(DiscreteCdf, ProbabilitiesNormalize) {
+  const std::vector<double> w = {2.0, 6.0, 2.0};
+  DiscreteCdf cdf(w);
+  EXPECT_EQ(cdf.size(), 3u);
+  EXPECT_NEAR(cdf.probability(0), 0.2, 1e-12);
+  EXPECT_NEAR(cdf.probability(1), 0.6, 1e-12);
+  EXPECT_NEAR(cdf.probability(2), 0.2, 1e-12);
+}
+
+TEST(DiscreteCdf, SamplingMatchesWeights) {
+  const std::vector<double> w = {1.0, 0.0, 9.0};
+  DiscreteCdf cdf(w);
+  Rng rng(43);
+  std::array<int, 3> count{};
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++count[cdf.sample(rng)];
+  EXPECT_EQ(count[1], 0);
+  EXPECT_NEAR(static_cast<double>(count[2]) / n, 0.9, 0.01);
+}
+
+TEST(DiscreteCdf, SingleCategory) {
+  DiscreteCdf cdf(std::vector<double>{5.0});
+  Rng rng(47);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(cdf.sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace jsched::util

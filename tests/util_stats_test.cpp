@@ -1,0 +1,161 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace jsched::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic population-variance example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats all, a, b;
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-3, 7);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Quantile, NearestRank) {
+  const std::vector<double> v = {9, 1, 7, 3, 5};
+  EXPECT_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_EQ(quantile(v, 0.5), 5.0);
+  EXPECT_EQ(quantile(v, 1.0), 9.0);
+}
+
+TEST(Quantile, RejectsBadInput) {
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+  const std::vector<double> v = {1.0};
+  EXPECT_THROW(quantile(v, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile(v, 1.1), std::invalid_argument);
+}
+
+TEST(Histogram, BinAssignment) {
+  Histogram h({10.0, 100.0, 1000.0});
+  EXPECT_EQ(h.bin_of(5.0), 0u);
+  EXPECT_EQ(h.bin_of(10.0), 0u);    // bounds are inclusive upper edges
+  EXPECT_EQ(h.bin_of(10.5), 1u);
+  EXPECT_EQ(h.bin_of(100.0), 1u);
+  EXPECT_EQ(h.bin_of(999.0), 2u);
+  EXPECT_EQ(h.bin_of(99999.0), 2u);  // overflow clamps to last bin
+}
+
+TEST(Histogram, CountsAndTotal) {
+  Histogram h({1.0, 2.0});
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.7);
+  h.add(50.0);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(0), 1u);
+  // 1.5, 1.7 land in bin 1; 50.0 clamps into the last bin (also 1).
+  EXPECT_EQ(h.count(1), 3u);
+  EXPECT_EQ(h.bin_of(50.0), 1u);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Histogram, WeightsMatchCounts) {
+  Histogram h({1.0, 2.0, 3.0});
+  h.add(0.5);
+  h.add(2.5);
+  h.add(2.6);
+  const auto w = h.weights();
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_EQ(w[0], 1.0);
+  EXPECT_EQ(w[1], 0.0);
+  EXPECT_EQ(w[2], 2.0);
+}
+
+TEST(GeometricBounds, PowersOfTwo) {
+  const auto b = geometric_bounds(1.0, 2.0, 5);
+  ASSERT_EQ(b.size(), 5u);
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[4], 16.0);
+}
+
+TEST(FitWeibull, RecoverParameters) {
+  Rng rng(2024);
+  std::vector<double> samples;
+  const double shape = 0.8, scale = 120.0;
+  for (int i = 0; i < 200000; ++i) samples.push_back(rng.weibull(shape, scale));
+  const WeibullFit fit = fit_weibull(samples);
+  EXPECT_NEAR(fit.shape / shape, 1.0, 0.05);
+  EXPECT_NEAR(fit.scale / scale, 1.0, 0.05);
+}
+
+TEST(FitWeibull, RejectsDegenerateInput) {
+  EXPECT_THROW(fit_weibull(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(fit_weibull(std::vector<double>{1.0}), std::invalid_argument);
+  // Non-positive samples are filtered; if fewer than 2 remain it throws.
+  EXPECT_THROW(fit_weibull(std::vector<double>{-1.0, 0.0, 5.0}),
+               std::invalid_argument);
+}
+
+TEST(FitWeibull, IgnoresNonPositive) {
+  Rng rng(7);
+  std::vector<double> samples = {-5.0, 0.0};
+  for (int i = 0; i < 100000; ++i) samples.push_back(rng.weibull(1.0, 10.0));
+  const WeibullFit fit = fit_weibull(samples);
+  EXPECT_NEAR(fit.shape, 1.0, 0.05);
+  EXPECT_NEAR(fit.scale, 10.0, 0.5);
+}
+
+}  // namespace
+}  // namespace jsched::util

@@ -1,0 +1,72 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace jsched::util {
+namespace {
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RejectsRowWidthMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(Table, AsciiContainsAllCells) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1.5"});
+  t.add_row({"beta", "-2%"});
+  const std::string out = t.to_ascii();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-2%"), std::string::npos);
+}
+
+TEST(Table, TitleRendered) {
+  Table t({"x"});
+  t.set_title("Table 3");
+  EXPECT_EQ(t.to_ascii().rfind("Table 3", 0), 0u);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"a", "b"});
+  t.add_row({"has,comma", "has\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CsvRowsAndHeader) {
+  Table t({"h1", "h2"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "h1,h2\n1,2\n");
+}
+
+TEST(Sci, PaperStyle) {
+  EXPECT_EQ(sci(4.91e6), "4.91E+06");
+  EXPECT_EQ(sci(1.43e11), "1.43E+11");
+  EXPECT_EQ(sci(0.0), "0.00E+00");
+}
+
+TEST(Pct, MatchesPaperFormatting) {
+  EXPECT_EQ(pct(3.95e5, 3.95e5), "0%");
+  EXPECT_EQ(pct(6.70e5, 3.95e5), "+69.6%");
+  EXPECT_EQ(pct(1.02e5, 3.95e5), "-74.2%");
+}
+
+TEST(Pct, ZeroReference) { EXPECT_EQ(pct(1.0, 0.0), "n/a"); }
+
+TEST(Pct, TinyDifferenceIsZero) { EXPECT_EQ(pct(100.0001, 100.0), "0%"); }
+
+TEST(Fixed, Decimals) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace jsched::util

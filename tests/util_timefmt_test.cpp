@@ -1,0 +1,38 @@
+#include "util/timefmt.h"
+
+#include <gtest/gtest.h>
+
+namespace jsched::util {
+namespace {
+
+TEST(FormatDuration, SubDay) {
+  EXPECT_EQ(format_duration(0), "00:00:00");
+  EXPECT_EQ(format_duration(61), "00:01:01");
+  EXPECT_EQ(format_duration(3 * kHour + 14 * kMinute + 7), "03:14:07");
+}
+
+TEST(FormatDuration, WithDays) {
+  EXPECT_EQ(format_duration(2 * kDay + 3 * kHour), "2d 03:00:00");
+}
+
+TEST(FormatDuration, Negative) {
+  EXPECT_EQ(format_duration(-61), "-00:01:01");
+}
+
+TEST(FormatTime, UnixEpoch) {
+  EXPECT_EQ(format_time(0, 0), "1970-01-01 00:00:00");
+}
+
+TEST(FormatTime, KnownTimestamp) {
+  // 1996-07-01 00:00:00 UTC = 836179200 (start of the CTC trace window).
+  EXPECT_EQ(format_time(0, 836179200), "1996-07-01 00:00:00");
+  EXPECT_EQ(format_time(90061, 836179200), "1996-07-02 01:01:01");
+}
+
+TEST(FormatTime, LeapDay) {
+  // 1996-02-29 00:00:00 UTC = 825552000.
+  EXPECT_EQ(format_time(0, 825552000), "1996-02-29 00:00:00");
+}
+
+}  // namespace
+}  // namespace jsched::util

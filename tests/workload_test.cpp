@@ -1,0 +1,161 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "test_support.h"
+#include "workload/transforms.h"
+
+namespace jsched::workload {
+namespace {
+
+using test::make_job;
+
+TEST(Workload, FinalizeSortsAndShiftsOrigin) {
+  Workload w;
+  w.add(make_job(100, 1, 10));
+  w.add(make_job(50, 2, 20));
+  w.add(make_job(75, 3, 30));
+  w.finalize();
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_EQ(w[0].submit, 0);
+  EXPECT_EQ(w[0].nodes, 2);
+  EXPECT_EQ(w[1].submit, 25);
+  EXPECT_EQ(w[2].submit, 50);
+  for (JobId i = 0; i < w.size(); ++i) EXPECT_EQ(w[i].id, i);
+}
+
+TEST(Workload, FinalizeIsStableForTies) {
+  Workload w;
+  Job a = make_job(10, 1, 1);
+  a.user = 1;
+  Job b = make_job(10, 1, 1);
+  b.user = 2;
+  w.add(a);
+  w.add(b);
+  w.finalize();
+  EXPECT_EQ(w[0].user, 1);
+  EXPECT_EQ(w[1].user, 2);
+}
+
+TEST(Workload, ValidateRejectsZeroNodes) {
+  Workload w;
+  w.add(make_job(0, 0, 10));
+  EXPECT_THROW(w.finalize(), std::invalid_argument);
+}
+
+TEST(Workload, ValidateRejectsZeroRuntime) {
+  Workload w;
+  w.add(make_job(0, 1, 0));
+  EXPECT_THROW(w.finalize(), std::invalid_argument);
+}
+
+TEST(Workload, AllowsRuntimeAboveEstimate) {
+  // Rule 2: such a job is admitted and cancelled at its limit by the
+  // simulator, so the container must accept it.
+  Workload w;
+  w.add(make_job(0, 1, 100, 50));
+  EXPECT_NO_THROW(w.finalize());
+}
+
+TEST(Workload, MaxNodesAndSpan) {
+  const Workload w = test::make_workload(
+      {make_job(0, 4, 10), make_job(500, 7, 10), make_job(200, 2, 10)});
+  EXPECT_EQ(w.max_nodes(), 7);
+  EXPECT_EQ(w.span(), 500);
+}
+
+TEST(Workload, TotalArea) {
+  const Workload w =
+      test::make_workload({make_job(0, 4, 10), make_job(0, 2, 100)});
+  EXPECT_DOUBLE_EQ(w.total_area(), 4 * 10 + 2 * 100);
+}
+
+TEST(Workload, EmptyWorkloadProperties) {
+  Workload w;
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(w.max_nodes(), 0);
+  EXPECT_EQ(w.span(), 0);
+  EXPECT_EQ(w.total_area(), 0.0);
+}
+
+TEST(JobModel, AreaUsesActualRuntime) {
+  const Job j = make_job(0, 8, 100, 400);
+  EXPECT_DOUBLE_EQ(j.area(), 800.0);
+  EXPECT_DOUBLE_EQ(j.estimated_area(), 3200.0);
+}
+
+TEST(Summarize, BasicStatistics) {
+  const Workload w = test::make_workload(
+      {make_job(0, 2, 10, 20), make_job(100, 4, 30, 30), make_job(300, 6, 50, 100)});
+  const WorkloadSummary s = summarize(w);
+  EXPECT_EQ(s.job_count, 3u);
+  EXPECT_EQ(s.span, 300);
+  EXPECT_DOUBLE_EQ(s.interarrival.mean(), 150.0);
+  EXPECT_DOUBLE_EQ(s.nodes.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.runtime.mean(), 30.0);
+  EXPECT_DOUBLE_EQ(s.total_area, 2 * 10 + 4 * 30 + 6 * 50);
+}
+
+TEST(Summarize, OfferedLoad) {
+  // 2 nodes x 100 s of work arriving over 100 s on a 2-node machine: load 1.
+  const Workload w =
+      test::make_workload({make_job(0, 2, 50), make_job(100, 2, 50)});
+  const WorkloadSummary s = summarize(w);
+  EXPECT_DOUBLE_EQ(s.offered_load(2), 1.0);
+  EXPECT_DOUBLE_EQ(s.offered_load(4), 0.5);
+}
+
+TEST(Summarize, DescribeMentionsKeyFields) {
+  const Workload w =
+      test::make_workload({make_job(0, 2, 50), make_job(100, 2, 50)});
+  const std::string d = describe(summarize(w));
+  EXPECT_NE(d.find("jobs"), std::string::npos);
+  EXPECT_NE(d.find("span"), std::string::npos);
+  EXPECT_NE(d.find("total area"), std::string::npos);
+}
+
+TEST(Transforms, TrimToMachineDropsWideJobs) {
+  const Workload w = test::make_workload(
+      {make_job(0, 300, 10), make_job(10, 256, 10), make_job(20, 1, 10)});
+  std::size_t dropped = 0;
+  const Workload trimmed = trim_to_machine(w, 256, &dropped);
+  EXPECT_EQ(dropped, 1u);
+  ASSERT_EQ(trimmed.size(), 2u);
+  EXPECT_EQ(trimmed.max_nodes(), 256);
+  // Ids are re-densified.
+  EXPECT_EQ(trimmed[0].id, 0u);
+  EXPECT_EQ(trimmed[1].id, 1u);
+}
+
+TEST(Transforms, TrimRejectsBadMachine) {
+  const Workload w = test::make_workload({make_job(0, 1, 10)});
+  EXPECT_THROW(trim_to_machine(w, 0), std::invalid_argument);
+}
+
+TEST(Transforms, WithExactEstimates) {
+  const Workload w = test::make_workload({make_job(0, 2, 10, 500)});
+  const Workload exact = with_exact_estimates(w);
+  EXPECT_EQ(exact[0].estimate, 10);
+  EXPECT_EQ(exact[0].runtime, 10);
+}
+
+TEST(Transforms, TakePrefix) {
+  const Workload w = test::make_workload(
+      {make_job(0, 1, 10), make_job(10, 1, 10), make_job(20, 1, 10)});
+  const Workload p = take_prefix(w, 2);
+  EXPECT_EQ(p.size(), 2u);
+  const Workload all = take_prefix(w, 99);
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(Transforms, ScaleEstimates) {
+  const Workload w = test::make_workload({make_job(0, 2, 10, 20)});
+  const Workload scaled = scale_estimates(w, 3.0);
+  EXPECT_EQ(scaled[0].estimate, 60);
+  EXPECT_THROW(scale_estimates(w, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jsched::workload
