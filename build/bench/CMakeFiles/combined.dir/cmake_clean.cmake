@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/combined.dir/combined.cpp.o"
+  "CMakeFiles/combined.dir/combined.cpp.o.d"
+  "combined"
+  "combined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

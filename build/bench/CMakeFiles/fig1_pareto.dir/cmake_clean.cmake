@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_pareto.dir/fig1_pareto.cpp.o"
+  "CMakeFiles/fig1_pareto.dir/fig1_pareto.cpp.o.d"
+  "fig1_pareto"
+  "fig1_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libjsched_bench_common.a"
+  "../lib/libjsched_bench_common.pdb"
+  "CMakeFiles/jsched_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/jsched_bench_common.dir/bench_common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsched_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

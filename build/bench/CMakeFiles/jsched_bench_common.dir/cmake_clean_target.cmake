@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libjsched_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_ctc.dir/table3_ctc.cpp.o"
+  "CMakeFiles/table3_ctc.dir/table3_ctc.cpp.o.d"
+  "table3_ctc"
+  "table3_ctc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_ctc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

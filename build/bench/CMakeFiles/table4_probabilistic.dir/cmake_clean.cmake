@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_probabilistic.dir/table4_probabilistic.cpp.o"
+  "CMakeFiles/table4_probabilistic.dir/table4_probabilistic.cpp.o.d"
+  "table4_probabilistic"
+  "table4_probabilistic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_probabilistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_randomized.dir/table5_randomized.cpp.o"
+  "CMakeFiles/table5_randomized.dir/table5_randomized.cpp.o.d"
+  "table5_randomized"
+  "table5_randomized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_randomized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table6_exact.cpp" "bench/CMakeFiles/table6_exact.dir/table6_exact.cpp.o" "gcc" "bench/CMakeFiles/table6_exact.dir/table6_exact.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/jsched_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/jsched_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/jsched_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/jsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/jsched_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/jsched_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

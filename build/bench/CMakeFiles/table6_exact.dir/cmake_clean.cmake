@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_exact.dir/table6_exact.cpp.o"
+  "CMakeFiles/table6_exact.dir/table6_exact.cpp.o.d"
+  "table6_exact"
+  "table6_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

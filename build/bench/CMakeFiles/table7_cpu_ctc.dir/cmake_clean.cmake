@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_cpu_ctc.dir/table7_cpu_ctc.cpp.o"
+  "CMakeFiles/table7_cpu_ctc.dir/table7_cpu_ctc.cpp.o.d"
+  "table7_cpu_ctc"
+  "table7_cpu_ctc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_cpu_ctc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_cpu_prob.dir/table8_cpu_prob.cpp.o"
+  "CMakeFiles/table8_cpu_prob.dir/table8_cpu_prob.cpp.o.d"
+  "table8_cpu_prob"
+  "table8_cpu_prob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_cpu_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/institution_b.dir/institution_b.cpp.o"
+  "CMakeFiles/institution_b.dir/institution_b.cpp.o.d"
+  "institution_b"
+  "institution_b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/institution_b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

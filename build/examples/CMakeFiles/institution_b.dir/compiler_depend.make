@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for institution_b.
+# This may be replaced when dependencies are built.

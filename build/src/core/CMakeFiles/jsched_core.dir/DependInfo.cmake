@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/conservative_backfill.cpp" "src/core/CMakeFiles/jsched_core.dir/conservative_backfill.cpp.o" "gcc" "src/core/CMakeFiles/jsched_core.dir/conservative_backfill.cpp.o.d"
+  "/root/repo/src/core/dispatch.cpp" "src/core/CMakeFiles/jsched_core.dir/dispatch.cpp.o" "gcc" "src/core/CMakeFiles/jsched_core.dir/dispatch.cpp.o.d"
+  "/root/repo/src/core/drain_window.cpp" "src/core/CMakeFiles/jsched_core.dir/drain_window.cpp.o" "gcc" "src/core/CMakeFiles/jsched_core.dir/drain_window.cpp.o.d"
+  "/root/repo/src/core/easy_backfill.cpp" "src/core/CMakeFiles/jsched_core.dir/easy_backfill.cpp.o" "gcc" "src/core/CMakeFiles/jsched_core.dir/easy_backfill.cpp.o.d"
+  "/root/repo/src/core/factory.cpp" "src/core/CMakeFiles/jsched_core.dir/factory.cpp.o" "gcc" "src/core/CMakeFiles/jsched_core.dir/factory.cpp.o.d"
+  "/root/repo/src/core/list_scheduler.cpp" "src/core/CMakeFiles/jsched_core.dir/list_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/jsched_core.dir/list_scheduler.cpp.o.d"
+  "/root/repo/src/core/ordering.cpp" "src/core/CMakeFiles/jsched_core.dir/ordering.cpp.o" "gcc" "src/core/CMakeFiles/jsched_core.dir/ordering.cpp.o.d"
+  "/root/repo/src/core/phased_scheduler.cpp" "src/core/CMakeFiles/jsched_core.dir/phased_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/jsched_core.dir/phased_scheduler.cpp.o.d"
+  "/root/repo/src/core/psrs.cpp" "src/core/CMakeFiles/jsched_core.dir/psrs.cpp.o" "gcc" "src/core/CMakeFiles/jsched_core.dir/psrs.cpp.o.d"
+  "/root/repo/src/core/smart.cpp" "src/core/CMakeFiles/jsched_core.dir/smart.cpp.o" "gcc" "src/core/CMakeFiles/jsched_core.dir/smart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/jsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/jsched_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsched_core.dir/conservative_backfill.cpp.o"
+  "CMakeFiles/jsched_core.dir/conservative_backfill.cpp.o.d"
+  "CMakeFiles/jsched_core.dir/dispatch.cpp.o"
+  "CMakeFiles/jsched_core.dir/dispatch.cpp.o.d"
+  "CMakeFiles/jsched_core.dir/drain_window.cpp.o"
+  "CMakeFiles/jsched_core.dir/drain_window.cpp.o.d"
+  "CMakeFiles/jsched_core.dir/easy_backfill.cpp.o"
+  "CMakeFiles/jsched_core.dir/easy_backfill.cpp.o.d"
+  "CMakeFiles/jsched_core.dir/factory.cpp.o"
+  "CMakeFiles/jsched_core.dir/factory.cpp.o.d"
+  "CMakeFiles/jsched_core.dir/list_scheduler.cpp.o"
+  "CMakeFiles/jsched_core.dir/list_scheduler.cpp.o.d"
+  "CMakeFiles/jsched_core.dir/ordering.cpp.o"
+  "CMakeFiles/jsched_core.dir/ordering.cpp.o.d"
+  "CMakeFiles/jsched_core.dir/phased_scheduler.cpp.o"
+  "CMakeFiles/jsched_core.dir/phased_scheduler.cpp.o.d"
+  "CMakeFiles/jsched_core.dir/psrs.cpp.o"
+  "CMakeFiles/jsched_core.dir/psrs.cpp.o.d"
+  "CMakeFiles/jsched_core.dir/smart.cpp.o"
+  "CMakeFiles/jsched_core.dir/smart.cpp.o.d"
+  "libjsched_core.a"
+  "libjsched_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsched_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

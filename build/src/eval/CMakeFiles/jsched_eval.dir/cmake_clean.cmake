@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsched_eval.dir/experiment.cpp.o"
+  "CMakeFiles/jsched_eval.dir/experiment.cpp.o.d"
+  "CMakeFiles/jsched_eval.dir/replication.cpp.o"
+  "CMakeFiles/jsched_eval.dir/replication.cpp.o.d"
+  "CMakeFiles/jsched_eval.dir/reporting.cpp.o"
+  "CMakeFiles/jsched_eval.dir/reporting.cpp.o.d"
+  "libjsched_eval.a"
+  "libjsched_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsched_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

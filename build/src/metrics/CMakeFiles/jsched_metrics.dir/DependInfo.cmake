@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/bounds.cpp" "src/metrics/CMakeFiles/jsched_metrics.dir/bounds.cpp.o" "gcc" "src/metrics/CMakeFiles/jsched_metrics.dir/bounds.cpp.o.d"
+  "/root/repo/src/metrics/objectives.cpp" "src/metrics/CMakeFiles/jsched_metrics.dir/objectives.cpp.o" "gcc" "src/metrics/CMakeFiles/jsched_metrics.dir/objectives.cpp.o.d"
+  "/root/repo/src/metrics/pareto.cpp" "src/metrics/CMakeFiles/jsched_metrics.dir/pareto.cpp.o" "gcc" "src/metrics/CMakeFiles/jsched_metrics.dir/pareto.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/jsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/jsched_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsched_metrics.dir/bounds.cpp.o"
+  "CMakeFiles/jsched_metrics.dir/bounds.cpp.o.d"
+  "CMakeFiles/jsched_metrics.dir/objectives.cpp.o"
+  "CMakeFiles/jsched_metrics.dir/objectives.cpp.o.d"
+  "CMakeFiles/jsched_metrics.dir/pareto.cpp.o"
+  "CMakeFiles/jsched_metrics.dir/pareto.cpp.o.d"
+  "libjsched_metrics.a"
+  "libjsched_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsched_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

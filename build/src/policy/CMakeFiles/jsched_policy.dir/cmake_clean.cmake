@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsched_policy.dir/policy.cpp.o"
+  "CMakeFiles/jsched_policy.dir/policy.cpp.o.d"
+  "CMakeFiles/jsched_policy.dir/user_limit.cpp.o"
+  "CMakeFiles/jsched_policy.dir/user_limit.cpp.o.d"
+  "libjsched_policy.a"
+  "libjsched_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsched_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsched_sim.dir/profile.cpp.o"
+  "CMakeFiles/jsched_sim.dir/profile.cpp.o.d"
+  "CMakeFiles/jsched_sim.dir/schedule.cpp.o"
+  "CMakeFiles/jsched_sim.dir/schedule.cpp.o.d"
+  "CMakeFiles/jsched_sim.dir/simulator.cpp.o"
+  "CMakeFiles/jsched_sim.dir/simulator.cpp.o.d"
+  "libjsched_sim.a"
+  "libjsched_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsched_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsched_util.dir/env.cpp.o"
+  "CMakeFiles/jsched_util.dir/env.cpp.o.d"
+  "CMakeFiles/jsched_util.dir/rng.cpp.o"
+  "CMakeFiles/jsched_util.dir/rng.cpp.o.d"
+  "CMakeFiles/jsched_util.dir/stats.cpp.o"
+  "CMakeFiles/jsched_util.dir/stats.cpp.o.d"
+  "CMakeFiles/jsched_util.dir/table.cpp.o"
+  "CMakeFiles/jsched_util.dir/table.cpp.o.d"
+  "CMakeFiles/jsched_util.dir/timefmt.cpp.o"
+  "CMakeFiles/jsched_util.dir/timefmt.cpp.o.d"
+  "libjsched_util.a"
+  "libjsched_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsched_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

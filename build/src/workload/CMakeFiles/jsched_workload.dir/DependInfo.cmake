@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/ctc_model.cpp" "src/workload/CMakeFiles/jsched_workload.dir/ctc_model.cpp.o" "gcc" "src/workload/CMakeFiles/jsched_workload.dir/ctc_model.cpp.o.d"
+  "/root/repo/src/workload/random_model.cpp" "src/workload/CMakeFiles/jsched_workload.dir/random_model.cpp.o" "gcc" "src/workload/CMakeFiles/jsched_workload.dir/random_model.cpp.o.d"
+  "/root/repo/src/workload/stats_model.cpp" "src/workload/CMakeFiles/jsched_workload.dir/stats_model.cpp.o" "gcc" "src/workload/CMakeFiles/jsched_workload.dir/stats_model.cpp.o.d"
+  "/root/repo/src/workload/swf.cpp" "src/workload/CMakeFiles/jsched_workload.dir/swf.cpp.o" "gcc" "src/workload/CMakeFiles/jsched_workload.dir/swf.cpp.o.d"
+  "/root/repo/src/workload/transforms.cpp" "src/workload/CMakeFiles/jsched_workload.dir/transforms.cpp.o" "gcc" "src/workload/CMakeFiles/jsched_workload.dir/transforms.cpp.o.d"
+  "/root/repo/src/workload/workload.cpp" "src/workload/CMakeFiles/jsched_workload.dir/workload.cpp.o" "gcc" "src/workload/CMakeFiles/jsched_workload.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/jsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsched_workload.dir/ctc_model.cpp.o"
+  "CMakeFiles/jsched_workload.dir/ctc_model.cpp.o.d"
+  "CMakeFiles/jsched_workload.dir/random_model.cpp.o"
+  "CMakeFiles/jsched_workload.dir/random_model.cpp.o.d"
+  "CMakeFiles/jsched_workload.dir/stats_model.cpp.o"
+  "CMakeFiles/jsched_workload.dir/stats_model.cpp.o.d"
+  "CMakeFiles/jsched_workload.dir/swf.cpp.o"
+  "CMakeFiles/jsched_workload.dir/swf.cpp.o.d"
+  "CMakeFiles/jsched_workload.dir/transforms.cpp.o"
+  "CMakeFiles/jsched_workload.dir/transforms.cpp.o.d"
+  "CMakeFiles/jsched_workload.dir/workload.cpp.o"
+  "CMakeFiles/jsched_workload.dir/workload.cpp.o.d"
+  "libjsched_workload.a"
+  "libjsched_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsched_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

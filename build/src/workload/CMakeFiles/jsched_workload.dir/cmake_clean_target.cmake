@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjsched_workload.a"
+)

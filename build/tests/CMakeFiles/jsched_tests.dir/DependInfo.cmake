@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/backlog_test.cpp" "tests/CMakeFiles/jsched_tests.dir/backlog_test.cpp.o" "gcc" "tests/CMakeFiles/jsched_tests.dir/backlog_test.cpp.o.d"
+  "/root/repo/tests/bounds_test.cpp" "tests/CMakeFiles/jsched_tests.dir/bounds_test.cpp.o" "gcc" "tests/CMakeFiles/jsched_tests.dir/bounds_test.cpp.o.d"
+  "/root/repo/tests/conservative_backfill_test.cpp" "tests/CMakeFiles/jsched_tests.dir/conservative_backfill_test.cpp.o" "gcc" "tests/CMakeFiles/jsched_tests.dir/conservative_backfill_test.cpp.o.d"
+  "/root/repo/tests/dispatch_test.cpp" "tests/CMakeFiles/jsched_tests.dir/dispatch_test.cpp.o" "gcc" "tests/CMakeFiles/jsched_tests.dir/dispatch_test.cpp.o.d"
+  "/root/repo/tests/drain_window_test.cpp" "tests/CMakeFiles/jsched_tests.dir/drain_window_test.cpp.o" "gcc" "tests/CMakeFiles/jsched_tests.dir/drain_window_test.cpp.o.d"
+  "/root/repo/tests/easy_backfill_test.cpp" "tests/CMakeFiles/jsched_tests.dir/easy_backfill_test.cpp.o" "gcc" "tests/CMakeFiles/jsched_tests.dir/easy_backfill_test.cpp.o.d"
+  "/root/repo/tests/eval_test.cpp" "tests/CMakeFiles/jsched_tests.dir/eval_test.cpp.o" "gcc" "tests/CMakeFiles/jsched_tests.dir/eval_test.cpp.o.d"
+  "/root/repo/tests/factory_test.cpp" "tests/CMakeFiles/jsched_tests.dir/factory_test.cpp.o" "gcc" "tests/CMakeFiles/jsched_tests.dir/factory_test.cpp.o.d"
+  "/root/repo/tests/generators_test.cpp" "tests/CMakeFiles/jsched_tests.dir/generators_test.cpp.o" "gcc" "tests/CMakeFiles/jsched_tests.dir/generators_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/jsched_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/jsched_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/objectives_test.cpp" "tests/CMakeFiles/jsched_tests.dir/objectives_test.cpp.o" "gcc" "tests/CMakeFiles/jsched_tests.dir/objectives_test.cpp.o.d"
+  "/root/repo/tests/ordering_test.cpp" "tests/CMakeFiles/jsched_tests.dir/ordering_test.cpp.o" "gcc" "tests/CMakeFiles/jsched_tests.dir/ordering_test.cpp.o.d"
+  "/root/repo/tests/pareto_test.cpp" "tests/CMakeFiles/jsched_tests.dir/pareto_test.cpp.o" "gcc" "tests/CMakeFiles/jsched_tests.dir/pareto_test.cpp.o.d"
+  "/root/repo/tests/phased_scheduler_test.cpp" "tests/CMakeFiles/jsched_tests.dir/phased_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/jsched_tests.dir/phased_scheduler_test.cpp.o.d"
+  "/root/repo/tests/policy_test.cpp" "tests/CMakeFiles/jsched_tests.dir/policy_test.cpp.o" "gcc" "tests/CMakeFiles/jsched_tests.dir/policy_test.cpp.o.d"
+  "/root/repo/tests/profile_test.cpp" "tests/CMakeFiles/jsched_tests.dir/profile_test.cpp.o" "gcc" "tests/CMakeFiles/jsched_tests.dir/profile_test.cpp.o.d"
+  "/root/repo/tests/properties_test.cpp" "tests/CMakeFiles/jsched_tests.dir/properties_test.cpp.o" "gcc" "tests/CMakeFiles/jsched_tests.dir/properties_test.cpp.o.d"
+  "/root/repo/tests/psrs_test.cpp" "tests/CMakeFiles/jsched_tests.dir/psrs_test.cpp.o" "gcc" "tests/CMakeFiles/jsched_tests.dir/psrs_test.cpp.o.d"
+  "/root/repo/tests/replication_test.cpp" "tests/CMakeFiles/jsched_tests.dir/replication_test.cpp.o" "gcc" "tests/CMakeFiles/jsched_tests.dir/replication_test.cpp.o.d"
+  "/root/repo/tests/schedule_test.cpp" "tests/CMakeFiles/jsched_tests.dir/schedule_test.cpp.o" "gcc" "tests/CMakeFiles/jsched_tests.dir/schedule_test.cpp.o.d"
+  "/root/repo/tests/simulator_test.cpp" "tests/CMakeFiles/jsched_tests.dir/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/jsched_tests.dir/simulator_test.cpp.o.d"
+  "/root/repo/tests/smart_test.cpp" "tests/CMakeFiles/jsched_tests.dir/smart_test.cpp.o" "gcc" "tests/CMakeFiles/jsched_tests.dir/smart_test.cpp.o.d"
+  "/root/repo/tests/swf_test.cpp" "tests/CMakeFiles/jsched_tests.dir/swf_test.cpp.o" "gcc" "tests/CMakeFiles/jsched_tests.dir/swf_test.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/jsched_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/jsched_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/user_limit_test.cpp" "tests/CMakeFiles/jsched_tests.dir/user_limit_test.cpp.o" "gcc" "tests/CMakeFiles/jsched_tests.dir/user_limit_test.cpp.o.d"
+  "/root/repo/tests/util_env_test.cpp" "tests/CMakeFiles/jsched_tests.dir/util_env_test.cpp.o" "gcc" "tests/CMakeFiles/jsched_tests.dir/util_env_test.cpp.o.d"
+  "/root/repo/tests/util_rng_test.cpp" "tests/CMakeFiles/jsched_tests.dir/util_rng_test.cpp.o" "gcc" "tests/CMakeFiles/jsched_tests.dir/util_rng_test.cpp.o.d"
+  "/root/repo/tests/util_stats_test.cpp" "tests/CMakeFiles/jsched_tests.dir/util_stats_test.cpp.o" "gcc" "tests/CMakeFiles/jsched_tests.dir/util_stats_test.cpp.o.d"
+  "/root/repo/tests/util_table_test.cpp" "tests/CMakeFiles/jsched_tests.dir/util_table_test.cpp.o" "gcc" "tests/CMakeFiles/jsched_tests.dir/util_table_test.cpp.o.d"
+  "/root/repo/tests/util_timefmt_test.cpp" "tests/CMakeFiles/jsched_tests.dir/util_timefmt_test.cpp.o" "gcc" "tests/CMakeFiles/jsched_tests.dir/util_timefmt_test.cpp.o.d"
+  "/root/repo/tests/workload_test.cpp" "tests/CMakeFiles/jsched_tests.dir/workload_test.cpp.o" "gcc" "tests/CMakeFiles/jsched_tests.dir/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/policy/CMakeFiles/jsched_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/jsched_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/jsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/jsched_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/jsched_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
