@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "util/env.h"
+#include "util/thread_pool.h"
 #include "workload/ctc_model.h"
 #include "workload/transforms.h"
 
@@ -21,6 +22,8 @@ BenchConfig config_from_env() {
       util::env_int("JSCHED_SEED", static_cast<std::int64_t>(cfg.seed)));
   cfg.machine_nodes =
       static_cast<int>(util::env_int("JSCHED_MACHINE", cfg.machine_nodes));
+  cfg.threads = static_cast<std::size_t>(
+      util::env_int("JSCHED_THREADS", static_cast<std::int64_t>(cfg.threads)));
   return cfg;
 }
 
@@ -65,16 +68,21 @@ std::vector<eval::RunResult> run_grid_verbose(const sim::Machine& m,
                                               bool measure_cpu) {
   eval::ExperimentOptions opt;
   opt.measure_cpu = measure_cpu;
+  opt.threads = static_cast<std::size_t>(util::env_int("JSCHED_THREADS", 1));
   opt.on_run = [&](const std::string& name) {
     std::fprintf(stderr, "  [%s] %s ...\n", core::to_string(weight),
                  name.c_str());
   };
+  const std::size_t effective = opt.threads == 0
+                                    ? util::ThreadPool::hardware_threads()
+                                    : opt.threads;
   const auto t0 = std::chrono::steady_clock::now();
   auto results = eval::run_grid(m, weight, w, opt);
   const auto dt = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - t0)
                       .count();
-  std::fprintf(stderr, "  grid done in %.1fs\n", dt);
+  std::fprintf(stderr, "  grid done in %.1fs (%zu thread%s)\n", dt, effective,
+               effective == 1 ? "" : "s");
   return results;
 }
 

@@ -7,6 +7,9 @@
 //   JSCHED_JOBS        cap applied to EVERY workload     (default: off)
 //   JSCHED_SEED        master seed                       (default 19990412)
 //   JSCHED_MACHINE     batch partition size              (default 256)
+//   JSCHED_THREADS     worker threads for grid sweeps    (default 1;
+//                      0 = one per hardware thread; any value yields
+//                      results identical to the serial run)
 #pragma once
 
 #include <cstdint>
@@ -26,6 +29,7 @@ struct BenchConfig {
   std::size_t cap = 0;              // 0 = no cap
   std::uint64_t seed = 19'990'412;
   int machine_nodes = 256;          // Institution B's batch partition
+  std::size_t threads = 1;          // 0 = hardware concurrency
 };
 
 BenchConfig config_from_env();
@@ -43,7 +47,8 @@ workload::Workload capped(workload::Workload w, const BenchConfig& cfg);
 void print_workload(const workload::Workload& w, const BenchConfig& cfg);
 
 /// Run the 13-configuration grid for one objective, with progress dots on
-/// stderr, and return the results.
+/// stderr, and return the results. Honors JSCHED_THREADS (the results are
+/// identical to a serial run; only the wall clock changes).
 std::vector<eval::RunResult> run_grid_verbose(const sim::Machine& m,
                                               core::WeightKind weight,
                                               const workload::Workload& w,

@@ -17,6 +17,7 @@
 #include "metrics/objectives.h"
 #include "sim/simulator.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 using namespace jsched;
 
@@ -58,33 +59,46 @@ int main() {
                  "overall AWRT"});
   t.set_title("phase-split objectives (Rule 5: day ART / Rule 6: night AWRT)");
 
-  std::vector<std::pair<std::string, PhaseMetrics>> rows;
-  auto run = [&](const std::string& label,
-                 std::unique_ptr<sim::Scheduler> sched) {
-    std::fprintf(stderr, "  %s ...\n", label.c_str());
-    const auto schedule = sim::simulate(machine, *sched, w);
-    const auto pm = evaluate(schedule, w, window);
-    rows.emplace_back(label, pm);
-    t.add_row({label, util::sci(pm.day_art), util::sci(pm.night_awrt),
-               util::sci(pm.overall_art), util::sci(pm.overall_awrt)});
-  };
-
-  // The two pure winners and the reference.
+  // The two pure winners, the reference, and the phased combination. Each
+  // contender owns its scheduler instance, so the four simulations are
+  // independent and run on JSCHED_THREADS workers.
+  std::vector<std::pair<std::string, std::unique_ptr<sim::Scheduler>>>
+      contenders;
   core::AlgorithmSpec smart_easy;
   smart_easy.order = core::OrderKind::kSmartFfia;
   smart_easy.dispatch = core::DispatchKind::kEasy;
-  run("SMART-FFIA+EASY (pure)", core::make_scheduler(smart_easy));
+  contenders.emplace_back("SMART-FFIA+EASY (pure)",
+                          core::make_scheduler(smart_easy));
 
   core::AlgorithmSpec gg;
   gg.dispatch = core::DispatchKind::kFirstFit;
-  run("Garey&Graham (pure)", core::make_scheduler(gg));
+  contenders.emplace_back("Garey&Graham (pure)", core::make_scheduler(gg));
 
   core::AlgorithmSpec fcfs_easy;
   fcfs_easy.dispatch = core::DispatchKind::kEasy;
-  run("FCFS+EASY (reference)", core::make_scheduler(fcfs_easy));
+  contenders.emplace_back("FCFS+EASY (reference)",
+                          core::make_scheduler(fcfs_easy));
 
-  run("combined day[SMART+EASY]/night[G&G]",
-      core::make_institution_b_combined());
+  contenders.emplace_back("combined day[SMART+EASY]/night[G&G]",
+                          core::make_institution_b_combined());
+
+  std::vector<PhaseMetrics> metrics_by_contender(contenders.size());
+  util::parallel_for_each(
+      contenders.size(), cfg.threads, [&](std::size_t i) {
+        std::fprintf(stderr, "  %s ...\n", contenders[i].first.c_str());
+        const auto schedule =
+            sim::simulate(machine, *contenders[i].second, w);
+        metrics_by_contender[i] = evaluate(schedule, w, window);
+      });
+
+  std::vector<std::pair<std::string, PhaseMetrics>> rows;
+  for (std::size_t i = 0; i < contenders.size(); ++i) {
+    const auto& pm = metrics_by_contender[i];
+    rows.emplace_back(contenders[i].first, pm);
+    t.add_row({contenders[i].first, util::sci(pm.day_art),
+               util::sci(pm.night_awrt), util::sci(pm.overall_art),
+               util::sci(pm.overall_awrt)});
+  }
 
   std::printf("%s\n", t.to_ascii().c_str());
 

@@ -1,11 +1,35 @@
 #include "eval/experiment.h"
 
+#include <mutex>
 #include <stdexcept>
 
+#include "eval/internal.h"
 #include "metrics/objectives.h"
 #include "sim/simulator.h"
+#include "util/thread_pool.h"
 
 namespace jsched::eval {
+
+namespace detail {
+
+std::size_t resolved_threads(const ExperimentOptions& options) {
+  return options.threads == 0 ? util::ThreadPool::hardware_threads()
+                              : options.threads;
+}
+
+ExperimentOptions with_serialized_on_run(const ExperimentOptions& options,
+                                         std::mutex& mu) {
+  ExperimentOptions per_task = options;
+  if (options.on_run) {
+    per_task.on_run = [&options, &mu](const std::string& name) {
+      std::lock_guard<std::mutex> lock(mu);
+      options.on_run(name);
+    };
+  }
+  return per_task;
+}
+
+}  // namespace detail
 
 RunResult run_one(const sim::Machine& machine, const core::AlgorithmSpec& spec,
                   const workload::Workload& workload,
@@ -37,10 +61,25 @@ std::vector<RunResult> run_grid(const sim::Machine& machine,
                                 core::WeightKind weight,
                                 const workload::Workload& workload,
                                 const ExperimentOptions& options) {
-  std::vector<RunResult> out;
-  for (const core::AlgorithmSpec& spec : core::paper_grid(weight)) {
-    out.push_back(run_one(machine, spec, workload, options));
+  const std::vector<core::AlgorithmSpec> specs = core::paper_grid(weight);
+  const std::size_t threads = detail::resolved_threads(options);
+  if (threads <= 1) {
+    std::vector<RunResult> out;
+    for (const core::AlgorithmSpec& spec : specs) {
+      out.push_back(run_one(machine, spec, workload, options));
+    }
+    return out;
   }
+  // Each task builds its own scheduler and simulates independently; slot i
+  // of the output is written only by task i, so results land in paper_grid
+  // order no matter which configuration finishes first.
+  std::vector<RunResult> out(specs.size());
+  std::mutex on_run_mu;
+  const ExperimentOptions per_task =
+      detail::with_serialized_on_run(options, on_run_mu);
+  util::parallel_for_each(specs.size(), threads, [&](std::size_t i) {
+    out[i] = run_one(machine, specs[i], workload, per_task);
+  });
   return out;
 }
 

@@ -36,8 +36,16 @@ struct RunResult {
 struct ExperimentOptions {
   bool measure_cpu = true;
   bool validate = true;
+  /// Worker threads for run_grid / run_replicated sweeps. 1 = fully serial
+  /// (today's behavior, bit-for-bit); 0 = one per hardware thread. Results
+  /// are aggregated in task-index order regardless of completion order, so
+  /// any thread count returns identical RunResult vectors — per-run
+  /// scheduler CPU time stays exact because the simulator measures with
+  /// the thread CPU clock.
+  std::size_t threads = 1;
   /// Called before each run with the algorithm display name (progress
-  /// reporting in long benches); may be empty.
+  /// reporting in long benches); may be empty. With threads > 1 the
+  /// callback is serialized by a mutex but fires in completion order.
   std::function<void(const std::string&)> on_run;
 };
 
@@ -47,6 +55,8 @@ RunResult run_one(const sim::Machine& machine, const core::AlgorithmSpec& spec,
                   const ExperimentOptions& options = {});
 
 /// Simulate the paper's full grid (13 configurations) for one objective.
+/// Runs configurations on `options.threads` workers; the returned vector
+/// is always in paper_grid order and identical for any thread count.
 std::vector<RunResult> run_grid(const sim::Machine& machine,
                                 core::WeightKind weight,
                                 const workload::Workload& workload,

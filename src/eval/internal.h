@@ -1,0 +1,20 @@
+// Internal helpers shared by the eval translation units; not installed.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+
+#include "eval/experiment.h"
+
+namespace jsched::eval::detail {
+
+/// options.threads with 0 resolved to the hardware thread count.
+std::size_t resolved_threads(const ExperimentOptions& options);
+
+/// Copy of `options` whose on_run (if any) is wrapped in `mu` so worker
+/// threads never interleave progress output. `options` and `mu` must
+/// outlive the copy.
+ExperimentOptions with_serialized_on_run(const ExperimentOptions& options,
+                                         std::mutex& mu);
+
+}  // namespace jsched::eval::detail

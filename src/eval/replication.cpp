@@ -1,9 +1,54 @@
 #include "eval/replication.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "eval/internal.h"
+#include "util/thread_pool.h"
 
 namespace jsched::eval {
+
+namespace {
+
+/// Replicate job counts may differ by this relative factor before the run
+/// is rejected. A generator + trim_to_machine pipeline legitimately drops
+/// a seed-dependent handful of too-wide jobs (a fraction of a percent);
+/// counts further apart than this mean the seeds are not drawing from one
+/// workload model and the replicate statistics would be meaningless.
+constexpr double kMaxJobCountSpread = 1.05;
+
+/// Fold per-seed results into the replicate aggregate in seed order — the
+/// same add() sequence as a serial loop, so parallel and serial runs
+/// produce bit-for-bit identical statistics. Throws if the workload
+/// generator produced wildly different job counts for different seeds: a
+/// size mismatch is the cheap tell of a buggy generator.
+ReplicatedResult aggregate(const core::AlgorithmSpec& spec,
+                           std::span<const std::uint64_t> seeds,
+                           const std::vector<RunResult>& runs) {
+  ReplicatedResult out;
+  out.spec = spec;
+  out.scheduler_name = runs.front().scheduler_name;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto lo = std::min(runs[i].jobs, runs.front().jobs);
+    const auto hi = std::max(runs[i].jobs, runs.front().jobs);
+    if (static_cast<double>(hi) > kMaxJobCountSpread * static_cast<double>(lo)) {
+      throw std::runtime_error(
+          "run_replicated: make_workload returned " +
+          std::to_string(runs.front().jobs) + " jobs for seed " +
+          std::to_string(seeds[0]) + " but " + std::to_string(runs[i].jobs) +
+          " for seed " + std::to_string(seeds[i]) +
+          "; replicates must draw from one workload model");
+    }
+    out.art.add(runs[i].art);
+    out.awrt.add(runs[i].awrt);
+    out.utilization.add(runs[i].utilization);
+  }
+  return out;
+}
+
+}  // namespace
 
 ReplicatedResult run_replicated(
     const sim::Machine& machine, const core::AlgorithmSpec& spec,
@@ -12,17 +57,23 @@ ReplicatedResult run_replicated(
   if (seeds.empty()) {
     throw std::invalid_argument("run_replicated: no seeds");
   }
-  ReplicatedResult out;
-  out.spec = spec;
-  for (std::uint64_t seed : seeds) {
-    const workload::Workload w = make_workload(seed);
-    const RunResult r = run_one(machine, spec, w, options);
-    out.scheduler_name = r.scheduler_name;
-    out.art.add(r.art);
-    out.awrt.add(r.awrt);
-    out.utilization.add(r.utilization);
+  const std::size_t threads = detail::resolved_threads(options);
+  std::vector<RunResult> runs(seeds.size());
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      const workload::Workload w = make_workload(seeds[i]);
+      runs[i] = run_one(machine, spec, w, options);
+    }
+  } else {
+    std::mutex on_run_mu;
+    const ExperimentOptions per_task =
+        detail::with_serialized_on_run(options, on_run_mu);
+    util::parallel_for_each(seeds.size(), threads, [&](std::size_t i) {
+      const workload::Workload w = make_workload(seeds[i]);
+      runs[i] = run_one(machine, spec, w, per_task);
+    });
   }
-  return out;
+  return aggregate(spec, seeds, runs);
 }
 
 bool robustly_better_art(const ReplicatedResult& a, const ReplicatedResult& b,
@@ -30,10 +81,14 @@ bool robustly_better_art(const ReplicatedResult& a, const ReplicatedResult& b,
   if (a.art.count() < 2 || b.art.count() < 2) {
     throw std::invalid_argument("robustly_better_art: need >= 2 replicates");
   }
+  // Standard errors use the unbiased n-1 sample stddev: the replicates are
+  // a sample from the workload model, and the population formula (divide
+  // by n) understates the spread — badly so for the small replicate counts
+  // typical here, declaring significance the data does not support.
   const double se_a =
-      a.art.stddev() / std::sqrt(static_cast<double>(a.art.count()));
+      a.art.sample_stddev() / std::sqrt(static_cast<double>(a.art.count()));
   const double se_b =
-      b.art.stddev() / std::sqrt(static_cast<double>(b.art.count()));
+      b.art.sample_stddev() / std::sqrt(static_cast<double>(b.art.count()));
   const double pooled = std::sqrt(se_a * se_a + se_b * se_b);
   return a.art.mean() + z * pooled < b.art.mean();
 }

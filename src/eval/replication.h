@@ -35,7 +35,13 @@ struct ReplicatedResult {
 };
 
 /// Run `spec` once per seed; `make_workload` maps a seed to a workload
-/// (typically a generator + trim pipeline).
+/// (typically a generator + trim pipeline) and must be safe to call from
+/// several threads when `options.threads > 1`. Replicates are aggregated
+/// in seed order whatever the thread count, so parallel and serial runs
+/// report identical statistics. Throws std::runtime_error if the
+/// generator returns wildly different job counts (> 5% apart) for
+/// different seeds — the tell of a buggy generator; the small spread a
+/// trim_to_machine pipeline produces is allowed.
 ReplicatedResult run_replicated(
     const sim::Machine& machine, const core::AlgorithmSpec& spec,
     const std::function<workload::Workload(std::uint64_t)>& make_workload,
@@ -43,6 +49,7 @@ ReplicatedResult run_replicated(
 
 /// True when `a` beats `b` on the mean ART by more than `z` pooled
 /// standard errors — the "is this ranking robust?" question of §2.3.
+/// Standard errors are built from the unbiased (n-1) sample stddev.
 bool robustly_better_art(const ReplicatedResult& a, const ReplicatedResult& b,
                          double z = 2.0);
 

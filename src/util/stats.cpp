@@ -43,6 +43,14 @@ double RunningStats::variance() const noexcept {
 
 double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
 
+double RunningStats::sample_variance() const noexcept {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::sample_stddev() const noexcept {
+  return std::sqrt(sample_variance());
+}
+
 double quantile(std::span<const double> values, double q) {
   if (values.empty()) throw std::invalid_argument("quantile of empty sample");
   if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile q out of [0,1]");

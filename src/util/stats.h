@@ -17,9 +17,19 @@ class RunningStats {
 
   std::size_t count() const noexcept { return n_; }
   double mean() const noexcept { return n_ ? mean_ : 0.0; }
-  /// Population variance; 0 for fewer than two samples.
+  /// Population variance (divide by n); 0 for fewer than two samples.
+  /// This is the descriptive second moment of the data seen so far — the
+  /// right quantity when the added values ARE the whole population of
+  /// interest (e.g. fit_weibull's method-of-moments over a full trace).
   double variance() const noexcept;
   double stddev() const noexcept;
+  /// Unbiased sample variance (divide by n-1); 0 for fewer than two
+  /// samples. Use this when the added values are replicates drawn from a
+  /// larger population and the goal is a standard error — with few
+  /// replicates the population formula understates the spread and makes
+  /// confidence intervals too narrow (eval::robustly_better_art).
+  double sample_variance() const noexcept;
+  double sample_stddev() const noexcept;
   double sum() const noexcept { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
   double min() const noexcept { return min_; }
   double max() const noexcept { return max_; }

@@ -1,0 +1,100 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace jsched::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t count = std::max<std::size_t>(threads, 1);
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  has_task_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  has_task_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      has_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for_each(std::size_t n,
+                                   const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // One puller per worker; each drains indices from a shared counter so a
+  // long task on one thread never blocks the remaining indices.
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  auto first_error = std::make_shared<std::exception_ptr>();
+  auto error_mu = std::make_shared<std::mutex>();
+  const std::size_t pullers = std::min(size(), n);
+  for (std::size_t p = 0; p < pullers; ++p) {
+    submit([n, &fn, next, first_error, error_mu] {
+      for (std::size_t i = (*next)++; i < n; i = (*next)++) {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(*error_mu);
+          if (!*first_error) *first_error = std::current_exception();
+        }
+      }
+    });
+  }
+  wait();
+  if (*first_error) std::rethrow_exception(*first_error);
+}
+
+std::size_t ThreadPool::hardware_threads() {
+  return std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+}
+
+void parallel_for_each(std::size_t n, std::size_t threads,
+                       const std::function<void(std::size_t)>& fn) {
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(std::min(threads, n == 0 ? std::size_t{1} : n));
+  pool.parallel_for_each(n, fn);
+}
+
+}  // namespace jsched::util

@@ -1,0 +1,69 @@
+// Fixed-size thread pool for embarrassingly parallel evaluation sweeps.
+//
+// The paper's methodology runs a 13-configuration algorithm grid over
+// several workloads and seeds; every (spec, seed) simulation is
+// independent, so the eval layer fans them out here. The pool is
+// deliberately simple — a shared FIFO queue, no work stealing — because
+// every task is a multi-second simulation and queue contention is noise.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace jsched::util {
+
+/// Fixed-size worker pool over a shared task queue. Threads are started in
+/// the constructor and joined in the destructor; `submit` never blocks.
+class ThreadPool {
+ public:
+  /// Starts `threads` workers; 0 is clamped to 1.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue one task. A task must not submit to or wait on its own pool.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait();
+
+  /// Run fn(0), ..., fn(n-1) across the pool and block until all are done.
+  /// Indices are handed out in order but may complete in any order; the
+  /// caller owns result placement (typically out[i] = ...). If any call
+  /// throws, the first exception (by completion order) is rethrown after
+  /// all indices finish.
+  void parallel_for_each(std::size_t n,
+                         const std::function<void(std::size_t)>& fn);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static std::size_t hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable has_task_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// One-shot helper: run fn(0..n-1) on `threads` workers. `threads <= 1`
+/// runs inline on the calling thread (no pool, bit-for-bit serial order);
+/// `threads == 0` is treated as 1. Exceptions propagate as in
+/// ThreadPool::parallel_for_each.
+void parallel_for_each(std::size_t n, std::size_t threads,
+                       const std::function<void(std::size_t)>& fn);
+
+}  // namespace jsched::util

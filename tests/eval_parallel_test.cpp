@@ -1,0 +1,99 @@
+// The serial-equivalence guarantee of the parallel evaluation harness:
+// run_grid with any thread count returns the same RunResult vector as the
+// serial sweep, on a paper-shaped (500-job CTC-model) workload.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "workload/ctc_model.h"
+#include "workload/transforms.h"
+
+namespace jsched::eval {
+namespace {
+
+workload::Workload ctc500() {
+  workload::CtcModelParams p;
+  p.job_count = 500;
+  return workload::trim_to_machine(workload::generate_ctc(p, 7), 256);
+}
+
+sim::Machine m256() {
+  sim::Machine m;
+  m.nodes = 256;
+  return m;
+}
+
+void expect_identical(const std::vector<RunResult>& a,
+                      const std::vector<RunResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("grid slot " + std::to_string(i));
+    EXPECT_EQ(a[i].spec.order, b[i].spec.order);
+    EXPECT_EQ(a[i].spec.dispatch, b[i].spec.dispatch);
+    EXPECT_EQ(a[i].spec.weight, b[i].spec.weight);
+    EXPECT_EQ(a[i].scheduler_name, b[i].scheduler_name);
+    EXPECT_EQ(a[i].jobs, b[i].jobs);
+    // Identical simulations => identical doubles, not merely close.
+    EXPECT_EQ(a[i].art, b[i].art);
+    EXPECT_EQ(a[i].awrt, b[i].awrt);
+    EXPECT_EQ(a[i].wait, b[i].wait);
+    EXPECT_EQ(a[i].makespan, b[i].makespan);
+    EXPECT_EQ(a[i].utilization, b[i].utilization);
+    EXPECT_EQ(a[i].max_queue_length, b[i].max_queue_length);
+  }
+}
+
+TEST(ParallelEval, RunGridWithFourThreadsMatchesSerial) {
+  const auto w = ctc500();
+  ExperimentOptions serial;
+  serial.measure_cpu = false;  // CPU seconds are timing noise, not results
+  ExperimentOptions parallel = serial;
+  parallel.threads = 4;
+  const auto rs = run_grid(m256(), core::WeightKind::kUnit, w, serial);
+  const auto rp = run_grid(m256(), core::WeightKind::kUnit, w, parallel);
+  expect_identical(rs, rp);
+}
+
+TEST(ParallelEval, RunGridWeightedObjectiveAlsoMatches) {
+  const auto w = ctc500();
+  ExperimentOptions serial;
+  serial.measure_cpu = false;
+  ExperimentOptions parallel = serial;
+  parallel.threads = 3;  // does not divide 13: uneven task distribution
+  const auto rs = run_grid(m256(), core::WeightKind::kEstimatedArea, w, serial);
+  const auto rp =
+      run_grid(m256(), core::WeightKind::kEstimatedArea, w, parallel);
+  expect_identical(rs, rp);
+}
+
+TEST(ParallelEval, ThreadsZeroMeansHardwareConcurrency) {
+  const auto w = ctc500();
+  ExperimentOptions serial;
+  serial.measure_cpu = false;
+  ExperimentOptions parallel = serial;
+  parallel.threads = 0;
+  const auto rs = run_grid(m256(), core::WeightKind::kUnit, w, serial);
+  const auto rp = run_grid(m256(), core::WeightKind::kUnit, w, parallel);
+  expect_identical(rs, rp);
+}
+
+TEST(ParallelEval, ProgressCallbackFiresOncePerConfiguration) {
+  const auto w = ctc500();
+  ExperimentOptions opt;
+  opt.measure_cpu = false;
+  opt.threads = 4;
+  std::mutex mu;  // on_run is serialized by the harness, but count safely
+  std::vector<std::string> seen;
+  opt.on_run = [&](const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen.push_back(name);
+  };
+  run_grid(m256(), core::WeightKind::kUnit, w, opt);
+  EXPECT_EQ(seen.size(), 13u);
+}
+
+}  // namespace
+}  // namespace jsched::eval

@@ -57,6 +57,65 @@ TEST(Replication, EasyRobustlyBeatsPlainFcfs) {
   EXPECT_FALSE(robustly_better_art(rf, re));
 }
 
+TEST(Replication, ParallelReplicationMatchesSerial) {
+  const std::uint64_t seeds[] = {1, 2, 3, 4};
+  ExperimentOptions serial;
+  serial.measure_cpu = false;
+  ExperimentOptions parallel = serial;
+  parallel.threads = 4;
+  const auto rs = run_replicated(m256(), core::AlgorithmSpec{}, small_ctc,
+                                 seeds, serial);
+  const auto rp = run_replicated(m256(), core::AlgorithmSpec{}, small_ctc,
+                                 seeds, parallel);
+  EXPECT_EQ(rp.scheduler_name, rs.scheduler_name);
+  EXPECT_EQ(rp.art.count(), rs.art.count());
+  // Aggregation happens in seed order on both paths, so the streaming
+  // moments are bit-for-bit identical, not merely close.
+  EXPECT_EQ(rp.art.mean(), rs.art.mean());
+  EXPECT_EQ(rp.art.sample_variance(), rs.art.sample_variance());
+  EXPECT_EQ(rp.awrt.mean(), rs.awrt.mean());
+  EXPECT_EQ(rp.utilization.mean(), rs.utilization.mean());
+}
+
+TEST(Replication, ThrowsOnInconsistentWorkloadSizes) {
+  // A generator whose job count swings with the seed (here 80 vs 120,
+  // 50% apart — far beyond trim_to_machine jitter) is buggy: the
+  // replicates would not be draws from one model.
+  auto broken = [](std::uint64_t seed) {
+    workload::CtcModelParams p;
+    p.job_count = seed % 2 == 0 ? 80 : 120;
+    return workload::generate_ctc(p, seed);
+  };
+  const std::uint64_t seeds[] = {2, 3};
+  ExperimentOptions opt;
+  opt.measure_cpu = false;
+  EXPECT_THROW(
+      run_replicated(m256(), core::AlgorithmSpec{}, broken, seeds, opt),
+      std::runtime_error);
+}
+
+TEST(Replication, PopulationStddevWouldOverclaimSignificance) {
+  // Regression for the n vs n-1 standard-error bug: with two replicates
+  // per side, a = {10, 12} and b = {12.5, 14.5}, the pooled POPULATION
+  // standard error is 1.0, so "mean_a + 2*SE < mean_b" (13 < 13.5) would
+  // wrongly report significance. The unbiased sample standard error is
+  // 1.0 per side, pooled sqrt(2) => 11 + 2*sqrt(2) = 13.83 > 13.5: with
+  // two noisy replicates this gap is NOT robust.
+  ReplicatedResult a, b;
+  a.art.add(10.0);
+  a.art.add(12.0);
+  b.art.add(12.5);
+  b.art.add(14.5);
+  EXPECT_FALSE(robustly_better_art(a, b));
+  EXPECT_FALSE(robustly_better_art(b, a));
+
+  // A genuinely separated pair is still detected.
+  ReplicatedResult c;
+  c.art.add(30.0);
+  c.art.add(32.0);
+  EXPECT_TRUE(robustly_better_art(a, c));
+}
+
 TEST(Replication, RobustnessNeedsTwoReplicates) {
   const std::uint64_t one[] = {5};
   ExperimentOptions opt;

@@ -40,6 +40,33 @@ TEST(RunningStats, KnownMoments) {
   EXPECT_DOUBLE_EQ(s.sum(), 40.0);
 }
 
+TEST(RunningStats, SampleVarianceUsesNMinusOne) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  // Population: m2 / n = 32 / 8 = 4; sample: m2 / (n-1) = 32 / 7.
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 32.0 / 7.0);
+  EXPECT_DOUBLE_EQ(s.sample_stddev(), std::sqrt(32.0 / 7.0));
+  EXPECT_GT(s.sample_stddev(), s.stddev());  // always wider for finite n
+}
+
+TEST(RunningStats, SampleVarianceZeroBelowTwoSamples) {
+  RunningStats s;
+  EXPECT_EQ(s.sample_variance(), 0.0);
+  s.add(42.0);
+  EXPECT_EQ(s.sample_variance(), 0.0);
+  EXPECT_EQ(s.sample_stddev(), 0.0);
+}
+
+TEST(RunningStats, TwoSampleStddevMatchesClosedForm) {
+  // For two samples a, b: sample variance = (b-a)^2 / 2.
+  RunningStats s;
+  s.add(10.0);
+  s.add(12.0);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 2.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.0);
+}
+
 TEST(RunningStats, MergeEqualsSequential) {
   RunningStats all, a, b;
   Rng rng(1);
@@ -54,6 +81,36 @@ TEST(RunningStats, MergeEqualsSequential) {
   EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
   EXPECT_EQ(a.min(), all.min());
   EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeOfShardsMatchesSinglePass) {
+  // Associativity over the sharding pattern a parallel sweep produces:
+  // fold 4 shards left-to-right and right-to-left; both must match the
+  // single-pass statistics.
+  RunningStats all;
+  RunningStats shard[4];
+  Rng rng(99);
+  for (int i = 0; i < 4000; ++i) {
+    const double x = rng.uniform(0, 1e6);
+    all.add(x);
+    shard[i % 4].add(x);
+  }
+  RunningStats left = shard[0];
+  for (int i = 1; i < 4; ++i) left.merge(shard[i]);
+  RunningStats right = shard[3];
+  for (int i = 2; i >= 0; --i) {
+    RunningStats tmp = shard[i];
+    tmp.merge(right);
+    right = tmp;
+  }
+  for (const RunningStats& merged : {left, right}) {
+    EXPECT_EQ(merged.count(), all.count());
+    EXPECT_NEAR(merged.mean(), all.mean(), 1e-6);
+    EXPECT_NEAR(merged.variance() / all.variance(), 1.0, 1e-9);
+    EXPECT_NEAR(merged.sample_variance() / all.sample_variance(), 1.0, 1e-9);
+    EXPECT_EQ(merged.min(), all.min());
+    EXPECT_EQ(merged.max(), all.max());
+  }
 }
 
 TEST(RunningStats, MergeWithEmpty) {

@@ -1,0 +1,102 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace jsched::util {
+namespace {
+
+TEST(ThreadPool, ClampsZeroThreadsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(ThreadPool, HardwareThreadsAtLeastOne) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForEachCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for_each(hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForEachWritesDisjointSlots) {
+  // The eval harness's usage pattern: task i writes only out[i].
+  ThreadPool pool(3);
+  std::vector<std::size_t> out(257, 0);
+  pool.parallel_for_each(out.size(), [&](std::size_t i) { out[i] = i * i; });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, ParallelForEachHandlesZeroAndFewerTasksThanThreads) {
+  ThreadPool pool(8);
+  pool.parallel_for_each(0, [](std::size_t) { FAIL() << "no indices to run"; });
+  std::atomic<int> counter{0};
+  pool.parallel_for_each(3, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.parallel_for_each(100, [&](std::size_t i) {
+      sum.fetch_add(static_cast<long>(i), std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(sum.load(), 5L * (99L * 100L / 2L));
+}
+
+TEST(ThreadPool, ParallelForEachRethrowsTaskException) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.parallel_for_each(50,
+                             [&](std::size_t i) {
+                               if (i == 17) throw std::runtime_error("boom");
+                               ++completed;
+                             }),
+      std::runtime_error);
+  // Every non-throwing index still ran: one failure doesn't strand work.
+  EXPECT_EQ(completed.load(), 49);
+}
+
+TEST(ThreadPoolFreeFunction, SerialWhenThreadsIsOne) {
+  // threads <= 1 must execute inline, in index order.
+  std::vector<std::size_t> order;
+  parallel_for_each(5, 1, [&](std::size_t i) { order.push_back(i); });
+  const std::vector<std::size_t> expected = {0, 1, 2, 3, 4};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolFreeFunction, ParallelMatchesSerialResult) {
+  std::vector<double> serial(500), parallel(500);
+  parallel_for_each(serial.size(), 1,
+                    [&](std::size_t i) { serial[i] = 0.5 * static_cast<double>(i); });
+  parallel_for_each(parallel.size(), 4,
+                    [&](std::size_t i) { parallel[i] = 0.5 * static_cast<double>(i); });
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace jsched::util
