@@ -69,4 +69,12 @@ double metric_of(const std::vector<eval::RunResult>& results,
                  core::OrderKind order, core::DispatchKind dispatch,
                  double eval::RunResult::* metric);
 
+/// Head-to-head micro-benchmark of sim::Profile (flat timeline + segment
+/// tree) against sim::ReferenceProfile (the seed std::map) on byte-identical
+/// packed profiles of 16..8192 breakpoints. Prints a summary table, writes
+/// ns/op plus log-log complexity-slope fits to `path` (BENCH_profile.json),
+/// and returns the earliest_fit speedup at 4096 breakpoints so callers can
+/// shape-check the perf trajectory.
+double write_profile_bench_json(const std::string& path);
+
 }  // namespace jsched::bench

@@ -117,5 +117,14 @@ int main() {
       {"combined dominates pure G&G on the daytime objective",
        combined.day_art < pure_gg.day_art * 1.05});
   bench::print_shape_checks(checks);
+
+  // Perf trajectory: the availability profile underlies every scheduler in
+  // the grid above, so this bench also tracks its query cost against the
+  // retained reference implementation (BENCH_profile.json).
+  std::printf("=== Availability-profile micro-benchmark ===\n");
+  const double speedup = bench::write_profile_bench_json("BENCH_profile.json");
+  bench::print_shape_checks(
+      {{"flat profile earliest_fit is >=5x the seed map at 4096 breakpoints",
+        speedup >= 5.0}});
   return 0;
 }

@@ -4,10 +4,13 @@
 // computation-time observations of Tables 7/8 at the operation level.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "core/factory.h"
 #include "core/psrs.h"
 #include "core/smart.h"
 #include "sim/profile.h"
+#include "sim/reference_profile.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 #include "workload/ctc_model.h"
@@ -42,32 +45,76 @@ core::JobStore filled_store(std::size_t n, std::vector<JobId>& ids) {
   return store;
 }
 
-void BM_ProfileEarliestFit(benchmark::State& state) {
-  const auto reservations = static_cast<std::size_t>(state.range(0));
-  sim::Profile profile(256);
+// The profile benches are templated over the implementation so the flat
+// timeline (sim::Profile) and the seed std::map (sim::ReferenceProfile)
+// run head-to-head on byte-identical structures; the differential tests
+// guarantee the packed state is the same for both. The range parameter is
+// the number of breakpoints, the quantity the complexity bounds speak of.
+template <class P>
+struct PackedProfile {
+  P profile;
+  Time horizon;  // latest allocation end: queries at horizon/2 hit the middle
+};
+
+template <class P>
+PackedProfile<P> packed_profile(std::size_t min_breakpoints) {
+  PackedProfile<P> packed{P(256), 0};
   util::Rng rng(3);
-  Time t = 0;
-  for (std::size_t i = 0; i < reservations; ++i) {
+  while (packed.profile.breakpoints() < min_breakpoints) {
     const int nodes = static_cast<int>(rng.uniform_int(1, 128));
     const Duration dur = rng.uniform_int(60, 7200);
-    const Time start = profile.earliest_fit(t, dur, nodes);
-    profile.allocate(start, dur, nodes);
+    const Time start = packed.profile.earliest_fit(0, dur, nodes);
+    packed.profile.allocate(start, dur, nodes);
+    packed.horizon = std::max(packed.horizon, start + dur);
   }
+  return packed;
+}
+
+template <class P>
+void BM_ProfileEarliestFit(benchmark::State& state) {
+  const auto packed =
+      packed_profile<P>(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(profile.earliest_fit(0, 3600, 64));
+    benchmark::DoNotOptimize(packed.profile.earliest_fit(0, 3600, 64));
   }
   state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_ProfileEarliestFit)->Range(16, 4096)->Complexity();
+BENCHMARK_TEMPLATE(BM_ProfileEarliestFit, sim::Profile)
+    ->RangeMultiplier(4)->Range(16, 8192)->Complexity();
+BENCHMARK_TEMPLATE(BM_ProfileEarliestFit, sim::ReferenceProfile)
+    ->RangeMultiplier(4)->Range(16, 8192)->Complexity();
 
-void BM_ProfileAllocateRelease(benchmark::State& state) {
-  sim::Profile profile(256);
+template <class P>
+void BM_ProfileFits(benchmark::State& state) {
+  const auto packed =
+      packed_profile<P>(static_cast<std::size_t>(state.range(0)));
+  const Time mid = packed.horizon / 2;
   for (auto _ : state) {
-    profile.allocate(1000, 3600, 64);
-    profile.release(1000, 3600, 64);
+    benchmark::DoNotOptimize(packed.profile.fits(mid, 3600, 64));
   }
+  state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_ProfileAllocateRelease);
+BENCHMARK_TEMPLATE(BM_ProfileFits, sim::Profile)
+    ->RangeMultiplier(4)->Range(16, 8192)->Complexity();
+BENCHMARK_TEMPLATE(BM_ProfileFits, sim::ReferenceProfile)
+    ->RangeMultiplier(4)->Range(16, 8192)->Complexity();
+
+template <class P>
+void BM_ProfileAllocateRelease(benchmark::State& state) {
+  auto packed = packed_profile<P>(static_cast<std::size_t>(state.range(0)));
+  // Reserve where a backfiller actually would (guaranteed to fit), then
+  // hand it back; the canonical merge restores the profile each cycle.
+  const Time start = packed.profile.earliest_fit(packed.horizon / 2, 3600, 64);
+  for (auto _ : state) {
+    packed.profile.allocate(start, 3600, 64);
+    packed.profile.release(start, 3600, 64);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK_TEMPLATE(BM_ProfileAllocateRelease, sim::Profile)
+    ->RangeMultiplier(4)->Range(16, 8192)->Complexity();
+BENCHMARK_TEMPLATE(BM_ProfileAllocateRelease, sim::ReferenceProfile)
+    ->RangeMultiplier(4)->Range(16, 8192)->Complexity();
 
 void BM_SmartPlan(benchmark::State& state) {
   std::vector<JobId> ids;

@@ -75,8 +75,9 @@ class RandomScheduler final : public sim::Scheduler {
   void on_complete(JobId, Time) override {}
   std::size_t queue_length() const override { return queue_.size(); }
 
-  std::vector<JobId> select_starts(Time, int free_nodes) override {
-    std::vector<JobId> starts;
+  void select_starts(Time, int free_nodes,
+                     std::vector<JobId>& starts) override {
+    starts.clear();
     // Shuffle the queue, then greedily take what fits.
     for (std::size_t i = queue_.size(); i > 1; --i) {
       std::swap(queue_[i - 1],
@@ -92,7 +93,6 @@ class RandomScheduler final : public sim::Scheduler {
         ++it;
       }
     }
-    return starts;
   }
 
  private:

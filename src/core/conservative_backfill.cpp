@@ -140,13 +140,14 @@ void ConservativeBackfillDispatch::promote(const std::vector<JobId>& order,
   }
 }
 
-std::vector<JobId> ConservativeBackfillDispatch::select(
-    Time now, int free_nodes, const std::vector<JobId>& order,
-    const std::vector<RunningJob>&) {
+void ConservativeBackfillDispatch::select(Time now, int free_nodes,
+                                          const std::vector<JobId>& order,
+                                          const std::vector<RunningJob>&,
+                                          std::vector<JobId>& starts) {
   promote(order, now);
 
-  std::vector<JobId> starts;
-  int budget = free_nodes;
+  starts.clear();
+  [[maybe_unused]] int budget = free_nodes;
 
   // Start every reservation that is due. Capacity is guaranteed by the
   // profile, so they all fit together.
@@ -155,23 +156,21 @@ std::vector<JobId> ConservativeBackfillDispatch::select(
     wakeups_.pop();
     auto it = reserved_.find(w.id);
     if (it == reserved_.end() || it->second != w.t) continue;  // stale
-    assert(store_->get(w.id).nodes <= budget);
-    budget -= store_->get(w.id).nodes;
+    const Job& j = store_->get(w.id);
+    assert(j.nodes <= budget);
+    budget -= j.nodes;
     // Normalize the allocation when the reservation was planned for an
     // earlier instant that had no event of its own, then retire the
     // reservation here so duplicate heap entries cannot start it twice.
     if (w.t < now) {
-      const Job& j = store_->get(w.id);
       profile_.release(w.t, j.estimate, j.nodes);
       profile_.allocate(now, j.estimate, j.nodes);
     }
     reserved_.erase(it);
     starts.push_back(w.id);
   }
-  (void)budget;
 
   if (!starts.empty()) profile_.compact(now);
-  return starts;
 }
 
 Time ConservativeBackfillDispatch::next_wakeup(Time) const {

@@ -68,9 +68,9 @@ class ConservativeBackfillDispatch final : public Dispatcher {
   void on_reorder(const std::vector<JobId>& order, Time now) override;
   void adopt(Time now, const std::vector<JobId>& order,
              const std::vector<RunningJob>& running) override;
-  std::vector<JobId> select(Time now, int free_nodes,
-                            const std::vector<JobId>& order,
-                            const std::vector<RunningJob>& running) override;
+  void select(Time now, int free_nodes, const std::vector<JobId>& order,
+              const std::vector<RunningJob>& running,
+              std::vector<JobId>& starts) override;
   Time next_wakeup(Time now) const override;
 
   /// Introspection for tests.

@@ -2,23 +2,24 @@
 
 namespace jsched::core {
 
-std::vector<JobId> HeadOnlyDispatch::select(Time, int free_nodes,
-                                            const std::vector<JobId>& order,
-                                            const std::vector<RunningJob>&) {
-  std::vector<JobId> starts;
+void HeadOnlyDispatch::select(Time, int free_nodes,
+                              const std::vector<JobId>& order,
+                              const std::vector<RunningJob>&,
+                              std::vector<JobId>& starts) {
+  starts.clear();
   for (JobId id : order) {
     const int need = store_->get(id).nodes;
     if (need > free_nodes) break;  // head blocks the rest of the list
     free_nodes -= need;
     starts.push_back(id);
   }
-  return starts;
 }
 
-std::vector<JobId> FirstFitDispatch::select(Time, int free_nodes,
-                                            const std::vector<JobId>& order,
-                                            const std::vector<RunningJob>&) {
-  std::vector<JobId> starts;
+void FirstFitDispatch::select(Time, int free_nodes,
+                              const std::vector<JobId>& order,
+                              const std::vector<RunningJob>&,
+                              std::vector<JobId>& starts) {
+  starts.clear();
   for (JobId id : order) {
     if (free_nodes == 0) break;
     const int need = store_->get(id).nodes;
@@ -27,7 +28,6 @@ std::vector<JobId> FirstFitDispatch::select(Time, int free_nodes,
       starts.push_back(id);
     }
   }
-  return starts;
 }
 
 }  // namespace jsched::core

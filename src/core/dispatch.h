@@ -54,12 +54,14 @@ class Dispatcher {
     on_reorder(order, now);
   }
 
-  /// Pick the jobs to start now. `order` is the current queue (highest
-  /// priority first); `running` the active jobs. Returned jobs must fit in
-  /// free_nodes cumulatively.
-  virtual std::vector<JobId> select(Time now, int free_nodes,
-                                    const std::vector<JobId>& order,
-                                    const std::vector<RunningJob>& running) = 0;
+  /// Fill `starts` with the jobs to start now (clearing whatever it held;
+  /// the buffer is caller-owned and reused across calls). `order` is the
+  /// current queue (highest priority first); `running` the active jobs.
+  /// Selected jobs must fit in free_nodes cumulatively.
+  virtual void select(Time now, int free_nodes,
+                      const std::vector<JobId>& order,
+                      const std::vector<RunningJob>& running,
+                      std::vector<JobId>& starts) = 0;
 
   /// See sim::Scheduler::next_wakeup.
   virtual Time next_wakeup(Time) const { return kTimeInfinity; }
@@ -71,9 +73,9 @@ class HeadOnlyDispatch final : public Dispatcher {
  public:
   std::string name() const override { return ""; }
   void reset(const sim::Machine&, const JobStore& store) override { store_ = &store; }
-  std::vector<JobId> select(Time now, int free_nodes,
-                            const std::vector<JobId>& order,
-                            const std::vector<RunningJob>& running) override;
+  void select(Time now, int free_nodes, const std::vector<JobId>& order,
+              const std::vector<RunningJob>& running,
+              std::vector<JobId>& starts) override;
 
  private:
   const JobStore* store_ = nullptr;
@@ -85,9 +87,9 @@ class FirstFitDispatch final : public Dispatcher {
  public:
   std::string name() const override { return "FF"; }
   void reset(const sim::Machine&, const JobStore& store) override { store_ = &store; }
-  std::vector<JobId> select(Time now, int free_nodes,
-                            const std::vector<JobId>& order,
-                            const std::vector<RunningJob>& running) override;
+  void select(Time now, int free_nodes, const std::vector<JobId>& order,
+              const std::vector<RunningJob>& running,
+              std::vector<JobId>& starts) override;
 
  private:
   const JobStore* store_ = nullptr;

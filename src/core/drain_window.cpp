@@ -24,14 +24,18 @@ void DrainWindowDispatch::reset(const sim::Machine& machine,
   vetoed_ = 0;
 }
 
-std::vector<JobId> DrainWindowDispatch::select(
-    Time now, int free_nodes, const std::vector<JobId>& order,
-    const std::vector<RunningJob>& running) {
+void DrainWindowDispatch::select(Time now, int free_nodes,
+                                 const std::vector<JobId>& order,
+                                 const std::vector<RunningJob>& running,
+                                 std::vector<JobId>& starts) {
   queue_pending_ = !order.empty();
-  if (window_.contains(now)) return {};  // the class owns the machine
+  if (window_.contains(now)) {  // the class owns the machine
+    starts.clear();
+    return;
+  }
 
   const Time window_opens = window_.next_boundary(now);
-  std::vector<JobId> starts = inner_->select(now, free_nodes, order, running);
+  inner_->select(now, free_nodes, order, running, starts);
   const auto vetoed_it = std::remove_if(
       starts.begin(), starts.end(), [&](JobId id) {
         const Duration estimate = store_->get(id).estimate;
@@ -40,7 +44,6 @@ std::vector<JobId> DrainWindowDispatch::select(
   vetoed_ += static_cast<std::size_t>(starts.end() - vetoed_it);
   starts.erase(vetoed_it, starts.end());
   queue_pending_ = queue_pending_ && order.size() > starts.size();
-  return starts;
 }
 
 Time DrainWindowDispatch::next_wakeup(Time now) const {

@@ -41,9 +41,9 @@ class DrainWindowDispatch final : public Dispatcher {
   void on_reorder(const std::vector<JobId>& order, Time now) override {
     inner_->on_reorder(order, now);
   }
-  std::vector<JobId> select(Time now, int free_nodes,
-                            const std::vector<JobId>& order,
-                            const std::vector<RunningJob>& running) override;
+  void select(Time now, int free_nodes, const std::vector<JobId>& order,
+              const std::vector<RunningJob>& running,
+              std::vector<JobId>& starts) override;
   Time next_wakeup(Time now) const override;
 
   /// Starts vetoed so far (introspection for tests).

@@ -4,34 +4,35 @@
 
 namespace jsched::core {
 
-std::vector<JobId> EasyBackfillDispatch::select(
-    Time now, int free_nodes, const std::vector<JobId>& order,
-    const std::vector<RunningJob>& running) {
-  std::vector<JobId> starts;
+void EasyBackfillDispatch::select(Time now, int free_nodes,
+                                  const std::vector<JobId>& order,
+                                  const std::vector<RunningJob>& running,
+                                  std::vector<JobId>& starts) {
+  starts.clear();
 
   // Greedy phase: start head jobs while they fit.
   std::size_t head = 0;
-  std::vector<RunningJob> active = running;
+  active_.assign(running.begin(), running.end());
   while (head < order.size()) {
     const Job& j = store_->get(order[head]);
     if (j.nodes > free_nodes) break;
     free_nodes -= j.nodes;
     starts.push_back(order[head]);
-    active.push_back({order[head], now, now + j.estimate, j.nodes});
+    active_.push_back({order[head], now, now + j.estimate, j.nodes});
     ++head;
   }
-  if (head >= order.size()) return starts;
+  if (head >= order.size()) return;
 
   // Reservation for the head: walk estimated completions until enough
   // nodes accumulate.
   const Job& head_job = store_->get(order[head]);
-  std::sort(active.begin(), active.end(),
+  std::sort(active_.begin(), active_.end(),
             [](const RunningJob& a, const RunningJob& b) {
               return a.estimated_end < b.estimated_end;
             });
   Time shadow = now;
   int avail = free_nodes;
-  for (const auto& r : active) {
+  for (const auto& r : active_) {
     if (avail >= head_job.nodes) break;
     avail += r.nodes;
     shadow = r.estimated_end;
@@ -52,7 +53,6 @@ std::vector<JobId> EasyBackfillDispatch::select(
       starts.push_back(order[i]);
     }
   }
-  return starts;
 }
 
 }  // namespace jsched::core

@@ -27,12 +27,16 @@ class EasyBackfillDispatch final : public Dispatcher {
   void reset(const sim::Machine&, const JobStore& store) override {
     store_ = &store;
   }
-  std::vector<JobId> select(Time now, int free_nodes,
-                            const std::vector<JobId>& order,
-                            const std::vector<RunningJob>& running) override;
+  void select(Time now, int free_nodes, const std::vector<JobId>& order,
+              const std::vector<RunningJob>& running,
+              std::vector<JobId>& starts) override;
 
  private:
   const JobStore* store_ = nullptr;
+  // Scratch for the shadow-time computation (running jobs + greedy starts,
+  // sorted by estimated end); kept as a member so the per-event hot path
+  // reuses its capacity instead of allocating.
+  std::vector<RunningJob> active_;
 };
 
 }  // namespace jsched::core

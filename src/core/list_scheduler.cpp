@@ -58,9 +58,9 @@ void ListScheduler::on_complete(JobId id, Time now) {
   sync_order_version(now);
 }
 
-std::vector<JobId> ListScheduler::select_starts(Time now, int free_nodes) {
-  std::vector<JobId> starts =
-      dispatcher_->select(now, free_nodes, ordering_->order(), running_);
+void ListScheduler::select_starts(Time now, int free_nodes,
+                                  std::vector<JobId>& starts) {
+  dispatcher_->select(now, free_nodes, ordering_->order(), running_, starts);
   for (JobId id : starts) {
     ordering_->on_remove(id, now);
     dispatcher_->on_start(id, now);
@@ -68,7 +68,6 @@ std::vector<JobId> ListScheduler::select_starts(Time now, int free_nodes) {
     running_.push_back({id, now, now + j.estimate, j.nodes});
   }
   sync_order_version(now);
-  return starts;
 }
 
 Time ListScheduler::next_wakeup(Time now) const {

@@ -138,10 +138,10 @@ void PhasedScheduler::on_complete(JobId id, Time now) {
   sync_order_version(now);
 }
 
-std::vector<JobId> PhasedScheduler::select_starts(Time now, int free_nodes) {
+void PhasedScheduler::select_starts(Time now, int free_nodes,
+                                    std::vector<JobId>& starts) {
   sync_phase(now);
-  std::vector<JobId> starts =
-      dispatch().select(now, free_nodes, order().order(), running_);
+  dispatch().select(now, free_nodes, order().order(), running_, starts);
   for (JobId id : starts) {
     order().on_remove(id, now);
     dispatch().on_start(id, now);
@@ -149,7 +149,6 @@ std::vector<JobId> PhasedScheduler::select_starts(Time now, int free_nodes) {
     running_.push_back({id, now, now + j.estimate, j.nodes});
   }
   sync_order_version(now);
-  return starts;
 }
 
 Time PhasedScheduler::next_wakeup(Time now) const {

@@ -53,7 +53,8 @@ class PhasedScheduler final : public sim::Scheduler {
   void reset(const sim::Machine& machine) override;
   void on_submit(const Job& job, Time now) override;
   void on_complete(JobId id, Time now) override;
-  std::vector<JobId> select_starts(Time now, int free_nodes) override;
+  void select_starts(Time now, int free_nodes,
+                     std::vector<JobId>& starts) override;
   Time next_wakeup(Time now) const override;
   std::size_t queue_length() const override;
 

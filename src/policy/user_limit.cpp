@@ -51,8 +51,9 @@ void UserLimitScheduler::on_complete(JobId id, Time now) {
   }
 }
 
-std::vector<JobId> UserLimitScheduler::select_starts(Time now, int free_nodes) {
-  return inner_->select_starts(now, free_nodes);
+void UserLimitScheduler::select_starts(Time now, int free_nodes,
+                                       std::vector<JobId>& starts) {
+  inner_->select_starts(now, free_nodes, starts);
 }
 
 Time UserLimitScheduler::next_wakeup(Time now) const {

@@ -1,6 +1,8 @@
 #include "sim/profile.h"
 
+#include <algorithm>
 #include <cassert>
+#include <climits>
 #include <sstream>
 #include <stdexcept>
 
@@ -8,26 +10,131 @@ namespace jsched::sim {
 
 Profile::Profile(int total_nodes) : total_(total_nodes) {
   if (total_nodes < 1) throw std::invalid_argument("Profile: total_nodes < 1");
-  cap_.emplace(Time{0}, total_);
+  pts_.push_back({Time{0}, total_});
 }
 
-std::map<Time, int>::const_iterator Profile::at(Time t) const {
-  auto it = cap_.upper_bound(t);
-  assert(it != cap_.begin());  // entry at/before any queried time
-  return std::prev(it);
+std::size_t Profile::lower_bound(Time t) const {
+  return static_cast<std::size_t>(
+      std::lower_bound(pts_.begin(), pts_.end(), t,
+                       [](const Breakpoint& b, Time v) { return b.t < v; }) -
+      pts_.begin());
 }
 
-int Profile::capacity_at(Time t) const { return at(t)->second; }
+std::size_t Profile::segment_at(Time t) const {
+  const std::size_t i = static_cast<std::size_t>(
+      std::upper_bound(pts_.begin(), pts_.end(), t,
+                       [](Time v, const Breakpoint& b) { return v < b.t; }) -
+      pts_.begin());
+  assert(i > 0);  // breakpoint at/before any queried time
+  return i - 1;
+}
+
+int Profile::capacity_at(Time t) const { return pts_[segment_at(t)].free; }
+
+// --- segment tree ----------------------------------------------------------
+
+void Profile::ensure_tree() const {
+  if (dirty_from_ == kClean) return;
+  const std::size_t n = pts_.size();
+  std::size_t cap = leaf_cap_ ? leaf_cap_ : 1;
+  while (cap < n) cap <<= 1;
+  std::size_t from = dirty_from_;
+  if (cap != leaf_cap_) {
+    leaf_cap_ = cap;
+    tmin_.assign(2 * cap, INT_MAX);
+    tmax_.assign(2 * cap, INT_MIN);
+    filled_ = 0;
+    from = 0;
+  }
+  from = std::min(from, n);
+  for (std::size_t i = from; i < n; ++i) {
+    tmin_[cap + i] = tmax_[cap + i] = pts_[i].free;
+  }
+  // Leaves past the new size (after a shrink) revert to sentinels.
+  for (std::size_t i = n; i < filled_; ++i) {
+    tmin_[cap + i] = INT_MAX;
+    tmax_[cap + i] = INT_MIN;
+  }
+  const std::size_t touched_end = std::max(filled_, n);
+  filled_ = n;
+  std::size_t lo = cap + from;
+  std::size_t hi = cap + (touched_end ? touched_end - 1 : 0);
+  while (lo > 1) {
+    lo >>= 1;
+    hi >>= 1;
+    for (std::size_t i = lo; i <= hi; ++i) {
+      tmin_[i] = std::min(tmin_[2 * i], tmin_[2 * i + 1]);
+      tmax_[i] = std::max(tmax_[2 * i], tmax_[2 * i + 1]);
+    }
+  }
+  dirty_from_ = kClean;
+}
+
+std::size_t Profile::first_below(std::size_t from, int nodes) const {
+  const std::size_t n = pts_.size();
+  if (from >= n) return n;
+  std::size_t i = leaf_cap_ + from;
+  if (tmin_[i] >= nodes) {
+    // Climb right along the tree until a subtree holds a value < nodes.
+    while (true) {
+      while (i & 1) {
+        if (i == 1) return n;  // root: everything to the right exhausted
+        i >>= 1;
+      }
+      ++i;
+      if (tmin_[i] < nodes) break;
+    }
+  }
+  while (i < leaf_cap_) {
+    i <<= 1;
+    if (tmin_[i] >= nodes) ++i;
+  }
+  const std::size_t idx = i - leaf_cap_;
+  return idx < n ? idx : n;
+}
+
+std::size_t Profile::first_at_least(std::size_t from, int nodes) const {
+  const std::size_t n = pts_.size();
+  if (from >= n) return n;
+  std::size_t i = leaf_cap_ + from;
+  if (tmax_[i] < nodes) {
+    while (true) {
+      while (i & 1) {
+        if (i == 1) return n;
+        i >>= 1;
+      }
+      ++i;
+      if (tmax_[i] >= nodes) break;
+    }
+  }
+  while (i < leaf_cap_) {
+    i <<= 1;
+    if (tmax_[i] < nodes) ++i;
+  }
+  const std::size_t idx = i - leaf_cap_;
+  return idx < n ? idx : n;
+}
+
+int Profile::range_min(std::size_t lo, std::size_t hi) const {
+  int res = INT_MAX;
+  for (std::size_t l = leaf_cap_ + lo, r = leaf_cap_ + hi; l < r;
+       l >>= 1, r >>= 1) {
+    if (l & 1) res = std::min(res, tmin_[l++]);
+    if (r & 1) res = std::min(res, tmin_[--r]);
+  }
+  return res;
+}
+
+// --- queries ----------------------------------------------------------------
 
 bool Profile::fits(Time start, Duration duration, int nodes) const {
   assert(duration > 0);
-  auto it = at(start);
-  const Time end = start > kTimeInfinity - duration ? kTimeInfinity
-                                                    : start + duration;
-  for (; it != cap_.end() && it->first < end; ++it) {
-    if (it->second < nodes) return false;
-  }
-  return true;
+  ensure_tree();
+  const Time end =
+      start > kTimeInfinity - duration ? kTimeInfinity : start + duration;
+  const std::size_t lo = segment_at(start);
+  const std::size_t hi = lower_bound(end);
+  return range_min(lo, hi) >= nodes;
 }
 
 Time Profile::earliest_fit(Time from, Duration duration, int nodes) const {
@@ -35,66 +142,75 @@ Time Profile::earliest_fit(Time from, Duration duration, int nodes) const {
   if (nodes > total_) {
     throw std::invalid_argument("Profile::earliest_fit: job wider than machine");
   }
+  ensure_tree();
+  const std::size_t n = pts_.size();
+
+  // Candidate window starts are `from` and the starts of segments with
+  // enough free capacity; between candidates, jump over whole blocking
+  // runs with one tree descent each.
+  std::size_t j = segment_at(from);
   Time candidate = from;
-  auto it = at(from);
-  while (true) {
-    // Scan forward from `candidate`; on the first under-capacity segment,
-    // restart the window at the segment's end.
-    const Time end = candidate > kTimeInfinity - duration ? kTimeInfinity
-                                                          : candidate + duration;
-    bool ok = true;
-    for (auto scan = it; scan != cap_.end() && scan->first < end; ++scan) {
-      if (scan->second < nodes) {
-        auto next = std::next(scan);
-        if (next == cap_.end()) {
-          // Profile never recovers — cannot happen while allocations are
-          // finite, because the final segment is full capacity.
-          throw std::logic_error("Profile: final segment under capacity");
-        }
-        candidate = next->first;
-        it = next;
-        ok = false;
-        break;
-      }
+  if (pts_[j].free < nodes) {
+    j = first_at_least(j + 1, nodes);
+    if (j == n) {
+      // Profile never recovers — cannot happen while allocations are
+      // finite, because the final segment is full capacity.
+      throw std::logic_error("Profile: final segment under capacity");
     }
-    if (ok) return candidate;
+    candidate = pts_[j].t;
+  }
+  while (true) {
+    const Time end = candidate > kTimeInfinity - duration
+                         ? kTimeInfinity
+                         : candidate + duration;
+    const std::size_t block = first_below(j, nodes);
+    if (block == n || pts_[block].t >= end) return candidate;
+    j = first_at_least(block + 1, nodes);
+    if (j == n) {
+      throw std::logic_error("Profile: final segment under capacity");
+    }
+    candidate = pts_[j].t;
   }
 }
 
+// --- mutations --------------------------------------------------------------
+
 void Profile::add_over_range(Time start, Time end, int delta) {
-  if (start >= end) return;
+  if (start >= end || delta == 0) return;
+
   // Materialize breakpoints at the range edges.
-  auto lo = cap_.lower_bound(start);
-  if (lo == cap_.end() || lo->first != start) {
-    assert(lo != cap_.begin());
-    lo = cap_.emplace_hint(lo, start, std::prev(lo)->second);
+  std::size_t lo = lower_bound(start);
+  if (lo == pts_.size() || pts_[lo].t != start) {
+    assert(lo > 0);
+    pts_.insert(pts_.begin() + static_cast<std::ptrdiff_t>(lo),
+                {start, pts_[lo - 1].free});
   }
+  std::size_t hi = pts_.size();
   if (end != kTimeInfinity) {
-    auto hi = cap_.lower_bound(end);
-    if (hi == cap_.end() || hi->first != end) {
-      assert(hi != cap_.begin());
-      cap_.emplace_hint(hi, end, std::prev(hi)->second);
+    hi = lower_bound(end);
+    if (hi == pts_.size() || pts_[hi].t != end) {
+      assert(hi > 0);
+      pts_.insert(pts_.begin() + static_cast<std::ptrdiff_t>(hi),
+                  {end, pts_[hi - 1].free});
     }
   }
-  for (auto it = lo; it != cap_.end() && (end == kTimeInfinity || it->first < end);
-       ++it) {
-    it->second += delta;
-    assert(it->second >= 0 && it->second <= total_);
+
+  for (std::size_t i = lo; i < hi; ++i) {
+    pts_[i].free += delta;
+    assert(pts_[i].free >= 0 && pts_[i].free <= total_);
   }
-  // Merge redundant breakpoints inside/just after the touched range.
-  auto it = lo == cap_.begin() ? lo : std::prev(lo);
-  while (it != cap_.end()) {
-    auto next = std::next(it);
-    if (next == cap_.end() ||
-        (end != kTimeInfinity && next->first > end)) {
-      break;
-    }
-    if (next->second == it->second) {
-      cap_.erase(next);
-    } else {
-      it = next;
-    }
+
+  // A uniform add preserves all differences inside (lo, hi); only the two
+  // edges can newly equal their predecessors. Merge them away to keep the
+  // representation canonical (erase `hi` first so `lo` stays valid).
+  if (hi < pts_.size() && pts_[hi].free == pts_[hi - 1].free) {
+    pts_.erase(pts_.begin() + static_cast<std::ptrdiff_t>(hi));
   }
+  if (lo > 0 && pts_[lo].free == pts_[lo - 1].free) {
+    pts_.erase(pts_.begin() + static_cast<std::ptrdiff_t>(lo));
+  }
+
+  dirty_from_ = std::min(dirty_from_, lo);
 }
 
 void Profile::allocate(Time start, Duration duration, int nodes) {
@@ -112,20 +228,19 @@ void Profile::release(Time start, Duration duration, int nodes) {
 }
 
 void Profile::compact(Time now) {
-  auto it = cap_.upper_bound(now);
-  assert(it != cap_.begin());
-  --it;  // entry in effect at `now`
-  if (it == cap_.begin()) return;
-  const int value = it->second;
-  cap_.erase(cap_.begin(), it);
-  // Re-key the effective entry at `now` for a tidy front.
-  cap_.erase(cap_.begin());
-  cap_.emplace(now, value);
+  assert(now >= pts_.front().t);  // simulation time never flows backwards
+  const std::size_t i = segment_at(now);
+  if (i == 0) return;  // nothing before `now` to drop: no-op, no churn
+  pts_.erase(pts_.begin(), pts_.begin() + static_cast<std::ptrdiff_t>(i));
+  // Re-key the effective breakpoint at `now` for a tidy front (already
+  // there when `now` hit it exactly).
+  pts_.front().t = now;
+  dirty_from_ = 0;
 }
 
 std::string Profile::dump() const {
   std::ostringstream os;
-  for (const auto& [t, c] : cap_) os << t << ':' << c << ' ';
+  for (const auto& [t, c] : pts_) os << t << ':' << c << ' ';
   return os.str();
 }
 

@@ -8,8 +8,8 @@
 #pragma once
 
 #include <cstddef>
-#include <map>
 #include <string>
+#include <vector>
 
 #include "util/time.h"
 
@@ -17,10 +17,24 @@ namespace jsched::sim {
 
 /// Piecewise-constant free-capacity timeline.
 ///
-/// Stored as an ordered map time -> free nodes valid from that time until
-/// the next entry; the final entry extends to infinity. There is always an
-/// entry at or before any queried time (the initial entry sits at time 0,
-/// or at the `horizon_start` passed to compact()).
+/// Stored as a flat sorted vector of {time, free} breakpoints, each valid
+/// from its time until the next breakpoint; the final breakpoint extends to
+/// infinity. There is always a breakpoint at or before any queried time
+/// (the initial one sits at time 0, or at the `now` passed to compact()).
+///
+/// The breakpoints are augmented with an implicit segment tree over the
+/// free-capacity values (range-min for fits(), plus range-max to jump
+/// between candidate windows), so
+///   * fits() is one range-min query                       — O(log n),
+///   * earliest_fit() is a descent over candidate windows  — O(log n) per
+///     window inspected, and each under-capacity run is inspected at most
+///     once per query (no restart scans over breakpoints),
+///   * allocate()/release()/compact() stay O(log n + touched breakpoints);
+///     the tree is repaired lazily from the first modified index before
+///     the next query, so bursts of mutations (replanning) pay once.
+///
+/// The adjacent-equal-value merge rule keeps the representation canonical:
+/// two profiles that agree as step functions store identical breakpoints.
 class Profile {
  public:
   explicit Profile(int total_nodes);
@@ -45,22 +59,53 @@ class Profile {
   /// also used to return capacity early when a job beats its estimate.
   void release(Time start, Duration duration, int nodes);
 
-  /// Drop entries strictly before `now` (keeping the value in effect at
-  /// `now`). Call as simulation time advances to keep operations O(future).
+  /// Drop breakpoints strictly before `now` (keeping the value in effect
+  /// at `now`). Call as simulation time advances to keep operations
+  /// O(future). A no-op when `now` is inside (or at the start of) the
+  /// first segment. Precondition (asserted): `now` is not earlier than the
+  /// first breakpoint — time never flows backwards in the simulator.
   void compact(Time now);
 
   /// Number of stored breakpoints (for tests/benchmarks).
-  std::size_t breakpoints() const noexcept { return cap_.size(); }
+  std::size_t breakpoints() const noexcept { return pts_.size(); }
 
   /// Debug rendering "t0:c0 t1:c1 ...".
   std::string dump() const;
 
  private:
+  struct Breakpoint {
+    Time t;
+    int free;
+  };
+
   void add_over_range(Time start, Time end, int delta);
-  std::map<Time, int>::const_iterator at(Time t) const;
+
+  /// Index of the segment containing t (pts_[i].t <= t < pts_[i+1].t).
+  std::size_t segment_at(Time t) const;
+
+  /// First index with pts_[i].t >= t (== pts_.size() when none).
+  std::size_t lower_bound(Time t) const;
+
+  // --- implicit segment tree over pts_[i].free -------------------------
+  // Leaves [leaf_cap_, leaf_cap_ + n) hold the free values padded with
+  // sentinels; internal node i covers children 2i and 2i+1. Mutations only
+  // mark `dirty_from_`; queries repair [dirty_from_, n) bottom-up.
+  void ensure_tree() const;
+  /// First index >= from with free < nodes (pts_.size() when none).
+  std::size_t first_below(std::size_t from, int nodes) const;
+  /// First index >= from with free >= nodes (pts_.size() when none).
+  std::size_t first_at_least(std::size_t from, int nodes) const;
+  /// Min free over segment indices [lo, hi).
+  int range_min(std::size_t lo, std::size_t hi) const;
+
+  static constexpr std::size_t kClean = static_cast<std::size_t>(-1);
 
   int total_;
-  std::map<Time, int> cap_;
+  std::vector<Breakpoint> pts_;
+  mutable std::vector<int> tmin_, tmax_;
+  mutable std::size_t leaf_cap_ = 0;
+  mutable std::size_t filled_ = 0;      // leaves holding real values
+  mutable std::size_t dirty_from_ = 0;  // first stale leaf; kClean if none
 };
 
 }  // namespace jsched::sim

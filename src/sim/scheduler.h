@@ -41,11 +41,15 @@ class Scheduler {
   /// A previously started job has completed (or was cancelled).
   virtual void on_complete(JobId id, Time now) = 0;
 
-  /// Return the jobs to start at `now`, in start order. `free_nodes` is
-  /// the machine capacity not occupied by running jobs before any of the
-  /// returned jobs start. The simulator starts them all; returning a job
-  /// set that exceeds capacity is a scheduler bug (the simulator throws).
-  virtual std::vector<JobId> select_starts(Time now, int free_nodes) = 0;
+  /// Fill `starts` with the jobs to start at `now`, in start order
+  /// (clearing whatever it held; the buffer is caller-owned so the
+  /// simulator's hot loop reuses one allocation across all rounds).
+  /// `free_nodes` is the machine capacity not occupied by running jobs
+  /// before any of the returned jobs start. The simulator starts them all;
+  /// returning a job set that exceeds capacity is a scheduler bug (the
+  /// simulator throws).
+  virtual void select_starts(Time now, int free_nodes,
+                             std::vector<JobId>& starts) = 0;
 
   /// Earliest future time at which this scheduler wants to be invoked even
   /// if no arrival/completion occurs (e.g. a reservation computed from

@@ -82,7 +82,8 @@ TEST(ConservativeBackfill, ReservationsQueryable) {
   EXPECT_EQ(d->reservation_of(1), 100);
   EXPECT_EQ(d->reserved_count(), 2u);
 
-  const auto starts = sched.select_starts(0, 8);
+  std::vector<JobId> starts;
+  sched.select_starts(0, 8, starts);
   ASSERT_EQ(starts.size(), 1u);
   EXPECT_EQ(starts[0], 0u);
   EXPECT_EQ(d->reserved_count(), 1u);

@@ -1,0 +1,166 @@
+// Differential fuzzing of sim::Profile (flat timeline + segment tree)
+// against sim::ReferenceProfile (the seed std::map implementation).
+//
+// Both structures are driven with identical operation sequences shaped
+// like real scheduler traffic — earliest_fit+allocate reservations, early
+// completions returning capacity tails, periodic compaction as simulated
+// time advances — and must stay byte-identical after every mutation: same
+// breakpoints (dump()), same breakpoint count, same answers to every
+// query. Any divergence prints the op index and both renderings.
+#include "sim/profile.h"
+#include "sim/reference_profile.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace jsched::sim {
+namespace {
+
+struct ActiveAllocation {
+  Time start;
+  Duration duration;  // kTimeInfinity marks an open-ended allocation
+  int nodes;
+
+  Time end() const {
+    return start > kTimeInfinity - duration ? kTimeInfinity
+                                            : start + duration;
+  }
+};
+
+class Differ {
+ public:
+  explicit Differ(int total) : fast_(total), ref_(total) {}
+
+  Profile& fast() { return fast_; }
+  ReferenceProfile& ref() { return ref_; }
+
+  void expect_identical(std::size_t op) const {
+    ASSERT_EQ(fast_.breakpoints(), ref_.breakpoints()) << "op " << op;
+    ASSERT_EQ(fast_.dump(), ref_.dump()) << "op " << op;
+  }
+
+  void expect_queries_agree(std::size_t op, Time from, Duration dur,
+                            int nodes) const {
+    ASSERT_EQ(fast_.capacity_at(from), ref_.capacity_at(from)) << "op " << op;
+    ASSERT_EQ(fast_.fits(from, dur, nodes), ref_.fits(from, dur, nodes))
+        << "op " << op;
+    ASSERT_EQ(fast_.earliest_fit(from, dur, nodes),
+              ref_.earliest_fit(from, dur, nodes))
+        << "op " << op << " from=" << from << " dur=" << dur
+        << " nodes=" << nodes;
+  }
+
+ private:
+  Profile fast_;
+  ReferenceProfile ref_;
+};
+
+void run_fuzz(std::uint64_t seed, std::size_t ops) {
+  constexpr int kTotal = 64;
+  Differ d(kTotal);
+  util::Rng rng(seed);
+  std::vector<ActiveAllocation> active;
+  Time now = 0;
+  // Nodes held by open-ended (infinite-duration) allocations. earliest_fit
+  // only terminates for jobs narrower than the eventually-free capacity,
+  // so the fuzzer keeps its requests within kTotal - open_nodes (the
+  // explicit saturation/throw cases live in profile_test.cpp).
+  int open_nodes = 0;
+
+  for (std::size_t op = 0; op < ops; ++op) {
+    const std::int64_t dice = rng.uniform_int(0, 99);
+    if (dice < 45) {
+      // Reserve like a backfilling scheduler: earliest fit, then allocate.
+      const int nodes =
+          static_cast<int>(rng.uniform_int(0, kTotal - open_nodes));
+      const bool open_ended = rng.bernoulli(0.02) && nodes <= kTotal / 4;
+      const Duration dur =
+          open_ended ? kTimeInfinity : rng.uniform_int(1, 4000);
+      const Time from = now + rng.uniform_int(0, 2000);
+      const Time start = d.fast().earliest_fit(from, dur, nodes);
+      ASSERT_EQ(start, d.ref().earliest_fit(from, dur, nodes)) << "op " << op;
+      d.fast().allocate(start, dur, nodes);
+      d.ref().allocate(start, dur, nodes);
+      if (nodes > 0) {
+        active.push_back({start, dur, nodes});
+        if (open_ended) open_nodes += nodes;
+      }
+    } else if (dice < 70 && !active.empty()) {
+      // Complete an allocation early: return the tail [t, end) to the
+      // profile, exactly as a job beating its estimate would.
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(active.size()) - 1));
+      const ActiveAllocation a = active[pick];
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(pick));
+      const Time release_from = std::max(a.start, now);
+      if (a.end() > release_from) {
+        const Duration tail = a.end() == kTimeInfinity
+                                  ? kTimeInfinity
+                                  : a.end() - release_from;
+        d.fast().release(release_from, tail, a.nodes);
+        d.ref().release(release_from, tail, a.nodes);
+        if (a.end() == kTimeInfinity) open_nodes -= a.nodes;
+      }
+    } else if (dice < 80) {
+      // Advance simulated time and drop history. Allocations wholly in
+      // the past are retired from the bookkeeping (their capacity is
+      // inside the compacted region for both structures alike).
+      now += rng.uniform_int(0, 1500);
+      d.fast().compact(now);
+      d.ref().compact(now);
+      std::erase_if(active, [&](const ActiveAllocation& a) {
+        return a.end() <= now;
+      });
+    } else {
+      // Pure queries.
+      const Time from = now + rng.uniform_int(0, 8000);
+      const Duration dur = rng.uniform_int(1, 5000);
+      const int nodes =
+          static_cast<int>(rng.uniform_int(0, kTotal - open_nodes));
+      d.expect_queries_agree(op, from, dur, nodes);
+    }
+    d.expect_identical(op);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(ProfileDifferential, SchedulerShapedOpsSeed1) { run_fuzz(1, 10'000); }
+TEST(ProfileDifferential, SchedulerShapedOpsSeed2) { run_fuzz(2, 10'000); }
+TEST(ProfileDifferential, SchedulerShapedOpsSeed3) { run_fuzz(3, 10'000); }
+TEST(ProfileDifferential, SchedulerShapedOpsSeed1999) { run_fuzz(1999, 10'000); }
+
+TEST(ProfileDifferential, DenseSmallMachineStressesMerging) {
+  // A 3-node machine forces constant breakpoint merging/splitting at tiny
+  // capacities, where off-by-one merge bugs would show first.
+  Differ d(3);
+  util::Rng rng(42);
+  std::vector<ActiveAllocation> active;
+  for (std::size_t op = 0; op < 10'000; ++op) {
+    const int nodes = static_cast<int>(rng.uniform_int(0, 3));
+    const Duration dur = rng.uniform_int(1, 30);
+    const Time from = rng.uniform_int(0, 200);
+    if (rng.bernoulli(0.5) || active.empty()) {
+      const Time start = d.fast().earliest_fit(from, dur, nodes);
+      ASSERT_EQ(start, d.ref().earliest_fit(from, dur, nodes)) << "op " << op;
+      d.fast().allocate(start, dur, nodes);
+      d.ref().allocate(start, dur, nodes);
+      if (nodes > 0) active.push_back({start, dur, nodes});
+    } else {
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(active.size()) - 1));
+      const ActiveAllocation a = active[pick];
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(pick));
+      d.fast().release(a.start, a.duration, a.nodes);
+      d.ref().release(a.start, a.duration, a.nodes);
+    }
+    d.expect_identical(op);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace jsched::sim

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
 
 namespace jsched::sim {
 namespace {
@@ -143,6 +144,82 @@ TEST(Profile, ZeroNodeAllocationIsNoop) {
   Profile p(8);
   p.allocate(0, 10, 0);
   EXPECT_EQ(p.capacity_at(5), 8);
+}
+
+TEST(Profile, CompactAtFirstBreakpointIsNoop) {
+  // Regression: compact(now) with `now` exactly on the first breakpoint
+  // used to erase and re-emplace the front entry even though nothing
+  // changes; it must leave the profile untouched (and stay idempotent).
+  Profile p(8);
+  p.allocate(0, 10, 3);
+  p.allocate(20, 10, 5);
+  const std::string before = p.dump();
+  p.compact(0);  // `now` == first breakpoint key
+  EXPECT_EQ(p.dump(), before);
+  p.compact(0);
+  EXPECT_EQ(p.dump(), before);
+  // Compacting to a later breakpoint re-keys once, then becomes a no-op.
+  p.compact(20);
+  const std::string at20 = p.dump();
+  EXPECT_EQ(p.capacity_at(20), 3);
+  p.compact(20);
+  EXPECT_EQ(p.dump(), at20);
+}
+
+TEST(Profile, CompactInsideFirstSegmentKeepsFrontKey) {
+  // `now` inside the first segment: nothing precedes it, so the front key
+  // is preserved (same as the seed implementation). `now` earlier than
+  // all breakpoints is an asserted precondition — simulation time never
+  // flows backwards — documented on Profile::compact.
+  Profile p(8);
+  p.allocate(50, 10, 3);
+  const std::string before = p.dump();
+  p.compact(25);
+  EXPECT_EQ(p.dump(), before);
+  EXPECT_EQ(p.capacity_at(25), 8);
+}
+
+TEST(Profile, InfiniteDurationAllocationSaturates) {
+  Profile p(8);
+  p.allocate(100, kTimeInfinity, 5);  // open-ended: [100, infinity)
+  EXPECT_EQ(p.capacity_at(99), 8);
+  EXPECT_EQ(p.capacity_at(100), 3);
+  EXPECT_EQ(p.capacity_at(kTimeInfinity - 1), 3);
+  EXPECT_EQ(p.breakpoints(), 2u);  // no breakpoint materialized at infinity
+  // A window ending exactly at the open-ended range still fits...
+  EXPECT_TRUE(p.fits(0, 100, 8));
+  EXPECT_EQ(p.earliest_fit(0, 100, 8), 0);
+  // ...and jobs within the remaining capacity run anywhere...
+  EXPECT_EQ(p.earliest_fit(0, 1000, 3), 0);
+  // ...but a wide job can never run once capacity is held forever.
+  EXPECT_FALSE(p.fits(0, 101, 4));
+  EXPECT_THROW(p.earliest_fit(0, 101, 4), std::logic_error);
+  // Releasing the open-ended range restores the flat line.
+  p.release(100, kTimeInfinity, 5);
+  EXPECT_EQ(p.breakpoints(), 1u);
+  EXPECT_EQ(p.capacity_at(kTimeInfinity - 1), 8);
+}
+
+TEST(Profile, NearInfinityStartSaturatesInsteadOfOverflowing) {
+  // start + duration would overflow past kTimeInfinity: the end clamps.
+  Profile p(8);
+  p.allocate(kTimeInfinity - 10, 100, 3);
+  EXPECT_EQ(p.capacity_at(kTimeInfinity - 11), 8);
+  EXPECT_EQ(p.capacity_at(kTimeInfinity - 10), 5);
+  EXPECT_EQ(p.capacity_at(kTimeInfinity - 1), 5);
+  EXPECT_EQ(p.breakpoints(), 2u);
+  p.release(kTimeInfinity - 10, 100, 3);
+  EXPECT_EQ(p.breakpoints(), 1u);
+}
+
+TEST(Profile, EarliestFitWindowReachingInfinitySaturates) {
+  // The requested window itself saturates: [t, infinity) must be fully
+  // free, so the fit lands after every finite allocation.
+  Profile p(8);
+  p.allocate(0, 100, 8);
+  EXPECT_EQ(p.earliest_fit(0, kTimeInfinity, 8), 100);
+  EXPECT_TRUE(p.fits(100, kTimeInfinity, 8));
+  EXPECT_FALSE(p.fits(99, kTimeInfinity, 1));
 }
 
 }  // namespace

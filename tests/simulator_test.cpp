@@ -74,10 +74,9 @@ TEST(Simulator, SchedulerSeesScrubbedRuntime) {
       pending.push_back(job.id);
     }
     void on_complete(JobId, Time) override {}
-    std::vector<JobId> select_starts(Time, int) override {
-      auto out = pending;
+    void select_starts(Time, int, std::vector<JobId>& starts) override {
+      starts = pending;
       pending.clear();
-      return out;
     }
     std::size_t queue_length() const override { return pending.size(); }
     Duration saw_runtime = -1;
@@ -100,10 +99,9 @@ TEST(Simulator, ThrowsWhenSchedulerOversubscribes) {
     void reset(const Machine&) override {}
     void on_submit(const Job& job, Time) override { pending.push_back(job.id); }
     void on_complete(JobId, Time) override {}
-    std::vector<JobId> select_starts(Time, int) override {
-      auto out = pending;
+    void select_starts(Time, int, std::vector<JobId>& starts) override {
+      starts = pending;  // starts everything regardless of capacity
       pending.clear();
-      return out;  // starts everything regardless of capacity
     }
     std::size_t queue_length() const override { return pending.size(); }
     std::vector<JobId> pending;
@@ -123,7 +121,9 @@ TEST(Simulator, ThrowsWhenSchedulerStarvesJobs) {
     void reset(const Machine&) override {}
     void on_submit(const Job&, Time) override { ++queued; }
     void on_complete(JobId, Time) override {}
-    std::vector<JobId> select_starts(Time, int) override { return {}; }
+    void select_starts(Time, int, std::vector<JobId>& starts) override {
+      starts.clear();
+    }
     std::size_t queue_length() const override { return queued; }
     std::size_t queued = 0;
   };
@@ -142,10 +142,11 @@ TEST(Simulator, ThrowsWhenSchedulerStartsTwice) {
     void reset(const Machine&) override {}
     void on_submit(const Job& job, Time) override { id = job.id; }
     void on_complete(JobId, Time) override {}
-    std::vector<JobId> select_starts(Time, int) override {
-      if (fired > 1) return {};
+    void select_starts(Time, int, std::vector<JobId>& starts) override {
+      starts.clear();
+      if (fired > 1) return;
       ++fired;
-      return {id};
+      starts.push_back(id);
     }
     std::size_t queue_length() const override { return 0; }
     JobId id = 0;
