@@ -48,11 +48,13 @@ void print_workload(const workload::Workload& w, const BenchConfig& cfg);
 
 /// Run the 13-configuration grid for one objective, with progress dots on
 /// stderr, and return the results. Honors JSCHED_THREADS (the results are
-/// identical to a serial run; only the wall clock changes).
+/// identical to a serial run; only the wall clock changes). When
+/// `wall_seconds` is non-null it receives the grid's wall-clock time.
 std::vector<eval::RunResult> run_grid_verbose(const sim::Machine& m,
                                               core::WeightKind weight,
                                               const workload::Workload& w,
-                                              bool measure_cpu = true);
+                                              bool measure_cpu = true,
+                                              double* wall_seconds = nullptr);
 
 /// One qualitative expectation from the paper ("who wins"), checked
 /// against measured data and printed as a PASS/FAIL line. These are the
@@ -76,5 +78,15 @@ double metric_of(const std::vector<eval::RunResult>& results,
 /// and returns the earliest_fit speedup at 4096 breakpoints so callers can
 /// shape-check the perf trajectory.
 double write_profile_bench_json(const std::string& path);
+
+/// Write the full-grid perf trajectory as JSON (BENCH_grid.json): wall
+/// seconds per objective plus, per configuration, the scheduler CPU
+/// seconds and the schedule fingerprint. The fingerprints double as the
+/// bit-identity baseline for future optimization PRs.
+void write_grid_bench_json(const std::string& path, const BenchConfig& cfg,
+                           const std::vector<eval::RunResult>& unweighted,
+                           double unweighted_wall,
+                           const std::vector<eval::RunResult>& weighted,
+                           double weighted_wall);
 
 }  // namespace jsched::bench

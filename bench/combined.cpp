@@ -126,5 +126,18 @@ int main() {
   bench::print_shape_checks(
       {{"flat profile earliest_fit is >=5x the seed map at 4096 breakpoints",
         speedup >= 5.0}});
+
+  // Full-grid perf trajectory (BENCH_grid.json): wall seconds for both
+  // objectives plus per-config scheduler CPU and schedule fingerprints, so
+  // every future PR can machine-check "faster, and bit-identical".
+  std::printf("=== Full-grid wall time + schedule fingerprints ===\n");
+  double wall_u = 0.0;
+  double wall_w = 0.0;
+  const auto grid_u = bench::run_grid_verbose(machine, core::WeightKind::kUnit,
+                                              w, true, &wall_u);
+  const auto grid_w = bench::run_grid_verbose(
+      machine, core::WeightKind::kEstimatedArea, w, true, &wall_w);
+  bench::write_grid_bench_json("BENCH_grid.json", cfg, grid_u, wall_u, grid_w,
+                               wall_w);
   return 0;
 }

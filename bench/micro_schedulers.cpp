@@ -149,6 +149,119 @@ void BM_PsrsPlan(benchmark::State& state) {
 }
 BENCHMARK(BM_PsrsPlan)->Range(64, 8192)->Complexity();
 
+// Replan-heavy hot path: conservative backfilling with full compression
+// over a deep backlog. A stream of early completions each lifts and
+// re-places the whole reserved set — the exact scenario the in-place
+// segment-tree updates, BulkUpdate batching and replan elisions target.
+// The range parameter is the backlog depth (reservations held while the
+// completions stream through); each iteration drains 32 completions.
+void BM_ConservativeReplanHeavy(benchmark::State& state) {
+  const std::size_t depth = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kRunning = 32;
+  sim::Machine machine;
+  machine.nodes = 256;
+
+  core::JobStore store;
+  std::vector<JobId> order;
+  util::Rng rng(17);
+  for (std::size_t i = 0; i < depth; ++i) {
+    Job j;
+    j.id = static_cast<JobId>(i);
+    j.nodes = static_cast<int>(rng.uniform_int(1, 64));
+    j.estimate = rng.uniform_int(600, 36'000);
+    j.runtime = 0;  // scheduler view
+    store.put(j);
+    order.push_back(j.id);
+  }
+  std::vector<core::RunningJob> running;
+  for (std::size_t i = 0; i < kRunning; ++i) {
+    Job j;
+    j.id = static_cast<JobId>(depth + i);
+    j.nodes = static_cast<int>(rng.uniform_int(1, 8));  // sums to <= 256
+    j.estimate = rng.uniform_int(1'000, 20'000);
+    j.runtime = 0;
+    store.put(j);
+    running.push_back({j.id, 0, j.estimate, j.nodes});
+  }
+
+  core::ConservativeParams params;
+  params.full_compression = true;
+  params.compression_queue_limit = depth;  // never fall back to the prefix
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::ConservativeBackfillDispatch d(params);
+    d.reset(machine, store);
+    d.adopt(0, order, running);
+    state.ResumeTiming();
+    Time now = 0;
+    for (const core::RunningJob& r : running) {
+      now += 10;  // every completion beats its estimate -> full replan
+      d.on_complete(r.id, now, r.estimated_end, order);
+    }
+    benchmark::DoNotOptimize(d.reserved_count());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ConservativeReplanHeavy)
+    ->Arg(64)->Arg(256)->Arg(1024)->Complexity();
+
+// Same backlog, but every completion is exactly on time: zero capacity is
+// returned, so compression provably cannot move anything. The
+// compression-debt elision turns each of these completions into O(log n)
+// bookkeeping instead of a full O(n^2) replan — this bench measures that
+// gap directly (before the elision it tracked BM_ConservativeReplanHeavy).
+void BM_ConservativeOnTimeCompletions(benchmark::State& state) {
+  const std::size_t depth = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kRunning = 32;
+  sim::Machine machine;
+  machine.nodes = 256;
+
+  core::JobStore store;
+  std::vector<JobId> order;
+  util::Rng rng(17);
+  for (std::size_t i = 0; i < depth; ++i) {
+    Job j;
+    j.id = static_cast<JobId>(i);
+    j.nodes = static_cast<int>(rng.uniform_int(1, 64));
+    j.estimate = rng.uniform_int(600, 36'000);
+    j.runtime = 0;  // scheduler view
+    store.put(j);
+    order.push_back(j.id);
+  }
+  std::vector<core::RunningJob> running;
+  for (std::size_t i = 0; i < kRunning; ++i) {
+    Job j;
+    j.id = static_cast<JobId>(depth + i);
+    j.nodes = static_cast<int>(rng.uniform_int(1, 8));
+    j.estimate = rng.uniform_int(1'000, 20'000);
+    j.runtime = 0;
+    store.put(j);
+    running.push_back({j.id, 0, j.estimate, j.nodes});
+  }
+  std::sort(running.begin(), running.end(),
+            [](const core::RunningJob& a, const core::RunningJob& b) {
+              return a.estimated_end < b.estimated_end;
+            });
+
+  core::ConservativeParams params;
+  params.full_compression = true;
+  params.compression_queue_limit = depth;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::ConservativeBackfillDispatch d(params);
+    d.reset(machine, store);
+    d.adopt(0, order, running);
+    state.ResumeTiming();
+    for (const core::RunningJob& r : running) {
+      d.on_complete(r.id, r.estimated_end, r.estimated_end, order);
+    }
+    benchmark::DoNotOptimize(d.reserved_count());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ConservativeOnTimeCompletions)
+    ->Arg(64)->Arg(256)->Arg(1024)->Complexity();
+
 void BM_SimulateGrid(benchmark::State& state) {
   const auto& w = bench_workload();
   const auto grid = core::paper_grid(core::WeightKind::kUnit);

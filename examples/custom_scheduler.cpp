@@ -71,7 +71,9 @@ class RandomScheduler final : public sim::Scheduler {
 
   std::string name() const override { return "RANDOM"; }
   void reset(const sim::Machine&) override { queue_.clear(); }
-  void on_submit(const Job& job, Time) override { queue_.push_back(job); }
+  void on_submit(const Submission& job, Time) override {
+    queue_.push_back(job);
+  }
   void on_complete(JobId, Time) override {}
   std::size_t queue_length() const override { return queue_.size(); }
 
@@ -97,7 +99,7 @@ class RandomScheduler final : public sim::Scheduler {
 
  private:
   util::Rng rng_;
-  std::vector<Job> queue_;
+  std::vector<Submission> queue_;
 };
 
 }  // namespace

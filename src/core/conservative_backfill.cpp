@@ -20,6 +20,7 @@ void ConservativeBackfillDispatch::reset(const sim::Machine& machine,
   profile_ = sim::Profile(machine.nodes);
   reserved_.clear();
   wakeups_ = {};
+  compression_debt_ = false;
 }
 
 void ConservativeBackfillDispatch::reserve(JobId id, Time from) {
@@ -46,15 +47,26 @@ void ConservativeBackfillDispatch::on_start(JobId id, Time now) {
 
 void ConservativeBackfillDispatch::on_complete(
     JobId id, Time now, Time estimated_end, const std::vector<JobId>& order) {
-  const Job& j = store_->get(id);
   if (now < estimated_end) {
+    const Job& j = store_->get(id);
     profile_.release(now, estimated_end - now, j.nodes);
+    compression_debt_ = true;
   }
-  if (params_.full_compression &&
-      reserved_.size() <= params_.compression_queue_limit) {
-    replan(order, now, reserved_.size());
-  } else if (params_.replan_prefix > 0) {
-    replan(order, now, params_.replan_prefix);
+  // Compression only moves reservations when capacity was freed since the
+  // plan was last consistent. An on-time completion (now == estimated_end)
+  // returns zero capacity, so the replan would re-place every reservation
+  // exactly where it already is — skip it. compression_debt_ tracks
+  // whether any capacity has been freed since the last replan that covered
+  // the whole reserved set.
+  if (compression_debt_) {
+    if (reserved_.empty()) {
+      compression_debt_ = false;  // nothing to compress: trivially covered
+    } else if (params_.full_compression &&
+               reserved_.size() <= params_.compression_queue_limit) {
+      replan(order, now, reserved_.size());
+    } else if (params_.replan_prefix > 0) {
+      replan(order, now, params_.replan_prefix);
+    }
   }
   profile_.compact(now);
   // Replanning leaves stale heap entries behind; rebuild once they
@@ -71,31 +83,76 @@ void ConservativeBackfillDispatch::replan(const std::vector<JobId>& order,
   // and re-place them from `now`. Capacity only ever increased since the
   // previous plan, so each re-placed reservation is at or before its old
   // time — the conservative guarantee survives compression.
+  const bool full_coverage = limit >= reserved_.size();
+
+  // Elision: a leading run of reservations already at `now` provably
+  // cannot move. Re-placing the first such job would search from `now`
+  // with its own slot freed, so earliest_fit returns `now` again; by
+  // induction the same holds for each next job while the run lasts. Skip
+  // lifting them entirely. The run must be leading — once any reservation
+  // is lifted or re-placed, later jobs could in principle shift.
   std::size_t planned = 0;
+  std::size_t pinned = 0;
+  {
+    // A replan is a burst of releases with no interleaved queries: defer
+    // the profile's segment-tree maintenance to phase 2's first query.
+    sim::Profile::BulkUpdate bulk(profile_);
+    bool prefix_intact = true;
+    for (JobId id : order) {
+      if (planned >= limit) break;
+      auto it = reserved_.find(id);
+      if (it == reserved_.end()) continue;  // dormant (beyond depth)
+      ++planned;
+      if (prefix_intact && it->second == now) {
+        ++pinned;
+        continue;
+      }
+      prefix_intact = false;
+      const Job& j = store_->get(id);
+      profile_.release(it->second, j.estimate, j.nodes);
+    }
+  }
+  const std::size_t lifted_total = planned - pinned;
+  if (lifted_total == 0) {
+    if (full_coverage) compression_debt_ = false;
+    return;  // the whole replanned prefix is pinned at `now`
+  }
+
+  planned = 0;
+  std::size_t skip = pinned;
   for (JobId id : order) {
     if (planned >= limit) break;
     auto it = reserved_.find(id);
-    if (it == reserved_.end()) continue;  // dormant (beyond depth)
+    if (it == reserved_.end()) continue;
+    ++planned;
+    if (skip > 0) {
+      --skip;  // pinned prefix: never lifted, nothing to re-place
+      continue;
+    }
     const Job& j = store_->get(id);
-    profile_.release(it->second, j.estimate, j.nodes);
-    ++planned;
+    const Time start = profile_.earliest_fit(now, j.estimate, j.nodes);
+    profile_.allocate(start, j.estimate, j.nodes);
+    // When the reservation lands exactly where it was, the map entry is
+    // already right and a valid heap entry for (start, id) still exists —
+    // skip the redundant store and push.
+    if (start != it->second) {
+      it->second = start;
+      wakeups_.push({start, id});
+    }
   }
-  planned = 0;
-  for (JobId id : order) {
-    if (planned >= limit) break;
-    if (!reserved_.contains(id)) continue;
-    reserve(id, now);
-    ++planned;
-  }
+  if (full_coverage) compression_debt_ = false;
 }
 
 void ConservativeBackfillDispatch::on_reorder(const std::vector<JobId>& order,
                                               Time now) {
   // A new priority order invalidates every reservation: lift all of them
   // and re-place in the new order.
-  for (const auto& [id, start] : reserved_) {
-    const Job& j = store_->get(id);
-    profile_.release(start, j.estimate, j.nodes);
+  {
+    sim::Profile::BulkUpdate bulk(profile_);
+    for (const auto& [id, start] : reserved_) {
+      const Job& j = store_->get(id);
+      profile_.release(start, j.estimate, j.nodes);
+    }
   }
   const std::size_t count = reserved_.size();
   std::size_t planned = 0;
@@ -106,6 +163,9 @@ void ConservativeBackfillDispatch::on_reorder(const std::vector<JobId>& order,
     reserve(id, now);
     ++planned;
   }
+  // Every reservation was just re-placed from `now`: the plan is fully
+  // compressed, so the next on-time completion has nothing to replan.
+  compression_debt_ = false;
 }
 
 void ConservativeBackfillDispatch::adopt(
@@ -117,15 +177,19 @@ void ConservativeBackfillDispatch::adopt(
   profile_ = sim::Profile(profile_.total_nodes());
   reserved_.clear();
   wakeups_ = {};
-  for (const RunningJob& r : running) {
-    if (r.estimated_end > now) {
-      profile_.allocate(now, r.estimated_end - now, r.nodes);
+  {
+    sim::Profile::BulkUpdate bulk(profile_);
+    for (const RunningJob& r : running) {
+      if (r.estimated_end > now) {
+        profile_.allocate(now, r.estimated_end - now, r.nodes);
+      }
     }
   }
   for (JobId id : order) {
     if (reserved_.size() >= params_.reservation_depth) break;
     reserve(id, now);
   }
+  compression_debt_ = false;  // fresh plan: fully compressed by construction
 }
 
 void ConservativeBackfillDispatch::promote(const std::vector<JobId>& order,
@@ -136,7 +200,15 @@ void ConservativeBackfillDispatch::promote(const std::vector<JobId>& order,
   }
   for (JobId id : order) {
     if (reserved_.size() >= params_.reservation_depth) break;
-    if (!reserved_.contains(id)) reserve(id, now);
+    if (!reserved_.contains(id)) {
+      reserve(id, now);
+      // The promoted job may rank anywhere in the current order (e.g. a
+      // SMART arrival folded in by a reorder before it was ever enqueued
+      // here), but earliest-fit placed it behind every existing
+      // reservation — the plan is no longer the fixed point of a replay
+      // in queue order, so compression has real work again.
+      compression_debt_ = true;
+    }
   }
 }
 
@@ -165,6 +237,7 @@ void ConservativeBackfillDispatch::select(Time now, int free_nodes,
     if (w.t < now) {
       profile_.release(w.t, j.estimate, j.nodes);
       profile_.allocate(now, j.estimate, j.nodes);
+      compression_debt_ = true;  // the shifted tail perturbed the plan
     }
     reserved_.erase(it);
     starts.push_back(w.id);

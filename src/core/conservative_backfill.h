@@ -28,6 +28,12 @@
 //  * reservations computed from estimates can fall at instants where no
 //    completion event happens (a predecessor finished early); the
 //    dispatcher exposes these via next_wakeup so the simulator revisits.
+//  * compression is elided when it provably cannot move anything: on-time
+//    completions (zero capacity returned, tracked by a compression-debt
+//    flag) skip the replan, and within a replan the leading run of
+//    reservations already starting at `now` is never lifted. Both elisions
+//    are exact — the schedules stay bit-identical (the full-grid
+//    fingerprints in BENCH_grid.json witness this).
 #pragma once
 
 #include <cstddef>
@@ -87,6 +93,12 @@ class ConservativeBackfillDispatch final : public Dispatcher {
   const JobStore* store_ = nullptr;
   sim::Profile profile_{1};
   std::unordered_map<JobId, Time> reserved_;  // queued job -> reserved start
+  // True when the plan may no longer be the fixed point of a replay in
+  // queue order: capacity was freed (early completion, normalization) or a
+  // reservation was created out of queue position (promotion after a
+  // reorder). While false, a replan would re-place every reservation
+  // exactly where it is, so on-time completions skip compression outright.
+  bool compression_debt_ = false;
 
   struct Wakeup {
     Time t;

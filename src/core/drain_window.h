@@ -41,6 +41,12 @@ class DrainWindowDispatch final : public Dispatcher {
   void on_reorder(const std::vector<JobId>& order, Time now) override {
     inner_->on_reorder(order, now);
   }
+  // The default adopt() would only replay on_reorder, losing the running
+  // set a stateful inner needs to rebuild its profile; forward it whole.
+  void adopt(Time now, const std::vector<JobId>& order,
+             const std::vector<RunningJob>& running) override {
+    inner_->adopt(now, order, running);
+  }
   void select(Time now, int free_nodes, const std::vector<JobId>& order,
               const std::vector<RunningJob>& running,
               std::vector<JobId>& starts) override;

@@ -12,19 +12,25 @@ void EasyBackfillDispatch::select(Time now, int free_nodes,
 
   // Greedy phase: start head jobs while they fit.
   std::size_t head = 0;
-  active_.assign(running.begin(), running.end());
   while (head < order.size()) {
     const Job& j = store_->get(order[head]);
     if (j.nodes > free_nodes) break;
     free_nodes -= j.nodes;
     starts.push_back(order[head]);
-    active_.push_back({order[head], now, now + j.estimate, j.nodes});
     ++head;
   }
   if (head >= order.size()) return;
 
   // Reservation for the head: walk estimated completions until enough
-  // nodes accumulate.
+  // nodes accumulate. The active set (running jobs + this round's greedy
+  // starts, in that order so the unstable sort below sees the exact same
+  // sequence) is only materialized when a reservation is actually needed —
+  // the everything-started case above skips the copy entirely.
+  active_.assign(running.begin(), running.end());
+  for (JobId id : starts) {
+    const Job& j = store_->get(id);
+    active_.push_back({id, now, now + j.estimate, j.nodes});
+  }
   const Job& head_job = store_->get(order[head]);
   std::sort(active_.begin(), active_.end(),
             [](const RunningJob& a, const RunningJob& b) {

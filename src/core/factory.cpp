@@ -32,7 +32,9 @@ std::string AlgorithmSpec::display_name() const {
   std::string n = to_string(order);
   switch (dispatch) {
     case DispatchKind::kList: break;
-    case DispatchKind::kConservative: n += "+CONS"; break;
+    case DispatchKind::kConservative:
+      n += conservative.full_compression ? "+CONS-C" : "+CONS";
+      break;
     case DispatchKind::kEasy: n += "+EASY"; break;
     case DispatchKind::kFirstFit: break;
   }

@@ -20,6 +20,8 @@ class JobStore {
     jobs_[j.id] = j;
   }
 
+  void put(const Submission& s) { put(s.to_job()); }
+
   const Job& get(JobId id) const {
     assert(id < jobs_.size());
     return jobs_[id];

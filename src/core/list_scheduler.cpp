@@ -33,7 +33,7 @@ void ListScheduler::sync_order_version(Time now) {
   }
 }
 
-void ListScheduler::on_submit(const Job& job, Time now) {
+void ListScheduler::on_submit(const Submission& job, Time now) {
   store_.put(job);
   const std::uint64_t before = ordering_->version();
   ordering_->on_submit(job.id, now);

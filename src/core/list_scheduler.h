@@ -23,7 +23,7 @@ class ListScheduler final : public sim::Scheduler {
 
   std::string name() const override;
   void reset(const sim::Machine& machine) override;
-  void on_submit(const Job& job, Time now) override;
+  void on_submit(const Submission& job, Time now) override;
   void on_complete(JobId id, Time now) override;
   void select_starts(Time now, int free_nodes,
                      std::vector<JobId>& starts) override;

@@ -2,24 +2,68 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace jsched::core {
 
-void FcfsOrder::reset(const sim::Machine&, const JobStore&) { order_.clear(); }
+// --- IndexedJobList ---------------------------------------------------------
 
-void FcfsOrder::on_submit(JobId id, Time) { order_.push_back(id); }
-
-void FcfsOrder::on_remove(JobId id, Time) {
-  auto it = std::find(order_.begin(), order_.end(), id);
-  if (it == order_.end()) {
-    throw std::logic_error("FcfsOrder: removing job not in queue");
-  }
-  order_.erase(it);
+void IndexedJobList::clear() {
+  order_.clear();
+  pos_.clear();
+  removals_since_reindex_ = 0;
 }
+
+void IndexedJobList::reindex() {
+  for (std::size_t j = 0; j < order_.size(); ++j) pos_[order_[j]] = j;
+  removals_since_reindex_ = 0;
+}
+
+void IndexedJobList::push_back(JobId id) {
+  if (pos_.size() <= id) pos_.resize(id + 1, kAbsent);
+  pos_[id] = order_.size();
+  order_.push_back(id);
+}
+
+void IndexedJobList::insert(std::size_t index, JobId id) {
+  if (pos_.size() <= id) pos_.resize(id + 1, kAbsent);
+  order_.insert(order_.begin() + static_cast<std::ptrdiff_t>(index), id);
+  // The shifted suffix must be re-indexed exactly: a right shift would
+  // break the "stored position >= true position" invariant remove() scans
+  // under, so stale hints are not an option here.
+  for (std::size_t j = index; j < order_.size(); ++j) pos_[order_[j]] = j;
+}
+
+std::size_t IndexedJobList::remove(JobId id, const char* who) {
+  if (id >= pos_.size() || pos_[id] == kAbsent) {
+    throw std::logic_error(std::string(who) + ": removing job not in queue");
+  }
+  // The stored position is an upper bound whose drift is capped by the
+  // reindex period; scan left from the hint to the true position.
+  std::size_t i = std::min(pos_[id], order_.size() - 1);
+  while (order_[i] != id) --i;
+  pos_[id] = kAbsent;
+  order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(i));
+  if (++removals_since_reindex_ >= kReindexPeriod) reindex();
+  return i;
+}
+
+void IndexedJobList::assign(std::vector<JobId> fresh) {
+  order_ = std::move(fresh);
+  reindex();
+}
+
+// --- policies ---------------------------------------------------------------
+
+void FcfsOrder::reset(const sim::Machine&, const JobStore&) { queue_.clear(); }
+
+void FcfsOrder::on_submit(JobId id, Time) { queue_.push_back(id); }
+
+void FcfsOrder::on_remove(JobId id, Time) { queue_.remove(id, "FcfsOrder"); }
 
 void PriorityFcfsOrder::reset(const sim::Machine&, const JobStore& store) {
   store_ = &store;
-  order_.clear();
+  queue_.clear();
   version_ = 1;
 }
 
@@ -27,22 +71,16 @@ void PriorityFcfsOrder::on_submit(JobId id, Time) {
   const std::int32_t cls = store_->get(id).priority_class;
   // Insert behind the last queued job with priority >= cls (stable FCFS
   // inside a class).
-  auto it = order_.end();
-  while (it != order_.begin() &&
-         store_->get(*std::prev(it)).priority_class < cls) {
-    --it;
-  }
-  const bool mid_queue = it != order_.end();
-  order_.insert(it, id);
+  const std::vector<JobId>& order = queue_.order();
+  std::size_t i = order.size();
+  while (i > 0 && store_->get(order[i - 1]).priority_class < cls) --i;
+  const bool mid_queue = i != order.size();
+  queue_.insert(i, id);
   if (mid_queue) ++version_;
 }
 
 void PriorityFcfsOrder::on_remove(JobId id, Time) {
-  auto it = std::find(order_.begin(), order_.end(), id);
-  if (it == order_.end()) {
-    throw std::logic_error("PriorityFcfsOrder: removing job not in queue");
-  }
-  order_.erase(it);
+  queue_.remove(id, "PriorityFcfsOrder");
 }
 
 ReplanningOrder::ReplanningOrder(double planned_ratio_threshold)
@@ -56,7 +94,7 @@ void ReplanningOrder::reset(const sim::Machine& machine, const JobStore& store) 
   machine.validate();
   store_ = &store;
   machine_nodes_ = machine.nodes;
-  order_.clear();
+  queue_.clear();
   planned_ = 0;
   version_ = 1;
   replans_ = 0;
@@ -65,26 +103,22 @@ void ReplanningOrder::reset(const sim::Machine& machine, const JobStore& store) 
 void ReplanningOrder::on_submit(JobId id, Time) {
   // Unplanned jobs queue FCFS behind the planned prefix until a replan
   // folds them in.
-  order_.push_back(id);
+  queue_.push_back(id);
   maybe_replan();
 }
 
 void ReplanningOrder::on_remove(JobId id, Time) {
-  auto it = std::find(order_.begin(), order_.end(), id);
-  if (it == order_.end()) {
-    throw std::logic_error("ReplanningOrder: removing job not in queue");
-  }
-  if (static_cast<std::size_t>(it - order_.begin()) < planned_) --planned_;
-  order_.erase(it);
+  const std::size_t i = queue_.remove(id, "ReplanningOrder");
+  if (i < planned_) --planned_;
 }
 
 void ReplanningOrder::maybe_replan() {
-  if (order_.empty()) return;
-  const double ratio = static_cast<double>(planned_) /
-                       static_cast<double>(order_.size());
+  if (queue_.empty()) return;
+  const double ratio =
+      static_cast<double>(planned_) / static_cast<double>(queue_.size());
   if (ratio >= threshold_) return;
-  order_ = plan(order_);
-  planned_ = order_.size();
+  queue_.assign(plan(queue_.order()));
+  planned_ = queue_.size();
   ++version_;
   ++replans_;
 }

@@ -112,7 +112,7 @@ void PhasedScheduler::sync_order_version(Time now) {
   }
 }
 
-void PhasedScheduler::on_submit(const Job& job, Time now) {
+void PhasedScheduler::on_submit(const Submission& job, Time now) {
   sync_phase(now);
   store_.put(job);
   const std::uint64_t before = order().version();

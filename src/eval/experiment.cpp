@@ -54,6 +54,7 @@ RunResult run_one(const sim::Machine& machine, const core::AlgorithmSpec& spec,
   r.utilization = metrics::utilization(schedule);
   r.scheduler_cpu_seconds = schedule.scheduler_cpu_seconds;
   r.max_queue_length = schedule.max_queue_length;
+  r.schedule_fnv = sim::schedule_fingerprint(schedule);
   return r;
 }
 

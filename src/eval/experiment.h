@@ -2,6 +2,7 @@
 // and collect every metric the tables and figures report.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -25,6 +26,9 @@ struct RunResult {
   double utilization = 0.0;
   double scheduler_cpu_seconds = 0.0;
   std::size_t max_queue_length = 0;
+  /// sim::schedule_fingerprint of the produced schedule: the bit-identity
+  /// witness perf PRs compare against their baseline (BENCH_grid.json).
+  std::uint64_t schedule_fnv = 0;
 
   /// The metric matching the run's objective (art for unit weight, awrt
   /// for area weight).

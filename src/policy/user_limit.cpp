@@ -23,7 +23,7 @@ void UserLimitScheduler::reset(const sim::Machine& machine) {
   held_total_ = 0;
 }
 
-void UserLimitScheduler::on_submit(const Job& job, Time now) {
+void UserLimitScheduler::on_submit(const Submission& job, Time now) {
   user_of_[job.id] = job.user;
   if (active_[job.user] < limit_) {
     ++active_[job.user];
@@ -41,7 +41,7 @@ void UserLimitScheduler::on_complete(JobId id, Time now) {
   --active_[user];
   auto it = held_.find(user);
   if (it != held_.end() && !it->second.empty() && active_[user] < limit_) {
-    Job next = it->second.front();
+    const Submission next = it->second.front();
     it->second.pop_front();
     --held_total_;
     ++active_[user];

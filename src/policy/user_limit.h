@@ -24,7 +24,7 @@ class UserLimitScheduler final : public sim::Scheduler {
 
   std::string name() const override;
   void reset(const sim::Machine& machine) override;
-  void on_submit(const Job& job, Time now) override;
+  void on_submit(const Submission& job, Time now) override;
   void on_complete(JobId id, Time now) override;
   void select_starts(Time now, int free_nodes,
                      std::vector<JobId>& starts) override;
@@ -38,7 +38,8 @@ class UserLimitScheduler final : public sim::Scheduler {
   std::unique_ptr<sim::Scheduler> inner_;
   int limit_;
   std::unordered_map<std::int32_t, int> active_;          // user -> active jobs
-  std::unordered_map<std::int32_t, std::deque<Job>> held_;  // user -> waiting
+  // user -> waiting submissions (admitted FIFO as slots free up)
+  std::unordered_map<std::int32_t, std::deque<Submission>> held_;
   std::unordered_map<JobId, std::int32_t> user_of_;
   std::size_t held_total_ = 0;
 };

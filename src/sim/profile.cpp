@@ -15,23 +15,42 @@ Profile::Profile(int total_nodes) : total_(total_nodes) {
 
 std::size_t Profile::lower_bound(Time t) const {
   return static_cast<std::size_t>(
-      std::lower_bound(pts_.begin(), pts_.end(), t,
+      std::lower_bound(pts_.begin() + static_cast<std::ptrdiff_t>(front_),
+                       pts_.end(), t,
                        [](const Breakpoint& b, Time v) { return b.t < v; }) -
       pts_.begin());
 }
 
 std::size_t Profile::segment_at(Time t) const {
   const std::size_t i = static_cast<std::size_t>(
-      std::upper_bound(pts_.begin(), pts_.end(), t,
+      std::upper_bound(pts_.begin() + static_cast<std::ptrdiff_t>(front_),
+                       pts_.end(), t,
                        [](Time v, const Breakpoint& b) { return v < b.t; }) -
       pts_.begin());
-  assert(i > 0);  // breakpoint at/before any queried time
+  assert(i > front_);  // breakpoint at/before any queried time
   return i - 1;
 }
 
 int Profile::capacity_at(Time t) const { return pts_[segment_at(t)].free; }
 
 // --- segment tree ----------------------------------------------------------
+
+void Profile::repair_range(std::size_t lo, std::size_t hi) const {
+  assert(lo < hi && hi <= leaf_cap_);
+  for (std::size_t i = lo; i < hi; ++i) {
+    tmin_[leaf_cap_ + i] = tmax_[leaf_cap_ + i] = pts_[i].free;
+  }
+  std::size_t l = leaf_cap_ + lo;
+  std::size_t r = leaf_cap_ + hi - 1;
+  while (l > 1) {
+    l >>= 1;
+    r >>= 1;
+    for (std::size_t i = l; i <= r; ++i) {
+      tmin_[i] = std::min(tmin_[2 * i], tmin_[2 * i + 1]);
+      tmax_[i] = std::max(tmax_[2 * i], tmax_[2 * i + 1]);
+    }
+  }
+}
 
 void Profile::ensure_tree() const {
   if (dirty_from_ == kClean) return;
@@ -47,9 +66,6 @@ void Profile::ensure_tree() const {
     from = 0;
   }
   from = std::min(from, n);
-  for (std::size_t i = from; i < n; ++i) {
-    tmin_[cap + i] = tmax_[cap + i] = pts_[i].free;
-  }
   // Leaves past the new size (after a shrink) revert to sentinels.
   for (std::size_t i = n; i < filled_; ++i) {
     tmin_[cap + i] = INT_MAX;
@@ -57,17 +73,39 @@ void Profile::ensure_tree() const {
   }
   const std::size_t touched_end = std::max(filled_, n);
   filled_ = n;
-  std::size_t lo = cap + from;
-  std::size_t hi = cap + (touched_end ? touched_end - 1 : 0);
-  while (lo > 1) {
-    lo >>= 1;
-    hi >>= 1;
-    for (std::size_t i = lo; i <= hi; ++i) {
-      tmin_[i] = std::min(tmin_[2 * i], tmin_[2 * i + 1]);
-      tmax_[i] = std::max(tmax_[2 * i], tmax_[2 * i + 1]);
+  if (from < touched_end) {
+    for (std::size_t i = from; i < n; ++i) {
+      tmin_[cap + i] = tmax_[cap + i] = pts_[i].free;
+    }
+    std::size_t lo = cap + from;
+    std::size_t hi = cap + touched_end - 1;
+    while (lo > 1) {
+      lo >>= 1;
+      hi >>= 1;
+      for (std::size_t i = lo; i <= hi; ++i) {
+        tmin_[i] = std::min(tmin_[2 * i], tmin_[2 * i + 1]);
+        tmax_[i] = std::max(tmax_[2 * i], tmax_[2 * i + 1]);
+      }
     }
   }
   dirty_from_ = kClean;
+}
+
+void Profile::ensure_tree_to(std::size_t hi) const {
+  if (dirty_from_ >= hi) return;  // clean (kClean) or already valid there
+  const std::size_t n = pts_.size();
+  if (leaf_cap_ < n || hi >= n) {
+    // Tree must be (re)grown, or the repair reaches the end anyway — the
+    // full rebuild also handles shrink sentinels and filled_.
+    ensure_tree();
+    return;
+  }
+  // Repair only [dirty_from_, hi): ancestors recomputed from still-stale
+  // right siblings remain ancestors of leaves >= hi, so the class
+  // invariant holds with dirty_from_ advanced to hi. Bottom-up range
+  // queries bounded by hi never read such nodes.
+  repair_range(dirty_from_, hi);
+  dirty_from_ = hi;
 }
 
 std::size_t Profile::first_below(std::size_t from, int nodes) const {
@@ -129,11 +167,13 @@ int Profile::range_min(std::size_t lo, std::size_t hi) const {
 
 bool Profile::fits(Time start, Duration duration, int nodes) const {
   assert(duration > 0);
-  ensure_tree();
   const Time end =
       start > kTimeInfinity - duration ? kTimeInfinity : start + duration;
   const std::size_t lo = segment_at(start);
   const std::size_t hi = lower_bound(end);
+  // The bottom-up range query only reads nodes entirely inside [lo, hi),
+  // so repairing the tree up to hi suffices.
+  ensure_tree_to(hi);
   return range_min(lo, hi) >= nodes;
 }
 
@@ -142,6 +182,8 @@ Time Profile::earliest_fit(Time from, Duration duration, int nodes) const {
   if (nodes > total_) {
     throw std::invalid_argument("Profile::earliest_fit: job wider than machine");
   }
+  // The blocking-run descents may inspect any suffix subtree, so the whole
+  // tree has to be valid.
   ensure_tree();
   const std::size_t n = pts_.size();
 
@@ -178,20 +220,25 @@ Time Profile::earliest_fit(Time from, Duration duration, int nodes) const {
 void Profile::add_over_range(Time start, Time end, int delta) {
   if (start >= end || delta == 0) return;
 
-  // Materialize breakpoints at the range edges.
+  // Materialize breakpoints at the range edges. Structural edits (insert
+  // or merge-erase) shift leaf indices and force the lazy suffix repair;
+  // pure value updates keep the tree geometry and are repaired in place.
+  bool structural = false;
   std::size_t lo = lower_bound(start);
   if (lo == pts_.size() || pts_[lo].t != start) {
-    assert(lo > 0);
+    assert(lo > front_);
     pts_.insert(pts_.begin() + static_cast<std::ptrdiff_t>(lo),
                 {start, pts_[lo - 1].free});
+    structural = true;
   }
   std::size_t hi = pts_.size();
   if (end != kTimeInfinity) {
     hi = lower_bound(end);
     if (hi == pts_.size() || pts_[hi].t != end) {
-      assert(hi > 0);
+      assert(hi > front_);
       pts_.insert(pts_.begin() + static_cast<std::ptrdiff_t>(hi),
                   {end, pts_[hi - 1].free});
+      structural = true;
     }
   }
 
@@ -205,12 +252,21 @@ void Profile::add_over_range(Time start, Time end, int delta) {
   // representation canonical (erase `hi` first so `lo` stays valid).
   if (hi < pts_.size() && pts_[hi].free == pts_[hi - 1].free) {
     pts_.erase(pts_.begin() + static_cast<std::ptrdiff_t>(hi));
+    structural = true;
   }
-  if (lo > 0 && pts_[lo].free == pts_[lo - 1].free) {
+  if (lo > front_ && pts_[lo].free == pts_[lo - 1].free) {
     pts_.erase(pts_.begin() + static_cast<std::ptrdiff_t>(lo));
+    structural = true;
   }
 
-  dirty_from_ = std::min(dirty_from_, lo);
+  if (!structural && bulk_depth_ == 0 && leaf_cap_ >= pts_.size()) {
+    // Leaf indices did not shift: write the touched leaves and recompute
+    // their ancestors — O(touched + log n) — instead of dirtying the whole
+    // suffix. Any pending dirtiness elsewhere stays tracked by dirty_from_.
+    repair_range(lo, hi);
+  } else {
+    dirty_from_ = std::min(dirty_from_, lo);
+  }
 }
 
 void Profile::allocate(Time start, Duration duration, int nodes) {
@@ -228,19 +284,30 @@ void Profile::release(Time start, Duration duration, int nodes) {
 }
 
 void Profile::compact(Time now) {
-  assert(now >= pts_.front().t);  // simulation time never flows backwards
+  assert(now >= pts_[front_].t);  // simulation time never flows backwards
   const std::size_t i = segment_at(now);
-  if (i == 0) return;  // nothing before `now` to drop: no-op, no churn
-  pts_.erase(pts_.begin(), pts_.begin() + static_cast<std::ptrdiff_t>(i));
+  if (i == front_) return;  // nothing before `now` to drop: no-op, no churn
+  // Advance the live-range offset instead of splicing the vector: leaf
+  // indices stay put, so the segment tree stays valid (it only ever stores
+  // `free` values, and queries never look left of a live index).
+  front_ = i;
   // Re-key the effective breakpoint at `now` for a tidy front (already
   // there when `now` hit it exactly).
-  pts_.front().t = now;
-  dirty_from_ = 0;
+  pts_[front_].t = now;
+  // Splice the dead prefix out only once it dominates the storage, making
+  // the O(n) erase + full-suffix tree repair amortized O(1) per compact.
+  if (front_ >= 64 && 2 * front_ >= pts_.size()) {
+    pts_.erase(pts_.begin(), pts_.begin() + static_cast<std::ptrdiff_t>(front_));
+    front_ = 0;
+    dirty_from_ = 0;
+  }
 }
 
 std::string Profile::dump() const {
   std::ostringstream os;
-  for (const auto& [t, c] : pts_) os << t << ':' << c << ' ';
+  for (std::size_t i = front_; i < pts_.size(); ++i) {
+    os << pts_[i].t << ':' << pts_[i].free << ' ';
+  }
   return os.str();
 }
 

@@ -21,6 +21,9 @@ namespace jsched::sim {
 /// from its time until the next breakpoint; the final breakpoint extends to
 /// infinity. There is always a breakpoint at or before any queried time
 /// (the initial one sits at time 0, or at the `now` passed to compact()).
+/// The vector may carry a dead prefix of [0, front_) retired breakpoints:
+/// compact() advances the offset in O(1) and the storage is physically
+/// erased only once the dead prefix dominates (amortized O(1) per call).
 ///
 /// The breakpoints are augmented with an implicit segment tree over the
 /// free-capacity values (range-min for fits(), plus range-max to jump
@@ -29,9 +32,18 @@ namespace jsched::sim {
 ///   * earliest_fit() is a descent over candidate windows  — O(log n) per
 ///     window inspected, and each under-capacity run is inspected at most
 ///     once per query (no restart scans over breakpoints),
-///   * allocate()/release()/compact() stay O(log n + touched breakpoints);
-///     the tree is repaired lazily from the first modified index before
-///     the next query, so bursts of mutations (replanning) pay once.
+///   * allocate()/release() that only modify breakpoint values in place
+///     (no insert/erase, the steady-state case) repair the tree over the
+///     touched leaf span immediately — O(touched + log n) — and leave any
+///     pending suffix dirtiness untouched,
+///   * structural allocate()/release() (edge inserted or merged away) mark
+///     the tree dirty from the first shifted leaf; queries repair lazily —
+///     fits() only up to its own right boundary, earliest_fit() fully
+///     (its descents may inspect any suffix node).
+///
+/// A BulkUpdate scope defers even the in-place repairs, so a burst of
+/// mutations (a replan lifting k reservations) pays one combined repair at
+/// the first query after the burst instead of k interleaved ones.
 ///
 /// The adjacent-equal-value merge rule keeps the representation canonical:
 /// two profiles that agree as step functions store identical breakpoints.
@@ -62,12 +74,32 @@ class Profile {
   /// Drop breakpoints strictly before `now` (keeping the value in effect
   /// at `now`). Call as simulation time advances to keep operations
   /// O(future). A no-op when `now` is inside (or at the start of) the
-  /// first segment. Precondition (asserted): `now` is not earlier than the
-  /// first breakpoint — time never flows backwards in the simulator.
+  /// first segment; otherwise O(1) amortized — the dead prefix is only
+  /// spliced out of storage once it dominates. Precondition (asserted):
+  /// `now` is not earlier than the first breakpoint — time never flows
+  /// backwards in the simulator.
   void compact(Time now);
 
-  /// Number of stored breakpoints (for tests/benchmarks).
-  std::size_t breakpoints() const noexcept { return pts_.size(); }
+  /// Scoped batch-mutation mode: while at least one BulkUpdate is alive,
+  /// allocate()/release() defer all segment-tree maintenance (queries are
+  /// still valid — they repair on demand). Open one around a burst of
+  /// mutations with no interleaved queries, e.g. a replan lifting every
+  /// reservation, so the burst pays one combined repair at the next query
+  /// instead of one per mutation. Mutations and queries remain legal (and
+  /// byte-identical in effect) inside the scope; only their cost changes.
+  class BulkUpdate {
+   public:
+    explicit BulkUpdate(Profile& p) noexcept : p_(&p) { ++p.bulk_depth_; }
+    ~BulkUpdate() { --p_->bulk_depth_; }
+    BulkUpdate(const BulkUpdate&) = delete;
+    BulkUpdate& operator=(const BulkUpdate&) = delete;
+
+   private:
+    Profile* p_;
+  };
+
+  /// Number of stored (live) breakpoints (for tests/benchmarks).
+  std::size_t breakpoints() const noexcept { return pts_.size() - front_; }
 
   /// Debug rendering "t0:c0 t1:c1 ...".
   std::string dump() const;
@@ -83,14 +115,28 @@ class Profile {
   /// Index of the segment containing t (pts_[i].t <= t < pts_[i+1].t).
   std::size_t segment_at(Time t) const;
 
-  /// First index with pts_[i].t >= t (== pts_.size() when none).
+  /// First index with pts_[i].t >= t (== pts_.size() when none), searching
+  /// the live range [front_, size).
   std::size_t lower_bound(Time t) const;
 
   // --- implicit segment tree over pts_[i].free -------------------------
-  // Leaves [leaf_cap_, leaf_cap_ + n) hold the free values padded with
-  // sentinels; internal node i covers children 2i and 2i+1. Mutations only
-  // mark `dirty_from_`; queries repair [dirty_from_, n) bottom-up.
+  // Leaves [leaf_cap_, leaf_cap_ + n) mirror the physical pts_ array
+  // (dead-prefix leaves are never consulted: every query starts at a live
+  // index and only ever moves right), padded with sentinels; internal
+  // node i covers children 2i and 2i+1.
+  //
+  // Invariant: every tree node that is not an ancestor of a leaf in
+  // [dirty_from_, max(filled_, n)) agrees with pts_. In-place mutations
+  // preserve it by repairing their touched span immediately; structural
+  // mutations preserve it by lowering dirty_from_ to the first shifted
+  // leaf. ensure_tree() restores it everywhere; ensure_tree_to(hi)
+  // restores it for [0, hi) and advances dirty_from_ to hi, which is
+  // enough for bottom-up range queries whose nodes lie entirely inside
+  // [0, hi).
   void ensure_tree() const;
+  void ensure_tree_to(std::size_t hi) const;
+  /// Write leaves [lo, hi) from pts_ and recompute their ancestors.
+  void repair_range(std::size_t lo, std::size_t hi) const;
   /// First index >= from with free < nodes (pts_.size() when none).
   std::size_t first_below(std::size_t from, int nodes) const;
   /// First index >= from with free >= nodes (pts_.size() when none).
@@ -101,7 +147,9 @@ class Profile {
   static constexpr std::size_t kClean = static_cast<std::size_t>(-1);
 
   int total_;
+  int bulk_depth_ = 0;
   std::vector<Breakpoint> pts_;
+  std::size_t front_ = 0;  // first live breakpoint (dead prefix before it)
   mutable std::vector<int> tmin_, tmax_;
   mutable std::size_t leaf_cap_ = 0;
   mutable std::size_t filled_ = 0;      // leaves holding real values

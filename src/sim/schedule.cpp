@@ -28,6 +28,26 @@ void Schedule::record_end(JobId id, Time end, bool cancelled) {
   r.cancelled = cancelled;
 }
 
+std::uint64_t schedule_fingerprint(const Schedule& s) {
+  // FNV-1a, folding each record field as its 64-bit representation.
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  for (JobId id = 0; id < s.size(); ++id) {
+    const JobRecord& r = s[id];
+    mix(static_cast<std::uint64_t>(r.submit));
+    mix(static_cast<std::uint64_t>(r.start));
+    mix(static_cast<std::uint64_t>(r.end));
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(r.nodes)));
+    mix(r.cancelled ? 1u : 0u);
+  }
+  return h;
+}
+
 Time Schedule::makespan() const noexcept {
   Time m = 0;
   for (const auto& r : records_) m = std::max(m, r.end);

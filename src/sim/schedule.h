@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -65,6 +66,13 @@ class Schedule {
   std::string scheduler_name_;
   std::vector<JobRecord> records_;
 };
+
+/// FNV-1a (64-bit) fingerprint over every job record of `s`, in JobId
+/// order: submit, start, end, nodes and the cancelled flag of each job are
+/// folded in. Two schedules fingerprint equal iff they are bit-identical
+/// as (per-job) start/end decisions — the check optimization PRs use to
+/// prove they changed cost, never decisions.
+std::uint64_t schedule_fingerprint(const Schedule& s);
 
 /// Validity constraints of the target machine (paper §2): node capacity is
 /// never exceeded at any instant, partitions are exclusive (implied by

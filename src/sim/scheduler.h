@@ -33,10 +33,11 @@ class Scheduler {
   /// Called once before a simulation; drop all state.
   virtual void reset(const Machine& machine) = 0;
 
-  /// A job has been submitted. Only submission data may be retained: using
-  /// job.runtime for decisions would break the on-line model (the
-  /// simulator hands schedulers a copy with runtime scrubbed to 0).
-  virtual void on_submit(const Job& job, Time now) = 0;
+  /// A job has been submitted. Submission carries exactly the data an
+  /// on-line scheduler may see — the actual runtime is not in the type, so
+  /// the information boundary of §2 is enforced structurally (no per-
+  /// arrival scrub copy needed).
+  virtual void on_submit(const Submission& job, Time now) = 0;
 
   /// A previously started job has completed (or was cancelled).
   virtual void on_complete(JobId id, Time now) = 0;

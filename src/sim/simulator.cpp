@@ -112,15 +112,15 @@ Schedule simulate(const Machine& machine, Scheduler& scheduler,
       });
     }
 
-    // Deliver all arrivals at t with the runtime scrubbed: schedulers see
-    // submission data only (on-line model).
+    // Deliver all arrivals at t. Submission is the runtime-free slice of
+    // the job, so schedulers see submission data only (on-line model)
+    // without a full Job copy per arrival.
     while (next_arrival < workload.size() &&
            workload[next_arrival].submit == t) {
-      Job visible = workload[next_arrival];
-      visible.runtime = 0;
-      submitted[visible.id] = 1;
+      const Job& arrived = workload[next_arrival];
+      submitted[arrived.id] = 1;
       ++next_arrival;
-      timed([&] { scheduler.on_submit(visible, t); });
+      timed([&] { scheduler.on_submit(arrived, t); });
     }
 
     // Ask for start decisions until the scheduler has none at this time.

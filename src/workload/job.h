@@ -59,4 +59,41 @@ struct Job {
   friend bool operator==(const Job&, const Job&) = default;
 };
 
+/// The submission-data slice of a Job: exactly the fields an on-line
+/// scheduler may see (§2's information boundary), with no runtime member
+/// at all. The simulator hands this to Scheduler::on_submit instead of
+/// copying the full Job and scrubbing its runtime per arrival — the type
+/// itself now enforces the on-line model.
+struct Submission {
+  JobId id;
+  Time submit;
+  int nodes;
+  Duration estimate;
+  std::int32_t user;
+  std::int32_t priority_class;
+
+  // Implicit: any Job can be viewed as its submission data.
+  Submission(const Job& j) noexcept
+      : id(j.id),
+        submit(j.submit),
+        nodes(j.nodes),
+        estimate(j.estimate),
+        user(j.user),
+        priority_class(j.priority_class) {}
+
+  /// Materialize a Job carrying submission data only (runtime scrubbed to
+  /// 0, as the scheduler-side JobStore documents).
+  Job to_job() const noexcept {
+    Job j;
+    j.id = id;
+    j.submit = submit;
+    j.nodes = nodes;
+    j.estimate = estimate;
+    j.runtime = 0;
+    j.user = user;
+    j.priority_class = priority_class;
+    return j;
+  }
+};
+
 }  // namespace jsched

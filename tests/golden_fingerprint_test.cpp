@@ -1,0 +1,133 @@
+// Golden schedule fingerprints over a small fixed-seed grid.
+//
+// Every optimization PR claims "faster, schedules unchanged". This test
+// makes the second half a one-assert check: the FNV-1a fingerprint of each
+// schedule (submit/start/end/nodes/cancelled of every job, in id order)
+// over the full 13-configuration paper grid x both objectives — plus the
+// full-compression conservative variants the grid does not include — must
+// match the values recorded when the behaviour was last intentionally
+// changed. A mismatch means some schedule moved: either a bug, or an
+// intentional behaviour change that must update the goldens (the failure
+// message prints the replacement table).
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "test_support.h"
+#include "workload/ctc_model.h"
+#include "workload/transforms.h"
+
+namespace jsched {
+namespace {
+
+constexpr int kMachineNodes = 256;
+constexpr std::size_t kJobs = 700;
+constexpr std::uint64_t kSeed = 1999;
+
+struct Golden {
+  const char* name;      // display_name of the spec
+  const char* weight;    // "unit" or "area"
+  std::uint64_t fnv;
+};
+
+// Recorded on the fixed-seed workload below. Regenerate by running this
+// test and copying the table it prints on mismatch.
+constexpr Golden kGolden[] = {
+    {"FCFS", "unit", 0x119a442445741fc5ull},
+    {"FCFS+CONS", "unit", 0xa440ed4a681adef7ull},
+    {"FCFS+EASY", "unit", 0xeff99fb614d8de99ull},
+    {"PSRS", "unit", 0x11da6e457dcf86beull},
+    {"PSRS+CONS", "unit", 0x73c4cb86641f6607ull},
+    {"PSRS+EASY", "unit", 0x4cb622aad295b5b8ull},
+    {"SMART-FFIA", "unit", 0xc7dc1ee1dfd6a3aaull},
+    {"SMART-FFIA+CONS", "unit", 0x40bda2e33578594full},
+    {"SMART-FFIA+EASY", "unit", 0x8a93bd7356c95254ull},
+    {"SMART-NFIW", "unit", 0x5468cd3199179ab4ull},
+    {"SMART-NFIW+CONS", "unit", 0x522b6b23298b8079ull},
+    {"SMART-NFIW+EASY", "unit", 0xbe700945507aba71ull},
+    {"Garey&Graham", "unit", 0x142870383855794full},
+    {"FCFS", "area", 0x119a442445741fc5ull},
+    {"FCFS+CONS", "area", 0xa440ed4a681adef7ull},
+    {"FCFS+EASY", "area", 0xeff99fb614d8de99ull},
+    {"PSRS", "area", 0x42384c5f3aef1dfcull},
+    {"PSRS+CONS", "area", 0x767a9905e05d6a63ull},
+    {"PSRS+EASY", "area", 0x55a93f47d17a6784ull},
+    {"SMART-FFIA", "area", 0x3a42e07dc71208b0ull},
+    {"SMART-FFIA+CONS", "area", 0xd4eb08b2976ce5bbull},
+    {"SMART-FFIA+EASY", "area", 0x29d2f573798a3ec0ull},
+    {"SMART-NFIW", "area", 0xe78752250887d491ull},
+    {"SMART-NFIW+CONS", "area", 0x15016cf2f1543dfeull},
+    {"SMART-NFIW+EASY", "area", 0x95641825dab32638ull},
+    {"Garey&Graham", "area", 0x142870383855794full},
+    // Identical to the plain CONS rows by design: at this backlog depth the
+    // default replan_prefix (64) already covers the whole reserved set, so
+    // full compression must not change a single placement. The rows still
+    // pin the CONS-C gate (debt flag, bulk updates, prefix pinning).
+    {"FCFS+CONS-C", "unit", 0xa440ed4a681adef7ull},
+    {"SMART-FFIA+CONS-C", "unit", 0x40bda2e33578594full},
+};
+
+std::vector<std::pair<std::string, core::AlgorithmSpec>> golden_specs(
+    core::WeightKind weight) {
+  std::vector<std::pair<std::string, core::AlgorithmSpec>> specs;
+  for (const core::AlgorithmSpec& s : core::paper_grid(weight)) {
+    specs.emplace_back(s.display_name(), s);
+  }
+  return specs;
+}
+
+TEST(GoldenFingerprints, SmallFixedSeedGrid) {
+  workload::CtcModelParams params;
+  params.job_count = kJobs;
+  const workload::Workload w = workload::trim_to_machine(
+      workload::generate_ctc(params, kSeed), kMachineNodes);
+
+  std::vector<std::pair<std::string, std::uint64_t>> actual;  // name|weight
+  const auto run_all = [&](core::WeightKind weight) {
+    for (const auto& [name, spec] : golden_specs(weight)) {
+      actual.emplace_back(name + std::string("|") + core::to_string(weight),
+                          test::run_fingerprint(spec, w, kMachineNodes));
+    }
+  };
+  run_all(core::WeightKind::kUnit);
+  run_all(core::WeightKind::kEstimatedArea);
+
+  // The tentpole's replan elisions live in the full-compression variant,
+  // which the paper grid does not include; pin it explicitly.
+  for (const core::OrderKind order :
+       {core::OrderKind::kFcfs, core::OrderKind::kSmartFfia}) {
+    core::AlgorithmSpec spec;
+    spec.order = order;
+    spec.dispatch = core::DispatchKind::kConservative;
+    spec.conservative.full_compression = true;
+    actual.emplace_back(spec.display_name() + std::string("|unit"),
+                        test::run_fingerprint(spec, w, kMachineNodes));
+  }
+
+  ASSERT_EQ(actual.size(), std::size(kGolden));
+  bool all_match = true;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const std::string key = std::string(kGolden[i].name) + "|" +
+                            kGolden[i].weight;
+    EXPECT_EQ(actual[i].first, key) << "grid order changed at row " << i;
+    if (actual[i].second != kGolden[i].fnv) all_match = false;
+    EXPECT_EQ(actual[i].second, kGolden[i].fnv)
+        << actual[i].first << ": schedule changed";
+  }
+  if (!all_match) {
+    std::fprintf(stderr, "replacement golden table:\n");
+    for (const auto& [key, fnv] : actual) {
+      const std::size_t bar = key.find('|');
+      std::fprintf(stderr, "    {\"%s\", \"%s\", 0x%016llxull},\n",
+                   key.substr(0, bar).c_str(), key.substr(bar + 1).c_str(),
+                   static_cast<unsigned long long>(fnv));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jsched

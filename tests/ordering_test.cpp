@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <vector>
 
 #include "test_support.h"
+#include "util/rng.h"
 
 namespace jsched::core {
 namespace {
@@ -264,6 +266,66 @@ TEST(WeightKindTest, SchedulingWeights) {
   j.runtime = 1;  // scrubbed/absent; estimated_area uses the estimate
   EXPECT_DOUBLE_EQ(scheduling_weight(j, WeightKind::kUnit), 1.0);
   EXPECT_DOUBLE_EQ(scheduling_weight(j, WeightKind::kEstimatedArea), 400.0);
+}
+
+TEST(IndexedRemoval, MatchesLinearScanReference) {
+  // The id->position index replaced std::find-based removals; drive
+  // FcfsOrder with a random submit/remove mix (removals from head, middle
+  // and tail alike) against a plain vector doing the scan-and-erase the
+  // old code did. Orders must agree after every operation.
+  JobStore store;
+  FcfsOrder order;
+  order.reset(machine(), store);
+  std::vector<JobId> reference;
+  util::Rng rng(123);
+  JobId next = 0;
+  for (int op = 0; op < 4000; ++op) {
+    if (reference.empty() || rng.bernoulli(0.55)) {
+      Job j = make_job(op, 1, 10);
+      j.id = next++;
+      store.put(j);
+      order.on_submit(j.id, op);
+      reference.push_back(j.id);
+    } else {
+      const std::size_t pick = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(reference.size()) - 1));
+      const JobId victim = reference[pick];
+      reference.erase(reference.begin() + static_cast<std::ptrdiff_t>(pick));
+      order.on_remove(victim, op);
+      // Removing again must throw: the index forgot the job.
+      if (op % 97 == 0) {
+        EXPECT_THROW(order.on_remove(victim, op), std::logic_error);
+      }
+    }
+    ASSERT_EQ(order.order(), reference) << "op " << op;
+  }
+}
+
+TEST(IndexedRemoval, PriorityInsertKeepsIndexConsistent) {
+  // Mid-queue priority insertions shift the suffix; subsequent removals
+  // must still hit the right positions.
+  JobStore store;
+  PriorityFcfsOrder order;
+  order.reset(machine(), store);
+  const auto submit = [&](JobId id, std::int32_t cls) {
+    Job j = make_job(0, 1, 10);
+    j.id = id;
+    j.priority_class = cls;
+    store.put(j);
+    order.on_submit(id, 0);
+  };
+  submit(0, 0);
+  submit(1, 0);
+  submit(2, 5);  // jumps the queue
+  submit(3, 2);  // lands between 2 and 0
+  ASSERT_EQ(order.order(), (std::vector<JobId>{2, 3, 0, 1}));
+  order.on_remove(3, 1);  // mid-queue removal after mid-queue insert
+  order.on_remove(1, 1);  // tail
+  ASSERT_EQ(order.order(), (std::vector<JobId>{2, 0}));
+  order.on_remove(2, 1);  // head
+  order.on_remove(0, 1);
+  EXPECT_TRUE(order.order().empty());
+  EXPECT_THROW(order.on_remove(0, 1), std::logic_error);
 }
 
 }  // namespace

@@ -128,10 +128,164 @@ void run_fuzz(std::uint64_t seed, std::size_t ops) {
   }
 }
 
+// Grid-aligned windows: after warm-up most range edges already exist as
+// breakpoints, so allocate/release mostly hit the in-place segment-tree
+// repair path, with merges (structural) whenever a value meets its
+// neighbour — the steady-state mix a replanning scheduler produces. A
+// slice of unaligned ops keeps the insert path in the mix, and periodic
+// compaction exercises the dead-prefix offset against both repair paths.
+void run_in_place_fuzz(std::uint64_t seed, std::size_t ops) {
+  constexpr int kTotal = 64;
+  constexpr Time kStep = 100;
+  Differ d(kTotal);
+  util::Rng rng(seed);
+  std::vector<ActiveAllocation> active;
+  Time now = 0;
+
+  for (std::size_t op = 0; op < ops; ++op) {
+    const std::int64_t dice = rng.uniform_int(0, 99);
+    if (dice < 50) {
+      const bool aligned = dice >= 5;  // 10% unaligned: structural inserts
+      const Time start =
+          now + (aligned ? rng.uniform_int(0, 40) * kStep
+                         : rng.uniform_int(0, 40 * kStep));
+      const Duration dur = aligned ? rng.uniform_int(1, 10) * kStep
+                                   : rng.uniform_int(1, 10 * kStep);
+      const int nodes = static_cast<int>(rng.uniform_int(1, 8));
+      const bool fits = d.fast().fits(start, dur, nodes);
+      ASSERT_EQ(fits, d.ref().fits(start, dur, nodes)) << "op " << op;
+      if (fits) {
+        d.fast().allocate(start, dur, nodes);
+        d.ref().allocate(start, dur, nodes);
+        active.push_back({start, dur, nodes});
+      }
+    } else if (dice < 85 && !active.empty()) {
+      // Release a whole window (value-only update when its edges survive
+      // in neighbouring allocations).
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(active.size()) - 1));
+      const ActiveAllocation a = active[pick];
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(pick));
+      const Time release_from = std::max(a.start, now);
+      if (a.end() > release_from) {
+        d.fast().release(release_from, a.end() - release_from, a.nodes);
+        d.ref().release(release_from, a.end() - release_from, a.nodes);
+      }
+    } else if (dice < 90) {
+      // Advance time by whole steps so the grid alignment survives
+      // compaction.
+      now += rng.uniform_int(0, 5) * kStep;
+      d.fast().compact(now);
+      d.ref().compact(now);
+      std::erase_if(active,
+                    [&](const ActiveAllocation& a) { return a.end() <= now; });
+    } else {
+      const Time from = now + rng.uniform_int(0, 50 * kStep);
+      const Duration dur = rng.uniform_int(1, 12 * kStep);
+      const int nodes = static_cast<int>(rng.uniform_int(0, kTotal));
+      d.expect_queries_agree(op, from, dur, nodes);
+    }
+    d.expect_identical(op);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// Batch-mutation mode: lift a burst of allocations inside a
+// Profile::BulkUpdate scope (only the fast profile has one — the
+// reference sees plain calls), then re-place them through earliest_fit,
+// mirroring ConservativeBackfillDispatch::replan. Queries fired inside
+// and right after the scope must see exactly the reference's answers.
+void run_bulk_fuzz(std::uint64_t seed, std::size_t ops) {
+  constexpr int kTotal = 64;
+  Differ d(kTotal);
+  util::Rng rng(seed);
+  std::vector<ActiveAllocation> active;
+  Time now = 0;
+
+  for (std::size_t op = 0; op < ops;) {
+    // Seed fresh reservations so there is something to lift.
+    const std::size_t arrivals = static_cast<std::size_t>(
+        rng.uniform_int(1, 4));
+    for (std::size_t k = 0; k < arrivals && op < ops; ++k, ++op) {
+      const int nodes = static_cast<int>(rng.uniform_int(1, kTotal / 2));
+      const Duration dur = rng.uniform_int(1, 4000);
+      const Time from = now + rng.uniform_int(0, 2000);
+      const Time start = d.fast().earliest_fit(from, dur, nodes);
+      ASSERT_EQ(start, d.ref().earliest_fit(from, dur, nodes)) << "op " << op;
+      d.fast().allocate(start, dur, nodes);
+      d.ref().allocate(start, dur, nodes);
+      active.push_back({start, dur, nodes});
+      d.expect_identical(op);
+    }
+
+    // Replan-shaped burst: release several windows under one BulkUpdate.
+    const std::size_t burst = std::min<std::size_t>(
+        active.size(), static_cast<std::size_t>(rng.uniform_int(0, 6)));
+    std::vector<ActiveAllocation> lifted;
+    {
+      Profile::BulkUpdate bulk(d.fast());
+      for (std::size_t k = 0; k < burst && op < ops; ++k, ++op) {
+        const std::size_t pick = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(active.size()) - 1));
+        const ActiveAllocation a = active[pick];
+        active.erase(active.begin() + static_cast<std::ptrdiff_t>(pick));
+        const Time release_from = std::max(a.start, now);
+        if (a.end() <= release_from) continue;
+        const Duration tail = a.end() - release_from;
+        d.fast().release(release_from, tail, a.nodes);
+        d.ref().release(release_from, tail, a.nodes);
+        lifted.push_back({release_from, tail, a.nodes});
+        if (rng.bernoulli(0.25)) {
+          // Queries are legal inside the scope and repair on demand.
+          d.expect_queries_agree(op, now + rng.uniform_int(0, 4000),
+                                 rng.uniform_int(1, 3000),
+                                 static_cast<int>(rng.uniform_int(0, kTotal)));
+        }
+      }
+      d.expect_identical(op);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+
+    // Re-place the lifted windows from `now` (phase 2: queries after the
+    // scope closed).
+    for (const ActiveAllocation& a : lifted) {
+      if (op >= ops) break;
+      const Time start = d.fast().earliest_fit(now, a.duration, a.nodes);
+      ASSERT_EQ(start, d.ref().earliest_fit(now, a.duration, a.nodes))
+          << "op " << op;
+      d.fast().allocate(start, a.duration, a.nodes);
+      d.ref().allocate(start, a.duration, a.nodes);
+      active.push_back({start, a.duration, a.nodes});
+      d.expect_identical(op);
+      ++op;
+    }
+    if (::testing::Test::HasFatalFailure()) return;
+
+    if (rng.bernoulli(0.2)) {
+      now += rng.uniform_int(0, 1500);
+      d.fast().compact(now);
+      d.ref().compact(now);
+      std::erase_if(active,
+                    [&](const ActiveAllocation& a) { return a.end() <= now; });
+      d.expect_identical(op);
+    }
+  }
+}
+
 TEST(ProfileDifferential, SchedulerShapedOpsSeed1) { run_fuzz(1, 10'000); }
 TEST(ProfileDifferential, SchedulerShapedOpsSeed2) { run_fuzz(2, 10'000); }
 TEST(ProfileDifferential, SchedulerShapedOpsSeed3) { run_fuzz(3, 10'000); }
 TEST(ProfileDifferential, SchedulerShapedOpsSeed1999) { run_fuzz(1999, 10'000); }
+
+TEST(ProfileDifferential, InPlaceMutationMixSeed7) {
+  run_in_place_fuzz(7, 10'000);
+}
+TEST(ProfileDifferential, InPlaceMutationMixSeed8) {
+  run_in_place_fuzz(8, 10'000);
+}
+
+TEST(ProfileDifferential, BulkUpdateBatchModeSeed11) { run_bulk_fuzz(11, 10'000); }
+TEST(ProfileDifferential, BulkUpdateBatchModeSeed12) { run_bulk_fuzz(12, 10'000); }
 
 TEST(ProfileDifferential, DenseSmallMachineStressesMerging) {
   // A 3-node machine forces constant breakpoint merging/splitting at tiny

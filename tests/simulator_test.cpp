@@ -63,14 +63,16 @@ TEST(Simulator, CancelsJobAtItsLimit) {
 }
 
 TEST(Simulator, SchedulerSeesScrubbedRuntime) {
-  // A scheduler that tries to exploit job.runtime would see 0. We verify
-  // via a probe scheduler.
+  // Submission has no runtime member at all — the on-line boundary is
+  // enforced by the type. A scheduler materializing a Job from it gets
+  // runtime scrubbed to 0, and the visible fields are intact.
   class Probe final : public Scheduler {
    public:
     std::string name() const override { return "probe"; }
     void reset(const Machine&) override {}
-    void on_submit(const Job& job, Time) override {
-      saw_runtime = job.runtime;
+    void on_submit(const Submission& job, Time) override {
+      saw_runtime = job.to_job().runtime;
+      saw_estimate = job.estimate;
       pending.push_back(job.id);
     }
     void on_complete(JobId, Time) override {}
@@ -80,6 +82,7 @@ TEST(Simulator, SchedulerSeesScrubbedRuntime) {
     }
     std::size_t queue_length() const override { return pending.size(); }
     Duration saw_runtime = -1;
+    Duration saw_estimate = -1;
     std::vector<JobId> pending;
   };
 
@@ -89,6 +92,7 @@ TEST(Simulator, SchedulerSeesScrubbedRuntime) {
   Probe probe;
   const Schedule s = simulate(m, probe, w);
   EXPECT_EQ(probe.saw_runtime, 0);
+  EXPECT_EQ(probe.saw_estimate, 100);
   EXPECT_EQ(s[0].end - s[0].start, 77);  // ground truth still applies
 }
 
@@ -97,7 +101,9 @@ TEST(Simulator, ThrowsWhenSchedulerOversubscribes) {
    public:
     std::string name() const override { return "bad"; }
     void reset(const Machine&) override {}
-    void on_submit(const Job& job, Time) override { pending.push_back(job.id); }
+    void on_submit(const Submission& job, Time) override {
+      pending.push_back(job.id);
+    }
     void on_complete(JobId, Time) override {}
     void select_starts(Time, int, std::vector<JobId>& starts) override {
       starts = pending;  // starts everything regardless of capacity
@@ -119,7 +125,7 @@ TEST(Simulator, ThrowsWhenSchedulerStarvesJobs) {
    public:
     std::string name() const override { return "lazy"; }
     void reset(const Machine&) override {}
-    void on_submit(const Job&, Time) override { ++queued; }
+    void on_submit(const Submission&, Time) override { ++queued; }
     void on_complete(JobId, Time) override {}
     void select_starts(Time, int, std::vector<JobId>& starts) override {
       starts.clear();
@@ -140,7 +146,7 @@ TEST(Simulator, ThrowsWhenSchedulerStartsTwice) {
    public:
     std::string name() const override { return "doubler"; }
     void reset(const Machine&) override {}
-    void on_submit(const Job& job, Time) override { id = job.id; }
+    void on_submit(const Submission& job, Time) override { id = job.id; }
     void on_complete(JobId, Time) override {}
     void select_starts(Time, int, std::vector<JobId>& starts) override {
       starts.clear();

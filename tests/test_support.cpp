@@ -23,6 +23,11 @@ sim::Schedule run(const core::AlgorithmSpec& spec, const workload::Workload& w,
   return sim::simulate(m, *scheduler, w);
 }
 
+std::uint64_t run_fingerprint(const core::AlgorithmSpec& spec,
+                              const workload::Workload& w, int nodes) {
+  return sim::schedule_fingerprint(run(spec, w, nodes));
+}
+
 workload::Workload small_mixed_workload() {
   // Designed around a 16-node machine: a wide job blocks the queue while
   // narrow jobs could backfill; estimates over-state runtimes to exercise

@@ -1,6 +1,7 @@
 // Shared fixtures and builders for the test suite.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/factory.h"
@@ -24,5 +25,12 @@ sim::Schedule run(const core::AlgorithmSpec& spec, const workload::Workload& w,
 /// A small mixed workload exercising queueing, backfilling holes and
 /// over-estimation; deterministic.
 workload::Workload small_mixed_workload();
+
+/// Simulate `spec` over `w` and return the schedule's FNV-1a fingerprint
+/// (sim::schedule_fingerprint). Two runs producing the same fingerprint
+/// scheduled every job bit-identically — the one-assert witness used by
+/// the golden-grid regression test and by future optimization PRs.
+std::uint64_t run_fingerprint(const core::AlgorithmSpec& spec,
+                              const workload::Workload& w, int nodes = 16);
 
 }  // namespace jsched::test
