@@ -136,6 +136,45 @@ void write_grid_bench_json(const std::string& path, const BenchConfig& cfg,
   std::printf("wrote %s\n\n", path.c_str());
 }
 
+void write_fault_bench_json(
+    const std::string& path, const BenchConfig& cfg,
+    const std::vector<std::string>& labels,
+    const std::vector<std::vector<eval::RunResult>>& curve) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"benchmark\": \"fault_sweep\",\n");
+  std::fprintf(f, "  \"jobs\": %zu,\n", cfg.ctc_jobs);
+  std::fprintf(f, "  \"machine_nodes\": %d,\n", cfg.machine_nodes);
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(cfg.seed));
+  std::fprintf(f, "  \"points\": [\n");
+  for (std::size_t p = 0; p < curve.size(); ++p) {
+    std::fprintf(f, "    {\"label\": \"%s\", \"configs\": [\n",
+                 labels[p].c_str());
+    for (std::size_t i = 0; i < curve[p].size(); ++i) {
+      const eval::RunResult& r = curve[p][i];
+      std::fprintf(f,
+                   "      {\"scheduler\": \"%s\", \"art\": %.2f, "
+                   "\"goodput_fraction\": %.4f, \"availability\": %.4f, "
+                   "\"kills\": %zu, \"wasted_node_seconds\": %.0f, "
+                   "\"schedule_fnv\": \"%016llx\"}%s\n",
+                   r.scheduler_name.c_str(), r.art, r.goodput_fraction,
+                   r.availability, r.kills, r.wasted_node_seconds,
+                   static_cast<unsigned long long>(r.schedule_fnv),
+                   i + 1 == curve[p].size() ? "" : ",");
+    }
+    std::fprintf(f, "    ]}%s\n", p + 1 == curve.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n\n", path.c_str());
+}
+
 void print_shape_checks(const std::vector<ShapeCheck>& checks) {
   std::printf("shape checks against the paper's findings:\n");
   for (const auto& c : checks) {

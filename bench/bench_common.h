@@ -89,4 +89,14 @@ void write_grid_bench_json(const std::string& path, const BenchConfig& cfg,
                            const std::vector<eval::RunResult>& weighted,
                            double weighted_wall);
 
+/// Write a fault-injection degradation curve as JSON (BENCH_fault.json):
+/// one entry per sweep point (failure intensity), each carrying the full
+/// grid's resilience metrics — ART, goodput fraction, availability, kills,
+/// wasted node-seconds and the schedule fingerprint. curve[i] must be the
+/// run_fault_sweep result for labels[i].
+void write_fault_bench_json(
+    const std::string& path, const BenchConfig& cfg,
+    const std::vector<std::string>& labels,
+    const std::vector<std::vector<eval::RunResult>>& curve);
+
 }  // namespace jsched::bench

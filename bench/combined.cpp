@@ -14,6 +14,7 @@
 
 #include "bench_common.h"
 #include "core/phased_scheduler.h"
+#include "fault/failure_model.h"
 #include "metrics/objectives.h"
 #include "sim/simulator.h"
 #include "util/table.h"
@@ -139,5 +140,83 @@ int main() {
       machine, core::WeightKind::kEstimatedArea, w, true, &wall_w);
   bench::write_grid_bench_json("BENCH_grid.json", cfg, grid_u, wall_u, grid_w,
                                wall_w);
+
+  // Resilience: re-run the unweighted grid under increasing failure
+  // intensity (checkpoint/restart recovery) and record the degradation
+  // curve (BENCH_fault.json). The failure horizon covers the whole
+  // submission span plus drain slack so late-running jobs see faults too.
+  std::printf("=== Fault sweep: grid degradation under node failures ===\n");
+  Time horizon = 0;
+  for (const auto& j : w) horizon = std::max(horizon, j.submit);
+  horizon += 30 * kDay;
+
+  fault::FailureModelParams fp;
+  fp.nodes = cfg.machine_nodes;
+  fp.horizon = horizon;
+  fp.mttr = 2.0 * static_cast<double>(kHour);
+  const std::vector<std::pair<std::string, double>> intensities = {
+      {"mtbf=4w", 28.0 * static_cast<double>(kDay)},
+      {"mtbf=1w", 7.0 * static_cast<double>(kDay)},
+  };
+  std::vector<fault::FailureTrace> traces;
+  traces.reserve(intensities.size());
+  for (const auto& [label, mtbf] : intensities) {
+    fp.mtbf = mtbf;
+    traces.push_back(fault::generate_failures(fp, cfg.seed ^ 0xfau));
+  }
+  std::vector<std::string> labels = {"no-faults"};
+  std::vector<eval::FaultSweepPoint> points(1);
+  points[0].label = "no-faults";
+  for (std::size_t i = 0; i < intensities.size(); ++i) {
+    eval::FaultSweepPoint p;
+    p.label = intensities[i].first;
+    p.faults.trace = &traces[i];
+    p.faults.recovery = {fault::RecoveryPolicy::kCheckpointRestart, kHour,
+                         5 * kMinute};
+    points.push_back(p);
+    labels.push_back(p.label);
+  }
+
+  eval::ExperimentOptions fopt;
+  fopt.measure_cpu = false;
+  fopt.threads = cfg.threads;
+  fopt.on_run = [&](const std::string& name) {
+    std::fprintf(stderr, "  [fault] %s ...\n", name.c_str());
+  };
+  const auto curve =
+      eval::run_fault_sweep(machine, core::WeightKind::kUnit, w, points, fopt);
+
+  util::Table ft({"sweep point", "mean goodput", "availability", "kills",
+                  "mean ART (s)"});
+  ft.set_title("grid means under failure intensity");
+  std::vector<double> mean_goodput(curve.size(), 0.0);
+  for (std::size_t p = 0; p < curve.size(); ++p) {
+    double art = 0.0;
+    std::size_t kills = 0;
+    for (const auto& r : curve[p]) {
+      mean_goodput[p] += r.goodput_fraction;
+      art += r.art;
+      kills += r.kills;
+    }
+    mean_goodput[p] /= static_cast<double>(curve[p].size());
+    art /= static_cast<double>(curve[p].size());
+    ft.add_row({labels[p], util::sci(mean_goodput[p]),
+                util::sci(curve[p].front().availability),
+                std::to_string(kills), util::sci(art)});
+  }
+  std::printf("%s\n", ft.to_ascii().c_str());
+
+  std::vector<bench::ShapeCheck> fchecks;
+  fchecks.push_back({"fault-free sweep point has goodput 1 for every config",
+                     mean_goodput[0] == 1.0});
+  fchecks.push_back(
+      {"goodput degrades monotonically with failure intensity",
+       mean_goodput[0] >= mean_goodput[1] && mean_goodput[1] >= mean_goodput[2]});
+  fchecks.push_back(
+      {"every config still completes all jobs at the highest intensity",
+       std::all_of(curve.back().begin(), curve.back().end(),
+                   [&](const eval::RunResult& r) { return r.jobs == w.size(); })});
+  bench::print_shape_checks(fchecks);
+  bench::write_fault_bench_json("BENCH_fault.json", cfg, labels, curve);
   return 0;
 }

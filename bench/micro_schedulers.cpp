@@ -9,6 +9,7 @@
 #include "core/factory.h"
 #include "core/psrs.h"
 #include "core/smart.h"
+#include "fault/fault.h"
 #include "sim/profile.h"
 #include "sim/reference_profile.h"
 #include "sim/simulator.h"
@@ -261,6 +262,30 @@ void BM_ConservativeOnTimeCompletions(benchmark::State& state) {
 }
 BENCHMARK(BM_ConservativeOnTimeCompletions)
     ->Arg(64)->Arg(256)->Arg(1024)->Complexity();
+
+// Zero-failure overhead guard for the fault subsystem: arg 0 simulates
+// with default options (null trace), arg 1 with a pointer to an *empty*
+// trace. Both must dispatch to the fault-free event loop, so the two
+// variants run identical work; CI asserts their times stay within 2% of
+// each other — if inactive fault options ever leak per-event work into
+// the hot loop (or route to the fault loop), the ratio blows up.
+void BM_SimulateZeroFailure(benchmark::State& state) {
+  const auto& w = bench_workload();
+  core::AlgorithmSpec spec;
+  spec.dispatch = core::DispatchKind::kEasy;
+  sim::Machine m;
+  m.nodes = 256;
+  auto scheduler = core::make_scheduler(spec);
+  const fault::FailureTrace empty_trace = fault::make_failure_trace({}, 256);
+  sim::SimOptions opt;
+  opt.validate = false;
+  if (state.range(0) == 1) opt.faults.trace = &empty_trace;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate(m, *scheduler, w, opt));
+  }
+  state.SetLabel(state.range(0) == 1 ? "empty trace" : "no fault options");
+}
+BENCHMARK(BM_SimulateZeroFailure)->Arg(0)->Arg(1);
 
 void BM_SimulateGrid(benchmark::State& state) {
   const auto& w = bench_workload();

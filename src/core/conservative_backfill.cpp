@@ -18,6 +18,7 @@ void ConservativeBackfillDispatch::reset(const sim::Machine& machine,
                                          const JobStore& store) {
   store_ = &store;
   profile_ = sim::Profile(machine.nodes);
+  down_nodes_ = 0;
   reserved_.clear();
   wakeups_ = {};
   compression_debt_ = false;
@@ -32,7 +33,9 @@ void ConservativeBackfillDispatch::reserve(JobId id, Time from) {
 }
 
 void ConservativeBackfillDispatch::on_enqueue(JobId id, Time now) {
-  if (reserved_.size() < params_.reservation_depth) reserve(id, now);
+  if (reserved_.size() < params_.reservation_depth && reservable(id)) {
+    reserve(id, now);
+  }
 }
 
 void ConservativeBackfillDispatch::on_start(JobId id, Time now) {
@@ -168,13 +171,54 @@ void ConservativeBackfillDispatch::on_reorder(const std::vector<JobId>& order,
   compression_debt_ = false;
 }
 
+void ConservativeBackfillDispatch::on_capacity_change(
+    Time now, int available_nodes, const std::vector<JobId>& order,
+    const std::vector<RunningJob>& running) {
+  (void)running;
+  // Every reservation assumed the old capacity: lift them all, adjust the
+  // open-ended outage allocation to the new down count, and re-place in
+  // queue order. Shrinking is always legal — after the simulator's kills,
+  // running jobs use at most `available_nodes`, so with reservations
+  // lifted the profile has at least the extra outage free at every
+  // instant. Growing releases the recovered slice of the outage.
+  const int down = profile_.total_nodes() - available_nodes;
+  {
+    sim::Profile::BulkUpdate bulk(profile_);
+    for (const auto& [id, start] : reserved_) {
+      const Job& j = store_->get(id);
+      profile_.release(start, j.estimate, j.nodes);
+    }
+    if (down > down_nodes_) {
+      profile_.allocate(now, kTimeInfinity, down - down_nodes_);
+    } else if (down < down_nodes_) {
+      profile_.release(now, kTimeInfinity, down_nodes_ - down);
+    }
+  }
+  down_nodes_ = down;
+  reserved_.clear();
+  wakeups_ = {};
+  std::size_t planned = 0;
+  for (JobId id : order) {
+    if (planned >= params_.reservation_depth) break;
+    if (!reservable(id)) continue;  // parked until capacity recovers
+    reserve(id, now);
+    ++planned;
+  }
+  // The whole reserved set was just re-placed from `now`: fully
+  // compressed by construction.
+  compression_debt_ = false;
+}
+
 void ConservativeBackfillDispatch::adopt(
     Time now, const std::vector<JobId>& order,
     const std::vector<RunningJob>& running) {
   // Rebuild the profile from scratch: running jobs occupy capacity until
   // their estimated ends, then every queued job gets a fresh reservation
-  // in the adopted order.
+  // in the adopted order. The rebuild assumes full capacity; when nodes
+  // are down the owner (PhasedScheduler) re-delivers on_capacity_change
+  // right after adopting, restoring the outage allocation.
   profile_ = sim::Profile(profile_.total_nodes());
+  down_nodes_ = 0;
   reserved_.clear();
   wakeups_ = {};
   {
@@ -200,7 +244,7 @@ void ConservativeBackfillDispatch::promote(const std::vector<JobId>& order,
   }
   for (JobId id : order) {
     if (reserved_.size() >= params_.reservation_depth) break;
-    if (!reserved_.contains(id)) {
+    if (!reserved_.contains(id) && reservable(id)) {
       reserve(id, now);
       // The promoted job may rank anywhere in the current order (e.g. a
       // SMART arrival folded in by a reorder before it was ever enqueued

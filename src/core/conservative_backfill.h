@@ -72,6 +72,9 @@ class ConservativeBackfillDispatch final : public Dispatcher {
   void on_complete(JobId id, Time now, Time estimated_end,
                    const std::vector<JobId>& order) override;
   void on_reorder(const std::vector<JobId>& order, Time now) override;
+  void on_capacity_change(Time now, int available_nodes,
+                          const std::vector<JobId>& order,
+                          const std::vector<RunningJob>& running) override;
   void adopt(Time now, const std::vector<JobId>& order,
              const std::vector<RunningJob>& running) override;
   void select(Time now, int free_nodes, const std::vector<JobId>& order,
@@ -88,10 +91,22 @@ class ConservativeBackfillDispatch final : public Dispatcher {
   void reserve(JobId id, Time from);
   void replan(const std::vector<JobId>& order, Time now, std::size_t limit);
   void promote(const std::vector<JobId>& order, Time now);
+  /// False for jobs wider than the machine's surviving capacity: reserving
+  /// one would send earliest_fit hunting for a window that cannot exist
+  /// while nodes are down. Such jobs stay parked (no reservation) until a
+  /// capacity recovery re-admits them. Always true at full capacity.
+  bool reservable(JobId id) const {
+    return store_->get(id).nodes + down_nodes_ <= profile_.total_nodes();
+  }
 
   ConservativeParams params_;
   const JobStore* store_ = nullptr;
   sim::Profile profile_{1};
+  /// Nodes currently down (fault injection). Modeled in the profile as one
+  /// open-ended allocation [outage instant, infinity): conservative —
+  /// reservations never assume a repair time — and exact again the moment
+  /// on_capacity_change re-plans at the recovered capacity.
+  int down_nodes_ = 0;
   std::unordered_map<JobId, Time> reserved_;  // queued job -> reserved start
   // True when the plan may no longer be the fixed point of a replay in
   // queue order: capacity was freed (early completion, normalization) or a

@@ -45,6 +45,22 @@ class Dispatcher {
                            const std::vector<JobId>& /*order*/) {}
   virtual void on_reorder(const std::vector<JobId>&, Time) {}
 
+  /// The machine's node count changed to `available_nodes` (fault
+  /// injection). Kills caused by the change were already delivered via
+  /// on_complete; `running` is the post-kill active set. Dispatchers that
+  /// plan only against the free_nodes handed to select() (head-only,
+  /// first-fit, EASY — all recompute per call) need nothing; dispatchers
+  /// holding a long-range availability profile override it to rebuild
+  /// their plan at the new capacity.
+  virtual void on_capacity_change(Time now, int available_nodes,
+                                  const std::vector<JobId>& order,
+                                  const std::vector<RunningJob>& running) {
+    (void)now;
+    (void)available_nodes;
+    (void)order;
+    (void)running;
+  }
+
   /// Take over a machine mid-flight (phase-switched schedulers): rebuild
   /// any internal state from the currently running jobs and the queue
   /// order. Stateless dispatchers need nothing beyond the default.

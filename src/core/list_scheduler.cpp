@@ -58,6 +58,11 @@ void ListScheduler::on_complete(JobId id, Time now) {
   sync_order_version(now);
 }
 
+void ListScheduler::on_capacity_change(Time now, int available_nodes) {
+  dispatcher_->on_capacity_change(now, available_nodes, ordering_->order(),
+                                  running_);
+}
+
 void ListScheduler::select_starts(Time now, int free_nodes,
                                   std::vector<JobId>& starts) {
   dispatcher_->select(now, free_nodes, ordering_->order(), running_, starts);

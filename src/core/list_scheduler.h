@@ -25,6 +25,7 @@ class ListScheduler final : public sim::Scheduler {
   void reset(const sim::Machine& machine) override;
   void on_submit(const Submission& job, Time now) override;
   void on_complete(JobId id, Time now) override;
+  void on_capacity_change(Time now, int available_nodes) override;
   void select_starts(Time now, int free_nodes,
                      std::vector<JobId>& starts) override;
   Time next_wakeup(Time now) const override;

@@ -78,6 +78,8 @@ void PhasedScheduler::reset(const sim::Machine& machine) {
   day_active_ = window_.contains(0);
   flips_ = 0;
   last_sync_ = -1;
+  machine_nodes_ = machine.nodes;
+  capacity_ = machine.nodes;
   seen_version_ = order().version();
 }
 
@@ -102,7 +104,19 @@ void PhasedScheduler::sync_phase(Time now) {
 
   day_active_ = want_day;
   dispatch().adopt(now, order().order(), running_);
+  if (capacity_ != machine_nodes_) {
+    // adopt() rebuilt the incoming dispatcher's state at full capacity;
+    // replay the outage so its plan respects the surviving nodes.
+    dispatch().on_capacity_change(now, capacity_, order().order(), running_);
+  }
   seen_version_ = order().version();
+}
+
+void PhasedScheduler::on_capacity_change(Time now, int available_nodes) {
+  sync_phase(now);
+  capacity_ = available_nodes;
+  dispatch().on_capacity_change(now, available_nodes, order().order(),
+                                running_);
 }
 
 void PhasedScheduler::sync_order_version(Time now) {

@@ -53,6 +53,7 @@ class PhasedScheduler final : public sim::Scheduler {
   void reset(const sim::Machine& machine) override;
   void on_submit(const Submission& job, Time now) override;
   void on_complete(JobId id, Time now) override;
+  void on_capacity_change(Time now, int available_nodes) override;
   void select_starts(Time now, int free_nodes,
                      std::vector<JobId>& starts) override;
   Time next_wakeup(Time now) const override;
@@ -85,6 +86,11 @@ class PhasedScheduler final : public sim::Scheduler {
   std::uint64_t seen_version_ = 0;
   std::size_t flips_ = 0;
   Time last_sync_ = -1;
+  /// Machine size and last advertised capacity (fault injection). adopt()
+  /// rebuilds the incoming dispatcher at full capacity, so a phase flip
+  /// during an outage re-delivers on_capacity_change right after adopting.
+  int machine_nodes_ = 0;
+  int capacity_ = 0;
 };
 
 /// The paper's §7 outcome as a ready-made configuration: SMART-FFIA+EASY

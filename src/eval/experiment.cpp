@@ -5,6 +5,7 @@
 
 #include "eval/internal.h"
 #include "metrics/objectives.h"
+#include "metrics/resilience.h"
 #include "sim/simulator.h"
 #include "util/thread_pool.h"
 
@@ -40,6 +41,7 @@ RunResult run_one(const sim::Machine& machine, const core::AlgorithmSpec& spec,
   sim::SimOptions sim_options;
   sim_options.validate = options.validate;
   sim_options.measure_scheduler_cpu = options.measure_cpu;
+  sim_options.faults = options.faults;
   const sim::Schedule schedule =
       sim::simulate(machine, *scheduler, workload, sim_options);
 
@@ -55,6 +57,14 @@ RunResult run_one(const sim::Machine& machine, const core::AlgorithmSpec& spec,
   r.scheduler_cpu_seconds = schedule.scheduler_cpu_seconds;
   r.max_queue_length = schedule.max_queue_length;
   r.schedule_fnv = sim::schedule_fingerprint(schedule);
+  const metrics::ResilienceReport res = metrics::resilience(schedule, workload);
+  r.goodput_node_seconds = res.useful_node_seconds;
+  r.wasted_node_seconds = res.wasted_node_seconds;
+  r.goodput_fraction = res.goodput_fraction;
+  r.availability = res.availability;
+  r.availability_weighted_utilization = res.availability_weighted_utilization;
+  r.kills = res.kills;
+  r.jobs_hit = res.jobs_hit;
   return r;
 }
 
@@ -81,6 +91,21 @@ std::vector<RunResult> run_grid(const sim::Machine& machine,
   util::parallel_for_each(specs.size(), threads, [&](std::size_t i) {
     out[i] = run_one(machine, specs[i], workload, per_task);
   });
+  return out;
+}
+
+std::vector<std::vector<RunResult>> run_fault_sweep(
+    const sim::Machine& machine, core::WeightKind weight,
+    const workload::Workload& workload,
+    const std::vector<FaultSweepPoint>& points,
+    const ExperimentOptions& options) {
+  std::vector<std::vector<RunResult>> out;
+  out.reserve(points.size());
+  for (const FaultSweepPoint& point : points) {
+    ExperimentOptions per_point = options;
+    per_point.faults = point.faults;
+    out.push_back(run_grid(machine, weight, workload, per_point));
+  }
   return out;
 }
 

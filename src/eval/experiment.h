@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/factory.h"
+#include "fault/fault.h"
 #include "sim/machine.h"
 #include "workload/workload.h"
 
@@ -30,6 +31,17 @@ struct RunResult {
   /// witness perf PRs compare against their baseline (BENCH_grid.json).
   std::uint64_t schedule_fnv = 0;
 
+  // Resilience metrics (metrics::resilience). In a fault-free run goodput
+  // equals the executed node-seconds, wasted is 0, availability is 1 and
+  // the availability-weighted utilization equals `utilization`.
+  double goodput_node_seconds = 0.0;
+  double wasted_node_seconds = 0.0;
+  double goodput_fraction = 1.0;
+  double availability = 1.0;
+  double availability_weighted_utilization = 0.0;
+  std::size_t kills = 0;
+  std::size_t jobs_hit = 0;
+
   /// The metric matching the run's objective (art for unit weight, awrt
   /// for area weight).
   double objective_cost() const {
@@ -51,6 +63,12 @@ struct ExperimentOptions {
   /// reporting in long benches); may be empty. With threads > 1 the
   /// callback is serialized by a mutex but fires in completion order.
   std::function<void(const std::string&)> on_run;
+  /// Fault-injection axis, forwarded to every simulation (the referenced
+  /// trace must outlive the run). Inactive by default; results are then
+  /// bit-identical to a build without fault support. Simulation is
+  /// deterministic in (workload, trace, recovery), so any `threads` value
+  /// produces identical results under faults too.
+  fault::FaultOptions faults{};
 };
 
 /// Simulate one algorithm over one workload.
@@ -69,5 +87,23 @@ std::vector<RunResult> run_grid(const sim::Machine& machine,
 /// Find the grid entry with the given order/dispatch; throws if absent.
 const RunResult& find(const std::vector<RunResult>& results,
                       core::OrderKind order, core::DispatchKind dispatch);
+
+/// One point of a failure-intensity sweep: a label ("mtbf=7d") plus the
+/// fault axis to apply.
+struct FaultSweepPoint {
+  std::string label;
+  fault::FaultOptions faults;
+};
+
+/// Run the full grid once per sweep point (each via run_grid, so
+/// `options.threads` parallelizes within a point); result [i] belongs to
+/// points[i]. Any faults already present in `options` are replaced by each
+/// point's. Degradation curves (goodput, ART inflation, ...) read
+/// straight off the per-point RunResult vectors.
+std::vector<std::vector<RunResult>> run_fault_sweep(
+    const sim::Machine& machine, core::WeightKind weight,
+    const workload::Workload& workload,
+    const std::vector<FaultSweepPoint>& points,
+    const ExperimentOptions& options = {});
 
 }  // namespace jsched::eval

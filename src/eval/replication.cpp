@@ -44,6 +44,7 @@ ReplicatedResult aggregate(const core::AlgorithmSpec& spec,
     out.art.add(runs[i].art);
     out.awrt.add(runs[i].awrt);
     out.utilization.add(runs[i].utilization);
+    out.goodput_fraction.add(runs[i].goodput_fraction);
   }
   return out;
 }

@@ -26,6 +26,9 @@ struct ReplicatedResult {
   util::RunningStats art;
   util::RunningStats awrt;
   util::RunningStats utilization;
+  /// Share of executed node-seconds that was useful work (1.0 without
+  /// fault injection; see ExperimentOptions::faults).
+  util::RunningStats goodput_fraction;
 
   /// Coefficient of variation of the ART across seeds (stddev / mean) —
   /// a quick robustness indicator.

@@ -1,0 +1,71 @@
+#include "fault/failure_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace jsched::fault {
+namespace {
+
+/// One phase-length draw with the requested distribution and mean.
+/// Weibull scale is derived from the target mean exactly as
+/// workload::CtcModel does: mean = scale * Gamma(1 + 1/shape).
+double draw_phase(util::Rng& rng, FailureDistribution dist, double mean,
+                  double shape) {
+  if (dist == FailureDistribution::kExponential) {
+    return rng.exponential(1.0 / mean);
+  }
+  const double scale = mean / std::tgamma(1.0 + 1.0 / shape);
+  return rng.weibull(shape, scale);
+}
+
+/// Round a phase draw to the integer-second time base, never below 1s
+/// (zero-length phases would fold a failure and its repair into one
+/// instant and vanish).
+Duration phase_seconds(double v) {
+  return std::max<Duration>(1, static_cast<Duration>(std::llround(v)));
+}
+
+}  // namespace
+
+void FailureModelParams::validate() const {
+  if (nodes < 1) throw std::invalid_argument("FailureModel: nodes < 1");
+  if (horizon < 0) throw std::invalid_argument("FailureModel: horizon < 0");
+  if (!(mtbf > 0.0)) throw std::invalid_argument("FailureModel: mtbf <= 0");
+  if (!(mttr > 0.0)) throw std::invalid_argument("FailureModel: mttr <= 0");
+  if (uptime_dist == FailureDistribution::kWeibull && !(uptime_shape > 0.0)) {
+    throw std::invalid_argument("FailureModel: uptime_shape <= 0");
+  }
+  if (repair_dist == FailureDistribution::kWeibull && !(repair_shape > 0.0)) {
+    throw std::invalid_argument("FailureModel: repair_shape <= 0");
+  }
+}
+
+FailureTrace generate_failures(const FailureModelParams& params,
+                               std::uint64_t seed) {
+  params.validate();
+  util::Rng rng(seed);
+  std::vector<FailureEvent> events;
+  for (int node = 0; node < params.nodes; ++node) {
+    // One independent stream per node: adding nodes extends the trace
+    // without perturbing the existing nodes' failure times.
+    util::Rng node_rng = rng.split();
+    Time t = 0;
+    while (true) {
+      const Duration up = phase_seconds(draw_phase(
+          node_rng, params.uptime_dist, params.mtbf, params.uptime_shape));
+      if (t > params.horizon - up) break;  // next failure beyond horizon
+      t += up;
+      const Duration repair = phase_seconds(draw_phase(
+          node_rng, params.repair_dist, params.mttr, params.repair_shape));
+      events.push_back({t, -1});
+      events.push_back({t + repair, +1});
+      t += repair;
+    }
+  }
+  return make_failure_trace(std::move(events), params.nodes);
+}
+
+}  // namespace jsched::fault

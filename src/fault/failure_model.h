@@ -1,0 +1,51 @@
+// Stochastic failure-trace generation.
+//
+// Per-node renewal process: each node alternates an up phase drawn from
+// the MTBF distribution with a repair phase drawn from the MTTR
+// distribution, independently of every other node. Exponential phases
+// give the memoryless baseline; Weibull phases (shape < 1 for uptime)
+// reproduce the infant-mortality / burstiness reported for real MPP
+// failure logs. The same deterministic RNG discipline as
+// workload::CtcModel applies: one util::Rng seeded by the caller, one
+// split() stream per node, so adding a node never perturbs the draws of
+// another and a seed fully determines the trace.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/fault.h"
+#include "util/time.h"
+
+namespace jsched::fault {
+
+enum class FailureDistribution { kExponential, kWeibull };
+
+struct FailureModelParams {
+  /// Machine size the trace is generated for.
+  int nodes = 256;
+  /// Failures are generated in [0, horizon); repairs may complete later
+  /// (every failure is always eventually repaired, so a simulation never
+  /// ends with capacity permanently lost).
+  Time horizon = 30 * kDay;
+  /// Mean time between failures of one node (seconds).
+  double mtbf = 30.0 * static_cast<double>(kDay);
+  /// Mean time to repair one node (seconds).
+  double mttr = 2.0 * static_cast<double>(kHour);
+  FailureDistribution uptime_dist = FailureDistribution::kExponential;
+  FailureDistribution repair_dist = FailureDistribution::kExponential;
+  /// Weibull shape parameters (used only by the matching *_dist). The
+  /// scale is derived so the mean stays at mtbf / mttr respectively.
+  double uptime_shape = 0.7;
+  double repair_shape = 2.0;
+
+  /// Throws std::invalid_argument on nonsensical values.
+  void validate() const;
+};
+
+/// Generate a validated failure trace: per-node alternating
+/// time-to-failure / time-to-repair draws, merged over all nodes into
+/// single-instant capacity steps. Deterministic in (params, seed).
+FailureTrace generate_failures(const FailureModelParams& params,
+                               std::uint64_t seed);
+
+}  // namespace jsched::fault

@@ -45,6 +45,19 @@ std::uint64_t schedule_fingerprint(const Schedule& s) {
     mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(r.nodes)));
     mix(r.cancelled ? 1u : 0u);
   }
+  // Fault-injection extras. Both vectors are empty in fault-free runs, so
+  // this folds nothing and the fingerprint equals the historical one.
+  for (const AttemptRecord& a : s.attempts) {
+    mix(static_cast<std::uint64_t>(a.id));
+    mix(static_cast<std::uint64_t>(a.start));
+    mix(static_cast<std::uint64_t>(a.end));
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(a.nodes)));
+    mix(static_cast<std::uint64_t>(a.saved));
+  }
+  for (const auto& [t, capacity] : s.capacity_events) {
+    mix(static_cast<std::uint64_t>(t));
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(capacity)));
+  }
   return h;
 }
 
@@ -54,9 +67,104 @@ Time Schedule::makespan() const noexcept {
   return m;
 }
 
+namespace {
+
+/// Validity under fault injection: per-job conservation instead of exact
+/// durations, and a capacity sweep against the recorded capacity steps.
+void validate_faulty_schedule(const Schedule& s, const workload::Workload& w) {
+  auto fail = [](const std::string& msg) { throw std::logic_error("schedule: " + msg); };
+
+  std::vector<Duration> executed(s.size(), 0);
+  for (JobId id = 0; id < s.size(); ++id) {
+    const JobRecord& r = s[id];
+    const Job& j = w.job(id);
+    std::ostringstream who;
+    who << "job " << id << ": ";
+    if (r.end == kTimeInfinity) fail(who.str() + "never completed");
+    if (r.nodes != j.nodes) fail(who.str() + "node count mismatch");
+    if (r.submit != j.submit) fail(who.str() + "submit time mismatch");
+    if (r.start < j.submit) fail(who.str() + "started before submission");
+    if (r.end <= r.start) fail(who.str() + "non-positive final attempt");
+    executed[id] = r.end - r.start;
+  }
+  for (const AttemptRecord& a : s.attempts) {
+    std::ostringstream who;
+    who << "attempt of job " << a.id << ": ";
+    if (a.id >= s.size()) fail(who.str() + "unknown job");
+    const Job& j = w.job(a.id);
+    if (a.nodes != j.nodes) fail(who.str() + "node count mismatch");
+    if (a.start < j.submit) fail(who.str() + "started before submission");
+    if (a.end <= a.start) fail(who.str() + "non-positive attempt");
+    if (a.end > s[a.id].start) {
+      fail(who.str() + "killed attempt overlaps the final attempt");
+    }
+    if (a.saved < 0 || a.saved > a.end - a.start) {
+      fail(who.str() + "saved work outside the attempt");
+    }
+    executed[a.id] += a.end - a.start;
+  }
+  for (JobId id = 0; id < s.size(); ++id) {
+    const Job& j = w.job(id);
+    // Conservation: across all attempts the job must have executed at
+    // least its fault-free lifetime (requeued work is re-executed; restart
+    // overhead only adds on top).
+    if (executed[id] < std::min(j.runtime, j.estimate)) {
+      fail("job " + std::to_string(id) + ": executed less than its lifetime");
+    }
+  }
+
+  // Capacity sweep against the time-varying capacity. At equal instants
+  // the simulator releases completions first, then applies capacity steps
+  // (kills release within the step), then starts jobs — mirror that order.
+  enum EdgeKind { kRelease = 0, kCapacity = 1, kAcquire = 2 };
+  struct Edge {
+    Time t;
+    int kind;
+    int value;  // usage delta, or the new capacity for kCapacity edges
+  };
+  std::vector<Edge> edges;
+  edges.reserve(2 * (s.size() + s.attempts.size()) + s.capacity_events.size());
+  for (JobId id = 0; id < s.size(); ++id) {
+    edges.push_back({s[id].start, kAcquire, s[id].nodes});
+    edges.push_back({s[id].end, kRelease, -s[id].nodes});
+  }
+  for (const AttemptRecord& a : s.attempts) {
+    edges.push_back({a.start, kAcquire, a.nodes});
+    edges.push_back({a.end, kRelease, -a.nodes});
+  }
+  for (const auto& [t, capacity] : s.capacity_events) {
+    edges.push_back({t, kCapacity, capacity});
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.t != b.t) return a.t < b.t;
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.value < b.value;
+  });
+  int in_use = 0;
+  int capacity = s.machine().nodes;
+  for (const Edge& e : edges) {
+    if (e.kind == kCapacity) {
+      capacity = e.value;
+    } else {
+      in_use += e.value;
+    }
+    if (in_use < 0) fail("negative usage at time " + std::to_string(e.t));
+    if (in_use > capacity) {
+      fail("node capacity exceeded at time " + std::to_string(e.t));
+    }
+  }
+  if (in_use != 0) fail("dangling allocations after last completion");
+}
+
+}  // namespace
+
 void validate_schedule(const Schedule& s, const workload::Workload& w) {
   auto fail = [](const std::string& msg) { throw std::logic_error("schedule: " + msg); };
   if (s.size() != w.size()) fail("job count mismatch");
+  if (!s.attempts.empty() || !s.capacity_events.empty()) {
+    validate_faulty_schedule(s, w);
+    return;
+  }
 
   struct Edge {
     Time t;

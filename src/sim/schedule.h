@@ -30,6 +30,23 @@ struct JobRecord {
   Duration wait() const noexcept { return start - submit; }
 };
 
+/// One *killed* execution attempt of a job under fault injection. The
+/// job's final (completing) attempt lives in its JobRecord; earlier
+/// attempts ended by a node failure are appended here in kill order.
+/// Empty in fault-free simulations.
+struct AttemptRecord {
+  JobId id = kInvalidJob;
+  Time start = 0;
+  Time end = 0;  // kill time
+  int nodes = 0;
+  /// Work carried over to the next attempt (checkpointed seconds);
+  /// 0 under kRequeueFromScratch. (end - start) - saved is the attempt's
+  /// lost work.
+  Duration saved = 0;
+
+  Duration lost() const noexcept { return (end - start) - saved; }
+};
+
 /// A complete executed schedule.
 class Schedule {
  public:
@@ -61,6 +78,17 @@ class Schedule {
   /// samples at one instant are coalesced to the last value.
   std::vector<std::pair<Time, std::size_t>> backlog;
 
+  /// Killed execution attempts, in kill order (fault injection only;
+  /// empty otherwise). metrics::resilience folds these into wasted-work
+  /// and resubmission accounting.
+  std::vector<AttemptRecord> attempts;
+
+  /// Machine capacity steps: (time, available nodes *after* the step),
+  /// one entry per failure-trace instant reached by the simulation.
+  /// Capacity is machine().nodes before the first entry. Empty in
+  /// fault-free simulations.
+  std::vector<std::pair<Time, int>> capacity_events;
+
  private:
   Machine machine_;
   std::string scheduler_name_;
@@ -69,9 +97,13 @@ class Schedule {
 
 /// FNV-1a (64-bit) fingerprint over every job record of `s`, in JobId
 /// order: submit, start, end, nodes and the cancelled flag of each job are
-/// folded in. Two schedules fingerprint equal iff they are bit-identical
-/// as (per-job) start/end decisions — the check optimization PRs use to
-/// prove they changed cost, never decisions.
+/// folded in, followed by every killed attempt and capacity event (both
+/// empty in fault-free simulations, so fault-free fingerprints are
+/// unchanged from before fault injection existed). Two schedules
+/// fingerprint equal iff they are bit-identical as (per-job) start/end
+/// decisions — the check optimization PRs use to prove they changed cost,
+/// never decisions, and fault PRs use to prove zero-failure runs are
+/// untouched.
 std::uint64_t schedule_fingerprint(const Schedule& s);
 
 /// Validity constraints of the target machine (paper §2): node capacity is
@@ -80,6 +112,13 @@ std::uint64_t schedule_fingerprint(const Schedule& s);
 /// every job runs for exactly its runtime (or is cancelled at its
 /// estimate), and — since the machine has no time sharing — allocations are
 /// contiguous in time.
+///
+/// Under fault injection (non-empty attempts/capacity_events) the per-job
+/// duration check is replaced by a conservation bound — total executed
+/// time across all attempts covers at least the job's fault-free lifetime
+/// — and the capacity sweep checks usage against the *time-varying*
+/// capacity, with releases and capacity steps applied before acquisitions
+/// at equal instants (the simulator's own event order).
 ///
 /// Throws std::logic_error describing the first violation.
 void validate_schedule(const Schedule& s, const workload::Workload& w);

@@ -42,6 +42,20 @@ class Scheduler {
   /// A previously started job has completed (or was cancelled).
   virtual void on_complete(JobId id, Time now) = 0;
 
+  /// The machine's node count changed to `available_nodes` (fault
+  /// injection: nodes failed or were repaired). Jobs killed by the change
+  /// were already delivered through on_complete; their re-submissions
+  /// follow as regular on_submit calls. The default is a no-op — every
+  /// scheduler that plans only against the `free_nodes` handed to
+  /// select_starts keeps working unmodified; schedulers holding long-range
+  /// reservations (conservative backfilling) override it to invalidate
+  /// plans that assumed the old capacity. Never called in fault-free
+  /// simulations.
+  virtual void on_capacity_change(Time now, int available_nodes) {
+    (void)now;
+    (void)available_nodes;
+  }
+
   /// Fill `starts` with the jobs to start at `now`, in start order
   /// (clearing whatever it held; the buffer is caller-owned so the
   /// simulator's hot loop reuses one allocation across all rounds).

@@ -25,18 +25,12 @@ struct Completion {
   }
 };
 
-}  // namespace
-
-Schedule simulate(const Machine& machine, Scheduler& scheduler,
-                  const workload::Workload& workload,
-                  const SimOptions& options) {
-  machine.validate();
-  if (workload.max_nodes() > machine.nodes) {
-    throw std::invalid_argument(
-        "simulate: workload contains jobs wider than the machine; "
-        "trim_to_machine() first");
-  }
-
+/// The original fault-free event loop, kept as its own function so the
+/// zero-failure path stays bit-identical (and pays nothing) regardless of
+/// fault support.
+Schedule simulate_basic(const Machine& machine, Scheduler& scheduler,
+                        const workload::Workload& workload,
+                        const SimOptions& options) {
   Schedule schedule(machine, workload.size(), scheduler.name());
   if (options.record_backlog) {
     // One sample per event; arrivals + completions bound the event count
@@ -166,6 +160,269 @@ Schedule simulate(const Machine& machine, Scheduler& scheduler,
   schedule.scheduler_cpu_seconds = cpu;
   if (options.validate) validate_schedule(schedule, workload);
   return schedule;
+}
+
+/// A scheduled completion under fault injection. `epoch` snapshots the
+/// job's kill counter at start: a kill bumps the counter, so completions
+/// of killed attempts are recognized as stale and skipped lazily.
+struct FaultyCompletion {
+  Time t;
+  JobId id;
+  std::uint32_t epoch;
+  bool operator>(const FaultyCompletion& o) const noexcept {
+    return t != o.t ? t > o.t : id > o.id;
+  }
+};
+
+/// Event loop with failure-trace replay. Event order at one instant t:
+/// completions, then every fault event at t (kills release nodes inside
+/// the step; each step records a capacity event), then one
+/// on_capacity_change, then fresh arrivals, then re-submissions of the
+/// jobs killed at t, then start selection.
+Schedule simulate_faulty(const Machine& machine, Scheduler& scheduler,
+                         const workload::Workload& workload,
+                         const SimOptions& options) {
+  const fault::FailureTrace& trace = *options.faults.trace;
+  if (trace.machine_nodes != machine.nodes) {
+    throw std::invalid_argument(
+        "simulate: failure trace built for " +
+        std::to_string(trace.machine_nodes) + " nodes but the machine has " +
+        std::to_string(machine.nodes));
+  }
+  options.faults.recovery.validate();
+  const fault::RecoveryOptions& recovery = options.faults.recovery;
+  const bool checkpointing =
+      recovery.policy == fault::RecoveryPolicy::kCheckpointRestart;
+
+  Schedule schedule(machine, workload.size(), scheduler.name());
+  if (options.record_backlog) {
+    schedule.backlog.reserve(2 * workload.size() + 1);
+  }
+
+  double cpu = 0.0;
+  auto timed = [&](auto&& fn) {
+    if (options.measure_scheduler_cpu) {
+      const double t0 = cpu_seconds();
+      fn();
+      cpu += cpu_seconds() - t0;
+    } else {
+      fn();
+    }
+  };
+
+  timed([&] { scheduler.reset(machine); });
+
+  std::priority_queue<FaultyCompletion, std::vector<FaultyCompletion>,
+                      std::greater<>>
+      completions;
+  const std::size_t n = workload.size();
+  std::size_t next_arrival = 0;
+  std::size_t next_fault = 0;
+  int capacity = machine.nodes;
+  int free_nodes = capacity;
+  std::vector<char> submitted(n, 0);
+  std::vector<char> running(n, 0);
+  std::vector<char> done(n, 0);
+  std::vector<std::uint32_t> epoch(n, 0);
+  // Ground truth carried across attempts: remaining fault-free lifetime,
+  // restart overhead owed at the next start, overhead included in the
+  // current attempt (its first charged_overhead seconds are restart work,
+  // not fresh progress).
+  std::vector<Duration> rem_life(n);
+  std::vector<Duration> pending_overhead(n, 0);
+  std::vector<Duration> charged_overhead(n, 0);
+  std::vector<Time> start_of(n, 0);
+  std::vector<JobId> active;  // running jobs, for victim selection
+  active.reserve(64);
+  for (JobId id = 0; id < n; ++id) {
+    const Job& j = workload.job(id);
+    rem_life[id] = std::min(j.runtime, j.estimate);
+  }
+  std::size_t remaining = n;
+  Time prev_t = -1;
+
+  std::vector<JobId> starts;
+  std::vector<JobId> completed;
+  std::vector<JobId> resubmit;
+  starts.reserve(64);
+  completed.reserve(64);
+
+  while (remaining > 0) {
+    // Purge stale completion entries so the next-event time is real.
+    while (!completions.empty() &&
+           completions.top().epoch != epoch[completions.top().id]) {
+      completions.pop();
+    }
+    Time t = kTimeInfinity;
+    if (next_arrival < n) t = workload[next_arrival].submit;
+    if (!completions.empty()) t = std::min(t, completions.top().t);
+    if (next_fault < trace.events.size()) {
+      t = std::min(t, trace.events[next_fault].t);
+    }
+    const Time wake = scheduler.next_wakeup(prev_t);
+    if (wake > prev_t && wake < t) t = wake;
+    if (t == kTimeInfinity) {
+      throw std::logic_error("simulate: no events left but " +
+                             std::to_string(remaining) + " jobs pending (" +
+                             scheduler.name() + " starved them)");
+    }
+    prev_t = t;
+
+    // (1) completions at t — before fault events, so a job ending exactly
+    // when its nodes fail has completed, not been killed.
+    completed.clear();
+    while (!completions.empty() && completions.top().t == t) {
+      const FaultyCompletion c = completions.top();
+      completions.pop();
+      if (c.epoch != epoch[c.id]) continue;  // stale: attempt was killed
+      free_nodes += workload.job(c.id).nodes;
+      running[c.id] = 0;
+      done[c.id] = 1;
+      --remaining;
+      active.erase(std::find(active.begin(), active.end(), c.id));
+      completed.push_back(c.id);
+    }
+    if (!completed.empty()) {
+      timed([&] {
+        for (JobId id : completed) scheduler.on_complete(id, t);
+      });
+    }
+
+    // (2) fault events at t. A failure first removes capacity; while usage
+    // exceeds the surviving capacity, running jobs are killed — latest
+    // start first (they lose the least work), larger id on ties.
+    resubmit.clear();
+    bool capacity_changed = false;
+    while (next_fault < trace.events.size() &&
+           trace.events[next_fault].t == t) {
+      capacity += trace.events[next_fault].delta;
+      free_nodes += trace.events[next_fault].delta;
+      ++next_fault;
+      capacity_changed = true;
+      while (free_nodes < 0) {
+        std::size_t vi = 0;
+        for (std::size_t k = 1; k < active.size(); ++k) {
+          const JobId a = active[k];
+          const JobId b = active[vi];
+          if (start_of[a] > start_of[b] ||
+              (start_of[a] == start_of[b] && a > b)) {
+            vi = k;
+          }
+        }
+        const JobId victim = active[vi];
+        const Job& j = workload.job(victim);
+        free_nodes += j.nodes;
+        running[victim] = 0;
+        ++epoch[victim];
+        active.erase(active.begin() + static_cast<std::ptrdiff_t>(vi));
+        const Duration elapsed = t - start_of[victim];
+        // Progress excludes the attempt's restart overhead; checkpoints
+        // save whole intervals of progress only.
+        const Duration overhead_done =
+            std::min(elapsed, charged_overhead[victim]);
+        const Duration progress = elapsed - overhead_done;
+        const Duration saved =
+            checkpointing
+                ? (progress / recovery.checkpoint_interval) *
+                      recovery.checkpoint_interval
+                : 0;
+        rem_life[victim] -= saved;
+        pending_overhead[victim] = checkpointing ? recovery.restart_overhead : 0;
+        schedule.attempts.push_back(
+            {victim, start_of[victim], t, j.nodes, saved});
+        timed([&] { scheduler.on_complete(victim, t); });
+        resubmit.push_back(victim);
+      }
+      schedule.capacity_events.emplace_back(t, capacity);
+    }
+    if (capacity_changed) {
+      timed([&] { scheduler.on_capacity_change(t, capacity); });
+    }
+
+    // (3) fresh arrivals at t.
+    while (next_arrival < n && workload[next_arrival].submit == t) {
+      const Job& arrived = workload[next_arrival];
+      submitted[arrived.id] = 1;
+      ++next_arrival;
+      timed([&] { scheduler.on_submit(arrived, t); });
+    }
+
+    // (4) re-submissions of the jobs killed at t. The scheduler sees a
+    // fresh Submission whose estimate covers the restart overhead plus the
+    // remaining work plus the user's original slack — exactly what the
+    // user would request for the resumed job.
+    for (JobId id : resubmit) {
+      Job r = workload.job(id);
+      const Duration headroom = r.estimate - std::min(r.runtime, r.estimate);
+      r.submit = t;
+      r.estimate = pending_overhead[id] + rem_life[id] + headroom;
+      timed([&] { scheduler.on_submit(Submission(r), t); });
+    }
+
+    // (5) start decisions.
+    while (true) {
+      timed([&] { scheduler.select_starts(t, free_nodes, starts); });
+      if (starts.empty()) break;
+      for (JobId id : starts) {
+        if (id >= n || !submitted[id]) {
+          throw std::logic_error("simulate: scheduler started unknown job");
+        }
+        if (running[id] || done[id]) {
+          throw std::logic_error("simulate: scheduler started job " +
+                                 std::to_string(id) + " twice");
+        }
+        const Job& j = workload.job(id);
+        if (j.nodes > free_nodes) {
+          throw std::logic_error(
+              "simulate: scheduler oversubscribed the machine with job " +
+              std::to_string(id));
+        }
+        free_nodes -= j.nodes;
+        running[id] = 1;
+        start_of[id] = t;
+        active.push_back(id);
+        charged_overhead[id] = pending_overhead[id];
+        pending_overhead[id] = 0;
+        const Duration lifetime = charged_overhead[id] + rem_life[id];
+        schedule.record_start(id, j.submit, t, j.nodes);
+        // Rule 2 still applies across restarts: a job whose true runtime
+        // exceeds its original estimate runs to its (remaining) limit.
+        schedule.record_end(id, t + lifetime, j.runtime > j.estimate);
+        completions.push({t + lifetime, id, epoch[id]});
+      }
+    }
+
+    schedule.max_queue_length =
+        std::max(schedule.max_queue_length, scheduler.queue_length());
+    if (options.record_backlog) {
+      if (!schedule.backlog.empty() && schedule.backlog.back().first == t) {
+        schedule.backlog.back().second = scheduler.queue_length();
+      } else {
+        schedule.backlog.emplace_back(t, scheduler.queue_length());
+      }
+    }
+  }
+
+  schedule.scheduler_cpu_seconds = cpu;
+  if (options.validate) validate_schedule(schedule, workload);
+  return schedule;
+}
+
+}  // namespace
+
+Schedule simulate(const Machine& machine, Scheduler& scheduler,
+                  const workload::Workload& workload,
+                  const SimOptions& options) {
+  machine.validate();
+  if (workload.max_nodes() > machine.nodes) {
+    throw std::invalid_argument(
+        "simulate: workload contains jobs wider than the machine; "
+        "trim_to_machine() first");
+  }
+  if (options.faults.active()) {
+    return simulate_faulty(machine, scheduler, workload, options);
+  }
+  return simulate_basic(machine, scheduler, workload, options);
 }
 
 }  // namespace jsched::sim

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "fault/fault.h"
 #include "sim/machine.h"
 #include "sim/schedule.h"
 #include "sim/scheduler.h"
@@ -20,6 +21,15 @@ struct SimOptions {
 
   /// Record the queue-length time series into Schedule::backlog.
   bool record_backlog = false;
+
+  /// Fault injection. Inactive (the default) takes the original event
+  /// loop: schedules are bit-identical to a build without fault support.
+  /// Active, the simulator replays faults.trace, kills running jobs when
+  /// a failure removes the nodes under them (victims: latest start first,
+  /// larger id on ties), applies faults.recovery to decide the lost work,
+  /// and re-submits the remainder at the kill instant. The trace must be
+  /// built for exactly machine.nodes nodes.
+  fault::FaultOptions faults{};
 };
 
 /// Run `scheduler` over `workload` on `machine`; returns the executed

@@ -14,6 +14,18 @@ using JobId = std::uint32_t;
 
 inline constexpr JobId kInvalidJob = static_cast<JobId>(-1);
 
+/// Outcome of the job in the originating trace (SWF field 11). Synthetic
+/// workloads and traces without the field report kCompleted. Purely
+/// descriptive metadata: the simulator runs every job it is given; use
+/// SwfOptions::drop_unsuccessful to exclude failed/cancelled records at
+/// parse time.
+enum class JobStatus : std::int8_t {
+  kCompleted,  // SWF status 1 (and the default)
+  kFailed,     // SWF status 0
+  kCancelled,  // SWF status 5
+  kUnknown,    // anything else (partial-execution codes 2-4, missing -1)
+};
+
 /// One rigid batch job.
 ///
 /// The *scheduler* may only ever look at `submit`, `nodes` and `estimate`
@@ -42,6 +54,10 @@ struct Job {
   /// Priority class assigned by the scheduling policy (0 = normal). Higher
   /// values are more important (e.g. Example 1's drug-design lab).
   std::int32_t priority_class = 0;
+
+  /// Trace-reported outcome (see JobStatus); kCompleted for synthetic
+  /// jobs. Not part of the submission data a scheduler sees.
+  JobStatus status = JobStatus::kCompleted;
 
   /// Resource consumption ("area") of the job: nodes x actual runtime.
   /// This is the weight of the average *weighted* response time objective

@@ -14,12 +14,44 @@ constexpr std::size_t kRunTime = 3;
 constexpr std::size_t kAllocProcs = 4;
 constexpr std::size_t kReqProcs = 7;
 constexpr std::size_t kReqTime = 8;
+constexpr std::size_t kStatus = 10;
 constexpr std::size_t kUser = 11;
 constexpr std::size_t kFieldCount = 18;
 
+JobStatus status_of(double field) {
+  // Archive codes: 1 completed, 0 failed, 5 cancelled; 2/3/4 mark partial
+  // executions and -1 means "not recorded" — both map to kUnknown.
+  const int code = static_cast<int>(field);
+  switch (code) {
+    case 1:
+      return JobStatus::kCompleted;
+    case 0:
+      return JobStatus::kFailed;
+    case 5:
+      return JobStatus::kCancelled;
+    default:
+      return JobStatus::kUnknown;
+  }
+}
+
+int status_code(JobStatus status) {
+  switch (status) {
+    case JobStatus::kCompleted:
+      return 1;
+    case JobStatus::kFailed:
+      return 0;
+    case JobStatus::kCancelled:
+      return 5;
+    case JobStatus::kUnknown:
+      break;
+  }
+  return -1;
+}
+
 }  // namespace
 
-Workload read_swf(std::istream& in, std::string name, SwfReadStats* stats) {
+Workload read_swf(std::istream& in, std::string name, SwfReadStats* stats,
+                  const SwfOptions& options) {
   SwfReadStats local;
   SwfReadStats& st = stats ? *stats : local;
   st = {};
@@ -55,6 +87,11 @@ Workload read_swf(std::istream& in, std::string name, SwfReadStats* stats) {
       ++st.skipped_invalid;
       continue;
     }
+    j.status = status_of(f[kStatus]);
+    if (options.drop_unsuccessful && j.status != JobStatus::kCompleted) {
+      ++st.skipped_unsuccessful;
+      continue;
+    }
     j.nodes = static_cast<int>(procs);
     j.runtime = static_cast<Duration>(runtime);
     j.estimate =
@@ -74,10 +111,11 @@ Workload read_swf(std::istream& in, std::string name, SwfReadStats* stats) {
   return w;
 }
 
-Workload read_swf_file(const std::string& path, SwfReadStats* stats) {
+Workload read_swf_file(const std::string& path, SwfReadStats* stats,
+                       const SwfOptions& options) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open SWF file: " + path);
-  return read_swf(in, path, stats);
+  return read_swf(in, path, stats, options);
 }
 
 void write_swf(std::ostream& out, const Workload& w) {
@@ -89,7 +127,8 @@ void write_swf(std::ostream& out, const Workload& w) {
     // group app queue part prev think
     out << (j.id + 1) << ' ' << j.submit << ' ' << -1 << ' ' << j.runtime
         << ' ' << j.nodes << ' ' << -1 << ' ' << -1 << ' ' << j.nodes << ' '
-        << j.estimate << ' ' << -1 << ' ' << 1 << ' ' << j.user << ' ' << -1
+        << j.estimate << ' ' << -1 << ' ' << status_code(j.status) << ' '
+        << j.user << ' ' << -1
         << ' ' << -1 << ' ' << -1 << ' ' << -1 << ' ' << -1 << ' ' << -1
         << '\n';
   }

@@ -27,15 +27,27 @@ struct SwfReadStats {
   std::size_t accepted = 0;
   std::size_t skipped_invalid = 0;   // unusable fields (runtime/procs <= 0)
   std::size_t clamped_estimate = 0;  // estimate raised to runtime
+  /// Records dropped by SwfOptions::drop_unsuccessful.
+  std::size_t skipped_unsuccessful = 0;
 };
 
-/// Parse an SWF stream into a Workload. Throws std::runtime_error on
-/// malformed (non-comment, non-empty) lines.
+struct SwfOptions {
+  /// Drop records whose SWF status is not "completed" (1): failed (0),
+  /// cancelled (5) and partial/unknown codes. Off by default — archive
+  /// traces are usually replayed whole, failures included, since even a
+  /// failed job occupied its nodes for the recorded runtime.
+  bool drop_unsuccessful = false;
+};
+
+/// Parse an SWF stream into a Workload. The status field (field 11) is
+/// surfaced as Job::status. Throws std::runtime_error on malformed
+/// (non-comment, non-empty) lines.
 Workload read_swf(std::istream& in, std::string name = "swf",
-                  SwfReadStats* stats = nullptr);
+                  SwfReadStats* stats = nullptr, const SwfOptions& options = {});
 
 /// Convenience file overload; throws std::runtime_error if unreadable.
-Workload read_swf_file(const std::string& path, SwfReadStats* stats = nullptr);
+Workload read_swf_file(const std::string& path, SwfReadStats* stats = nullptr,
+                       const SwfOptions& options = {});
 
 /// Serialize a workload as SWF (fields we don't model are -1). The output
 /// round-trips through read_swf.

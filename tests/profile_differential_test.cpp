@@ -272,6 +272,100 @@ void run_bulk_fuzz(std::uint64_t seed, std::size_t ops) {
   }
 }
 
+// Capacity shrink/grow mode: machine capacity changes mid-run, modelled
+// exactly the way ConservativeBackfillDispatch::on_capacity_change does —
+// an outage is one open-ended allocation placed at `now` when nodes go
+// down and released (from `now`, past prefix kept as history) when they
+// come back, with every live reservation lifted under a BulkUpdate and
+// re-placed through earliest_fit at the new capacity. The reference
+// profile sees the same plain calls and must agree after every step.
+void run_capacity_fuzz(std::uint64_t seed, std::size_t ops) {
+  constexpr int kTotal = 64;
+  Differ d(kTotal);
+  util::Rng rng(seed);
+  std::vector<ActiveAllocation> active;
+  Time now = 0;
+  int down = 0;  // nodes currently out, held by the open-ended allocation
+
+  for (std::size_t op = 0; op < ops; ++op) {
+    const std::int64_t dice = rng.uniform_int(0, 99);
+    if (dice < 40) {
+      // Reserve within the surviving capacity (wider jobs would make
+      // earliest_fit spin forever against the open-ended outage).
+      const int nodes = static_cast<int>(rng.uniform_int(0, kTotal - down));
+      const Duration dur = rng.uniform_int(1, 4000);
+      const Time from = now + rng.uniform_int(0, 2000);
+      const Time start = d.fast().earliest_fit(from, dur, nodes);
+      ASSERT_EQ(start, d.ref().earliest_fit(from, dur, nodes)) << "op " << op;
+      d.fast().allocate(start, dur, nodes);
+      d.ref().allocate(start, dur, nodes);
+      if (nodes > 0) active.push_back({start, dur, nodes});
+    } else if (dice < 60 && !active.empty()) {
+      // Early completion: return the tail.
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(active.size()) - 1));
+      const ActiveAllocation a = active[pick];
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(pick));
+      const Time release_from = std::max(a.start, now);
+      if (a.end() > release_from) {
+        d.fast().release(release_from, a.end() - release_from, a.nodes);
+        d.ref().release(release_from, a.end() - release_from, a.nodes);
+      }
+    } else if (dice < 80) {
+      // Capacity step. Lift everything still live, adjust the outage
+      // allocation, re-place what still fits (a window wider than the new
+      // capacity is parked — dropped here; the scheduler keeps it queued).
+      const int new_down = static_cast<int>(rng.uniform_int(0, kTotal / 2));
+      if (new_down == down) continue;
+      std::vector<ActiveAllocation> lifted;
+      {
+        Profile::BulkUpdate bulk(d.fast());
+        for (const ActiveAllocation& a : active) {
+          const Time release_from = std::max(a.start, now);
+          if (a.end() <= release_from) continue;
+          const Duration tail = a.end() - release_from;
+          d.fast().release(release_from, tail, a.nodes);
+          d.ref().release(release_from, tail, a.nodes);
+          lifted.push_back({release_from, tail, a.nodes});
+        }
+        if (new_down > down) {
+          d.fast().allocate(now, kTimeInfinity, new_down - down);
+          d.ref().allocate(now, kTimeInfinity, new_down - down);
+        } else {
+          d.fast().release(now, kTimeInfinity, down - new_down);
+          d.ref().release(now, kTimeInfinity, down - new_down);
+        }
+        down = new_down;
+      }
+      d.expect_identical(op);
+      if (::testing::Test::HasFatalFailure()) return;
+      active.clear();
+      for (const ActiveAllocation& a : lifted) {
+        if (a.nodes > kTotal - down) continue;  // parked at this capacity
+        const Time start = d.fast().earliest_fit(now, a.duration, a.nodes);
+        ASSERT_EQ(start, d.ref().earliest_fit(now, a.duration, a.nodes))
+            << "op " << op;
+        d.fast().allocate(start, a.duration, a.nodes);
+        d.ref().allocate(start, a.duration, a.nodes);
+        active.push_back({start, a.duration, a.nodes});
+      }
+    } else if (dice < 88) {
+      now += rng.uniform_int(0, 1500);
+      d.fast().compact(now);
+      d.ref().compact(now);
+      std::erase_if(active,
+                    [&](const ActiveAllocation& a) { return a.end() <= now; });
+    } else {
+      const Time from = now + rng.uniform_int(0, 8000);
+      const Duration dur = rng.uniform_int(1, 5000);
+      const int nodes = static_cast<int>(rng.uniform_int(0, kTotal - down));
+      d.expect_queries_agree(op, from, dur, nodes);
+    }
+    d.expect_identical(op);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
 TEST(ProfileDifferential, SchedulerShapedOpsSeed1) { run_fuzz(1, 10'000); }
 TEST(ProfileDifferential, SchedulerShapedOpsSeed2) { run_fuzz(2, 10'000); }
 TEST(ProfileDifferential, SchedulerShapedOpsSeed3) { run_fuzz(3, 10'000); }
@@ -286,6 +380,13 @@ TEST(ProfileDifferential, InPlaceMutationMixSeed8) {
 
 TEST(ProfileDifferential, BulkUpdateBatchModeSeed11) { run_bulk_fuzz(11, 10'000); }
 TEST(ProfileDifferential, BulkUpdateBatchModeSeed12) { run_bulk_fuzz(12, 10'000); }
+
+TEST(ProfileDifferential, CapacityShrinkGrowSeed21) {
+  run_capacity_fuzz(21, 10'000);
+}
+TEST(ProfileDifferential, CapacityShrinkGrowSeed22) {
+  run_capacity_fuzz(22, 10'000);
+}
 
 TEST(ProfileDifferential, DenseSmallMachineStressesMerging) {
   // A 3-node machine forces constant breakpoint merging/splitting at tiny

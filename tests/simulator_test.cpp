@@ -34,6 +34,13 @@ TEST(Simulator, RejectsJobWiderThanMachine) {
   EXPECT_THROW(test::run(fcfs(), w, 8), std::invalid_argument);
 }
 
+TEST(Simulator, RejectsInvalidMachine) {
+  // simulate() calls Machine::validate() before touching the scheduler.
+  const auto w = test::make_workload({make_job(0, 1, 10)});
+  EXPECT_THROW(test::run(fcfs(), w, 0), std::invalid_argument);
+  EXPECT_THROW(test::run(fcfs(), w, -4), std::invalid_argument);
+}
+
 TEST(Simulator, QueuesWhenMachineBusy) {
   const auto w = test::make_workload({
       make_job(0, 8, 100),

@@ -96,6 +96,71 @@ TEST(SwfRoundTrip, WriteThenReadPreservesJobs) {
   }
 }
 
+// One record per archive status code; only the status field (11th token)
+// varies.
+std::string record_with_status(int job, const char* status) {
+  return std::to_string(job) + " 0 0 600 4 -1 -1 4 1200 -1 " + status +
+         " 12 -1 -1 -1 -1 -1 -1\n";
+}
+
+TEST(SwfStatus, SurfacesEveryStatusCode) {
+  std::istringstream in(record_with_status(1, "1") +   // completed
+                        record_with_status(2, "0") +   // failed
+                        record_with_status(3, "5") +   // cancelled
+                        record_with_status(4, "3") +   // partial -> unknown
+                        record_with_status(5, "-1"));  // missing -> unknown
+  const Workload w = read_swf(in);
+  ASSERT_EQ(w.size(), 5u);
+  EXPECT_EQ(w[0].status, JobStatus::kCompleted);
+  EXPECT_EQ(w[1].status, JobStatus::kFailed);
+  EXPECT_EQ(w[2].status, JobStatus::kCancelled);
+  EXPECT_EQ(w[3].status, JobStatus::kUnknown);
+  EXPECT_EQ(w[4].status, JobStatus::kUnknown);
+}
+
+TEST(SwfStatus, DropUnsuccessfulKeepsOnlyCompleted) {
+  std::istringstream in(record_with_status(1, "1") + record_with_status(2, "0") +
+                        record_with_status(3, "5") + record_with_status(4, "2"));
+  SwfReadStats stats;
+  SwfOptions options;
+  options.drop_unsuccessful = true;
+  const Workload w = read_swf(in, "t", &stats, options);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0].status, JobStatus::kCompleted);
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.skipped_unsuccessful, 3u);
+  EXPECT_EQ(stats.skipped_invalid, 0u);
+}
+
+TEST(SwfStatus, DropUnsuccessfulCountsInvalidSeparately) {
+  // An unusable record (no runtime) is skipped_invalid even when its status
+  // would also have been dropped: the invalid-fields check runs first.
+  std::istringstream in("1 0 0 -1 4 -1 -1 4 1200 -1 0 12 -1 -1 -1 -1 -1 -1\n" +
+                        record_with_status(2, "1"));
+  SwfReadStats stats;
+  SwfOptions options;
+  options.drop_unsuccessful = true;
+  const Workload w = read_swf(in, "t", &stats, options);
+  EXPECT_EQ(w.size(), 1u);
+  EXPECT_EQ(stats.skipped_invalid, 1u);
+  EXPECT_EQ(stats.skipped_unsuccessful, 0u);
+}
+
+TEST(SwfStatus, RoundTripsThroughWrite) {
+  std::istringstream in(record_with_status(1, "1") + record_with_status(2, "0") +
+                        record_with_status(3, "5") + record_with_status(4, "4"));
+  const Workload original = read_swf(in);
+  std::stringstream buf;
+  write_swf(buf, original);
+  const Workload reread = read_swf(buf, "roundtrip");
+  ASSERT_EQ(reread.size(), original.size());
+  for (JobId i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(reread[i].status, original[i].status) << "job " << i;
+  }
+  // kUnknown serializes as -1, the archive's "not recorded".
+  EXPECT_EQ(reread[3].status, JobStatus::kUnknown);
+}
+
 TEST(SwfFile, MissingFileThrows) {
   EXPECT_THROW(read_swf_file("/nonexistent/path.swf"), std::runtime_error);
 }
