@@ -5,7 +5,9 @@
 #include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 
+#include "eval/journal.h"
 #include "sim/profile.h"
 #include "sim/reference_profile.h"
 #include "util/env.h"
@@ -67,6 +69,24 @@ void print_workload(const workload::Workload& w, const BenchConfig& cfg) {
               s.offered_load(cfg.machine_nodes));
 }
 
+void apply_resilience_env(eval::ExperimentOptions& opt) {
+  if (const auto policy = util::env_string("JSCHED_ERROR_POLICY")) {
+    opt.error_policy = eval::error_policy_from_string(*policy);
+  }
+  if (const auto path = util::env_string("JSCHED_JOURNAL")) {
+    // One journal object per process: every sweep of this bench appends to
+    // (and resumes from) the same file, and the object must outlive every
+    // ExperimentOptions that points at it.
+    static std::unique_ptr<eval::SweepJournal> journal;
+    if (journal == nullptr) {
+      journal = std::make_unique<eval::SweepJournal>(*path);
+      std::fprintf(stderr, "journal %s: %zu completed cells on file\n",
+                   journal->path().c_str(), journal->loaded());
+    }
+    opt.journal = journal.get();
+  }
+}
+
 std::vector<eval::RunResult> run_grid_verbose(const sim::Machine& m,
                                               core::WeightKind weight,
                                               const workload::Workload& w,
@@ -79,18 +99,26 @@ std::vector<eval::RunResult> run_grid_verbose(const sim::Machine& m,
     std::fprintf(stderr, "  [%s] %s ...\n", core::to_string(weight),
                  name.c_str());
   };
+  apply_resilience_env(opt);
   const std::size_t effective = opt.threads == 0
                                     ? util::ThreadPool::hardware_threads()
                                     : opt.threads;
   const auto t0 = std::chrono::steady_clock::now();
-  auto results = eval::run_grid(m, weight, w, opt);
+  const eval::GridResult grid = eval::run_grid_outcomes(m, weight, w, opt);
   const auto dt = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - t0)
                       .count();
-  std::fprintf(stderr, "  grid done in %.1fs (%zu thread%s)\n", dt, effective,
-               effective == 1 ? "" : "s");
+  std::fprintf(stderr, "  grid done in %.1fs (%zu thread%s): %s\n", dt,
+               effective, effective == 1 ? "" : "s",
+               eval::failure_summary(grid).c_str());
+  if (grid.failed() > 0) {
+    // Only reachable under isolate/retry; print the structured report and
+    // carry on with the surviving cells (tables render "-" for the rest).
+    std::printf("%s\n",
+                eval::failure_table(grid, "failed grid cells").to_ascii().c_str());
+  }
   if (wall_seconds != nullptr) *wall_seconds = dt;
-  return results;
+  return grid.results();
 }
 
 void write_grid_bench_json(const std::string& path, const BenchConfig& cfg,

@@ -10,6 +10,12 @@
 //   JSCHED_THREADS     worker threads for grid sweeps    (default 1;
 //                      0 = one per hardware thread; any value yields
 //                      results identical to the serial run)
+//   JSCHED_JOURNAL     sweep-journal path: completed grid cells are
+//                      checkpointed there and skipped on re-run, so a
+//                      killed bench resumes where it died (default: off)
+//   JSCHED_ERROR_POLICY fail_fast | isolate | retry     (default fail_fast;
+//                      isolate completes healthy grid cells when one
+//                      throws and prints a failure table)
 #pragma once
 
 #include <cstdint>
@@ -45,6 +51,13 @@ workload::Workload capped(workload::Workload w, const BenchConfig& cfg);
 
 /// Print the workload's summary block.
 void print_workload(const workload::Workload& w, const BenchConfig& cfg);
+
+/// Apply the harness fault-tolerance env knobs to `opt`:
+/// JSCHED_ERROR_POLICY selects eval::ErrorPolicy and JSCHED_JOURNAL
+/// attaches the process-wide eval::SweepJournal (opened on first use;
+/// completed cells persist across process restarts — the kill-and-resume
+/// workflow in README.md). No-op when neither variable is set.
+void apply_resilience_env(eval::ExperimentOptions& opt);
 
 /// Run the 13-configuration grid for one objective, with progress dots on
 /// stderr, and return the results. Honors JSCHED_THREADS (the results are

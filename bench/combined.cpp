@@ -183,8 +183,22 @@ int main() {
   fopt.on_run = [&](const std::string& name) {
     std::fprintf(stderr, "  [fault] %s ...\n", name.c_str());
   };
-  const auto curve =
-      eval::run_fault_sweep(machine, core::WeightKind::kUnit, w, points, fopt);
+  bench::apply_resilience_env(fopt);
+  const auto sweep = eval::run_fault_sweep_outcomes(
+      machine, core::WeightKind::kUnit, w, points, fopt);
+  std::vector<std::vector<eval::RunResult>> curve;
+  curve.reserve(sweep.size());
+  for (std::size_t p = 0; p < sweep.size(); ++p) {
+    std::fprintf(stderr, "  [fault] %s: %s\n", labels[p].c_str(),
+                 eval::failure_summary(sweep[p]).c_str());
+    if (sweep[p].failed() > 0) {
+      std::printf("%s\n", eval::failure_table(sweep[p], "failed cells: " +
+                                                            labels[p])
+                              .to_ascii()
+                              .c_str());
+    }
+    curve.push_back(sweep[p].results());
+  }
 
   util::Table ft({"sweep point", "mean goodput", "availability", "kills",
                   "mean ART (s)"});

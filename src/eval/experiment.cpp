@@ -4,8 +4,10 @@
 #include <stdexcept>
 
 #include "eval/internal.h"
+#include "eval/journal.h"
 #include "metrics/objectives.h"
 #include "metrics/resilience.h"
+#include "sim/schedule.h"
 #include "sim/simulator.h"
 #include "util/thread_pool.h"
 
@@ -30,6 +32,102 @@ ExperimentOptions with_serialized_on_run(const ExperimentOptions& options,
   return per_task;
 }
 
+RunError classify_current_exception(const std::string& scheduler) {
+  RunError err;
+  err.scheduler = scheduler;
+  try {
+    throw;
+  } catch (const sim::CancelledError& e) {
+    err.kind = e.reason() == sim::CancelledError::Reason::kDeadline
+                   ? RunErrorKind::kTimeout
+                   : RunErrorKind::kCancelled;
+    err.message = e.what();
+  } catch (const PhaseError& e) {
+    err.kind = e.kind();
+    err.message = e.what();
+  } catch (const sim::ValidationError& e) {
+    err.kind = RunErrorKind::kValidation;
+    err.message = e.what();
+  } catch (const std::logic_error& e) {
+    // The simulator's event-loop contract checks (bad start selections,
+    // overallocation, out-of-order events) throw logic_error: the
+    // scheduler, not the harness, broke the rules.
+    err.kind = RunErrorKind::kScheduler;
+    err.message = e.what();
+  } catch (const std::exception& e) {
+    err.kind = RunErrorKind::kSimulation;
+    err.message = e.what();
+  } catch (...) {
+    err.kind = RunErrorKind::kSimulation;
+    err.message = "unknown non-standard exception";
+  }
+  return err;
+}
+
+RunOutcome run_cell_protected(const ExperimentOptions& options,
+                              std::uint64_t key,
+                              const core::AlgorithmSpec& spec,
+                              const std::function<RunResult()>& attempt) {
+  if (options.journal != nullptr) {
+    RunResult cached;
+    if (options.journal->lookup(key, spec, &cached)) {
+      return RunOutcome::success(std::move(cached), 0);
+    }
+  }
+  const auto record = [&](const RunResult& r) {
+    if (options.journal != nullptr) options.journal->record(key, r);
+  };
+  if (options.error_policy == ErrorPolicy::kFailFast) {
+    // Nothing is caught: callers observe the original exception type.
+    RunResult r = attempt();
+    record(r);
+    return RunOutcome::success(std::move(r), 1);
+  }
+  const std::size_t total_attempts =
+      options.error_policy == ErrorPolicy::kRetryN ? 1 + options.max_retries
+                                                   : 1;
+  RunError err;
+  for (std::size_t tries = 1; tries <= total_attempts; ++tries) {
+    try {
+      RunResult r = attempt();
+      record(r);
+      return RunOutcome::success(std::move(r), tries);
+    } catch (...) {
+      err = classify_current_exception(spec.display_name());
+      err.attempts = tries;
+    }
+  }
+  return RunOutcome::failure(std::move(err));
+}
+
+namespace {
+
+/// Key for a grid cell; 0 when no journal is active (never looked up).
+std::uint64_t grid_cell_key(const ExperimentOptions& options,
+                            std::uint64_t workload_fnv, int machine_nodes,
+                            const core::AlgorithmSpec& spec) {
+  if (options.journal == nullptr) return 0;
+  return cell_key(workload_fnv, machine_nodes, spec, options.journal_salt);
+}
+
+/// Workload fingerprint, computed only when a journal needs it.
+std::uint64_t journal_workload_fnv(const ExperimentOptions& options,
+                                   const workload::Workload& workload) {
+  return options.journal == nullptr ? 0 : workload::fingerprint(workload);
+}
+
+/// FNV-1a over a string — salts fault-sweep points by label.
+std::uint64_t label_salt(const std::string& label) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (char c : label) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
 }  // namespace detail
 
 RunResult run_one(const sim::Machine& machine, const core::AlgorithmSpec& spec,
@@ -37,11 +135,21 @@ RunResult run_one(const sim::Machine& machine, const core::AlgorithmSpec& spec,
                   const ExperimentOptions& options) {
   if (options.on_run) options.on_run(spec.display_name());
 
-  auto scheduler = core::make_scheduler(spec);
+  auto scheduler = options.scheduler_factory ? options.scheduler_factory(spec)
+                                             : core::make_scheduler(spec);
   sim::SimOptions sim_options;
   sim_options.validate = options.validate;
   sim_options.measure_scheduler_cpu = options.measure_cpu;
   sim_options.faults = options.faults;
+  // Per-run deadline token, chained to the sweep-wide token (if any) so an
+  // external cancel and a local deadline both stop this run.
+  sim::CancelToken token(options.cancel);
+  if (options.run_deadline.count() != 0) {
+    token.set_deadline_after(options.run_deadline);
+  }
+  if (options.cancel != nullptr || options.run_deadline.count() != 0) {
+    sim_options.cancel = &token;
+  }
   const sim::Schedule schedule =
       sim::simulate(machine, *scheduler, workload, sim_options);
 
@@ -68,29 +176,92 @@ RunResult run_one(const sim::Machine& machine, const core::AlgorithmSpec& spec,
   return r;
 }
 
-std::vector<RunResult> run_grid(const sim::Machine& machine,
-                                core::WeightKind weight,
-                                const workload::Workload& workload,
-                                const ExperimentOptions& options) {
+RunOutcome run_one_outcome(const sim::Machine& machine,
+                           const core::AlgorithmSpec& spec,
+                           const workload::Workload& workload,
+                           const ExperimentOptions& options) {
+  const std::uint64_t key = detail::grid_cell_key(
+      options, detail::journal_workload_fnv(options, workload), machine.nodes,
+      spec);
+  return detail::run_cell_protected(
+      options, key, spec,
+      [&] { return run_one(machine, spec, workload, options); });
+}
+
+GridResult run_grid_outcomes(const sim::Machine& machine,
+                             core::WeightKind weight,
+                             const workload::Workload& workload,
+                             const ExperimentOptions& options) {
   const std::vector<core::AlgorithmSpec> specs = core::paper_grid(weight);
+  const std::uint64_t workload_fnv =
+      detail::journal_workload_fnv(options, workload);
   const std::size_t threads = detail::resolved_threads(options);
+
+  GridResult out;
+  out.cells.resize(specs.size());
+  const auto run_cell = [&](std::size_t i, const ExperimentOptions& opts) {
+    const core::AlgorithmSpec& spec = specs[i];
+    const std::uint64_t key =
+        detail::grid_cell_key(opts, workload_fnv, machine.nodes, spec);
+    out.cells[i] = detail::run_cell_protected(
+        opts, key, spec, [&] { return run_one(machine, spec, workload, opts); });
+  };
+
   if (threads <= 1) {
-    std::vector<RunResult> out;
-    for (const core::AlgorithmSpec& spec : specs) {
-      out.push_back(run_one(machine, spec, workload, options));
-    }
+    for (std::size_t i = 0; i < specs.size(); ++i) run_cell(i, options);
     return out;
   }
   // Each task builds its own scheduler and simulates independently; slot i
   // of the output is written only by task i, so results land in paper_grid
-  // order no matter which configuration finishes first.
-  std::vector<RunResult> out(specs.size());
+  // order no matter which configuration finishes first. Under kFailFast a
+  // failing cell stops the pool from *starting* further cells (in-flight
+  // ones drain) before the exception is rethrown here.
   std::mutex on_run_mu;
   const ExperimentOptions per_task =
       detail::with_serialized_on_run(options, on_run_mu);
-  util::parallel_for_each(specs.size(), threads, [&](std::size_t i) {
-    out[i] = run_one(machine, specs[i], workload, per_task);
-  });
+  util::ThreadPool::ParallelOptions pool_options;
+  pool_options.stop_on_error = options.error_policy == ErrorPolicy::kFailFast;
+  util::parallel_for_each(
+      specs.size(), threads, [&](std::size_t i) { run_cell(i, per_task); },
+      pool_options);
+  return out;
+}
+
+std::vector<RunResult> run_grid(const sim::Machine& machine,
+                                core::WeightKind weight,
+                                const workload::Workload& workload,
+                                const ExperimentOptions& options) {
+  GridResult grid = run_grid_outcomes(machine, weight, workload, options);
+  // Only reachable under kIsolate / kRetryN: kFailFast already threw the
+  // original exception from inside the sweep.
+  if (!grid.all_ok()) {
+    std::string msg = "run_grid: " + std::to_string(grid.failed()) + " of " +
+                      std::to_string(grid.cells.size()) + " cells failed:";
+    for (const RunError& e : grid.failures()) {
+      msg += "\n  " + e.describe();
+    }
+    msg += "\nuse run_grid_outcomes to receive partial results";
+    throw std::runtime_error(msg);
+  }
+  return grid.results();
+}
+
+std::vector<GridResult> run_fault_sweep_outcomes(
+    const sim::Machine& machine, core::WeightKind weight,
+    const workload::Workload& workload,
+    const std::vector<FaultSweepPoint>& points,
+    const ExperimentOptions& options) {
+  std::vector<GridResult> out;
+  out.reserve(points.size());
+  for (const FaultSweepPoint& point : points) {
+    ExperimentOptions per_point = options;
+    per_point.faults = point.faults;
+    // Salt the journal key per point: the same grid cell under different
+    // fault intensities is different work.
+    per_point.journal_salt =
+        options.journal_salt ^ detail::label_salt(point.label);
+    out.push_back(run_grid_outcomes(machine, weight, workload, per_point));
+  }
   return out;
 }
 
@@ -101,10 +272,18 @@ std::vector<std::vector<RunResult>> run_fault_sweep(
     const ExperimentOptions& options) {
   std::vector<std::vector<RunResult>> out;
   out.reserve(points.size());
-  for (const FaultSweepPoint& point : points) {
-    ExperimentOptions per_point = options;
-    per_point.faults = point.faults;
-    out.push_back(run_grid(machine, weight, workload, per_point));
+  const std::vector<GridResult> grids =
+      run_fault_sweep_outcomes(machine, weight, workload, points, options);
+  for (std::size_t p = 0; p < grids.size(); ++p) {
+    if (!grids[p].all_ok()) {
+      std::string msg = "run_fault_sweep: point '" + points[p].label + "': " +
+                        std::to_string(grids[p].failed()) + " cells failed:";
+      for (const RunError& e : grids[p].failures()) {
+        msg += "\n  " + e.describe();
+      }
+      throw std::runtime_error(msg);
+    }
+    out.push_back(grids[p].results());
   }
   return out;
 }
@@ -114,7 +293,9 @@ const RunResult& find(const std::vector<RunResult>& results,
   for (const RunResult& r : results) {
     if (r.spec.order == order && r.spec.dispatch == dispatch) return r;
   }
-  throw std::out_of_range("eval::find: configuration not in results");
+  throw std::out_of_range(std::string("eval::find: configuration ") +
+                          core::to_string(order) + "+" +
+                          core::to_string(dispatch) + " not in results");
 }
 
 }  // namespace jsched::eval

@@ -1,18 +1,32 @@
 // The evaluation harness: run the paper's algorithm grid over a workload
 // and collect every metric the tables and figures report.
+//
+// Fault tolerance: every sweep entry point exists in two forms. The
+// classic form (run_grid, run_fault_sweep) returns plain results and
+// throws on failure; the *_outcomes form returns RunOutcome cells that
+// carry either a RunResult or a structured RunError, with the behavior on
+// failure selected by ExperimentOptions::error_policy. Under the default
+// kFailFast policy the harness catches nothing, so existing callers see
+// byte-identical behavior.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/factory.h"
+#include "eval/outcome.h"
 #include "fault/fault.h"
+#include "sim/cancel.h"
 #include "sim/machine.h"
 #include "workload/workload.h"
 
 namespace jsched::eval {
+
+class SweepJournal;
 
 /// Everything measured for one (algorithm, workload) simulation.
 struct RunResult {
@@ -49,6 +63,68 @@ struct RunResult {
   }
 };
 
+/// One sweep cell: a RunResult, or the structured error that replaced it.
+struct RunOutcome {
+  bool ok = false;
+  /// Attempts consumed: 1 for a clean run, more under ErrorPolicy::kRetryN,
+  /// and 0 when the result was resumed from a SweepJournal without
+  /// re-simulating.
+  std::size_t attempts = 1;
+  RunResult result;  // meaningful iff ok
+  RunError error;    // meaningful iff !ok
+
+  static RunOutcome success(RunResult r, std::size_t attempts) {
+    RunOutcome o;
+    o.ok = true;
+    o.attempts = attempts;
+    o.result = std::move(r);
+    return o;
+  }
+  static RunOutcome failure(RunError e) {
+    RunOutcome o;
+    o.ok = false;
+    o.attempts = e.attempts;
+    o.error = std::move(e);
+    return o;
+  }
+};
+
+/// All cells of one grid sweep, in core::paper_grid order, plus the
+/// failure bookkeeping a report needs.
+struct GridResult {
+  std::vector<RunOutcome> cells;
+
+  std::size_t failed() const {
+    std::size_t n = 0;
+    for (const RunOutcome& c : cells) n += c.ok ? 0 : 1;
+    return n;
+  }
+  bool all_ok() const { return failed() == 0; }
+  /// Cells resumed from a journal (attempts == 0).
+  std::size_t resumed() const {
+    std::size_t n = 0;
+    for (const RunOutcome& c : cells) n += (c.ok && c.attempts == 0) ? 1 : 0;
+    return n;
+  }
+  /// The successful results, in cell order (failed cells are skipped; use
+  /// failures() to see what is missing).
+  std::vector<RunResult> results() const {
+    std::vector<RunResult> out;
+    out.reserve(cells.size());
+    for (const RunOutcome& c : cells) {
+      if (c.ok) out.push_back(c.result);
+    }
+    return out;
+  }
+  std::vector<RunError> failures() const {
+    std::vector<RunError> out;
+    for (const RunOutcome& c : cells) {
+      if (!c.ok) out.push_back(c.error);
+    }
+    return out;
+  }
+};
+
 struct ExperimentOptions {
   bool measure_cpu = true;
   bool validate = true;
@@ -69,22 +145,75 @@ struct ExperimentOptions {
   /// deterministic in (workload, trace, recovery), so any `threads` value
   /// produces identical results under faults too.
   fault::FaultOptions faults{};
+
+  /// What a sweep does when one cell throws (see outcome.h). kFailFast —
+  /// the default — catches nothing: exceptions keep their original type
+  /// and abort the sweep exactly as before this option existed.
+  ErrorPolicy error_policy = ErrorPolicy::kFailFast;
+  /// Extra attempts per failed cell under ErrorPolicy::kRetryN (total
+  /// attempts = 1 + max_retries). Retries re-run the identical inputs.
+  std::size_t max_retries = 2;
+  /// Per-run wall-clock budget; 0 = unlimited (a negative budget is
+  /// already expired — deterministic timeouts in tests). Checked
+  /// cooperatively at event-loop iteration boundaries, so an expired run
+  /// stops within one iteration and surfaces as a kTimeout RunError (or,
+  /// under kFailFast, as sim::CancelledError).
+  std::chrono::milliseconds run_deadline{0};
+  /// Optional sweep-wide cancellation (not owned; may be null): cancelling
+  /// it aborts every in-flight run at its next event-loop iteration.
+  const sim::CancelToken* cancel = nullptr;
+  /// Checkpoint/resume journal (not owned; may be null). Completed cells
+  /// are recorded; cells whose key is already journaled are skipped and
+  /// their stored RunResult returned with attempts == 0. Works under every
+  /// error policy.
+  SweepJournal* journal = nullptr;
+  /// Mixed into every journal cell key; lets one journal file hold several
+  /// sweeps over the same workload (e.g. fault-sweep points) without
+  /// collisions.
+  std::uint64_t journal_salt = 0;
+  /// Override scheduler construction (testing/CI hook: inject a throwing
+  /// or instrumented scheduler for selected specs). Null = core
+  /// factory. Must be thread-safe when threads > 1.
+  std::function<std::unique_ptr<sim::Scheduler>(const core::AlgorithmSpec&)>
+      scheduler_factory;
 };
 
-/// Simulate one algorithm over one workload.
+/// Simulate one algorithm over one workload. Always throws on failure
+/// regardless of error_policy (a single run has no other cells to
+/// salvage); deadline/cancellation/journal options are honored.
 RunResult run_one(const sim::Machine& machine, const core::AlgorithmSpec& spec,
                   const workload::Workload& workload,
                   const ExperimentOptions& options = {});
 
+/// run_one with the failure captured per error_policy: under kFailFast the
+/// exception propagates; under kIsolate / kRetryN it is returned as a
+/// structured RunOutcome failure.
+RunOutcome run_one_outcome(const sim::Machine& machine,
+                           const core::AlgorithmSpec& spec,
+                           const workload::Workload& workload,
+                           const ExperimentOptions& options = {});
+
 /// Simulate the paper's full grid (13 configurations) for one objective.
 /// Runs configurations on `options.threads` workers; the returned vector
 /// is always in paper_grid order and identical for any thread count.
+/// Under kIsolate / kRetryN a sweep with failed cells throws
+/// std::runtime_error summarizing them — use run_grid_outcomes to receive
+/// partial results instead.
 std::vector<RunResult> run_grid(const sim::Machine& machine,
                                 core::WeightKind weight,
                                 const workload::Workload& workload,
                                 const ExperimentOptions& options = {});
 
-/// Find the grid entry with the given order/dispatch; throws if absent.
+/// run_grid with per-cell outcomes. Under kFailFast the first cell failure
+/// propagates as its original exception; under kIsolate / kRetryN every
+/// healthy cell completes and failed cells carry their RunError.
+GridResult run_grid_outcomes(const sim::Machine& machine,
+                             core::WeightKind weight,
+                             const workload::Workload& workload,
+                             const ExperimentOptions& options = {});
+
+/// Find the grid entry with the given order/dispatch; throws
+/// std::out_of_range naming the missing pair if absent.
 const RunResult& find(const std::vector<RunResult>& results,
                       core::OrderKind order, core::DispatchKind dispatch);
 
@@ -101,6 +230,14 @@ struct FaultSweepPoint {
 /// point's. Degradation curves (goodput, ART inflation, ...) read
 /// straight off the per-point RunResult vectors.
 std::vector<std::vector<RunResult>> run_fault_sweep(
+    const sim::Machine& machine, core::WeightKind weight,
+    const workload::Workload& workload,
+    const std::vector<FaultSweepPoint>& points,
+    const ExperimentOptions& options = {});
+
+/// run_fault_sweep with per-cell outcomes; each point's journal cells are
+/// salted with the point's label so one journal can hold the whole sweep.
+std::vector<GridResult> run_fault_sweep_outcomes(
     const sim::Machine& machine, core::WeightKind weight,
     const workload::Workload& workload,
     const std::vector<FaultSweepPoint>& points,

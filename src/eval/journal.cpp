@@ -1,0 +1,190 @@
+#include "eval/journal.h"
+
+#include <bit>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace jsched::eval {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void mix(std::uint64_t& h, std::uint64_t v) noexcept {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (v >> (8 * byte)) & 0xffu;
+    h *= kFnvPrime;
+  }
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  for (int i = 15; i >= 0; --i) {
+    buf[i] = "0123456789abcdef"[v & 0xfu];
+    v >>= 4;
+  }
+  buf[16] = '\0';
+  return std::string(buf);
+}
+
+std::uint64_t parse_hex64(const std::string& token, std::size_t line_no) {
+  if (token.size() != 16) {
+    throw std::runtime_error("sweep journal: bad hex field '" + token +
+                             "' at record " + std::to_string(line_no));
+  }
+  std::uint64_t v = 0;
+  for (char c : token) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      throw std::runtime_error("sweep journal: bad hex field '" + token +
+                               "' at record " + std::to_string(line_no));
+    }
+  }
+  return v;
+}
+
+std::string hex_double(double v) { return hex64(std::bit_cast<std::uint64_t>(v)); }
+
+double parse_hex_double(const std::string& token, std::size_t line_no) {
+  return std::bit_cast<double>(parse_hex64(token, line_no));
+}
+
+}  // namespace
+
+std::uint64_t cell_key(std::uint64_t workload_fnv, int machine_nodes,
+                       const core::AlgorithmSpec& spec,
+                       std::uint64_t salt) noexcept {
+  std::uint64_t h = kFnvOffset;
+  mix(h, workload_fnv);
+  mix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(machine_nodes)));
+  mix(h, static_cast<std::uint64_t>(spec.order));
+  mix(h, static_cast<std::uint64_t>(spec.dispatch));
+  mix(h, static_cast<std::uint64_t>(spec.weight));
+  mix(h, salt);
+  return h;
+}
+
+SweepJournal::SweepJournal(std::string path) : log_(std::move(path)) {
+  std::size_t line_no = 0;
+  for (const std::string& line : util::AppendLog::read_lines(log_.path())) {
+    ++line_no;
+    std::istringstream in(line);
+    std::string tag;
+    in >> tag;
+    if (tag != "v1") continue;  // unknown record versions are skipped
+
+    const auto fail = [&](const char* what) -> std::runtime_error {
+      return std::runtime_error("sweep journal " + log_.path() + ": " + what +
+                                " at record " + std::to_string(line_no));
+    };
+    const auto next = [&]() {
+      std::string token;
+      if (!(in >> token)) throw fail("truncated record");
+      return token;
+    };
+    const auto next_int = [&](int lo, int hi) {
+      const std::string token = next();
+      int v = 0;
+      try {
+        v = std::stoi(token);
+      } catch (const std::exception&) {
+        throw fail("non-numeric field");
+      }
+      if (v < lo || v > hi) throw fail("enum field out of range");
+      return v;
+    };
+    const auto next_size = [&]() {
+      const std::string token = next();
+      try {
+        return static_cast<std::size_t>(std::stoull(token));
+      } catch (const std::exception&) {
+        throw fail("non-numeric field");
+      }
+    };
+
+    const std::uint64_t key = parse_hex64(next(), line_no);
+    RunResult r;
+    r.spec.order = static_cast<core::OrderKind>(next_int(0, 3));
+    r.spec.dispatch = static_cast<core::DispatchKind>(next_int(0, 3));
+    r.spec.weight = static_cast<core::WeightKind>(next_int(0, 1));
+    r.jobs = next_size();
+    r.max_queue_length = next_size();
+    r.kills = next_size();
+    r.jobs_hit = next_size();
+    r.art = parse_hex_double(next(), line_no);
+    r.awrt = parse_hex_double(next(), line_no);
+    r.wait = parse_hex_double(next(), line_no);
+    r.makespan = parse_hex_double(next(), line_no);
+    r.utilization = parse_hex_double(next(), line_no);
+    r.scheduler_cpu_seconds = parse_hex_double(next(), line_no);
+    r.goodput_node_seconds = parse_hex_double(next(), line_no);
+    r.wasted_node_seconds = parse_hex_double(next(), line_no);
+    r.goodput_fraction = parse_hex_double(next(), line_no);
+    r.availability = parse_hex_double(next(), line_no);
+    r.availability_weighted_utilization = parse_hex_double(next(), line_no);
+    r.schedule_fnv = parse_hex64(next(), line_no);
+    std::string name;
+    std::getline(in, name);
+    const std::size_t start = name.find_first_not_of(' ');
+    r.scheduler_name = start == std::string::npos ? "" : name.substr(start);
+
+    cells_[key] = r;  // last record wins, matching append order
+    ++loaded_;
+  }
+}
+
+void SweepJournal::record(std::uint64_t key, const RunResult& r) {
+  std::ostringstream os;
+  os << "v1 " << hex64(key) << ' ' << static_cast<int>(r.spec.order) << ' '
+     << static_cast<int>(r.spec.dispatch) << ' '
+     << static_cast<int>(r.spec.weight) << ' ' << r.jobs << ' '
+     << r.max_queue_length << ' ' << r.kills << ' ' << r.jobs_hit << ' '
+     << hex_double(r.art) << ' ' << hex_double(r.awrt) << ' '
+     << hex_double(r.wait) << ' ' << hex_double(r.makespan) << ' '
+     << hex_double(r.utilization) << ' ' << hex_double(r.scheduler_cpu_seconds)
+     << ' ' << hex_double(r.goodput_node_seconds) << ' '
+     << hex_double(r.wasted_node_seconds) << ' '
+     << hex_double(r.goodput_fraction) << ' ' << hex_double(r.availability)
+     << ' ' << hex_double(r.availability_weighted_utilization) << ' '
+     << hex64(r.schedule_fnv) << ' ' << r.scheduler_name;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cells_[key] = r;
+  }
+  log_.append(os.str());
+}
+
+bool SweepJournal::lookup(std::uint64_t key, const core::AlgorithmSpec& spec,
+                          RunResult* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cells_.find(key);
+  if (it == cells_.end()) return false;
+  const RunResult& stored = it->second;
+  if (stored.spec.order != spec.order || stored.spec.dispatch != spec.dispatch ||
+      stored.spec.weight != spec.weight) {
+    throw std::runtime_error(
+        "sweep journal " + path() + ": record " + hex64(key) + " stores " +
+        stored.spec.display_name() + " but the sweep asked for " +
+        spec.display_name() + " — key collision or corrupt journal");
+  }
+  *out = stored;
+  // The stored spec only round-trips order/dispatch/weight; hand back the
+  // caller's full spec so parameter blocks (smart/psrs knobs) are intact.
+  out->spec = spec;
+  ++hits_;
+  return true;
+}
+
+std::size_t SweepJournal::hits() const noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+}  // namespace jsched::eval

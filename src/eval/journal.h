@@ -1,0 +1,77 @@
+// Checkpoint/resume journal for evaluation sweeps.
+//
+// A sweep journal maps a 64-bit *cell key* — the identity of one unit of
+// sweep work (workload fingerprint, machine size, algorithm spec, caller
+// salt) — to the full RunResult that work produced. Completed cells are
+// appended to a text file (one line per cell, flushed per record via
+// util::AppendLog, so a SIGKILL costs at most the in-flight cell); a
+// re-run with the same journal skips every recorded cell and returns the
+// stored result bit-for-bit.
+//
+// Bit-for-bit matters: RunResult carries the schedule fingerprint the
+// perf-tracking workflow compares across runs, and its doubles feed
+// golden-number tables. Doubles are therefore serialized as 16-hex-digit
+// IEEE-754 bit patterns, not decimal — a resumed sweep is indistinguishable
+// from an uninterrupted one, fingerprints included.
+//
+// Record format (one line, space-separated):
+//   v1 <key> <order> <dispatch> <weight> <jobs> <maxq> <kills> <jobs_hit>
+//      <12 doubles as hex bit patterns> <schedule_fnv> <scheduler name...>
+// The scheduler name is the final field and runs to end of line. Unknown
+// leading tags are skipped (forward compatibility); a corrupt v1 line
+// throws — a journal that lies must not silently poison a resume.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "eval/experiment.h"
+#include "util/journal.h"
+
+namespace jsched::eval {
+
+/// Identity of one sweep cell. Two cells collide only if they would run
+/// the exact same simulation: same workload (by field-level fingerprint),
+/// machine size, algorithm configuration and caller salt.
+std::uint64_t cell_key(std::uint64_t workload_fnv, int machine_nodes,
+                       const core::AlgorithmSpec& spec,
+                       std::uint64_t salt) noexcept;
+
+class SweepJournal {
+ public:
+  /// Opens (creating if missing) the journal at `path` and loads every
+  /// complete record; a torn trailing line from a killed writer is
+  /// ignored. Throws std::runtime_error on unopenable files or corrupt
+  /// complete records.
+  explicit SweepJournal(std::string path);
+
+  SweepJournal(const SweepJournal&) = delete;
+  SweepJournal& operator=(const SweepJournal&) = delete;
+
+  const std::string& path() const noexcept { return log_.path(); }
+  /// Records loaded from the file at construction.
+  std::size_t loaded() const noexcept { return loaded_; }
+  /// Lookups that returned a stored result so far.
+  std::size_t hits() const noexcept;
+
+  /// If `key` is journaled, copy the stored result into `*out` and return
+  /// true. The stored algorithm spec is verified against `spec`: a
+  /// mismatch (key collision or corrupt journal) throws std::runtime_error
+  /// rather than resuming the wrong work.
+  bool lookup(std::uint64_t key, const core::AlgorithmSpec& spec,
+              RunResult* out);
+
+  /// Record a completed cell (appends + flushes one line). Thread-safe.
+  void record(std::uint64_t key, const RunResult& r);
+
+ private:
+  util::AppendLog log_;
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, RunResult> cells_;
+  std::size_t loaded_ = 0;
+  std::size_t hits_ = 0;
+};
+
+}  // namespace jsched::eval

@@ -4,8 +4,10 @@
 #include <cmath>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "eval/internal.h"
+#include "eval/journal.h"
 #include "util/thread_pool.h"
 
 namespace jsched::eval {
@@ -19,33 +21,58 @@ namespace {
 /// workload model and the replicate statistics would be meaningless.
 constexpr double kMaxJobCountSpread = 1.05;
 
+/// Journal key of one replicate. The workload fingerprint is deliberately
+/// absent — on resume the whole point is to skip regenerating the
+/// workload — so the seed (which determines the workload) stands in for
+/// it.
+std::uint64_t replicate_key(const ExperimentOptions& options, int machine_nodes,
+                            const core::AlgorithmSpec& spec,
+                            std::uint64_t seed) {
+  if (options.journal == nullptr) return 0;
+  return cell_key(seed, machine_nodes, spec,
+                  options.journal_salt ^ 0x9e3779b97f4a7c15ull);
+}
+
 /// Fold per-seed results into the replicate aggregate in seed order — the
 /// same add() sequence as a serial loop, so parallel and serial runs
-/// produce bit-for-bit identical statistics. Throws if the workload
+/// produce bit-for-bit identical statistics. Failed replicates (possible
+/// only under kIsolate / kRetryN) are skipped. Throws if the workload
 /// generator produced wildly different job counts for different seeds: a
 /// size mismatch is the cheap tell of a buggy generator.
 ReplicatedResult aggregate(const core::AlgorithmSpec& spec,
                            std::span<const std::uint64_t> seeds,
-                           const std::vector<RunResult>& runs) {
+                           std::vector<RunOutcome> outcomes) {
   ReplicatedResult out;
   out.spec = spec;
-  out.scheduler_name = runs.front().scheduler_name;
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    const auto lo = std::min(runs[i].jobs, runs.front().jobs);
-    const auto hi = std::max(runs[i].jobs, runs.front().jobs);
+  const RunResult* reference = nullptr;
+  std::size_t reference_seed_index = 0;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (!outcomes[i].ok) {
+      ++out.failed_replicates;
+      continue;
+    }
+    const RunResult& r = outcomes[i].result;
+    if (reference == nullptr) {
+      reference = &r;
+      reference_seed_index = i;
+      out.scheduler_name = r.scheduler_name;
+    }
+    const auto lo = std::min(r.jobs, reference->jobs);
+    const auto hi = std::max(r.jobs, reference->jobs);
     if (static_cast<double>(hi) > kMaxJobCountSpread * static_cast<double>(lo)) {
       throw std::runtime_error(
           "run_replicated: make_workload returned " +
-          std::to_string(runs.front().jobs) + " jobs for seed " +
-          std::to_string(seeds[0]) + " but " + std::to_string(runs[i].jobs) +
-          " for seed " + std::to_string(seeds[i]) +
+          std::to_string(reference->jobs) + " jobs for seed " +
+          std::to_string(seeds[reference_seed_index]) + " but " +
+          std::to_string(r.jobs) + " for seed " + std::to_string(seeds[i]) +
           "; replicates must draw from one workload model");
     }
-    out.art.add(runs[i].art);
-    out.awrt.add(runs[i].awrt);
-    out.utilization.add(runs[i].utilization);
-    out.goodput_fraction.add(runs[i].goodput_fraction);
+    out.art.add(r.art);
+    out.awrt.add(r.awrt);
+    out.utilization.add(r.utilization);
+    out.goodput_fraction.add(r.goodput_fraction);
   }
+  out.outcomes = std::move(outcomes);
   return out;
 }
 
@@ -59,22 +86,49 @@ ReplicatedResult run_replicated(
     throw std::invalid_argument("run_replicated: no seeds");
   }
   const std::size_t threads = detail::resolved_threads(options);
-  std::vector<RunResult> runs(seeds.size());
+  // Under kFailFast a make_workload failure must propagate untouched; when
+  // the harness is catching, tag it so it classifies as kWorkload instead
+  // of whatever generic type the generator threw.
+  const bool tag_phases = options.error_policy != ErrorPolicy::kFailFast;
+  const auto run_seed = [&](std::size_t i, const ExperimentOptions& opts) {
+    const std::uint64_t key =
+        replicate_key(opts, machine.nodes, spec, seeds[i]);
+    return detail::run_cell_protected(opts, key, spec, [&] {
+      workload::Workload w;
+      if (!tag_phases) {
+        w = make_workload(seeds[i]);
+      } else {
+        try {
+          w = make_workload(seeds[i]);
+        } catch (const std::exception& e) {
+          throw detail::PhaseError(
+              RunErrorKind::kWorkload,
+              "make_workload(seed=" + std::to_string(seeds[i]) +
+                  "): " + e.what());
+        }
+      }
+      return run_one(machine, spec, w, opts);
+    });
+  };
+
+  std::vector<RunOutcome> outcomes(seeds.size());
   if (threads <= 1) {
     for (std::size_t i = 0; i < seeds.size(); ++i) {
-      const workload::Workload w = make_workload(seeds[i]);
-      runs[i] = run_one(machine, spec, w, options);
+      outcomes[i] = run_seed(i, options);
     }
   } else {
     std::mutex on_run_mu;
     const ExperimentOptions per_task =
         detail::with_serialized_on_run(options, on_run_mu);
-    util::parallel_for_each(seeds.size(), threads, [&](std::size_t i) {
-      const workload::Workload w = make_workload(seeds[i]);
-      runs[i] = run_one(machine, spec, w, per_task);
-    });
+    util::ThreadPool::ParallelOptions pool_options;
+    pool_options.stop_on_error =
+        options.error_policy == ErrorPolicy::kFailFast;
+    util::parallel_for_each(
+        seeds.size(), threads,
+        [&](std::size_t i) { outcomes[i] = run_seed(i, per_task); },
+        pool_options);
   }
-  return aggregate(spec, seeds, runs);
+  return aggregate(spec, seeds, std::move(outcomes));
 }
 
 bool robustly_better_art(const ReplicatedResult& a, const ReplicatedResult& b,

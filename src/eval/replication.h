@@ -30,6 +30,14 @@ struct ReplicatedResult {
   /// fault injection; see ExperimentOptions::faults).
   util::RunningStats goodput_fraction;
 
+  /// Per-seed outcomes in seed order. Under ErrorPolicy::kFailFast every
+  /// entry is a success (a failure would have thrown); under kIsolate /
+  /// kRetryN failed replicates stay here as structured RunErrors and are
+  /// excluded from the statistics above.
+  std::vector<RunOutcome> outcomes;
+  /// Failed replicates (outcomes with !ok).
+  std::size_t failed_replicates = 0;
+
   /// Coefficient of variation of the ART across seeds (stddev / mean) —
   /// a quick robustness indicator.
   double art_cv() const {
@@ -45,6 +53,13 @@ struct ReplicatedResult {
 /// generator returns wildly different job counts (> 5% apart) for
 /// different seeds — the tell of a buggy generator; the small spread a
 /// trim_to_machine pipeline produces is allowed.
+///
+/// Fault tolerance: under ErrorPolicy::kIsolate / kRetryN a throwing
+/// replicate (workload generation included — its failures classify as
+/// kWorkload) is captured into `outcomes` and the statistics aggregate
+/// the surviving seeds. With an ExperimentOptions::journal, completed
+/// replicates are keyed by (machine, spec, seed, salt) and skipped on
+/// resume without calling `make_workload` again.
 ReplicatedResult run_replicated(
     const sim::Machine& machine, const core::AlgorithmSpec& spec,
     const std::function<workload::Workload(std::uint64_t)>& make_workload,

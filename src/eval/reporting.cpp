@@ -1,6 +1,7 @@
 #include "eval/reporting.h"
 
 #include <array>
+#include <utility>
 
 namespace jsched::eval {
 namespace {
@@ -103,6 +104,47 @@ std::string experiment_title(const std::string& workload_name,
                               ? "unweighted (average response time)"
                               : "weighted (average weighted response time)";
   return workload_name + " (" + std::to_string(jobs) + " jobs), " + objective;
+}
+
+util::Table failure_table(const GridResult& grid, const std::string& title) {
+  util::Table t({"Configuration", "Error", "Attempts", "Message"});
+  t.set_title(title);
+  for (const RunError& e : grid.failures()) {
+    t.add_row({e.scheduler, std::string(to_string(e.kind)),
+               std::to_string(e.attempts), e.message});
+  }
+  return t;
+}
+
+std::string failure_summary(const GridResult& grid) {
+  const std::size_t failed = grid.failed();
+  std::string out = std::to_string(grid.cells.size() - failed) + "/" +
+                    std::to_string(grid.cells.size()) + " cells ok";
+  if (failed > 0) {
+    // Count failures per kind for the parenthetical, in first-seen order.
+    std::vector<std::pair<RunErrorKind, std::size_t>> kinds;
+    for (const RunError& e : grid.failures()) {
+      bool found = false;
+      for (auto& [kind, count] : kinds) {
+        if (kind == e.kind) {
+          ++count;
+          found = true;
+        }
+      }
+      if (!found) kinds.emplace_back(e.kind, 1);
+    }
+    out += ", " + std::to_string(failed) + " failed (";
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::string(to_string(kinds[i].first)) + "=" +
+             std::to_string(kinds[i].second);
+    }
+    out += ")";
+  }
+  if (const std::size_t resumed = grid.resumed(); resumed > 0) {
+    out += ", " + std::to_string(resumed) + " resumed from journal";
+  }
+  return out;
 }
 
 }  // namespace jsched::eval

@@ -34,4 +34,13 @@ std::string figure_csv(const std::vector<RunResult>& results,
 std::string experiment_title(const std::string& workload_name,
                              std::size_t jobs, core::WeightKind weight);
 
+/// Failure report of an isolated sweep: one row per failed cell with the
+/// configuration, error kind, attempts consumed and message. Empty-rowed
+/// (but still valid) when nothing failed.
+util::Table failure_table(const GridResult& grid, const std::string& title);
+
+/// One-line sweep health summary, e.g.
+/// "12/13 cells ok, 1 failed (scheduler=1), 4 resumed from journal".
+std::string failure_summary(const GridResult& grid);
+
 }  // namespace jsched::eval

@@ -72,7 +72,7 @@ namespace {
 /// Validity under fault injection: per-job conservation instead of exact
 /// durations, and a capacity sweep against the recorded capacity steps.
 void validate_faulty_schedule(const Schedule& s, const workload::Workload& w) {
-  auto fail = [](const std::string& msg) { throw std::logic_error("schedule: " + msg); };
+  auto fail = [](const std::string& msg) { throw ValidationError("schedule: " + msg); };
 
   std::vector<Duration> executed(s.size(), 0);
   for (JobId id = 0; id < s.size(); ++id) {
@@ -159,7 +159,7 @@ void validate_faulty_schedule(const Schedule& s, const workload::Workload& w) {
 }  // namespace
 
 void validate_schedule(const Schedule& s, const workload::Workload& w) {
-  auto fail = [](const std::string& msg) { throw std::logic_error("schedule: " + msg); };
+  auto fail = [](const std::string& msg) { throw ValidationError("schedule: " + msg); };
   if (s.size() != w.size()) fail("job count mismatch");
   if (!s.attempts.empty() || !s.capacity_events.empty()) {
     validate_faulty_schedule(s, w);
@@ -213,6 +213,29 @@ void validate_schedule(const Schedule& s, const workload::Workload& w) {
     if (in_use < 0) fail("negative usage at time " + std::to_string(e.t));
   }
   if (in_use != 0) fail("dangling allocations after last completion");
+}
+
+workload::Workload as_executed_workload(const Schedule& s,
+                                        const workload::Workload& w) {
+  workload::Workload out;
+  for (JobId id = 0; id < s.size(); ++id) {
+    const JobRecord& r = s[id];
+    Job j = w.job(id);
+    j.submit = r.submit;
+    j.runtime = r.end - r.start;
+    j.status = r.cancelled ? JobStatus::kCancelled : JobStatus::kCompleted;
+    out.add(j);
+  }
+  for (const AttemptRecord& a : s.attempts) {
+    if (a.end <= a.start) continue;  // killed at its start instant
+    Job j = w.job(a.id);
+    j.runtime = a.end - a.start;
+    j.status = JobStatus::kFailed;
+    out.add(j);
+  }
+  out.set_name(w.name() + "-executed");
+  out.finalize();
+  return out;
 }
 
 }  // namespace jsched::sim

@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -106,6 +107,15 @@ class Schedule {
 /// untouched.
 std::uint64_t schedule_fingerprint(const Schedule& s);
 
+/// Thrown by validate_schedule. Still a std::logic_error (an invalid
+/// schedule is a scheduler/simulator bug), but a distinct type so the eval
+/// harness's error taxonomy can file it under `validation` instead of the
+/// generic scheduler-contract violations the event loop throws.
+class ValidationError : public std::logic_error {
+ public:
+  explicit ValidationError(const std::string& what) : std::logic_error(what) {}
+};
+
 /// Validity constraints of the target machine (paper §2): node capacity is
 /// never exceeded at any instant, partitions are exclusive (implied by
 /// capacity in the identical-node model), no job starts before submission,
@@ -120,7 +130,18 @@ std::uint64_t schedule_fingerprint(const Schedule& s);
 /// capacity, with releases and capacity steps applied before acquisitions
 /// at equal instants (the simulator's own event order).
 ///
-/// Throws std::logic_error describing the first violation.
+/// Throws sim::ValidationError describing the first violation.
 void validate_schedule(const Schedule& s, const workload::Workload& w);
+
+/// Export the executed schedule as an SWF-ready "as executed" trace: one
+/// record per job with its *executed* lifetime (end - start) as the
+/// runtime, status kCancelled when the job hit its Rule-2 upper limit and
+/// kCompleted otherwise, plus one kFailed record per fault-killed attempt
+/// (lifetime = elapsed time of the attempt; zero-length attempts are
+/// dropped since a workload requires runtime >= 1). This is how killed
+/// attempts survive a write_swf/read_swf round trip — they become the
+/// status-0 ("failed") records a real archive trace would carry.
+workload::Workload as_executed_workload(const Schedule& s,
+                                        const workload::Workload& w);
 
 }  // namespace jsched::sim

@@ -69,6 +69,9 @@ Schedule simulate_basic(const Machine& machine, Scheduler& scheduler,
   completed.reserve(64);
 
   while (remaining > 0) {
+    // Cancellation point: one iteration is the abort granularity.
+    if (options.cancel != nullptr) options.cancel->check();
+
     // Next event time: arrival, completion, or scheduler wakeup.
     Time t = kTimeInfinity;
     if (next_arrival < workload.size()) {
@@ -248,6 +251,9 @@ Schedule simulate_faulty(const Machine& machine, Scheduler& scheduler,
   completed.reserve(64);
 
   while (remaining > 0) {
+    // Cancellation point: one iteration is the abort granularity.
+    if (options.cancel != nullptr) options.cancel->check();
+
     // Purge stale completion entries so the next-event time is real.
     while (!completions.empty() &&
            completions.top().epoch != epoch[completions.top().id]) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "fault/fault.h"
+#include "sim/cancel.h"
 #include "sim/machine.h"
 #include "sim/schedule.h"
 #include "sim/scheduler.h"
@@ -30,6 +31,13 @@ struct SimOptions {
   /// and re-submits the remainder at the kill instant. The trace must be
   /// built for exactly machine.nodes nodes.
   fault::FaultOptions faults{};
+
+  /// Cooperative cancellation (not owned; may be null). When set, the
+  /// token is polled once per event-loop iteration and an expired or
+  /// cancelled run aborts by throwing sim::CancelledError — within the
+  /// deadline plus one event-loop iteration, with no watchdog thread.
+  /// Null (the default) costs one untaken branch per iteration.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Run `scheduler` over `workload` on `machine`; returns the executed

@@ -1,0 +1,45 @@
+#include "util/journal.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace jsched::util {
+
+AppendLog::AppendLog(std::string path) : path_(std::move(path)) {
+  out_.open(path_, std::ios::out | std::ios::app);
+  if (!out_) {
+    throw std::runtime_error("AppendLog: cannot open for append: " + path_);
+  }
+}
+
+void AppendLog::append(std::string_view line) {
+  if (line.find('\n') != std::string_view::npos) {
+    throw std::invalid_argument("AppendLog: record contains a newline");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ << line << '\n';
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("AppendLog: write failed: " + path_);
+  }
+}
+
+std::vector<std::string> AppendLog::read_lines(const std::string& path) {
+  std::ifstream in(path, std::ios::in | std::ios::binary);
+  std::vector<std::string> lines;
+  if (!in) return lines;  // no journal yet: a fresh sweep
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string content = buf.str();
+  std::size_t pos = 0;
+  while (pos < content.size()) {
+    const std::size_t nl = content.find('\n', pos);
+    if (nl == std::string::npos) break;  // torn trailing record: drop it
+    lines.push_back(content.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+}  // namespace jsched::util

@@ -1,0 +1,51 @@
+// Crash-tolerant append-only record log.
+//
+// The checkpoint/resume layer of the evaluation harness journals one line
+// per completed sweep cell; a killed process leaves at worst one torn
+// trailing line, which the reader drops. This file is the I/O half only —
+// plain newline-terminated text records, appended and flushed one at a
+// time — so the eval layer owns the record format and this stays reusable
+// for any future append-only need (progress logs, replayable event
+// streams).
+#pragma once
+
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jsched::util {
+
+/// Append-only line log. Appends are serialized by an internal mutex and
+/// flushed per record, so every record written before a kill survives it.
+class AppendLog {
+ public:
+  /// Opens `path` in append mode, creating the file when missing. Throws
+  /// std::runtime_error when the file cannot be opened for writing.
+  explicit AppendLog(std::string path);
+
+  AppendLog(const AppendLog&) = delete;
+  AppendLog& operator=(const AppendLog&) = delete;
+
+  const std::string& path() const noexcept { return path_; }
+
+  /// Append one record (a trailing newline is added) and flush. `line`
+  /// must not contain '\n' — records are the unit of crash tolerance.
+  /// Throws std::invalid_argument on an embedded newline and
+  /// std::runtime_error when the write fails.
+  void append(std::string_view line);
+
+  /// Every *complete* line of `path`, in file order. A trailing fragment
+  /// without a final newline (the footprint of a process killed
+  /// mid-append) is dropped, and a missing file reads as empty — both are
+  /// normal resume situations, not errors.
+  static std::vector<std::string> read_lines(const std::string& path);
+
+ private:
+  std::string path_;
+  std::mutex mu_;
+  std::ofstream out_;
+};
+
+}  // namespace jsched::util

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <exception>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace jsched::util {
@@ -50,6 +52,10 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
     }
     task();
+    // Destroy the closure before signaling completion: once in_flight_
+    // hits 0 a waiter may tear down (or rethrow from) state the closure
+    // still shares — e.g. parallel_for_each's error channel.
+    task = nullptr;
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;
@@ -58,29 +64,79 @@ void ThreadPool::worker_loop() {
   }
 }
 
+namespace {
+
+/// Shared error channel of one parallel_for_each call: the first exception
+/// (by completion order) plus a count of later ones, so no failure is ever
+/// silently dropped.
+struct ErrorChannel {
+  std::mutex mu;
+  std::exception_ptr first;
+  std::size_t suppressed = 0;
+  std::atomic<bool> failed{false};
+
+  void capture(std::exception_ptr e) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!first) {
+      first = std::move(e);
+    } else {
+      ++suppressed;
+    }
+    failed.store(true, std::memory_order_relaxed);
+  }
+
+  /// Rethrow the first exception. With suppressed secondary failures the
+  /// original type cannot carry the count, so the rethrown error becomes a
+  /// std::runtime_error wrapping the first message plus the count.
+  [[noreturn]] void rethrow() {
+    if (suppressed == 0) std::rethrow_exception(first);
+    std::string what;
+    try {
+      std::rethrow_exception(first);
+    } catch (const std::exception& e) {
+      what = e.what();
+    } catch (...) {
+      what = "non-standard exception";
+    }
+    throw std::runtime_error(what + " (+" + std::to_string(suppressed) +
+                             " further task failure" +
+                             (suppressed == 1 ? "" : "s") + " suppressed)");
+  }
+};
+
+}  // namespace
+
+void ThreadPool::parallel_for_each(
+    std::size_t n, const std::function<void(std::size_t)>& fn) {
+  parallel_for_each(n, fn, ParallelOptions{});
+}
+
 void ThreadPool::parallel_for_each(std::size_t n,
-                                   const std::function<void(std::size_t)>& fn) {
+                                   const std::function<void(std::size_t)>& fn,
+                                   const ParallelOptions& options) {
   if (n == 0) return;
   // One puller per worker; each drains indices from a shared counter so a
   // long task on one thread never blocks the remaining indices.
   auto next = std::make_shared<std::atomic<std::size_t>>(0);
-  auto first_error = std::make_shared<std::exception_ptr>();
-  auto error_mu = std::make_shared<std::mutex>();
+  auto errors = std::make_shared<ErrorChannel>();
+  const bool stop_on_error = options.stop_on_error;
   const std::size_t pullers = std::min(size(), n);
   for (std::size_t p = 0; p < pullers; ++p) {
-    submit([n, &fn, next, first_error, error_mu] {
+    submit([n, &fn, next, errors, stop_on_error] {
       for (std::size_t i = (*next)++; i < n; i = (*next)++) {
+        if (stop_on_error && errors->failed.load(std::memory_order_relaxed)) {
+          return;  // drain: finish nothing new, abandon nothing in flight
+        }
         try {
           fn(i);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(*error_mu);
-          if (!*first_error) *first_error = std::current_exception();
+          errors->capture(std::current_exception());
         }
       }
     });
   }
   wait();
-  if (*first_error) std::rethrow_exception(*first_error);
+  if (errors->first) errors->rethrow();
 }
 
 std::size_t ThreadPool::hardware_threads() {
@@ -88,13 +144,14 @@ std::size_t ThreadPool::hardware_threads() {
 }
 
 void parallel_for_each(std::size_t n, std::size_t threads,
-                       const std::function<void(std::size_t)>& fn) {
+                       const std::function<void(std::size_t)>& fn,
+                       const ThreadPool::ParallelOptions& options) {
   if (threads <= 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
   ThreadPool pool(std::min(threads, n == 0 ? std::size_t{1} : n));
-  pool.parallel_for_each(n, fn);
+  pool.parallel_for_each(n, fn, options);
 }
 
 }  // namespace jsched::util

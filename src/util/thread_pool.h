@@ -36,13 +36,27 @@ class ThreadPool {
   /// Block until every submitted task has finished.
   void wait();
 
+  struct ParallelOptions {
+    /// After the first task failure, stop handing out new indices: tasks
+    /// already in flight drain normally (they are never abandoned), but
+    /// indices not yet started are skipped. Off (the default) runs every
+    /// index to completion — the historical behavior.
+    bool stop_on_error = false;
+  };
+
   /// Run fn(0), ..., fn(n-1) across the pool and block until all are done.
   /// Indices are handed out in order but may complete in any order; the
   /// caller owns result placement (typically out[i] = ...). If any call
   /// throws, the first exception (by completion order) is rethrown after
-  /// all indices finish.
+  /// every started index finishes. When further tasks threw too, the
+  /// rethrown error is a std::runtime_error carrying the first failure's
+  /// message plus the count of suppressed exceptions — secondary failures
+  /// are counted, never silently lost.
   void parallel_for_each(std::size_t n,
                          const std::function<void(std::size_t)>& fn);
+  void parallel_for_each(std::size_t n,
+                         const std::function<void(std::size_t)>& fn,
+                         const ParallelOptions& options);
 
   /// std::thread::hardware_concurrency with a floor of 1.
   static std::size_t hardware_threads();
@@ -60,10 +74,12 @@ class ThreadPool {
 };
 
 /// One-shot helper: run fn(0..n-1) on `threads` workers. `threads <= 1`
-/// runs inline on the calling thread (no pool, bit-for-bit serial order);
+/// runs inline on the calling thread (no pool, bit-for-bit serial order;
+/// stop_on_error is implicit — the first exception propagates directly);
 /// `threads == 0` is treated as 1. Exceptions propagate as in
 /// ThreadPool::parallel_for_each.
 void parallel_for_each(std::size_t n, std::size_t threads,
-                       const std::function<void(std::size_t)>& fn);
+                       const std::function<void(std::size_t)>& fn,
+                       const ThreadPool::ParallelOptions& options = {});
 
 }  // namespace jsched::util

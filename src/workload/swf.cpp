@@ -1,6 +1,7 @@
 #include "workload/swf.h"
 
 #include <array>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -48,13 +49,62 @@ int status_code(JobStatus status) {
   return -1;
 }
 
+// Sanity bounds on parsed field values before they are cast to the
+// integer model types (a cast from a non-finite or out-of-range double is
+// undefined behavior, so a garbage trace must be rejected *before* it).
+// Times/durations are seconds — 1e15 s is ~30 million years, far beyond
+// any archive; processor counts and ids fit int32.
+constexpr double kMaxTimeField = 1e15;
+constexpr double kMaxIntField = 2e9;
+
+bool time_field_ok(double v) {
+  return std::isfinite(v) && v >= -kMaxTimeField && v <= kMaxTimeField;
+}
+
+bool int_field_ok(double v) {
+  return std::isfinite(v) && v >= -kMaxIntField && v <= kMaxIntField;
+}
+
+/// Record one rejected line into the lenient-mode report.
+void note_issue(SwfParseReport* report, bool structural, std::size_t line,
+                const char* reason, const std::string& text) {
+  if (report == nullptr) return;
+  if (structural) {
+    ++report->malformed;
+  } else {
+    ++report->out_of_range;
+  }
+  ++report->reason_counts[reason];
+  if (report->samples.size() < SwfParseReport::kMaxSamples) {
+    report->samples.push_back({line, reason, text.substr(0, 120)});
+  }
+}
+
 }  // namespace
+
+std::string SwfParseReport::summary() const {
+  std::ostringstream os;
+  os << total() << " record" << (total() == 1 ? "" : "s") << " skipped";
+  if (!reason_counts.empty()) {
+    os << " (";
+    bool first = true;
+    for (const auto& [reason, count] : reason_counts) {
+      if (!first) os << ", ";
+      os << reason << "=" << count;
+      first = false;
+    }
+    os << ")";
+  }
+  return os.str();
+}
 
 Workload read_swf(std::istream& in, std::string name, SwfReadStats* stats,
                   const SwfOptions& options) {
   SwfReadStats local;
   SwfReadStats& st = stats ? *stats : local;
   st = {};
+  SwfParseReport* report = options.lenient ? options.report : nullptr;
+  if (report != nullptr) *report = {};
 
   Workload w;
   std::string line;
@@ -75,8 +125,43 @@ Workload read_swf(std::istream& in, std::string name, SwfReadStats* stats,
     double v;
     while (n < kFieldCount && fields >> v) f[n++] = v;
     if (n < kReqTime + 1) {
-      throw std::runtime_error("SWF: malformed record at line " +
-                               std::to_string(st.lines) + ": " + line);
+      // Too few numeric fields: either the line is short, or extraction
+      // died on non-numeric junk mid-record.
+      fields.clear();
+      std::string rest;
+      fields >> rest;
+      const char* reason = rest.empty() ? "short-record" : "non-numeric-field";
+      if (!options.lenient) {
+        throw std::runtime_error("SWF: malformed record at line " +
+                                 std::to_string(st.lines) + ": " + line);
+      }
+      ++st.skipped_malformed;
+      note_issue(report, /*structural=*/true, st.lines, reason, line);
+      continue;
+    }
+    // Guard every field we cast to an integer type: a non-finite or
+    // absurdly large value would be undefined behavior at the cast.
+    const bool finite_ok =
+        time_field_ok(f[kSubmit]) && time_field_ok(f[kRunTime]) &&
+        time_field_ok(f[kReqTime]) && int_field_ok(f[kAllocProcs]) &&
+        int_field_ok(f[kReqProcs]) && int_field_ok(f[kStatus]) &&
+        int_field_ok(f[kUser]);
+    if (!finite_ok) {
+      const bool non_finite =
+          !std::isfinite(f[kSubmit]) || !std::isfinite(f[kRunTime]) ||
+          !std::isfinite(f[kReqTime]) || !std::isfinite(f[kAllocProcs]) ||
+          !std::isfinite(f[kReqProcs]) || !std::isfinite(f[kStatus]) ||
+          !std::isfinite(f[kUser]);
+      const char* reason =
+          non_finite ? "non-finite-field" : "out-of-range-field";
+      if (!options.lenient) {
+        throw std::runtime_error("SWF: " + std::string(reason) +
+                                 " at line " + std::to_string(st.lines) +
+                                 ": " + line);
+      }
+      ++st.skipped_malformed;
+      note_issue(report, /*structural=*/false, st.lines, reason, line);
+      continue;
     }
 
     Job j;

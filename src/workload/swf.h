@@ -15,7 +15,9 @@
 #pragma once
 
 #include <iosfwd>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "workload/workload.h"
 
@@ -29,6 +31,34 @@ struct SwfReadStats {
   std::size_t clamped_estimate = 0;  // estimate raised to runtime
   /// Records dropped by SwfOptions::drop_unsuccessful.
   std::size_t skipped_unsuccessful = 0;
+  /// Malformed records skipped by SwfOptions::lenient (always 0 in strict
+  /// mode, which throws instead).
+  std::size_t skipped_malformed = 0;
+};
+
+/// One record the lenient parser rejected.
+struct SwfParseIssue {
+  std::size_t line = 0;  // 1-based line number in the stream
+  std::string reason;    // stable slug, e.g. "short-record"
+  std::string text;      // the offending line (truncated to ~120 chars)
+};
+
+/// What lenient ingestion skipped and why: totals per reason plus the
+/// first few offending lines verbatim — enough to triage a dirty archive
+/// trace without re-parsing it.
+struct SwfParseReport {
+  /// First kMaxSamples rejected records, in stream order.
+  static constexpr std::size_t kMaxSamples = 8;
+
+  std::size_t malformed = 0;                      // structurally bad lines
+  std::size_t out_of_range = 0;                   // unusable field values
+  std::map<std::string, std::size_t> reason_counts;
+  std::vector<SwfParseIssue> samples;
+
+  std::size_t total() const noexcept { return malformed + out_of_range; }
+  /// One-line human summary, e.g.
+  /// "7 records skipped (short-record=5, non-numeric-field=2)".
+  std::string summary() const;
 };
 
 struct SwfOptions {
@@ -37,11 +67,23 @@ struct SwfOptions {
   /// traces are usually replayed whole, failures included, since even a
   /// failed job occupied its nodes for the recorded runtime.
   bool drop_unsuccessful = false;
+
+  /// Lenient ingestion: malformed records (too few fields, non-numeric
+  /// junk, non-finite or absurdly out-of-range values) are skipped and
+  /// collected into `report` instead of aborting the whole parse — one bad
+  /// line in a multi-million-line archive trace should cost one record,
+  /// not the run. Off by default: strict mode throws on the first
+  /// malformed line, exactly as before.
+  bool lenient = false;
+
+  /// Where lenient mode records what it skipped (optional, not owned).
+  /// Reset at the start of each read. Ignored in strict mode.
+  SwfParseReport* report = nullptr;
 };
 
 /// Parse an SWF stream into a Workload. The status field (field 11) is
 /// surfaced as Job::status. Throws std::runtime_error on malformed
-/// (non-comment, non-empty) lines.
+/// (non-comment, non-empty) lines unless SwfOptions::lenient is set.
 Workload read_swf(std::istream& in, std::string name = "swf",
                   SwfReadStats* stats = nullptr, const SwfOptions& options = {});
 

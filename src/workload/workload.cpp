@@ -112,4 +112,25 @@ std::string describe(const WorkloadSummary& s) {
   return os.str();
 }
 
+std::uint64_t fingerprint(const Workload& w) {
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(w.size()));
+  for (const Job& j : w) {
+    mix(static_cast<std::uint64_t>(j.submit));
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(j.nodes)));
+    mix(static_cast<std::uint64_t>(j.runtime));
+    mix(static_cast<std::uint64_t>(j.estimate));
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(j.user)));
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(j.priority_class)));
+    mix(static_cast<std::uint64_t>(static_cast<std::int8_t>(j.status)));
+  }
+  return h;
+}
+
 }  // namespace jsched::workload

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -77,6 +78,13 @@ struct WorkloadSummary {
 };
 
 WorkloadSummary summarize(const Workload& w);
+
+/// FNV-1a (64-bit) fingerprint over every job's submit, nodes, runtime,
+/// estimate, user, priority class and status, plus the job count. Two
+/// workloads fingerprint equal iff they are field-identical job streams —
+/// the workload-identity half of a sweep-journal cell key (the name is
+/// deliberately excluded: a renamed but identical trace is the same work).
+std::uint64_t fingerprint(const Workload& w);
 
 /// Human-readable multi-line description of a summary.
 std::string describe(const WorkloadSummary& s);

@@ -1,0 +1,191 @@
+// Cooperative cancellation: CancelToken semantics, simulator abort at
+// event-loop boundaries, and the eval harness's deadline -> kTimeout
+// mapping (serial and threaded).
+#include "sim/cancel.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "core/factory.h"
+#include "eval/experiment.h"
+#include "sim/simulator.h"
+#include "test_support.h"
+
+namespace jsched {
+namespace {
+
+TEST(Cancel, FreshTokenPasses) {
+  sim::CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.expired());
+  EXPECT_NO_THROW(token.check());
+}
+
+TEST(Cancel, CancelledTokenThrowsWithReason) {
+  sim::CancelToken token;
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+  try {
+    token.check();
+    FAIL() << "expected CancelledError";
+  } catch (const sim::CancelledError& e) {
+    EXPECT_EQ(e.reason(), sim::CancelledError::Reason::kCancelled);
+  }
+}
+
+TEST(Cancel, PastDeadlineThrowsWithDeadlineReason) {
+  sim::CancelToken token;
+  token.set_deadline(sim::CancelToken::Clock::now() -
+                     std::chrono::milliseconds(1));
+  EXPECT_TRUE(token.expired());
+  try {
+    token.check();
+    FAIL() << "expected CancelledError";
+  } catch (const sim::CancelledError& e) {
+    EXPECT_EQ(e.reason(), sim::CancelledError::Reason::kDeadline);
+  }
+}
+
+TEST(Cancel, ExplicitCancelWinsTieOverDeadline) {
+  sim::CancelToken token;
+  token.set_deadline(sim::CancelToken::Clock::now() -
+                     std::chrono::milliseconds(1));
+  token.cancel();
+  try {
+    token.check();
+    FAIL() << "expected CancelledError";
+  } catch (const sim::CancelledError& e) {
+    EXPECT_EQ(e.reason(), sim::CancelledError::Reason::kCancelled);
+  }
+}
+
+TEST(Cancel, ChildObservesParentCancellation) {
+  sim::CancelToken parent;
+  sim::CancelToken child(&parent);
+  EXPECT_FALSE(child.cancelled());
+  parent.cancel();
+  EXPECT_TRUE(child.cancelled());
+  // The reverse does not hold: a child's own cancel leaves the parent
+  // (and thus sibling runs) untouched.
+  sim::CancelToken other(&parent);
+  EXPECT_TRUE(other.cancelled());
+}
+
+TEST(Cancel, SimulatorAbortsOnPreCancelledToken) {
+  const workload::Workload w = test::small_mixed_workload();
+  sim::Machine m;
+  m.nodes = 16;
+  auto scheduler = core::make_scheduler(core::AlgorithmSpec{});
+  sim::CancelToken token;
+  token.cancel();
+  sim::SimOptions opt;
+  opt.cancel = &token;
+  EXPECT_THROW(sim::simulate(m, *scheduler, w, opt), sim::CancelledError);
+}
+
+TEST(Cancel, SimulatorRunsNormallyWithLiveToken) {
+  // A token that never fires must not change the schedule at all.
+  const workload::Workload w = test::small_mixed_workload();
+  sim::Machine m;
+  m.nodes = 16;
+  const core::AlgorithmSpec spec;
+  auto plain_scheduler = core::make_scheduler(spec);
+  const sim::Schedule plain = sim::simulate(m, *plain_scheduler, w);
+
+  sim::CancelToken token;
+  sim::SimOptions opt;
+  opt.cancel = &token;
+  auto scheduler = core::make_scheduler(spec);
+  const sim::Schedule with_token = sim::simulate(m, *scheduler, w, opt);
+  EXPECT_EQ(sim::schedule_fingerprint(plain),
+            sim::schedule_fingerprint(with_token));
+}
+
+TEST(Cancel, ExpiredRunClassifiesAsTimeout) {
+  // An already-expired deadline aborts the run at its first event-loop
+  // iteration; under isolate the harness files it as kTimeout.
+  const workload::Workload w = test::small_mixed_workload();
+  sim::Machine m;
+  m.nodes = 16;
+  eval::ExperimentOptions opt;
+  opt.measure_cpu = false;
+  opt.error_policy = eval::ErrorPolicy::kIsolate;
+  opt.run_deadline = std::chrono::milliseconds(-1);
+  // A negative budget is "already expired" — deterministic without a sleep.
+  const eval::RunOutcome out =
+      eval::run_one_outcome(m, core::AlgorithmSpec{}, w, opt);
+  ASSERT_FALSE(out.ok);
+  EXPECT_EQ(out.error.kind, eval::RunErrorKind::kTimeout);
+  EXPECT_EQ(out.attempts, 1u);
+}
+
+TEST(Cancel, DeadlineUnderFailFastThrowsCancelledError) {
+  const workload::Workload w = test::small_mixed_workload();
+  sim::Machine m;
+  m.nodes = 16;
+  eval::ExperimentOptions opt;
+  opt.measure_cpu = false;
+  opt.run_deadline = std::chrono::milliseconds(-1);
+  EXPECT_THROW(eval::run_one(m, core::AlgorithmSpec{}, w, opt),
+               sim::CancelledError);
+}
+
+TEST(Cancel, SweepTokenCancelsWholeGridUnderIsolate) {
+  const workload::Workload w = test::small_mixed_workload();
+  sim::Machine m;
+  m.nodes = 16;
+  sim::CancelToken sweep_token;
+  sweep_token.cancel();
+  eval::ExperimentOptions opt;
+  opt.measure_cpu = false;
+  opt.error_policy = eval::ErrorPolicy::kIsolate;
+  opt.cancel = &sweep_token;
+  const eval::GridResult grid =
+      eval::run_grid_outcomes(m, core::WeightKind::kUnit, w, opt);
+  EXPECT_EQ(grid.failed(), grid.cells.size());
+  for (const auto& c : grid.cells) {
+    EXPECT_EQ(c.error.kind, eval::RunErrorKind::kCancelled);
+  }
+}
+
+TEST(Cancel, ThreadedGridWithDeadlinesDrainsCleanly) {
+  // Every cell times out on a worker pool: all threads must join (the
+  // TSan job runs this test) and every cell must report kTimeout.
+  const workload::Workload w = test::small_mixed_workload();
+  sim::Machine m;
+  m.nodes = 16;
+  eval::ExperimentOptions opt;
+  opt.measure_cpu = false;
+  opt.error_policy = eval::ErrorPolicy::kIsolate;
+  opt.run_deadline = std::chrono::milliseconds(-1);
+  opt.threads = 4;
+  const eval::GridResult grid =
+      eval::run_grid_outcomes(m, core::WeightKind::kUnit, w, opt);
+  EXPECT_EQ(grid.failed(), grid.cells.size());
+  for (const auto& c : grid.cells) {
+    EXPECT_EQ(c.error.kind, eval::RunErrorKind::kTimeout);
+  }
+}
+
+TEST(Cancel, GenerousDeadlineLeavesResultsBitIdentical) {
+  // The deadline machinery active but not firing must not perturb the
+  // schedule (inactive-options bit-identity guarantee).
+  const workload::Workload w = test::small_mixed_workload();
+  sim::Machine m;
+  m.nodes = 16;
+  eval::ExperimentOptions plain;
+  plain.measure_cpu = false;
+  const auto reference = eval::run_grid(m, core::WeightKind::kUnit, w, plain);
+
+  eval::ExperimentOptions opt = plain;
+  opt.run_deadline = std::chrono::hours(1);
+  const auto guarded = eval::run_grid(m, core::WeightKind::kUnit, w, opt);
+  ASSERT_EQ(guarded.size(), reference.size());
+  for (std::size_t i = 0; i < guarded.size(); ++i) {
+    EXPECT_EQ(guarded[i].schedule_fnv, reference[i].schedule_fnv);
+  }
+}
+
+}  // namespace
+}  // namespace jsched

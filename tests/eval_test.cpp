@@ -69,10 +69,21 @@ TEST(Experiment, FindLocatesConfigurations) {
   const auto& gg =
       find(results, core::OrderKind::kFcfs, core::DispatchKind::kFirstFit);
   EXPECT_EQ(gg.scheduler_name, "FCFS+FF");
-  EXPECT_THROW(
-      find(std::vector<RunResult>{}, core::OrderKind::kFcfs,
-           core::DispatchKind::kList),
-      std::out_of_range);
+  // The error names the missing pair: "which configuration?" should not
+  // require a debugger.
+  try {
+    find(std::vector<RunResult>{}, core::OrderKind::kSmartNfiw,
+         core::DispatchKind::kEasy);
+    FAIL() << "expected out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(core::to_string(core::OrderKind::kSmartNfiw)),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find(core::to_string(core::DispatchKind::kEasy)),
+              std::string::npos)
+        << what;
+  }
 }
 
 TEST(Reporting, TableTitleIncludesObjective) {

@@ -1,0 +1,342 @@
+// Checkpoint/resume: util::AppendLog crash tolerance and the
+// eval::SweepJournal resume semantics (bit-identical results, fingerprint
+// verification, partial-resume cell accounting).
+#include "eval/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "test_support.h"
+#include "util/journal.h"
+
+namespace jsched {
+namespace {
+
+/// Unique temp path per test; removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& stem)
+      : path_(std::string(::testing::TempDir()) + stem + "-" +
+              std::to_string(counter_++) + ".journal") {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  static int counter_;
+  std::string path_;
+};
+
+int TempFile::counter_ = 0;
+
+TEST(Journal, AppendLogRoundTripsLines) {
+  TempFile f("appendlog");
+  {
+    util::AppendLog log(f.path());
+    log.append("first");
+    log.append("second record with spaces");
+  }
+  const auto lines = util::AppendLog::read_lines(f.path());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "first");
+  EXPECT_EQ(lines[1], "second record with spaces");
+}
+
+TEST(Journal, AppendLogMissingFileReadsEmpty) {
+  EXPECT_TRUE(util::AppendLog::read_lines("/nonexistent/nope.journal").empty());
+}
+
+TEST(Journal, AppendLogRejectsEmbeddedNewline) {
+  TempFile f("appendlog-nl");
+  util::AppendLog log(f.path());
+  EXPECT_THROW(log.append("two\nlines"), std::invalid_argument);
+}
+
+TEST(Journal, AppendLogDropsTornTrailingLine) {
+  // A process killed mid-append leaves a fragment without a newline; the
+  // reader must drop exactly that fragment and keep every complete record.
+  TempFile f("appendlog-torn");
+  {
+    util::AppendLog log(f.path());
+    log.append("complete-1");
+    log.append("complete-2");
+  }
+  {
+    std::ofstream out(f.path(), std::ios::app);
+    out << "torn-fragment-without-newline";
+  }
+  const auto lines = util::AppendLog::read_lines(f.path());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1], "complete-2");
+}
+
+TEST(Journal, AppendLogResumesAfterReopen) {
+  TempFile f("appendlog-reopen");
+  {
+    util::AppendLog log(f.path());
+    log.append("before");
+  }
+  {
+    util::AppendLog log(f.path());
+    log.append("after");
+  }
+  const auto lines = util::AppendLog::read_lines(f.path());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "before");
+  EXPECT_EQ(lines[1], "after");
+}
+
+eval::RunResult sample_result() {
+  eval::RunResult r;
+  r.spec.order = core::OrderKind::kSmartFfia;
+  r.spec.dispatch = core::DispatchKind::kEasy;
+  r.spec.weight = core::WeightKind::kEstimatedArea;
+  r.scheduler_name = "SMART-FFIA+EASY";
+  r.jobs = 1234;
+  r.art = 1234.5678901234567;       // exercises full double precision
+  r.awrt = 9.87e12;
+  r.wait = 0.1 + 0.2;               // the classic non-representable sum
+  r.makespan = 86'400.0;
+  r.utilization = 0.87654321;
+  r.scheduler_cpu_seconds = 0.001234;
+  r.max_queue_length = 77;
+  r.schedule_fnv = 0xdeadbeefcafef00dull;
+  r.goodput_node_seconds = 1e9;
+  r.wasted_node_seconds = 12345.0;
+  r.goodput_fraction = 0.999999999;
+  r.availability = 0.98;
+  r.availability_weighted_utilization = 0.86;
+  r.kills = 3;
+  r.jobs_hit = 2;
+  return r;
+}
+
+void expect_bit_identical(const eval::RunResult& a, const eval::RunResult& b) {
+  EXPECT_EQ(a.spec.order, b.spec.order);
+  EXPECT_EQ(a.spec.dispatch, b.spec.dispatch);
+  EXPECT_EQ(a.spec.weight, b.spec.weight);
+  EXPECT_EQ(a.scheduler_name, b.scheduler_name);
+  EXPECT_EQ(a.jobs, b.jobs);
+  // Bit-level comparisons: a journal resume must be indistinguishable from
+  // an uninterrupted run, so decimal round-tripping is not good enough.
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.art), std::bit_cast<std::uint64_t>(b.art));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.awrt), std::bit_cast<std::uint64_t>(b.awrt));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.wait), std::bit_cast<std::uint64_t>(b.wait));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.makespan),
+            std::bit_cast<std::uint64_t>(b.makespan));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.utilization),
+            std::bit_cast<std::uint64_t>(b.utilization));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.scheduler_cpu_seconds),
+            std::bit_cast<std::uint64_t>(b.scheduler_cpu_seconds));
+  EXPECT_EQ(a.max_queue_length, b.max_queue_length);
+  EXPECT_EQ(a.schedule_fnv, b.schedule_fnv);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.goodput_fraction),
+            std::bit_cast<std::uint64_t>(b.goodput_fraction));
+  EXPECT_EQ(a.kills, b.kills);
+  EXPECT_EQ(a.jobs_hit, b.jobs_hit);
+}
+
+TEST(Journal, SweepJournalRoundTripsRunResultBitwise) {
+  TempFile f("sweep-roundtrip");
+  const eval::RunResult r = sample_result();
+  const std::uint64_t key = eval::cell_key(42, 256, r.spec, 7);
+  {
+    eval::SweepJournal journal(f.path());
+    journal.record(key, r);
+  }
+  eval::SweepJournal resumed(f.path());
+  EXPECT_EQ(resumed.loaded(), 1u);
+  eval::RunResult out;
+  ASSERT_TRUE(resumed.lookup(key, r.spec, &out));
+  EXPECT_EQ(resumed.hits(), 1u);
+  expect_bit_identical(r, out);
+}
+
+TEST(Journal, SweepJournalMissDoesNotTouchOutput) {
+  TempFile f("sweep-miss");
+  eval::SweepJournal journal(f.path());
+  eval::RunResult out;
+  EXPECT_FALSE(journal.lookup(1, core::AlgorithmSpec{}, &out));
+  EXPECT_EQ(journal.hits(), 0u);
+}
+
+TEST(Journal, SweepJournalDetectsSpecMismatch) {
+  // The same key asking for a different configuration is a collision or a
+  // corrupt journal — resuming the wrong work must be impossible.
+  TempFile f("sweep-mismatch");
+  const eval::RunResult r = sample_result();
+  const std::uint64_t key = 99;
+  eval::SweepJournal journal(f.path());
+  journal.record(key, r);
+  core::AlgorithmSpec other = r.spec;
+  other.dispatch = core::DispatchKind::kList;
+  eval::RunResult out;
+  EXPECT_THROW(journal.lookup(key, other, &out), std::runtime_error);
+}
+
+TEST(Journal, CellKeySeparatesAxes) {
+  core::AlgorithmSpec spec;
+  const std::uint64_t base = eval::cell_key(1, 256, spec, 0);
+  EXPECT_NE(base, eval::cell_key(2, 256, spec, 0));  // workload
+  EXPECT_NE(base, eval::cell_key(1, 257, spec, 0));  // machine
+  EXPECT_NE(base, eval::cell_key(1, 256, spec, 1));  // salt
+  core::AlgorithmSpec other = spec;
+  other.dispatch = core::DispatchKind::kEasy;
+  EXPECT_NE(base, eval::cell_key(1, 256, other, 0));  // config
+  EXPECT_EQ(base, eval::cell_key(1, 256, spec, 0));   // deterministic
+}
+
+/// Grid fingerprints with no journal (the uninterrupted reference).
+std::vector<std::uint64_t> grid_fingerprints(const eval::GridResult& grid) {
+  std::vector<std::uint64_t> out;
+  for (const auto& c : grid.cells) out.push_back(c.result.schedule_fnv);
+  return out;
+}
+
+TEST(Journal, ResumedGridIsBitIdenticalSerial) {
+  const workload::Workload w = test::small_mixed_workload();
+  sim::Machine m;
+  m.nodes = 16;
+
+  eval::ExperimentOptions plain;
+  plain.measure_cpu = false;
+  const eval::GridResult reference =
+      eval::run_grid_outcomes(m, core::WeightKind::kUnit, w, plain);
+
+  // First pass journals every cell; second pass must resume all of them
+  // (attempts == 0) and reproduce every fingerprint bit-for-bit.
+  TempFile f("resume-serial");
+  {
+    eval::SweepJournal journal(f.path());
+    eval::ExperimentOptions opt = plain;
+    opt.journal = &journal;
+    const auto first = eval::run_grid_outcomes(m, core::WeightKind::kUnit, w, opt);
+    EXPECT_EQ(journal.hits(), 0u);
+    EXPECT_EQ(grid_fingerprints(first), grid_fingerprints(reference));
+  }
+  eval::SweepJournal journal(f.path());
+  EXPECT_EQ(journal.loaded(), reference.cells.size());
+  eval::ExperimentOptions opt = plain;
+  opt.journal = &journal;
+  const auto resumed = eval::run_grid_outcomes(m, core::WeightKind::kUnit, w, opt);
+  EXPECT_EQ(journal.hits(), reference.cells.size());
+  EXPECT_EQ(resumed.resumed(), reference.cells.size());
+  ASSERT_EQ(resumed.cells.size(), reference.cells.size());
+  for (std::size_t i = 0; i < resumed.cells.size(); ++i) {
+    EXPECT_EQ(resumed.cells[i].attempts, 0u) << "cell " << i;
+    expect_bit_identical(resumed.cells[i].result, reference.cells[i].result);
+  }
+}
+
+TEST(Journal, ResumedGridIsBitIdenticalThreaded) {
+  // Same resume guarantee with a worker pool: journal appends are
+  // interleaved across threads, results must still match the serial run.
+  const workload::Workload w = test::small_mixed_workload();
+  sim::Machine m;
+  m.nodes = 16;
+
+  eval::ExperimentOptions plain;
+  plain.measure_cpu = false;
+  const eval::GridResult reference =
+      eval::run_grid_outcomes(m, core::WeightKind::kUnit, w, plain);
+
+  TempFile f("resume-threaded");
+  {
+    eval::SweepJournal journal(f.path());
+    eval::ExperimentOptions opt = plain;
+    opt.journal = &journal;
+    opt.threads = 4;
+    (void)eval::run_grid_outcomes(m, core::WeightKind::kUnit, w, opt);
+  }
+  eval::SweepJournal journal(f.path());
+  eval::ExperimentOptions opt = plain;
+  opt.journal = &journal;
+  opt.threads = 4;
+  const auto resumed = eval::run_grid_outcomes(m, core::WeightKind::kUnit, w, opt);
+  EXPECT_EQ(resumed.resumed(), reference.cells.size());
+  ASSERT_EQ(resumed.cells.size(), reference.cells.size());
+  for (std::size_t i = 0; i < resumed.cells.size(); ++i) {
+    expect_bit_identical(resumed.cells[i].result, reference.cells[i].result);
+  }
+}
+
+TEST(Journal, PartialJournalRerunsOnlyIncompleteCells) {
+  // Simulate a killed sweep: journal only the first 5 cells, then resume.
+  // The resumed sweep must re-run exactly the other cells and the final
+  // fingerprints must match the uninterrupted run.
+  const workload::Workload w = test::small_mixed_workload();
+  sim::Machine m;
+  m.nodes = 16;
+
+  eval::ExperimentOptions plain;
+  plain.measure_cpu = false;
+  const eval::GridResult reference =
+      eval::run_grid_outcomes(m, core::WeightKind::kUnit, w, plain);
+  const std::uint64_t wfp = workload::fingerprint(w);
+
+  TempFile f("resume-partial");
+  constexpr std::size_t kCompleted = 5;
+  {
+    eval::SweepJournal journal(f.path());
+    for (std::size_t i = 0; i < kCompleted; ++i) {
+      const auto& r = reference.cells[i].result;
+      journal.record(eval::cell_key(wfp, m.nodes, r.spec, 0), r);
+    }
+  }
+  eval::SweepJournal journal(f.path());
+  eval::ExperimentOptions opt = plain;
+  opt.journal = &journal;
+  const auto resumed = eval::run_grid_outcomes(m, core::WeightKind::kUnit, w, opt);
+  EXPECT_EQ(resumed.resumed(), kCompleted);
+  ASSERT_EQ(resumed.cells.size(), reference.cells.size());
+  for (std::size_t i = 0; i < resumed.cells.size(); ++i) {
+    EXPECT_EQ(resumed.cells[i].attempts, i < kCompleted ? 0u : 1u)
+        << "cell " << i;
+    expect_bit_identical(resumed.cells[i].result, reference.cells[i].result);
+  }
+  // The re-run cells were appended: a third pass resumes everything.
+  eval::SweepJournal full(f.path());
+  EXPECT_EQ(full.loaded(), reference.cells.size());
+}
+
+TEST(Journal, FaultSweepPointsDoNotCollide) {
+  // Two sweep points over the same workload and grid must journal into
+  // disjoint keys (label-salted); resuming the sweep resumes both points.
+  const workload::Workload w = test::small_mixed_workload();
+  sim::Machine m;
+  m.nodes = 16;
+  std::vector<eval::FaultSweepPoint> points(2);
+  points[0].label = "point-a";
+  points[1].label = "point-b";
+
+  TempFile f("fault-sweep");
+  eval::ExperimentOptions opt;
+  opt.measure_cpu = false;
+  {
+    eval::SweepJournal journal(f.path());
+    opt.journal = &journal;
+    const auto sweep = eval::run_fault_sweep_outcomes(
+        m, core::WeightKind::kUnit, w, points, opt);
+    ASSERT_EQ(sweep.size(), 2u);
+    EXPECT_EQ(sweep[0].resumed(), 0u);
+    EXPECT_EQ(sweep[1].resumed(), 0u);
+  }
+  eval::SweepJournal journal(f.path());
+  EXPECT_EQ(journal.loaded(), 26u);  // 13 cells per point, no collisions
+  opt.journal = &journal;
+  const auto resumed = eval::run_fault_sweep_outcomes(
+      m, core::WeightKind::kUnit, w, points, opt);
+  EXPECT_EQ(resumed[0].resumed(), 13u);
+  EXPECT_EQ(resumed[1].resumed(), 13u);
+}
+
+}  // namespace
+}  // namespace jsched

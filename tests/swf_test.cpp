@@ -3,7 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
+#include "core/factory.h"
+#include "fault/fault.h"
+#include "sim/machine.h"
+#include "sim/schedule.h"
+#include "sim/simulator.h"
 #include "test_support.h"
 
 namespace jsched::workload {
@@ -70,6 +76,90 @@ TEST(SwfReader, ThrowsOnMalformedLine) {
 TEST(SwfReader, ShortRecordThrows) {
   std::istringstream in("1 2 3\n");
   EXPECT_THROW(read_swf(in), std::runtime_error);
+}
+
+TEST(SwfReader, StrictThrowsOnNonFiniteField) {
+  // Whether the library's num_get rejects "nan" outright (libstdc++) or
+  // parses it into a non-finite double, strict mode must throw before any
+  // integer cast sees the value.
+  std::istringstream in(
+      "1 nan 5 600 4 -1 -1 4 1200 -1 1 12 -1 -1 -1 -1 -1 -1\n");
+  EXPECT_THROW(read_swf(in), std::runtime_error);
+}
+
+TEST(SwfReader, StrictThrowsOnOutOfRangeField) {
+  std::istringstream in(
+      "1 1e20 5 600 4 -1 -1 4 1200 -1 1 12 -1 -1 -1 -1 -1 -1\n");
+  EXPECT_THROW(read_swf(in), std::runtime_error);
+}
+
+TEST(SwfLenient, SkipsMalformedLinesAndCollectsReport) {
+  // "nan" fails numeric extraction (libstdc++'s num_get accepts no nan/inf
+  // spellings), so it lands under non-numeric-field; "1e20" parses fine
+  // and is caught by the range guard instead.
+  std::istringstream in(
+      std::string("garbage line\n") + "1 2 3\n" +
+      "2 nan 5 600 4 -1 -1 4 1200 -1 1 12 -1 -1 -1 -1 -1 -1\n" +
+      "3 1e20 5 600 4 -1 -1 4 1200 -1 1 12 -1 -1 -1 -1 -1 -1\n" + kRecord);
+  SwfReadStats stats;
+  SwfParseReport report;
+  report.malformed = 99;  // stale content: read_swf must reset the report
+  SwfOptions options;
+  options.lenient = true;
+  options.report = &report;
+  const Workload w = read_swf(in, "dirty", &stats, options);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.skipped_malformed, 4u);
+  EXPECT_EQ(report.total(), 4u);
+  EXPECT_EQ(report.malformed, 3u);
+  EXPECT_EQ(report.out_of_range, 1u);
+  EXPECT_EQ(report.reason_counts.at("non-numeric-field"), 2u);
+  EXPECT_EQ(report.reason_counts.at("short-record"), 1u);
+  EXPECT_EQ(report.reason_counts.at("out-of-range-field"), 1u);
+  ASSERT_EQ(report.samples.size(), 4u);
+  EXPECT_EQ(report.samples[0].line, 1u);
+  EXPECT_EQ(report.samples[0].reason, "non-numeric-field");
+  EXPECT_EQ(report.samples[1].line, 2u);
+  EXPECT_EQ(report.samples[1].reason, "short-record");
+  EXPECT_EQ(report.samples[2].reason, "non-numeric-field");
+  EXPECT_EQ(report.samples[3].reason, "out-of-range-field");
+}
+
+TEST(SwfLenient, SummaryNamesEveryReason) {
+  std::istringstream in("1 2 3\n4 5\ngarbage\n");
+  SwfParseReport report;
+  SwfOptions options;
+  options.lenient = true;
+  options.report = &report;
+  const Workload w = read_swf(in, "t", nullptr, options);
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(report.summary(),
+            "3 records skipped (non-numeric-field=1, short-record=2)");
+}
+
+TEST(SwfLenient, WorksWithoutReport) {
+  std::istringstream in(std::string("junk\n") + kRecord);
+  SwfReadStats stats;
+  SwfOptions options;
+  options.lenient = true;
+  const Workload w = read_swf(in, "t", &stats, options);
+  EXPECT_EQ(w.size(), 1u);
+  EXPECT_EQ(stats.skipped_malformed, 1u);
+}
+
+TEST(SwfLenient, SampleListIsCapped) {
+  std::string text;
+  for (int i = 0; i < 12; ++i) text += "1 2 3\n";
+  std::istringstream in(text);
+  SwfParseReport report;
+  SwfOptions options;
+  options.lenient = true;
+  options.report = &report;
+  const Workload w = read_swf(in, "t", nullptr, options);
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(report.reason_counts.at("short-record"), 12u);
+  EXPECT_EQ(report.samples.size(), SwfParseReport::kMaxSamples);
 }
 
 TEST(SwfReader, EmptyStreamYieldsEmptyWorkload) {
@@ -159,6 +249,45 @@ TEST(SwfStatus, RoundTripsThroughWrite) {
   }
   // kUnknown serializes as -1, the archive's "not recorded".
   EXPECT_EQ(reread[3].status, JobStatus::kUnknown);
+}
+
+TEST(SwfFaultRoundTrip, KilledAttemptsSurviveWriteAndRead) {
+  // One 4-node job alone on a 4-node machine; a full outage at t=100 kills
+  // its first attempt, capacity returns at t=200 and the job reruns to
+  // completion. The executed workload carries the kill as a status-0
+  // ("failed") record — exactly what a real archive trace would show — and
+  // that status must survive an SWF write/read round trip.
+  const Workload w = test::make_workload({test::make_job(0, 4, 600, 1200)});
+  sim::Machine m;
+  m.nodes = 4;
+  const fault::TraceInjector inj({{100, -4}, {200, 4}}, m.nodes);
+  sim::SimOptions opt;
+  opt.faults.trace = &inj.trace();
+  auto scheduler = core::make_scheduler(core::AlgorithmSpec{});
+  const sim::Schedule s = sim::simulate(m, *scheduler, w, opt);
+  ASSERT_EQ(s.attempts.size(), 1u);
+
+  const Workload executed = sim::as_executed_workload(s, w);
+  const auto count_status = [](const Workload& wl, JobStatus st) {
+    std::size_t n = 0;
+    for (JobId i = 0; i < wl.size(); ++i) {
+      if (wl[i].status == st) ++n;
+    }
+    return n;
+  };
+  ASSERT_EQ(executed.size(), 2u);
+  EXPECT_EQ(count_status(executed, JobStatus::kCompleted), 1u);
+  EXPECT_EQ(count_status(executed, JobStatus::kFailed), 1u);
+
+  std::stringstream buf;
+  write_swf(buf, executed);
+  const Workload reread = read_swf(buf, "executed");
+  ASSERT_EQ(reread.size(), executed.size());
+  for (JobId i = 0; i < executed.size(); ++i) {
+    EXPECT_EQ(reread[i].status, executed[i].status) << "job " << i;
+    EXPECT_EQ(reread[i].runtime, executed[i].runtime) << "job " << i;
+  }
+  EXPECT_EQ(count_status(reread, JobStatus::kFailed), 1u);
 }
 
 TEST(SwfFile, MissingFileThrows) {

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace jsched::util {
@@ -79,6 +80,54 @@ TEST(ThreadPool, ParallelForEachRethrowsTaskException) {
       std::runtime_error);
   // Every non-throwing index still ran: one failure doesn't strand work.
   EXPECT_EQ(completed.load(), 49);
+}
+
+TEST(ThreadPool, ParallelForEachCountsSuppressedExceptions) {
+  // Five tasks throw; one exception is rethrown and the other four must be
+  // accounted for in its message, never silently dropped.
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for_each(50, [&](std::size_t i) {
+      if (i % 10 == 0) throw std::runtime_error("task failed");
+    });
+    FAIL() << "expected the pool to rethrow";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("task failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("+4 further task failure"), std::string::npos) << what;
+    EXPECT_NE(what.find("suppressed"), std::string::npos) << what;
+  }
+}
+
+TEST(ThreadPool, SingleFailureKeepsOriginalMessageUnwrapped) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for_each(50, [&](std::size_t i) {
+      if (i == 17) throw std::runtime_error("only failure");
+    });
+    FAIL() << "expected the pool to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "only failure");
+  }
+}
+
+TEST(ThreadPool, StopOnErrorSkipsUnstartedTasks) {
+  // With stop_on_error, indices not yet handed out after the failure are
+  // skipped; in-flight tasks drain. With one worker the ordering is
+  // deterministic: index 0 throws, 1..99 are never started.
+  ThreadPool pool(1);
+  std::atomic<int> started{0};
+  ThreadPool::ParallelOptions options;
+  options.stop_on_error = true;
+  EXPECT_THROW(pool.parallel_for_each(
+                   100,
+                   [&](std::size_t i) {
+                     started.fetch_add(1, std::memory_order_relaxed);
+                     if (i == 0) throw std::runtime_error("stop now");
+                   },
+                   options),
+               std::runtime_error);
+  EXPECT_EQ(started.load(), 1);
 }
 
 TEST(ThreadPoolFreeFunction, SerialWhenThreadsIsOne) {
