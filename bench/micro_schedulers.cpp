@@ -5,8 +5,13 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <memory>
+#include <vector>
 
+#include "core/conservative_backfill.h"
 #include "core/factory.h"
+#include "core/list_scheduler.h"
+#include "core/ordering.h"
 #include "core/psrs.h"
 #include "core/smart.h"
 #include "fault/fault.h"
@@ -262,6 +267,64 @@ void BM_ConservativeOnTimeCompletions(benchmark::State& state) {
 }
 BENCHMARK(BM_ConservativeOnTimeCompletions)
     ->Arg(64)->Arg(256)->Arg(1024)->Complexity();
+
+// The default (incremental) replan path on the workload it was built for:
+// an end-to-end FCFS + conservative simulation over a CTC prefix, where
+// most completions beat their estimate but return too little capacity to
+// move anything. Conservative correctness demands a replan per early
+// completion; exact screening plus cross-replan certificates should prove
+// the window unmoved in O(window) instead of re-placing it (the
+// lift-everything cost BM_ConservativeReplanHeavy measures). The counters
+// surface the replan accounting in the JSON so a perf regression is
+// diagnosable from the run alone — certificates disengaging shows up as
+// `certified` collapsing toward zero (every reuse paying a profile walk
+// again) long before wall time doubles.
+void BM_ConservativeIncrementalReplan(benchmark::State& state) {
+  const std::size_t jobs = static_cast<std::size_t>(state.range(0));
+  const workload::Workload& full = bench_workload();
+  const workload::Workload w(
+      std::vector<Job>(full.jobs().begin(),
+                       full.jobs().begin() +
+                           static_cast<std::ptrdiff_t>(
+                               std::min(jobs, full.jobs().size()))));
+  sim::Machine machine;
+  machine.nodes = 256;
+
+  const core::ConservativeParams params;  // defaults: screened prefix replan
+  core::ConservativeBackfillDispatch::ReplanStats total;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto dispatch =
+        std::make_unique<core::ConservativeBackfillDispatch>(params);
+    auto* d = dispatch.get();
+    core::ListScheduler scheduler(std::make_unique<core::FcfsOrder>(),
+                                  std::move(dispatch));
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(sim::simulate(machine, scheduler, w));
+    state.PauseTiming();
+    const auto& st = d->replan_stats();
+    total.replans += st.replans;
+    total.replans_elided += st.replans_elided;
+    total.replaced += st.replaced;
+    total.reused += st.reused;
+    total.certified += st.certified;
+    total.cursor_restarts += st.cursor_restarts;
+    state.ResumeTiming();
+  }
+  const auto per_iter = [&](std::uint64_t v) {
+    return benchmark::Counter(static_cast<double>(v),
+                              benchmark::Counter::kAvgIterations);
+  };
+  state.counters["replans"] = per_iter(total.replans);
+  state.counters["elided"] = per_iter(total.replans_elided);
+  state.counters["replaced"] = per_iter(total.replaced);
+  state.counters["reused"] = per_iter(total.reused);
+  state.counters["certified"] = per_iter(total.certified);
+  state.counters["cursor_restarts"] = per_iter(total.cursor_restarts);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ConservativeIncrementalReplan)
+    ->Arg(512)->Arg(2048)->Arg(5000)->Complexity();
 
 // Zero-failure overhead guard for the fault subsystem: arg 0 simulates
 // with default options (null trace), arg 1 with a pointer to an *empty*

@@ -2,15 +2,53 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <stdexcept>
 
 namespace jsched::core {
+
+namespace {
+
+/// Merged breakpoints a single screening query may walk before giving up
+/// and treating the job as moved (an early cutoff is exact — see
+/// replan_incremental). Screens span [now, reservation]; at realistic
+/// replan windows that is a few hundred breakpoints, so the budget only
+/// trips on pathological profiles where scratch re-placement is the
+/// cheaper tool anyway.
+constexpr std::size_t kScreenStepBudget = 2048;
+
+/// Merged breakpoints one certificate-revalidation crossing test may walk
+/// before conservatively answering "crossed" (which merely demotes the job
+/// to the individual screen walk, still exact). The walk is confined to
+/// the growth region — a handful of release spans — so the budget only
+/// exists as a backstop.
+constexpr std::size_t kCrossingStepBudget = 512;
+
+Time span_end(Time start, Duration duration) {
+  return start > kTimeInfinity - duration ? kTimeInfinity : start + duration;
+}
+
+}  // namespace
 
 ConservativeBackfillDispatch::ConservativeBackfillDispatch(
     const ConservativeParams& params)
     : params_(params) {
   if (params_.reservation_depth < 1) {
     throw std::invalid_argument("ConservativeBackfill: reservation_depth < 1");
+  }
+  if (params_.compression_queue_limit < 1) {
+    throw std::invalid_argument(
+        "ConservativeBackfill: compression_queue_limit < 1 — a zero limit "
+        "would gate full compression to never run; use full_compression = "
+        "false to disable it");
+  }
+  // replan_prefix is unsigned; a negative value passed by a caller wraps to
+  // the top of the size_t range. No real prefix comes close (use
+  // full_compression to replan everything), so reject the wrapped half.
+  if (params_.replan_prefix >= std::numeric_limits<std::size_t>::max() / 2) {
+    throw std::invalid_argument(
+        "ConservativeBackfill: replan_prefix is implausibly large — was a "
+        "negative value converted to std::size_t?");
   }
 }
 
@@ -22,6 +60,11 @@ void ConservativeBackfillDispatch::reset(const sim::Machine& machine,
   reserved_.clear();
   wakeups_ = {};
   compression_debt_ = false;
+  stats_ = {};
+  cursor_ = {};  // anchored in the profile just replaced
+  growth_.clear();
+  prev_window_.clear();
+  screen_all_ = true;
 }
 
 void ConservativeBackfillDispatch::reserve(JobId id, Time from) {
@@ -50,9 +93,12 @@ void ConservativeBackfillDispatch::on_start(JobId id, Time now) {
 
 void ConservativeBackfillDispatch::on_complete(
     JobId id, Time now, Time estimated_end, const std::vector<JobId>& order) {
+  ++stats_.completions;
+  if (!compression_debt_) ++stats_.replans_elided;
   if (now < estimated_end) {
     const Job& j = store_->get(id);
     profile_.release(now, estimated_end - now, j.nodes);
+    growth_.push_back({now, estimated_end, j.nodes});
     compression_debt_ = true;
   }
   // Compression only moves reservations when capacity was freed since the
@@ -61,6 +107,16 @@ void ConservativeBackfillDispatch::on_complete(
   // exactly where it already is — skip it. compression_debt_ tracks
   // whether any capacity has been freed since the last replan that covered
   // the whole reserved set.
+  //
+  // A *partial* replan (replan_prefix smaller than the reserved set)
+  // deliberately never clears the debt: reservations beyond the prefix
+  // were planned against the pre-completion profile, and as the queue
+  // drains they surface into the prefix window — each later completion
+  // must keep re-screening the window so those stale reservations are
+  // refreshed when they arrive (PrefixReplanOnlyTouchesTheFront pins the
+  // refresh, PartialReplanKeepsDebt pins the re-run). The incremental
+  // screen makes the repeated runs cheap: when nothing in the window can
+  // move, the replan is read-only and touches no profile state.
   if (compression_debt_) {
     if (reserved_.empty()) {
       compression_debt_ = false;  // nothing to compress: trivially covered
@@ -82,68 +138,152 @@ void ConservativeBackfillDispatch::on_complete(
 
 void ConservativeBackfillDispatch::replan(const std::vector<JobId>& order,
                                           Time now, std::size_t limit) {
-  // Lift the first `limit` reserved jobs (queue order) out of the profile
-  // and re-place them from `now`. Capacity only ever increased since the
-  // previous plan, so each re-placed reservation is at or before its old
-  // time — the conservative guarantee survives compression.
+  ++stats_.replans;
+  // Re-plan the first `limit` reserved jobs (queue order) from `now`.
+  // Capacity only ever increased since the previous plan, so each
+  // re-placed reservation is at or before its old time — the conservative
+  // guarantee survives compression.
   const bool full_coverage = limit >= reserved_.size();
 
-  // Elision: a leading run of reservations already at `now` provably
-  // cannot move. Re-placing the first such job would search from `now`
-  // with its own slot freed, so earliest_fit returns `now` again; by
-  // induction the same holds for each next job while the run lasts. Skip
-  // lifting them entirely. The run must be leading — once any reservation
-  // is lifted or re-placed, later jobs could in principle shift.
-  std::size_t planned = 0;
-  std::size_t pinned = 0;
-  {
-    // A replan is a burst of releases with no interleaved queries: defer
-    // the profile's segment-tree maintenance to phase 2's first query.
-    sim::Profile::BulkUpdate bulk(profile_);
-    bool prefix_intact = true;
-    for (JobId id : order) {
-      if (planned >= limit) break;
-      auto it = reserved_.find(id);
-      if (it == reserved_.end()) continue;  // dormant (beyond depth)
-      ++planned;
-      if (prefix_intact && it->second == now) {
-        ++pinned;
-        continue;
-      }
-      prefix_intact = false;
-      const Job& j = store_->get(id);
-      profile_.release(it->second, j.estimate, j.nodes);
-    }
-  }
-  const std::size_t lifted_total = planned - pinned;
-  if (lifted_total == 0) {
-    if (full_coverage) compression_debt_ = false;
-    return;  // the whole replanned prefix is pinned at `now`
-  }
-
-  planned = 0;
-  std::size_t skip = pinned;
+  planned_.clear();
   for (JobId id : order) {
-    if (planned >= limit) break;
+    if (planned_.size() >= limit) break;
     auto it = reserved_.find(id);
-    if (it == reserved_.end()) continue;
-    ++planned;
-    if (skip > 0) {
-      --skip;  // pinned prefix: never lifted, nothing to re-place
-      continue;
-    }
+    if (it == reserved_.end()) continue;  // dormant (beyond depth)
     const Job& j = store_->get(id);
-    const Time start = profile_.earliest_fit(now, j.estimate, j.nodes);
-    profile_.allocate(start, j.estimate, j.nodes);
+    planned_.push_back({id, it->second, j.estimate, j.nodes});
+  }
+  if (!planned_.empty()) {
+    if (params_.scratch_replan) {
+      replace_from(0, now);  // reference semantics: lift and re-place all
+    } else {
+      replan_incremental(now);
+    }
+  }
+  // The plan is a compressed fixed point again: every window member now
+  // holds a standing certificate "no earlier fit exists", valid until
+  // capacity grows across its width (growth_ collects the candidate
+  // spans). Members are recorded so jobs surfacing into the window later
+  // — which carry no certificate — are recognized and screened in full.
+  prev_window_.clear();
+  prev_window_.reserve(planned_.size());
+  for (const PlannedJob& p : planned_) prev_window_.push_back(p.id);
+  std::sort(prev_window_.begin(), prev_window_.end());
+  growth_.clear();
+  screen_all_ = false;
+  if (full_coverage) compression_debt_ = false;
+}
+
+void ConservativeBackfillDispatch::replan_incremental(Time now) {
+  // Phase 1 — screening. The scratch procedure lifts every planned
+  // reservation, then re-places them in queue order; screening finds the
+  // first queue position whose re-placement would actually move, without
+  // touching the profile. The overlay carries the allocations of the
+  // not-yet-reached window positions k..end, so while positions 0..k-1
+  // are proven unmoved (their allocations, being identical, stay live),
+  // `profile_ + overlay` is bit-for-bit the profile the scratch procedure
+  // would query before placing position k. A job whose screened fit
+  // equals its reservation is reused in place; the first mismatch ends
+  // the screen. Exactness does not depend on the cutoff being tight:
+  // scratch re-placement of an unmoved job is a no-op on the canonical
+  // profile, so handing any suffix starting at or before the true first
+  // mover to replace_from() reproduces the scratch schedule exactly —
+  // which is why the screen may also bail out early on budget.
+  spans_.clear();
+  spans_.reserve(planned_.size());
+  for (const PlannedJob& p : planned_) {
+    spans_.push_back({p.start, span_end(p.start, p.estimate), p.nodes});
+  }
+  overlay_.build(spans_);
+  // Window entrants are capacity growth too: when the certificates were
+  // proven, an entrant's reservation was a dormant blocker outside the
+  // window; now the overlay lifts it, so a certified predecessor may
+  // legitimately move into its slot. Fold their spans into the growth set
+  // the crossing test checks. (Entrants created since the last replan
+  // never blocked anything — counting them is merely conservative.)
+  if (!screen_all_) {
+    for (const PlannedJob& p : planned_) {
+      if (!std::binary_search(prev_window_.begin(), prev_window_.end(),
+                              p.id)) {
+        growth_.push_back({p.start, span_end(p.start, p.estimate), p.nodes});
+      }
+    }
+  }
+  growth_overlay_.build(growth_);
+  const std::uint64_t restarts_before = cursor_.restarts();
+  std::size_t first_affected = planned_.size();
+  for (std::size_t k = 0; k < planned_.size(); ++k) {
+    const PlannedJob& p = planned_[k];
+    bool unmoved;
+    if (p.start == now) {
+      // Cannot move: the screened fit is >= now and <= its old start.
+      unmoved = true;
+    } else if (p.start < now) {
+      // Overdue reservation whose wakeup has not been delivered yet; the
+      // scratch procedure re-places it from `now`, which is a move.
+      unmoved = false;
+    } else if (!screen_all_ &&
+               std::binary_search(prev_window_.begin(), prev_window_.end(),
+                                  p.id) &&
+               !profile_.capacity_crossed(overlay_, growth_overlay_, now,
+                                          span_end(p.start, p.estimate),
+                                          p.nodes, kCrossingStepBudget)) {
+      // Certificate revalidated. The previous replan proved no earlier
+      // fit exists for this job; with positions 0..k-1 unmoved,
+      // `profile_ + overlay` differs from the capacity it was proven
+      // against only by the growth spans (shrinks cannot create fits,
+      // re-placements of later window positions are lifted out either
+      // way). A new fit would need the combined capacity to cross the
+      // job's width inside the growth region — just tested false — so
+      // the verdict stands without walking [now, start) at all.
+      unmoved = true;
+      ++stats_.certified;
+    } else {
+      // No certificate (new window member, post-rebuild, or the growth
+      // crossed this width) — the individual bounded walk over
+      // `profile_ + overlay` is the exact arbiter.
+      const Time fit =
+          profile_.earliest_fit_with(overlay_, cursor_, now, p.estimate,
+                                     p.nodes, p.start, kScreenStepBudget);
+      unmoved = fit == p.start;  // moved — or kTimeInfinity on budget
+    }
+    if (!unmoved) {
+      first_affected = k;
+      break;
+    }
+    overlay_.subtract(p.start, span_end(p.start, p.estimate), p.nodes);
+    ++stats_.reused;
+  }
+  stats_.cursor_restarts += cursor_.restarts() - restarts_before;
+  // Phase 2 — scratch from the first affected position (absent entirely
+  // in the common zero-move replan).
+  if (first_affected < planned_.size()) replace_from(first_affected, now);
+}
+
+void ConservativeBackfillDispatch::replace_from(std::size_t from, Time now) {
+  {
+    // A burst of releases with no interleaved queries: defer the
+    // profile's segment-tree maintenance to the first re-placement query.
+    sim::Profile::BulkUpdate bulk(profile_);
+    for (std::size_t k = from; k < planned_.size(); ++k) {
+      profile_.release(planned_[k].start, planned_[k].estimate,
+                       planned_[k].nodes);
+    }
+  }
+  for (std::size_t k = from; k < planned_.size(); ++k) {
+    const PlannedJob& p = planned_[k];
+    const Time start = profile_.earliest_fit(now, p.estimate, p.nodes);
+    profile_.allocate(start, p.estimate, p.nodes);
+    ++stats_.replaced;
     // When the reservation lands exactly where it was, the map entry is
     // already right and a valid heap entry for (start, id) still exists —
     // skip the redundant store and push.
-    if (start != it->second) {
-      it->second = start;
-      wakeups_.push({start, id});
+    if (start != p.start) {
+      ++stats_.moved;
+      reserved_.find(p.id)->second = start;
+      wakeups_.push({start, p.id});
     }
   }
-  if (full_coverage) compression_debt_ = false;
 }
 
 void ConservativeBackfillDispatch::on_reorder(const std::vector<JobId>& order,
@@ -169,6 +309,8 @@ void ConservativeBackfillDispatch::on_reorder(const std::vector<JobId>& order,
   // Every reservation was just re-placed from `now`: the plan is fully
   // compressed, so the next on-time completion has nothing to replan.
   compression_debt_ = false;
+  growth_.clear();
+  screen_all_ = true;  // placements outside replan(): no certificates
 }
 
 void ConservativeBackfillDispatch::on_capacity_change(
@@ -207,6 +349,8 @@ void ConservativeBackfillDispatch::on_capacity_change(
   // The whole reserved set was just re-placed from `now`: fully
   // compressed by construction.
   compression_debt_ = false;
+  growth_.clear();
+  screen_all_ = true;  // placements outside replan(): no certificates
 }
 
 void ConservativeBackfillDispatch::adopt(
@@ -234,6 +378,8 @@ void ConservativeBackfillDispatch::adopt(
     reserve(id, now);
   }
   compression_debt_ = false;  // fresh plan: fully compressed by construction
+  growth_.clear();
+  screen_all_ = true;  // placements outside replan(): no certificates
 }
 
 void ConservativeBackfillDispatch::promote(const std::vector<JobId>& order,
@@ -281,6 +427,7 @@ void ConservativeBackfillDispatch::select(Time now, int free_nodes,
     if (w.t < now) {
       profile_.release(w.t, j.estimate, j.nodes);
       profile_.allocate(now, j.estimate, j.nodes);
+      growth_.push_back({w.t, span_end(w.t, j.estimate), j.nodes});
       compression_debt_ = true;  // the shifted tail perturbed the plan
     }
     reserved_.erase(it);

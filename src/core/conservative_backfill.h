@@ -28,12 +28,19 @@
 //  * reservations computed from estimates can fall at instants where no
 //    completion event happens (a predecessor finished early); the
 //    dispatcher exposes these via next_wakeup so the simulator revisits.
-//  * compression is elided when it provably cannot move anything: on-time
-//    completions (zero capacity returned, tracked by a compression-debt
-//    flag) skip the replan, and within a replan the leading run of
-//    reservations already starting at `now` is never lifted. Both elisions
-//    are exact — the schedules stay bit-identical (the full-grid
-//    fingerprints in BENCH_grid.json witness this).
+//  * compression is maintained incrementally and elided when it provably
+//    cannot move anything — always exactly, the schedules stay
+//    bit-identical to a from-scratch replan (the full-grid fingerprints in
+//    BENCH_grid.json and the differential suite witness this):
+//      - on-time completions (zero capacity returned, tracked by a
+//        compression-debt flag) skip the replan outright;
+//      - a replan first *screens* the window in queue order against the
+//        live profile plus a capacity overlay standing in for the
+//        reservations a scratch replan would have lifted, and keeps every
+//        reservation whose screened fit equals its current start live in
+//        the profile (suffix reuse). Only from the first position that
+//        would actually move does it fall back to lift-and-re-place. Most
+//        replans move nothing and become read-only screens.
 #pragma once
 
 #include <cstddef>
@@ -53,9 +60,16 @@ struct ConservativeParams {
   /// fire at their original times (used by tests pinning the wakeup path).
   std::size_t replan_prefix = 64;
   /// Replan the entire reserved set after each completion instead of just
-  /// the prefix, as long as the queue is short enough.
+  /// the prefix, as long as the queue is short enough. Must be >= 1: a
+  /// limit of 0 would gate full compression to never run (use
+  /// full_compression = false for that).
   bool full_compression = false;
   std::size_t compression_queue_limit = 512;
+  /// Use the pre-incremental lift-everything replan instead of the
+  /// screened incremental one. The two are provably schedule-identical;
+  /// this path is kept as the executable specification the differential
+  /// tests compare against. Testing-only — never faster.
+  bool scratch_replan = false;
 };
 
 class ConservativeBackfillDispatch final : public Dispatcher {
@@ -82,14 +96,44 @@ class ConservativeBackfillDispatch final : public Dispatcher {
               std::vector<JobId>& starts) override;
   Time next_wakeup(Time now) const override;
 
+  /// Replan accounting, reset() to zero. Exposed for tests and surfaced
+  /// through the bench JSON so compression-cost wins stay measurable.
+  struct ReplanStats {
+    std::uint64_t completions = 0;      ///< on_complete deliveries
+    std::uint64_t replans_elided = 0;   ///< debt-free completions, no replan
+    std::uint64_t replans = 0;          ///< replan() invocations
+    std::uint64_t replaced = 0;         ///< reservations lifted + re-placed
+    std::uint64_t reused = 0;           ///< reservations kept without lifting
+    std::uint64_t certified = 0;        ///< reused without even a screen walk
+    std::uint64_t moved = 0;            ///< re-placements that changed start
+    std::uint64_t cursor_restarts = 0;  ///< screen queries that re-anchored
+  };
+
   /// Introspection for tests.
   Time reservation_of(JobId id) const;
   std::size_t reserved_count() const noexcept { return reserved_.size(); }
   const sim::Profile& profile() const noexcept { return profile_; }
+  const ReplanStats& replan_stats() const noexcept { return stats_; }
 
  private:
+  /// One entry of the re-planned window: a reserved job with its current
+  /// reservation, in queue order.
+  struct PlannedJob {
+    JobId id;
+    Time start;
+    Duration estimate;
+    int nodes;
+  };
+
   void reserve(JobId id, Time from);
   void replan(const std::vector<JobId>& order, Time now, std::size_t limit);
+  /// Incremental compression: exact screening for the first queue position
+  /// whose scratch re-placement would move, then scratch from there.
+  void replan_incremental(Time now);
+  /// Lift reservations planned_[from..] out of the profile and re-place
+  /// them in queue order from `now` — the scratch procedure both replan
+  /// flavors reduce to.
+  void replace_from(std::size_t from, Time now);
   void promote(const std::vector<JobId>& order, Time now);
   /// False for jobs wider than the machine's surviving capacity: reserving
   /// one would send earliest_fit hunting for a window that cannot exist
@@ -108,6 +152,25 @@ class ConservativeBackfillDispatch final : public Dispatcher {
   /// on_capacity_change re-plans at the recovered capacity.
   int down_nodes_ = 0;
   std::unordered_map<JobId, Time> reserved_;  // queued job -> reserved start
+  ReplanStats stats_;
+  // Per-replan scratch storage, members to keep the hot path allocation-free.
+  std::vector<PlannedJob> planned_;
+  std::vector<sim::CapacitySpan> spans_;
+  sim::CapacityOverlay overlay_;
+  sim::Profile::Cursor cursor_;
+  // Cross-replan screening certificates. After every replan the plan is a
+  // compressed fixed point: no planned reservation has an earlier fit.
+  // That verdict stays exact while capacity only shrinks, so between
+  // replans only the *growth* spans (early-completion releases,
+  // normalization releases) can invalidate it — collected here and tested
+  // with Profile::capacity_crossed. Jobs newly entering the replan window
+  // carry no verdict and are always screened (prev_window_ remembers the
+  // previous membership); events that rebuild the plan wholesale set
+  // screen_all_ instead of enumerating growth.
+  std::vector<sim::CapacitySpan> growth_;
+  sim::CapacityOverlay growth_overlay_;
+  std::vector<JobId> prev_window_;  // sorted ids of the last planned window
+  bool screen_all_ = true;
   // True when the plan may no longer be the fixed point of a replay in
   // queue order: capacity was freed (early completion, normalization) or a
   // reservation was created out of queue position (promotion after a

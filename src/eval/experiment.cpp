@@ -198,6 +198,14 @@ GridResult run_grid_outcomes(const sim::Machine& machine,
   const std::size_t threads = detail::resolved_threads(options);
 
   GridResult out;
+  if (options.journal != nullptr) {
+    // Bind the journal to this sweep before any lookup: cells recorded
+    // for a different workload/machine are stale and must not linger as
+    // silent dead weight (their keys would never hit anyway — the point
+    // is the explicit report and the fresh segment).
+    out.journal_note = options.journal->open_segment(
+        sweep_fingerprint(workload_fnv, machine.nodes));
+  }
   out.cells.resize(specs.size());
   const auto run_cell = [&](std::size_t i, const ExperimentOptions& opts) {
     const core::AlgorithmSpec& spec = specs[i];

@@ -93,6 +93,10 @@ struct RunOutcome {
 /// failure bookkeeping a report needs.
 struct GridResult {
   std::vector<RunOutcome> cells;
+  /// Stale-journal report from SweepJournal::open_segment ("" when the
+  /// journal matched the sweep, or no journal was used). Surfaced by
+  /// failure_summary.
+  std::string journal_note;
 
   std::size_t failed() const {
     std::size_t n = 0;

@@ -71,13 +71,36 @@ std::uint64_t cell_key(std::uint64_t workload_fnv, int machine_nodes,
   return h;
 }
 
+std::uint64_t sweep_fingerprint(std::uint64_t workload_fnv,
+                                int machine_nodes) noexcept {
+  std::uint64_t h = kFnvOffset;
+  mix(h, workload_fnv);
+  mix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(machine_nodes)));
+  // 0 is the adopted-legacy sentinel inside SweepJournal; keep real
+  // fingerprints out of it.
+  return h == 0 ? 1 : h;
+}
+
 SweepJournal::SweepJournal(std::string path) : log_(std::move(path)) {
   std::size_t line_no = 0;
+  std::uint64_t first_segment = kLegacySegment;
   for (const std::string& line : util::AppendLog::read_lines(log_.path())) {
     ++line_no;
     std::istringstream in(line);
     std::string tag;
     in >> tag;
+    if (tag == "v1seg") {
+      // Segment header: records below belong to this sweep fingerprint. A
+      // malformed header is treated like a torn line (its records stay in
+      // the previous segment — at worst dropped as stale later, never
+      // wrongly resumed, since cell keys still gate every lookup).
+      std::string fp;
+      if (in >> fp && fp.size() == 16) {
+        segment_ = parse_hex64(fp, line_no);
+        if (first_segment == kLegacySegment) first_segment = segment_;
+      }
+      continue;
+    }
     if (tag != "v1") continue;  // unknown record versions are skipped
 
     const auto fail = [&](const char* what) -> std::runtime_error {
@@ -135,9 +158,63 @@ SweepJournal::SweepJournal(std::string path) : log_(std::move(path)) {
     const std::size_t start = name.find_first_not_of(' ');
     r.scheduler_name = start == std::string::npos ? "" : name.substr(start);
 
-    cells_[key] = r;  // last record wins, matching append order
+    cells_[key] = {segment_, r};  // last record wins, matching append order
     ++loaded_;
   }
+  if (first_segment != kLegacySegment) {
+    // Records before the first header were adopted by the open_segment()
+    // that wrote it; reconstruct that adoption. Records superseded by a
+    // *later* segment header were reported stale when that segment
+    // opened — retire them silently here rather than re-reporting a
+    // staleness that was already handled.
+    for (auto it = cells_.begin(); it != cells_.end();) {
+      if (it->second.segment == kLegacySegment) {
+        it->second.segment = first_segment;
+      }
+      if (it->second.segment != segment_) {
+        it = cells_.erase(it);
+        --loaded_;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+std::string SweepJournal::open_segment(std::uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t stale = 0;
+  std::uint64_t stale_segment = kLegacySegment;
+  for (auto it = cells_.begin(); it != cells_.end();) {
+    if (it->second.segment == kLegacySegment) {
+      // Pre-segment record: adopt it into the opening sweep.
+      it->second.segment = fingerprint;
+      ++it;
+    } else if (it->second.segment != fingerprint) {
+      stale_segment = it->second.segment;
+      it = cells_.erase(it);
+      ++stale;
+    } else {
+      ++it;
+    }
+  }
+  stale_dropped_ += stale;
+  if (segment_ != fingerprint) {
+    segment_ = fingerprint;
+    log_.append("v1seg " + hex64(fingerprint));
+  }
+  // First header of a legacy (or empty) journal is a silent upgrade; only
+  // actual stale work is worth a report.
+  if (stale == 0) return "";
+  return "sweep journal " + path() + ": " + std::to_string(stale) +
+         " stale cell" + (stale == 1 ? "" : "s") + " from segment " +
+         hex64(stale_segment) + " dropped (sweep is " + hex64(fingerprint) +
+         ") — fresh segment opened";
+}
+
+std::size_t SweepJournal::stale_dropped() const noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stale_dropped_;
 }
 
 void SweepJournal::record(std::uint64_t key, const RunResult& r) {
@@ -156,7 +233,7 @@ void SweepJournal::record(std::uint64_t key, const RunResult& r) {
      << hex64(r.schedule_fnv) << ' ' << r.scheduler_name;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    cells_[key] = r;
+    cells_[key] = {segment_, r};
   }
   log_.append(os.str());
 }
@@ -166,7 +243,7 @@ bool SweepJournal::lookup(std::uint64_t key, const core::AlgorithmSpec& spec,
   std::lock_guard<std::mutex> lock(mu_);
   auto it = cells_.find(key);
   if (it == cells_.end()) return false;
-  const RunResult& stored = it->second;
+  const RunResult& stored = it->second.result;
   if (stored.spec.order != spec.order || stored.spec.dispatch != spec.dispatch ||
       stored.spec.weight != spec.weight) {
     throw std::runtime_error(

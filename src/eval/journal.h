@@ -20,6 +20,17 @@
 // The scheduler name is the final field and runs to end of line. Unknown
 // leading tags are skipped (forward compatibility); a corrupt v1 line
 // throws — a journal that lies must not silently poison a resume.
+//
+// Stale-journal detection: a `v1seg <fingerprint>` line marks the start of
+// a *segment* — all records after it belong to the sweep identified by
+// that fingerprint (workload + machine, see sweep_fingerprint). A sweep
+// calls open_segment() before its first lookup: when the journal's live
+// segment was written by a *different* sweep (the workload file changed
+// under the same journal path, a copy-paste reused a journal, ...), the
+// stale cells are dropped from the resume set and a fresh segment header
+// is appended, and the caller gets a one-line report to surface. Without
+// the header (journals predating segments) records are adopted into the
+// first opened segment — exactly the old trust-the-keys behavior.
 #pragma once
 
 #include <cstdint>
@@ -39,6 +50,13 @@ std::uint64_t cell_key(std::uint64_t workload_fnv, int machine_nodes,
                        const core::AlgorithmSpec& spec,
                        std::uint64_t salt) noexcept;
 
+/// Identity of the sweep a journal segment belongs to: the workload
+/// (field-level fingerprint) and the machine it runs on. Deliberately
+/// spec-free — one segment holds every cell of a grid (and every point of
+/// a fault sweep) over that workload.
+std::uint64_t sweep_fingerprint(std::uint64_t workload_fnv,
+                                int machine_nodes) noexcept;
+
 class SweepJournal {
  public:
   /// Opens (creating if missing) the journal at `path` and loads every
@@ -51,10 +69,25 @@ class SweepJournal {
   SweepJournal& operator=(const SweepJournal&) = delete;
 
   const std::string& path() const noexcept { return log_.path(); }
-  /// Records loaded from the file at construction.
+  /// Records loaded (and kept as resume candidates) at construction.
+  /// Records superseded by a later segment header are not counted — their
+  /// staleness was reported when that segment first opened.
   std::size_t loaded() const noexcept { return loaded_; }
   /// Lookups that returned a stored result so far.
   std::size_t hits() const noexcept;
+
+  /// Bind the journal to the sweep identified by `fingerprint`
+  /// (sweep_fingerprint of the workload about to run). Cells recorded
+  /// under a different segment fingerprint are stale — they describe a
+  /// sweep that no longer exists — and are dropped from the resume set; a
+  /// fresh `v1seg` header is appended so subsequent records land in the
+  /// new segment. Records from pre-segment journals (no header) are
+  /// adopted rather than dropped. Returns a one-line report when stale
+  /// cells were detected, "" otherwise. Idempotent per fingerprint;
+  /// thread-safe.
+  std::string open_segment(std::uint64_t fingerprint);
+  /// Stale cells dropped by open_segment() so far.
+  std::size_t stale_dropped() const noexcept;
 
   /// If `key` is journaled, copy the stored result into `*out` and return
   /// true. The stored algorithm spec is verified against `spec`: a
@@ -67,11 +100,23 @@ class SweepJournal {
   void record(std::uint64_t key, const RunResult& r);
 
  private:
+  /// Adopted-legacy marker: records written before segment headers
+  /// existed. Matched by the first open_segment() regardless of its
+  /// fingerprint.
+  static constexpr std::uint64_t kLegacySegment = 0;
+
+  struct Cell {
+    std::uint64_t segment = kLegacySegment;
+    RunResult result;
+  };
+
   util::AppendLog log_;
   mutable std::mutex mu_;
-  std::map<std::uint64_t, RunResult> cells_;
+  std::map<std::uint64_t, Cell> cells_;
+  std::uint64_t segment_ = kLegacySegment;  // live (last) segment in the file
   std::size_t loaded_ = 0;
   std::size_t hits_ = 0;
+  std::size_t stale_dropped_ = 0;
 };
 
 }  // namespace jsched::eval

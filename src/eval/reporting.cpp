@@ -144,6 +144,7 @@ std::string failure_summary(const GridResult& grid) {
   if (const std::size_t resumed = grid.resumed(); resumed > 0) {
     out += ", " + std::to_string(resumed) + " resumed from journal";
   }
+  if (!grid.journal_note.empty()) out += "; " + grid.journal_note;
   return out;
 }
 

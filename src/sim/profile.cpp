@@ -8,6 +8,59 @@
 
 namespace jsched::sim {
 
+// --- CapacityOverlay --------------------------------------------------------
+
+void CapacityOverlay::build(const std::vector<CapacitySpan>& spans) {
+  clear();
+  // Sweep over sorted edge events: +nodes at start, -nodes at end. Every
+  // edge becomes a breakpoint (even when the running sum does not change),
+  // so subtract() can later adjust any span without inserting.
+  std::vector<std::pair<Time, int>> edges;
+  edges.reserve(2 * spans.size());
+  for (const CapacitySpan& s : spans) {
+    if (s.start >= s.end || s.nodes == 0) continue;
+    edges.emplace_back(s.start, s.nodes);
+    if (s.end != kTimeInfinity) edges.emplace_back(s.end, -s.nodes);
+  }
+  if (edges.empty()) return;
+  std::sort(edges.begin(), edges.end());
+  t_.reserve(edges.size());
+  add_.reserve(edges.size());
+  int running = 0;
+  for (const auto& [t, delta] : edges) {
+    running += delta;
+    if (!t_.empty() && t_.back() == t) {
+      add_.back() = running;
+    } else {
+      t_.push_back(t);
+      add_.push_back(running);
+    }
+  }
+}
+
+void CapacityOverlay::subtract(Time start, Time end, int nodes) {
+  if (start >= end || nodes == 0) return;
+  const auto lo_it = std::lower_bound(t_.begin(), t_.end(), start);
+  assert(lo_it != t_.end() && *lo_it == start);  // boundary from build()
+  const std::size_t lo = static_cast<std::size_t>(lo_it - t_.begin());
+  std::size_t hi = t_.size();
+  if (end != kTimeInfinity) {
+    const auto hi_it = std::lower_bound(t_.begin(), t_.end(), end);
+    assert(hi_it != t_.end() && *hi_it == end);
+    hi = static_cast<std::size_t>(hi_it - t_.begin());
+  }
+  for (std::size_t i = lo; i < hi; ++i) {
+    add_[i] -= nodes;
+    assert(add_[i] >= 0);
+  }
+}
+
+int CapacityOverlay::at(Time t) const {
+  const auto it = std::upper_bound(t_.begin(), t_.end(), t);
+  if (it == t_.begin()) return 0;
+  return add_[static_cast<std::size_t>(it - t_.begin()) - 1];
+}
+
 Profile::Profile(int total_nodes) : total_(total_nodes) {
   if (total_nodes < 1) throw std::invalid_argument("Profile: total_nodes < 1");
   pts_.push_back({Time{0}, total_});
@@ -215,10 +268,114 @@ Time Profile::earliest_fit(Time from, Duration duration, int nodes) const {
   }
 }
 
+Time Profile::earliest_fit_with(const CapacityOverlay& extra, Cursor& cursor,
+                                Time from, Duration duration, int nodes,
+                                Time stop, std::size_t max_steps) const {
+  assert(duration > 0);
+  assert(stop >= from);
+
+  // Re-anchor the cursor: resume from its cached segment when it is still
+  // talking about this profile at this version and `from` has not moved
+  // backwards; otherwise one binary search.
+  std::size_t i;
+  if (cursor.owner_ == this && cursor.version_ == version_ &&
+      cursor.idx_ >= front_ && cursor.idx_ < pts_.size() &&
+      pts_[cursor.idx_].t <= from) {
+    i = cursor.idx_;
+    while (i + 1 < pts_.size() && pts_[i + 1].t <= from) ++i;
+  } else {
+    i = segment_at(from);
+    ++cursor.restarts_;
+  }
+  cursor.owner_ = this;
+  cursor.version_ = version_;
+  cursor.idx_ = i;
+
+  const std::size_t n = pts_.size();
+  // Overlay position: index of the last overlay breakpoint at or before
+  // the walk, or SIZE_MAX before the first.
+  std::size_t o = static_cast<std::size_t>(
+      std::upper_bound(extra.t_.begin(), extra.t_.end(), from) -
+      extra.t_.begin());
+  int over = o == 0 ? 0 : extra.add_[o - 1];
+
+  // Standard run-length scan over the merged step function: `run` is the
+  // earliest instant since which combined capacity has continuously been
+  // >= nodes (kTimeInfinity = no open run).
+  int combined = pts_[i].free + over;
+  Time run = combined >= nodes ? from : kTimeInfinity;
+  std::size_t steps = 0;
+  while (true) {
+    const Time next_p = i + 1 < n ? pts_[i + 1].t : kTimeInfinity;
+    const Time next_o = o < extra.t_.size() ? extra.t_[o] : kTimeInfinity;
+    const Time boundary = std::min(next_p, next_o);
+    if (run != kTimeInfinity && boundary - run >= duration) return run;
+    if (boundary >= stop) {
+      // The walk reached the caller-guaranteed fit at `stop`. An open run
+      // that started earlier extends through [stop, stop + duration) by
+      // that guarantee, so it is the (earlier) answer; otherwise `stop`
+      // itself is the earliest fit.
+      if (run != kTimeInfinity) return run < stop ? run : stop;
+      if (boundary == kTimeInfinity) {
+        // Only reachable with stop == kTimeInfinity: the final merged
+        // segment extends forever under capacity — impossible while
+        // allocations are finite, same invariant as earliest_fit.
+        throw std::logic_error("Profile: final segment under capacity");
+      }
+      return stop;
+    }
+    if (++steps > max_steps) return kTimeInfinity;  // budget exhausted
+    if (boundary == next_p) ++i;
+    if (boundary == next_o) over = extra.add_[o++];
+    combined = pts_[i].free + over;
+    if (combined >= nodes) {
+      if (run == kTimeInfinity) run = boundary;
+    } else {
+      run = kTimeInfinity;
+    }
+  }
+}
+
+bool Profile::capacity_crossed(const CapacityOverlay& extra,
+                               const CapacityOverlay& growth, Time from,
+                               Time to, int nodes,
+                               std::size_t max_steps) const {
+  std::size_t steps = 0;
+  const std::size_t gn = growth.t_.size();
+  for (std::size_t gi = 0; gi < gn; ++gi) {
+    if (growth.t_[gi] >= to) break;
+    const int g = growth.add_[gi];
+    const Time gend = gi + 1 < gn ? growth.t_[gi + 1] : kTimeInfinity;
+    if (g <= 0) continue;
+    const Time lo = std::max(growth.t_[gi], from);
+    const Time hi = std::min(gend, to);
+    if (lo >= hi) continue;
+    // Merged walk of profile + extra across this growth segment.
+    std::size_t i = segment_at(lo);
+    std::size_t o = static_cast<std::size_t>(
+        std::upper_bound(extra.t_.begin(), extra.t_.end(), lo) -
+        extra.t_.begin());
+    while (true) {
+      const int s = pts_[i].free + (o == 0 ? 0 : extra.add_[o - 1]);
+      if (s >= nodes && s - g < nodes) return true;
+      const Time next_p = i + 1 < pts_.size() ? pts_[i + 1].t : kTimeInfinity;
+      const Time next_o =
+          o < extra.t_.size() ? extra.t_[o] : kTimeInfinity;
+      const Time boundary = std::min(next_p, next_o);
+      if (boundary >= hi) break;
+      if (++steps > max_steps) return true;  // unknown — caller re-screens
+      if (boundary == next_p) ++i;
+      if (boundary == next_o) ++o;
+    }
+  }
+  return false;
+}
+
 // --- mutations --------------------------------------------------------------
 
 void Profile::add_over_range(Time start, Time end, int delta) {
   if (start >= end || delta == 0) return;
+  ++version_;  // any cursor anchored before this mutation must re-search
 
   // Materialize breakpoints at the range edges. Structural edits (insert
   // or merge-erase) shift leaf indices and force the lazy suffix repair;
@@ -287,6 +444,7 @@ void Profile::compact(Time now) {
   assert(now >= pts_[front_].t);  // simulation time never flows backwards
   const std::size_t i = segment_at(now);
   if (i == front_) return;  // nothing before `now` to drop: no-op, no churn
+  ++version_;
   // Advance the live-range offset instead of splicing the vector: leaf
   // indices stay put, so the segment tree stays valid (it only ever stores
   // `free` values, and queries never look left of a live index).

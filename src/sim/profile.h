@@ -8,12 +8,63 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "util/time.h"
 
 namespace jsched::sim {
+
+/// One hypothetical capacity span for a CapacityOverlay: `nodes` extra free
+/// nodes over [start, end).
+struct CapacitySpan {
+  Time start;
+  Time end;
+  int nodes;
+};
+
+/// Additive step function of *extra* free capacity, laid over a Profile in
+/// what-if queries (Profile::earliest_fit_with). The canonical use is
+/// conservative-backfill compression screening: the overlay holds the
+/// allocations of the reservations that a scratch replan *would* lift, so
+/// `profile + overlay` is exactly the profile the scratch procedure would
+/// query — without mutating the profile at all.
+///
+/// Built once from a batch of spans (O(n log n)), then spans are retired
+/// one at a time with subtract() as the screen walks the queue. subtract()
+/// never inserts breakpoints — every span boundary was materialized by
+/// build() — so the time vector is immutable between builds and a retire
+/// is two binary searches plus a linear range add.
+class CapacityOverlay {
+ public:
+  /// Replace the overlay with the sum of `spans` (empty spans are ignored).
+  void build(const std::vector<CapacitySpan>& spans);
+
+  /// Remove one span previously included in build(). Precondition: the
+  /// span was part of the built batch (its boundaries exist and its
+  /// capacity is still present); asserted in debug builds.
+  void subtract(Time start, Time end, int nodes);
+
+  void clear() noexcept {
+    t_.clear();
+    add_.clear();
+  }
+  bool empty() const noexcept { return t_.empty(); }
+  std::size_t breakpoints() const noexcept { return t_.size(); }
+
+  /// Extra free nodes at time `t` (0 before the first breakpoint).
+  int at(Time t) const;
+
+ private:
+  friend class Profile;
+  // Parallel arrays: add_[i] applies on [t_[i], t_[i+1]), and 0 outside.
+  // Adjacent equal values are not merged — subtract() relies on stable
+  // indices, and the merged walk in earliest_fit_with tolerates redundant
+  // breakpoints.
+  std::vector<Time> t_;
+  std::vector<int> add_;
+};
 
 /// Piecewise-constant free-capacity timeline.
 ///
@@ -63,6 +114,63 @@ class Profile {
   /// [t, t + duration). Always exists (the profile eventually returns to
   /// full capacity).
   Time earliest_fit(Time from, Duration duration, int nodes) const;
+
+  /// Resumable scan state for batched earliest-fit queries. A cursor
+  /// remembers which segment contained the previous query's `from`, so a
+  /// run of queries anchored at the same (or advancing) instant skips the
+  /// per-query binary search and resumes walking the breakpoint vector
+  /// where it stood. The cursor revalidates itself against the owning
+  /// profile and its mutation counter: any profile mutation (or a different
+  /// profile) forces one fresh binary search, counted in restarts().
+  /// Stale cursors are therefore always safe, never wrong.
+  class Cursor {
+   public:
+    /// Queries that had to re-anchor with a binary search instead of
+    /// resuming (first use, profile mutated, or `from` moved backwards).
+    std::uint64_t restarts() const noexcept { return restarts_; }
+
+   private:
+    friend class Profile;
+    const Profile* owner_ = nullptr;
+    std::uint64_t version_ = 0;
+    std::size_t idx_ = 0;  // segment index of the previous query's `from`
+    std::uint64_t restarts_ = 0;
+  };
+
+  /// Earliest fit of (duration, nodes) in the pointwise sum
+  /// `*this + extra`, scanning merged breakpoints linearly from `from`,
+  /// clamped at `stop`. Precondition: `stop` is itself a known fit — the
+  /// caller guarantees `nodes` free throughout [stop, stop + duration) in
+  /// the sum (compression screening satisfies this trivially: the
+  /// reservation under test is allocated in the profile and lifted by the
+  /// overlay, so its own window has >= nodes free). Under that guarantee
+  /// the result is exact: the true earliest fit if it starts before
+  /// `stop`, else `stop` — and the walk never advances past `stop`, which
+  /// is what makes screening cheap when reservations are close to now.
+  /// Unlike earliest_fit() this never touches the segment tree (and so
+  /// never pays a deferred rebuild). Returns kTimeInfinity when
+  /// `max_steps` merged breakpoints were consumed first ("unknown —
+  /// caller falls back"); a real fit is always finite.
+  Time earliest_fit_with(const CapacityOverlay& extra, Cursor& cursor,
+                         Time from, Duration duration, int nodes, Time stop,
+                         std::size_t max_steps) const;
+
+  /// Certificate revalidation: true iff the capacity described by
+  /// `growth` could have newly unblocked a width-`nodes` window somewhere
+  /// in [from, to) — i.e. some instant u with growth(u) > 0 has combined
+  /// capacity (*this + extra) at least `nodes` now but not before the
+  /// growth: combined(u) - growth(u) < nodes <= combined(u). A reservation
+  /// screened unmoved while capacity could only shrink stays unmoved
+  /// unless such a crossing exists (every previously-blocked window keeps
+  /// its blocker), so a false result extends the previous screen's
+  /// verdict exactly; a true result means "maybe" and the caller must
+  /// re-screen. Only the growth region is walked — the cost is
+  /// proportional to the capacity returned since the last replan, not to
+  /// the replan window. Returns true when `max_steps` breakpoints were
+  /// consumed first (unknown — caller falls back).
+  bool capacity_crossed(const CapacityOverlay& extra,
+                        const CapacityOverlay& growth, Time from, Time to,
+                        int nodes, std::size_t max_steps) const;
 
   /// Subtract `nodes` over [start, start + duration). Precondition: fits().
   void allocate(Time start, Duration duration, int nodes);
@@ -150,6 +258,10 @@ class Profile {
   int bulk_depth_ = 0;
   std::vector<Breakpoint> pts_;
   std::size_t front_ = 0;  // first live breakpoint (dead prefix before it)
+  // Bumped on every mutation that can move or revalue breakpoints
+  // (allocate/release/compact); lets a Cursor detect that its cached
+  // segment index may no longer be meaningful.
+  std::uint64_t version_ = 1;
   mutable std::vector<int> tmin_, tmax_;
   mutable std::size_t leaf_cap_ = 0;
   mutable std::size_t filled_ = 0;      // leaves holding real values

@@ -1,0 +1,262 @@
+// Differential witness for conservative-backfill incremental compression:
+// the screened/certified replan path must produce schedules bit-identical
+// to the scratch lift-everything reference (scratch_replan = true, the
+// executable specification) on randomized scheduler-shaped event
+// sequences, across the parameter boundaries that select between partial,
+// full and elided compression.
+#include "core/conservative_backfill.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/factory.h"
+#include "core/list_scheduler.h"
+#include "core/ordering.h"
+#include "sim/simulator.h"
+#include "test_support.h"
+
+namespace jsched::core {
+namespace {
+
+using test::make_job;
+
+AlgorithmSpec cons_spec(const ConservativeParams& p,
+                        OrderKind order = OrderKind::kFcfs) {
+  AlgorithmSpec s;
+  s.order = order;
+  s.dispatch = DispatchKind::kConservative;
+  s.conservative = p;
+  return s;
+}
+
+/// Random workload shaped like real scheduler input: bursty arrivals,
+/// width skewed narrow with occasional near-machine jobs, runtimes over
+/// three orders of magnitude, and a mix of exact estimates (on-time
+/// completions exercise replan elision) and over-estimates (early
+/// completions exercise compression).
+workload::Workload random_workload(std::uint64_t seed, std::size_t jobs,
+                                   int machine_nodes) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  std::vector<Job> js;
+  js.reserve(jobs);
+  Time t = 0;
+  for (std::size_t i = 0; i < jobs; ++i) {
+    // Bursts: 1/4 of jobs arrive with zero gap.
+    if (uni(rng) > 0.25) t += static_cast<Time>(uni(rng) * 90.0);
+    const int nodes =
+        1 + static_cast<int>((machine_nodes - 1) * std::pow(uni(rng), 3.0));
+    const auto runtime = static_cast<Duration>(1.0 + uni(rng) * uni(rng) * 2400.0);
+    const Duration estimate =
+        uni(rng) < 0.3 ? runtime
+                       : static_cast<Duration>(
+                             static_cast<double>(runtime) * (1.0 + 3.0 * uni(rng)));
+    js.push_back(make_job(t, nodes, runtime, estimate));
+  }
+  return test::make_workload(std::move(js));
+}
+
+/// Run the workload twice — incremental screening vs the scratch
+/// reference — and require bit-identical schedules (fingerprint witness).
+void expect_matches_scratch(const workload::Workload& w, int nodes,
+                            ConservativeParams p, const std::string& label,
+                            OrderKind order = OrderKind::kFcfs) {
+  p.scratch_replan = false;
+  const std::uint64_t incremental = test::run_fingerprint(cons_spec(p, order), w, nodes);
+  p.scratch_replan = true;
+  const std::uint64_t scratch = test::run_fingerprint(cons_spec(p, order), w, nodes);
+  EXPECT_EQ(incremental, scratch) << label;
+}
+
+TEST(ConservativeDifferential, RandomizedSequencesMatchScratch) {
+  // Every config sees > 10k scheduler events: 4 seeds x 1500 jobs, each
+  // job contributing a submit + completion (plus starts and reservation
+  // wakeups). The 32-node machine keeps a deep backlog, so compression
+  // runs constantly — each sequence drives thousands of replans through
+  // the screen/certificate/fallback paths.
+  struct Config {
+    const char* name;
+    ConservativeParams p;
+  };
+  std::vector<Config> configs;
+  configs.push_back({"default", {}});
+  {
+    ConservativeParams p;
+    p.full_compression = true;
+    configs.push_back({"full-compression", p});
+  }
+  {
+    ConservativeParams p;
+    p.replan_prefix = 1;
+    configs.push_back({"prefix-1", p});
+  }
+  {
+    ConservativeParams p;
+    p.replan_prefix = 3;
+    p.reservation_depth = 16;  // deep queue beyond the reserved set
+    configs.push_back({"prefix-3-depth-16", p});
+  }
+  {
+    ConservativeParams p;
+    p.full_compression = true;
+    p.compression_queue_limit = 4;  // gate flips mid-run as the queue breathes
+    configs.push_back({"full-gated-4", p});
+  }
+
+  for (const Config& c : configs) {
+    for (std::uint64_t seed : {11u, 23u, 37u, 59u}) {
+      const workload::Workload w = random_workload(seed, 1500, 32);
+      expect_matches_scratch(
+          w, 32, c.p, std::string(c.name) + " seed " + std::to_string(seed));
+    }
+  }
+}
+
+TEST(ConservativeDifferential, ReorderingOrdersMatchScratch) {
+  // SMART/PSRS orders deliver on_reorder (wholesale re-plans that
+  // invalidate screening certificates) interleaved with compression; the
+  // incremental path must survive the certificate resets exactly.
+  const workload::Workload w = random_workload(101, 1200, 32);
+  for (OrderKind order : {OrderKind::kSmartFfia, OrderKind::kPsrs}) {
+    ConservativeParams p;
+    expect_matches_scratch(w, 32, p, "reordering", order);
+    p.full_compression = true;
+    expect_matches_scratch(w, 32, p, "reordering full", order);
+  }
+}
+
+TEST(ConservativeDifferential, CertificatesActuallyEngage) {
+  // The fast path must not silently fall back to walking everything: on a
+  // deep-backlog run most reuses should be certificate hits and a healthy
+  // share of replans should elide or keep the whole window.
+  const workload::Workload w = random_workload(7, 2500, 16);
+  sim::Machine m;
+  m.nodes = 16;
+  auto dp = std::make_unique<ConservativeBackfillDispatch>(ConservativeParams{});
+  auto* d = dp.get();
+  ListScheduler sched(std::make_unique<FcfsOrder>(), std::move(dp));
+  (void)sim::simulate(m, sched, w);
+  const auto& st = d->replan_stats();
+  EXPECT_GT(st.replans, 100u);
+  EXPECT_GT(st.reused, st.replaced);
+  EXPECT_GT(st.certified, 0u);
+  EXPECT_LE(st.certified, st.reused);  // certified is a subset of reused
+}
+
+// --- replan_prefix boundary semantics ---------------------------------------
+
+/// Deep-queue workload whose reserved set stays around `depth` jobs.
+workload::Workload boundary_workload() { return random_workload(4242, 800, 8); }
+
+TEST(ConservativeDifferential, PrefixShorterThanQueueMatchesScratch) {
+  ConservativeParams p;
+  p.replan_prefix = 2;  // far below the backlog depth
+  expect_matches_scratch(boundary_workload(), 8, p, "prefix shorter");
+}
+
+TEST(ConservativeDifferential, PrefixEqualToQueueMatchesScratch) {
+  ConservativeParams p;
+  p.reservation_depth = 6;
+  p.replan_prefix = 6;  // window == reserved set exactly
+  expect_matches_scratch(boundary_workload(), 8, p, "prefix equal");
+}
+
+TEST(ConservativeDifferential, PrefixLongerThanQueueEqualsFullCompression) {
+  // A prefix that always covers the whole reserved set is full compression
+  // by definition — same schedule, bit for bit. (The paper's exact
+  // conservative compression, reached through the prefix path.)
+  const workload::Workload w = boundary_workload();
+  ConservativeParams prefix;
+  prefix.reservation_depth = 12;
+  prefix.replan_prefix = 4096;  // limit >= reserved set on every replan
+  ConservativeParams full;
+  full.reservation_depth = 12;
+  full.full_compression = true;
+  full.compression_queue_limit = 4096;  // never gated
+  EXPECT_EQ(test::run_fingerprint(cons_spec(prefix), w, 8),
+            test::run_fingerprint(cons_spec(full), w, 8));
+  // And both match their own scratch reference.
+  expect_matches_scratch(w, 8, prefix, "prefix longer");
+  expect_matches_scratch(w, 8, full, "full ungated");
+}
+
+// --- constructor validation (parameter audit) -------------------------------
+
+TEST(ConservativeDifferential, ConstructionRejectsZeroCompressionQueueLimit) {
+  ConservativeParams p;
+  p.full_compression = true;
+  p.compression_queue_limit = 0;  // would gate full compression to never run
+  EXPECT_THROW(ConservativeBackfillDispatch{p}, std::invalid_argument);
+}
+
+TEST(ConservativeDifferential, ConstructionRejectsNegativeReplanPrefix) {
+  ConservativeParams p;
+  // A caller passing -1 through the unsigned field wraps to the top of
+  // the size_t range; the constructor must refuse the wrapped half.
+  p.replan_prefix = static_cast<std::size_t>(-1);
+  EXPECT_THROW(ConservativeBackfillDispatch{p}, std::invalid_argument);
+}
+
+TEST(ConservativeDifferential, ConstructionAcceptsWorkingBoundaries) {
+  ConservativeParams p;
+  p.replan_prefix = 0;  // compression disabled — valid (wakeup-path tests)
+  p.compression_queue_limit = 1;
+  EXPECT_NO_THROW(ConservativeBackfillDispatch{p});
+}
+
+// --- partial-compression debt (satellite audit) -----------------------------
+
+TEST(ConservativeDifferential, PartialReplanKeepsDebt) {
+  // A prefix replan deliberately leaves reservations beyond the window
+  // planned against the pre-completion profile, so the debt flag must
+  // survive it: every later completion — even an on-time one — has to
+  // re-screen the window until a replan covers the whole reserved set.
+  // Full-machine jobs serialize the schedule, making the accounting exact:
+  //   j0 finishes 50s early; j1..j5 run exactly to their estimates.
+  const workload::Workload w = test::make_workload({
+      make_job(0, 4, 50, 100),  // early completion -> compression debt
+      make_job(0, 4, 100, 100), make_job(0, 4, 100, 100),
+      make_job(0, 4, 100, 100), make_job(0, 4, 100, 100),
+      make_job(0, 4, 100, 100),
+  });
+  sim::Machine m;
+  m.nodes = 4;
+
+  const auto run_stats = [&](const ConservativeParams& p) {
+    auto dp = std::make_unique<ConservativeBackfillDispatch>(p);
+    auto* d = dp.get();
+    ListScheduler sched(std::make_unique<FcfsOrder>(), std::move(dp));
+    (void)sim::simulate(m, sched, w);
+    return d->replan_stats();
+  };
+
+  // Partial coverage (prefix 2 < 5 reserved): the debt persists through
+  // the on-time completions at t=150 and t=250; it clears only at t=350
+  // when the shrunken queue (2 jobs) fits the prefix. Replans at
+  // t=50,150,250,350; debt-free arrivals (elisions) at t=50 (before the
+  // release), t=450 and t=550.
+  ConservativeParams partial;
+  partial.replan_prefix = 2;
+  const auto ps = run_stats(partial);
+  EXPECT_EQ(ps.completions, 6u);
+  EXPECT_EQ(ps.replans, 4u);
+  EXPECT_EQ(ps.replans_elided, 3u);
+
+  // Full coverage clears the debt at t=50; every on-time completion after
+  // that is elided. The contrast pins that the partial path's extra
+  // replans come from the preserved debt, not from extra capacity.
+  ConservativeParams full;
+  full.full_compression = true;
+  const auto fs = run_stats(full);
+  EXPECT_EQ(fs.completions, 6u);
+  EXPECT_EQ(fs.replans, 1u);
+  EXPECT_EQ(fs.replans_elided, 6u);
+}
+
+}  // namespace
+}  // namespace jsched::core

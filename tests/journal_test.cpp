@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "eval/experiment.h"
+#include "eval/reporting.h"
 #include "test_support.h"
 #include "util/journal.h"
 
@@ -336,6 +337,100 @@ TEST(Journal, FaultSweepPointsDoNotCollide) {
       m, core::WeightKind::kUnit, w, points, opt);
   EXPECT_EQ(resumed[0].resumed(), 13u);
   EXPECT_EQ(resumed[1].resumed(), 13u);
+}
+
+TEST(Journal, StaleJournalIsDetectedAndSegmented) {
+  // A journal written for one workload must not pose as a resume source
+  // when the workload changes under the same path: the next sweep drops
+  // the stale segment's cells, reports them, and opens a fresh segment.
+  const workload::Workload w = test::small_mixed_workload();
+  std::vector<Job> jobs(w.jobs().begin(), w.jobs().end());
+  jobs[0].estimate += 1;  // field-level fingerprint changes
+  const workload::Workload mutated = test::make_workload(std::move(jobs));
+  sim::Machine m;
+  m.nodes = 16;
+  eval::ExperimentOptions plain;
+  plain.measure_cpu = false;
+
+  TempFile f("stale-segment");
+  std::size_t grid_cells = 0;
+  {
+    eval::SweepJournal journal(f.path());
+    eval::ExperimentOptions opt = plain;
+    opt.journal = &journal;
+    const auto first =
+        eval::run_grid_outcomes(m, core::WeightKind::kUnit, w, opt);
+    grid_cells = first.cells.size();
+    // Opening a segment in an empty journal is a silent upgrade.
+    EXPECT_TRUE(first.journal_note.empty()) << first.journal_note;
+    EXPECT_EQ(journal.stale_dropped(), 0u);
+  }
+  {
+    // Same journal path, different workload: every journaled cell is
+    // stale. None may resume, and the report must say so.
+    eval::SweepJournal journal(f.path());
+    EXPECT_EQ(journal.loaded(), grid_cells);
+    eval::ExperimentOptions opt = plain;
+    opt.journal = &journal;
+    const auto second =
+        eval::run_grid_outcomes(m, core::WeightKind::kUnit, mutated, opt);
+    EXPECT_EQ(journal.stale_dropped(), grid_cells);
+    EXPECT_EQ(second.resumed(), 0u);
+    EXPECT_NE(second.journal_note.find("stale"), std::string::npos)
+        << second.journal_note;
+    EXPECT_NE(eval::failure_summary(second).find("stale"), std::string::npos);
+  }
+  // The fresh segment is a normal resume source for the mutated workload.
+  eval::SweepJournal journal(f.path());
+  eval::ExperimentOptions opt = plain;
+  opt.journal = &journal;
+  const auto third =
+      eval::run_grid_outcomes(m, core::WeightKind::kUnit, mutated, opt);
+  EXPECT_TRUE(third.journal_note.empty()) << third.journal_note;
+  EXPECT_EQ(third.resumed(), grid_cells);
+  EXPECT_EQ(journal.stale_dropped(), 0u);
+}
+
+TEST(Journal, LegacyJournalWithoutSegmentsIsAdopted) {
+  // Journals written before segment headers existed must keep resuming:
+  // their records are adopted into the first opened segment instead of
+  // being treated as stale.
+  const workload::Workload w = test::small_mixed_workload();
+  sim::Machine m;
+  m.nodes = 16;
+  eval::ExperimentOptions plain;
+  plain.measure_cpu = false;
+
+  TempFile f("legacy-adopt");
+  std::size_t grid_cells = 0;
+  {
+    // Journal the grid, then strip the v1seg header line — leaving
+    // exactly what a pre-segment writer would have produced.
+    eval::SweepJournal journal(f.path());
+    eval::ExperimentOptions opt = plain;
+    opt.journal = &journal;
+    grid_cells =
+        eval::run_grid_outcomes(m, core::WeightKind::kUnit, w, opt).cells.size();
+  }
+  std::vector<std::string> kept;
+  for (const std::string& line : util::AppendLog::read_lines(f.path())) {
+    if (line.rfind("v1seg", 0) != 0) kept.push_back(line);
+  }
+  std::remove(f.path().c_str());
+  {
+    util::AppendLog log(f.path());
+    for (const std::string& line : kept) log.append(line);
+  }
+
+  eval::SweepJournal journal(f.path());
+  EXPECT_EQ(journal.loaded(), grid_cells);
+  eval::ExperimentOptions opt = plain;
+  opt.journal = &journal;
+  const auto resumed =
+      eval::run_grid_outcomes(m, core::WeightKind::kUnit, w, opt);
+  EXPECT_TRUE(resumed.journal_note.empty()) << resumed.journal_note;
+  EXPECT_EQ(resumed.resumed(), grid_cells);
+  EXPECT_EQ(journal.stale_dropped(), 0u);
 }
 
 }  // namespace
