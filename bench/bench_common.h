@@ -102,6 +102,35 @@ void write_grid_bench_json(const std::string& path, const BenchConfig& cfg,
                            const std::vector<eval::RunResult>& weighted,
                            double weighted_wall);
 
+/// One bounded-memory scale run: FCFS+EASY simulated straight off a
+/// streamed CTC-model source (no Workload, no Schedule — O(live jobs)
+/// state) with metrics folded by metrics::StreamingAggregator. The trace
+/// is generated at the machine's width (streaming cannot trim) with the
+/// inter-arrival mean stretched so the offered load stays just under 1 —
+/// heavy but drainable, like the paper's trimmed trace.
+struct ScaleRunResult {
+  std::size_t jobs = 0;
+  double wall_seconds = 0.0;
+  double jobs_per_second = 0.0;
+  long peak_rss_mib = 0;  // getrusage(RUSAGE_SELF) ru_maxrss, whole process
+  std::uint64_t schedule_fnv = 0;
+  double art = 0.0;
+  double utilization = 0.0;
+  Time makespan = 0;
+  std::size_t peak_live_jobs = 0;
+  std::size_t max_queue_length = 0;
+};
+
+ScaleRunResult run_scale_stream(std::size_t jobs, std::uint64_t seed,
+                                int machine_nodes);
+
+/// Whole-process peak resident set in MiB (ru_maxrss).
+long peak_rss_mib();
+
+/// Write the scale run as JSON (BENCH_scale.json): the published jobs/sec
+/// figure plus the memory witnesses (peak RSS, peak live-job window).
+void write_scale_bench_json(const std::string& path, const ScaleRunResult& r);
+
 /// Write a fault-injection degradation curve as JSON (BENCH_fault.json):
 /// one entry per sweep point (failure intensity), each carrying the full
 /// grid's resilience metrics — ART, goodput fraction, availability, kills,

@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -15,10 +16,13 @@
 #include "core/psrs.h"
 #include "core/smart.h"
 #include "fault/fault.h"
+#include "metrics/streaming.h"
 #include "sim/profile.h"
 #include "sim/reference_profile.h"
 #include "sim/simulator.h"
+#include "sim/streaming.h"
 #include "util/rng.h"
+#include "workload/job_source.h"
 #include "workload/ctc_model.h"
 #include "workload/transforms.h"
 
@@ -349,6 +353,31 @@ void BM_SimulateZeroFailure(benchmark::State& state) {
   state.SetLabel(state.range(0) == 1 ? "empty trace" : "no fault options");
 }
 BENCHMARK(BM_SimulateZeroFailure)->Arg(0)->Arg(1);
+
+// Bounded-memory simulation throughput: the same FCFS+EASY simulation as
+// the batch loop, but consumed as a stream with metrics folded by the
+// StreamingAggregator instead of materializing a Schedule. items/sec is
+// the jobs/sec figure the scale exit criterion speaks of; CI budgets the
+// per-iteration time so a regression in the streaming event loop (or an
+// accidental re-materialization) is caught at micro-benchmark scale.
+void BM_StreamingSimulate(benchmark::State& state) {
+  const auto& w = bench_workload();
+  core::AlgorithmSpec spec;
+  spec.dispatch = core::DispatchKind::kEasy;
+  sim::Machine m;
+  m.nodes = 256;
+  auto scheduler = core::make_scheduler(spec);
+  for (auto _ : state) {
+    workload::WorkloadSource source(w);
+    metrics::StreamingAggregator agg(m.nodes);
+    benchmark::DoNotOptimize(sim::simulate_stream(m, *scheduler, source, agg));
+    benchmark::DoNotOptimize(agg.finish().schedule_fnv);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.size()));
+  state.SetLabel("FCFS+EASY / " + std::to_string(w.size()) + " jobs streamed");
+}
+BENCHMARK(BM_StreamingSimulate);
 
 void BM_SimulateGrid(benchmark::State& state) {
   const auto& w = bench_workload();

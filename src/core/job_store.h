@@ -1,9 +1,7 @@
 // Submission-data storage shared by ordering policies and dispatchers.
 #pragma once
 
-#include <cassert>
-#include <vector>
-
+#include "util/paged_table.h"
 #include "workload/job.h"
 
 namespace jsched::core {
@@ -11,26 +9,38 @@ namespace jsched::core {
 /// Dense JobId -> submission data. Only data legitimately visible to an
 /// on-line scheduler is stored (the simulator scrubs `runtime` before
 /// on_submit, so the copies here carry runtime == 0).
+///
+/// Backed by a paged table so a streaming simulation that erases finished
+/// jobs keeps O(live jobs) memory instead of O(all ids ever submitted);
+/// without erasure the paging is invisible (pages only accumulate).
 class JobStore {
  public:
   void clear() { jobs_.clear(); }
 
-  void put(const Job& j) {
-    if (j.id >= jobs_.size()) jobs_.resize(j.id + 1);
-    jobs_[j.id] = j;
-  }
+  void put(const Job& j) { jobs_.put(j.id, j); }
 
   void put(const Submission& s) { put(s.to_job()); }
 
-  const Job& get(JobId id) const {
-    assert(id < jobs_.size());
-    return jobs_[id];
+  const Job& get(JobId id) const { return jobs_.get(id); }
+
+  /// Forget a finished job; its page is freed once every job on it is
+  /// forgotten. A later put() of the same id (fault re-submission)
+  /// re-creates the entry.
+  void erase(JobId id) { jobs_.erase(id); }
+
+  /// One past the largest id ever stored (monotone; survives erase()).
+  std::size_t capacity() const noexcept { return jobs_.high_water(); }
+
+  /// Jobs currently stored.
+  std::size_t size() const noexcept { return jobs_.size(); }
+
+  /// Allocated pages (memory-bound introspection for tests).
+  std::size_t pages_allocated() const noexcept {
+    return jobs_.pages_allocated();
   }
 
-  std::size_t capacity() const noexcept { return jobs_.size(); }
-
  private:
-  std::vector<Job> jobs_;
+  util::PagedTable<Job> jobs_;
 };
 
 /// Which job weight an algorithm optimizes for (paper §4): the unweighted

@@ -56,6 +56,10 @@ void ListScheduler::on_complete(JobId id, Time now) {
   running_.erase(it);
   dispatcher_->on_complete(id, now, estimated_end, ordering_->order());
   sync_order_version(now);
+  // The job is finished: no component may consult it again (a fault
+  // re-submission re-puts the id). Freeing the entry is what keeps the
+  // store O(live jobs) in streaming runs.
+  store_.erase(id);
 }
 
 void ListScheduler::on_capacity_change(Time now, int available_nodes) {

@@ -15,34 +15,32 @@ void IndexedJobList::clear() {
 }
 
 void IndexedJobList::reindex() {
-  for (std::size_t j = 0; j < order_.size(); ++j) pos_[order_[j]] = j;
+  for (std::size_t j = 0; j < order_.size(); ++j) pos_.put(order_[j], j);
   removals_since_reindex_ = 0;
 }
 
 void IndexedJobList::push_back(JobId id) {
-  if (pos_.size() <= id) pos_.resize(id + 1, kAbsent);
-  pos_[id] = order_.size();
+  pos_.put(id, order_.size());
   order_.push_back(id);
 }
 
 void IndexedJobList::insert(std::size_t index, JobId id) {
-  if (pos_.size() <= id) pos_.resize(id + 1, kAbsent);
   order_.insert(order_.begin() + static_cast<std::ptrdiff_t>(index), id);
   // The shifted suffix must be re-indexed exactly: a right shift would
   // break the "stored position >= true position" invariant remove() scans
   // under, so stale hints are not an option here.
-  for (std::size_t j = index; j < order_.size(); ++j) pos_[order_[j]] = j;
+  for (std::size_t j = index; j < order_.size(); ++j) pos_.put(order_[j], j);
 }
 
 std::size_t IndexedJobList::remove(JobId id, const char* who) {
-  if (id >= pos_.size() || pos_[id] == kAbsent) {
+  if (!pos_.contains(id)) {
     throw std::logic_error(std::string(who) + ": removing job not in queue");
   }
   // The stored position is an upper bound whose drift is capped by the
   // reindex period; scan left from the hint to the true position.
-  std::size_t i = std::min(pos_[id], order_.size() - 1);
+  std::size_t i = std::min(pos_.get(id), order_.size() - 1);
   while (order_[i] != id) --i;
-  pos_[id] = kAbsent;
+  pos_.erase(id);
   order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(i));
   if (++removals_since_reindex_ >= kReindexPeriod) reindex();
   return i;

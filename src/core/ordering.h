@@ -14,6 +14,7 @@
 
 #include "core/job_store.h"
 #include "sim/machine.h"
+#include "util/paged_table.h"
 #include "util/time.h"
 
 namespace jsched::core {
@@ -59,8 +60,11 @@ class OrderingPolicy {
 /// runs every kReindexPeriod removals, bounding the drift (and thus any
 /// scan) by that constant; mid-queue insertions re-index their shifted
 /// suffix exactly, which keeps the upper-bound invariant intact. JobIds
-/// are dense workload indices, so the index is a flat vector, not a hash
-/// map.
+/// are dense workload indices, so the index is a paged dense table (not a
+/// hash map): O(1) lookups, and hint pages are reclaimed as their id range
+/// drains so index memory is O(live ids), not O(largest id ever queued) —
+/// on a streamed multi-million-job trace a flat vector here would pin
+/// 8 bytes per job forever.
 class IndexedJobList {
  public:
   void clear();
@@ -77,15 +81,14 @@ class IndexedJobList {
   bool empty() const noexcept { return order_.empty(); }
 
  private:
-  static constexpr std::size_t kAbsent = static_cast<std::size_t>(-1);
   static constexpr std::size_t kReindexPeriod = 64;
 
   void reindex();
 
   std::vector<JobId> order_;
-  // Indexed by JobId: kAbsent when not queued, otherwise an upper bound on
+  // Indexed by JobId: absent when not queued, otherwise an upper bound on
   // the job's position, exact to within kReindexPeriod - 1.
-  std::vector<std::size_t> pos_;
+  util::PagedTable<std::size_t> pos_;
   std::size_t removals_since_reindex_ = 0;
 };
 

@@ -150,6 +150,7 @@ void PhasedScheduler::on_complete(JobId id, Time now) {
   running_.erase(it);
   dispatch().on_complete(id, now, estimated_end, order().order());
   sync_order_version(now);
+  store_.erase(id);  // finished: keeps the store O(live jobs) when streaming
 }
 
 void PhasedScheduler::select_starts(Time now, int free_nodes,

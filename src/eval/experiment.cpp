@@ -7,8 +7,10 @@
 #include "eval/journal.h"
 #include "metrics/objectives.h"
 #include "metrics/resilience.h"
+#include "metrics/streaming.h"
 #include "sim/schedule.h"
 #include "sim/simulator.h"
+#include "sim/streaming.h"
 #include "util/thread_pool.h"
 
 namespace jsched::eval {
@@ -130,9 +132,59 @@ std::uint64_t label_salt(const std::string& label) {
 
 }  // namespace detail
 
+RunResult run_streamed(const sim::Machine& machine,
+                       const core::AlgorithmSpec& spec,
+                       workload::JobSource& source,
+                       const ExperimentOptions& options) {
+  if (options.on_run) options.on_run(spec.display_name());
+
+  auto scheduler = options.scheduler_factory ? options.scheduler_factory(spec)
+                                             : core::make_scheduler(spec);
+  sim::StreamOptions stream_options;
+  stream_options.measure_scheduler_cpu = options.measure_cpu;
+  stream_options.faults = options.faults;
+  sim::CancelToken token(options.cancel);
+  if (options.run_deadline.count() != 0) {
+    token.set_deadline_after(options.run_deadline);
+  }
+  if (options.cancel != nullptr || options.run_deadline.count() != 0) {
+    stream_options.cancel = &token;
+  }
+  metrics::StreamingAggregator aggregator(machine.nodes);
+  const sim::StreamStats stats = sim::simulate_stream(
+      machine, *scheduler, source, aggregator, stream_options);
+  const metrics::StreamedMetrics m = aggregator.finish();
+
+  RunResult r;
+  r.spec = spec;
+  r.scheduler_name = scheduler->name();
+  r.jobs = m.jobs;
+  r.art = m.art;
+  r.awrt = m.awrt;
+  r.wait = m.wait;
+  r.makespan = static_cast<double>(m.makespan);
+  r.utilization = m.utilization;
+  r.scheduler_cpu_seconds = stats.scheduler_cpu_seconds;
+  r.max_queue_length = stats.max_queue_length;
+  r.schedule_fnv = m.schedule_fnv;
+  r.goodput_node_seconds = m.resilience.useful_node_seconds;
+  r.wasted_node_seconds = m.resilience.wasted_node_seconds;
+  r.goodput_fraction = m.resilience.goodput_fraction;
+  r.availability = m.resilience.availability;
+  r.availability_weighted_utilization =
+      m.resilience.availability_weighted_utilization;
+  r.kills = m.resilience.kills;
+  r.jobs_hit = m.resilience.jobs_hit;
+  return r;
+}
+
 RunResult run_one(const sim::Machine& machine, const core::AlgorithmSpec& spec,
                   const workload::Workload& workload,
                   const ExperimentOptions& options) {
+  if (options.streaming) {
+    workload::WorkloadSource source(workload);
+    return run_streamed(machine, spec, source, options);
+  }
   if (options.on_run) options.on_run(spec.display_name());
 
   auto scheduler = options.scheduler_factory ? options.scheduler_factory(spec)

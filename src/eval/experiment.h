@@ -22,6 +22,7 @@
 #include "fault/fault.h"
 #include "sim/cancel.h"
 #include "sim/machine.h"
+#include "workload/job_source.h"
 #include "workload/workload.h"
 
 namespace jsched::eval {
@@ -132,6 +133,13 @@ struct GridResult {
 struct ExperimentOptions {
   bool measure_cpu = true;
   bool validate = true;
+  /// Run simulations through the bounded-memory streaming path
+  /// (sim::simulate_stream + metrics::StreamingAggregator) instead of
+  /// materializing a Schedule. Off by default; when on, every RunResult
+  /// field — including schedule_fnv — is bit-identical to the batch path
+  /// (the goldens suite pins this), but `validate` is ignored because
+  /// whole-schedule validation needs the materialized records.
+  bool streaming = false;
   /// Worker threads for run_grid / run_replicated sweeps. 1 = fully serial
   /// (today's behavior, bit-for-bit); 0 = one per hardware thread. Results
   /// are aggregated in task-index order regardless of completion order, so
@@ -188,6 +196,17 @@ struct ExperimentOptions {
 RunResult run_one(const sim::Machine& machine, const core::AlgorithmSpec& spec,
                   const workload::Workload& workload,
                   const ExperimentOptions& options = {});
+
+/// Simulate one algorithm over a job *stream* without ever materializing
+/// the workload or the schedule — the O(1)-RSS entry point for runs too
+/// large to hold in memory (10M-job scaling studies). Metric semantics
+/// are identical to run_one (same aggregation order, bit-identical
+/// results); `options.validate` is ignored and `jobs` is the streamed
+/// count. The source is consumed.
+RunResult run_streamed(const sim::Machine& machine,
+                       const core::AlgorithmSpec& spec,
+                       workload::JobSource& source,
+                       const ExperimentOptions& options = {});
 
 /// run_one with the failure captured per error_policy: under kFailFast the
 /// exception propagates; under kIsolate / kRetryN it is returned as a

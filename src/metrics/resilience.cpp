@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "metrics/streaming.h"
+
 namespace jsched::metrics {
 
 ResilienceReport resilience(const sim::Schedule& s,
@@ -34,23 +36,8 @@ ResilienceReport resilience(const sim::Schedule& s,
   // Integrate the capacity step function over [0, makespan].
   const Time makespan = s.makespan();
   if (makespan > 0) {
-    double available = 0.0;
-    Time prev_t = 0;
-    int capacity = s.machine().nodes;
-    for (const auto& [t, cap] : s.capacity_events) {
-      const Time clipped = std::min(t, makespan);
-      if (clipped > prev_t) {
-        available +=
-            static_cast<double>(capacity) * static_cast<double>(clipped - prev_t);
-        prev_t = clipped;
-      }
-      if (t >= makespan) break;
-      capacity = cap;
-    }
-    if (prev_t < makespan) {
-      available += static_cast<double>(capacity) *
-                   static_cast<double>(makespan - prev_t);
-    }
+    const double available = available_node_seconds(
+        s.capacity_events, s.machine().nodes, makespan);
     const double total = static_cast<double>(s.machine().nodes) *
                          static_cast<double>(makespan);
     r.availability = total > 0.0 ? available / total : 1.0;

@@ -1,0 +1,89 @@
+// Streaming metric aggregation: a sim::RecordSink folding each finished
+// JobRecord into scalar accumulators as the bounded-memory simulation
+// emits it, reproducing the batch pipeline bit-for-bit.
+//
+// Bit-identity argument: every batch metric (objectives.cpp, resilience.cpp,
+// schedule_fingerprint) is a left-to-right fold over records in JobId
+// order, optionally followed by folds over the attempt and capacity-event
+// vectors. simulate_stream delivers records in JobId order, so each
+// accumulator here performs the *same floating-point additions in the same
+// order* as its batch counterpart. Attempts and capacity events are O(#
+// failures) — they are buffered and folded at finish() in the exact batch
+// order (records first, then attempts, then capacity events).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "metrics/resilience.h"
+#include "sim/schedule.h"
+#include "sim/streaming.h"
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace jsched::metrics {
+
+/// The availability integral of metrics::resilience — ∫ capacity(t) dt
+/// over [0, makespan], clipping events past the makespan. Factored out so
+/// the batch and streaming paths share one definition (and stay
+/// bit-identical). Capacity is `machine_nodes` before the first event.
+double available_node_seconds(
+    const std::vector<std::pair<Time, int>>& capacity_events,
+    int machine_nodes, Time makespan);
+
+/// Everything run_one derives from a materialized Schedule, computed
+/// without one.
+struct StreamedMetrics {
+  std::size_t jobs = 0;
+  double art = 0.0;   // metrics::average_response_time
+  double awrt = 0.0;  // metrics::average_weighted_response_time
+  double wait = 0.0;  // metrics::average_wait_time
+  Time makespan = 0;
+  double utilization = 0.0;
+  std::uint64_t schedule_fnv = 0;  // sim::schedule_fingerprint
+  ResilienceReport resilience;
+
+  /// Bonus distribution info the batch scalar metrics do not expose
+  /// (Welford moments + min/max of per-job response and wait). Streaming
+  /// only — not part of the batch-parity contract.
+  util::RunningStats response_stats;
+  util::RunningStats wait_stats;
+};
+
+/// Sink that aggregates as the simulation runs. O(1) state per record;
+/// O(#kills + #capacity steps) total — independent of the job count.
+class StreamingAggregator final : public sim::RecordSink {
+ public:
+  explicit StreamingAggregator(int machine_nodes);
+
+  void on_record(JobId id, const sim::JobRecord& record,
+                 const Job& j) override;
+  void on_attempt(const sim::AttemptRecord& attempt) override;
+  void on_capacity_event(Time t, int capacity) override;
+
+  std::size_t jobs() const noexcept { return jobs_; }
+
+  /// Finalize. Throws std::invalid_argument on an empty stream, mirroring
+  /// the batch metrics' refusal to average an empty schedule.
+  StreamedMetrics finish() const;
+
+ private:
+  int machine_nodes_;
+  std::size_t jobs_ = 0;
+  double response_sum_ = 0.0;
+  double weighted_sum_ = 0.0;
+  double wait_sum_ = 0.0;
+  double busy_ = 0.0;
+  double executed_records_ = 0.0;
+  double useful_ = 0.0;
+  Time makespan_ = 0;
+  std::uint64_t record_fnv_;  // FNV chain over the records seen so far
+  util::RunningStats response_stats_;
+  util::RunningStats wait_stats_;
+  std::vector<sim::AttemptRecord> attempts_;
+  std::vector<std::pair<Time, int>> capacity_events_;
+};
+
+}  // namespace jsched::metrics

@@ -218,6 +218,7 @@ void validate_schedule(const Schedule& s, const workload::Workload& w) {
 workload::Workload as_executed_workload(const Schedule& s,
                                         const workload::Workload& w) {
   workload::Workload out;
+  out.reserve(s.size() + s.attempts.size());
   for (JobId id = 0; id < s.size(); ++id) {
     const JobRecord& r = s[id];
     Job j = w.job(id);

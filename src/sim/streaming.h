@@ -1,0 +1,90 @@
+// Bounded-memory simulation: drive a scheduler from a workload::JobSource
+// and fold each finished JobRecord into a visitor instead of retaining it.
+//
+// The materializing `simulate()` holds the whole workload, the whole
+// Schedule and a handful of O(n) side arrays — ~1.4 GB at 10M jobs. This
+// path holds only the *live window*: jobs that have arrived but whose
+// records are not yet final. Arrivals happen in JobId order (ids are dense
+// and submit-sorted), so the live window is a contiguous id range managed
+// as a deque; the frontier advances as jobs complete and each record is
+// handed to the sink exactly once, in JobId order — the same order every
+// batch metric and the schedule fingerprint iterate in, which is what
+// makes streaming aggregates bit-identical to their batch counterparts.
+//
+// One unified event loop serves both the fault-free and the faulty case:
+// with an inactive trace its event order is identical to the fault-free
+// loop in simulator.cpp (completions, arrivals, starts), so decisions —
+// and therefore records — match the materializing simulator exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fault/fault.h"
+#include "sim/cancel.h"
+#include "sim/machine.h"
+#include "sim/schedule.h"
+#include "sim/scheduler.h"
+#include "workload/job_source.h"
+
+namespace jsched::sim {
+
+/// Visitor receiving the simulation's output as it becomes final.
+/// `on_record` is called exactly once per job, in JobId order; attempts
+/// arrive in kill order and capacity events in trace order — the same
+/// orders the materializing Schedule stores them in.
+class RecordSink {
+ public:
+  virtual ~RecordSink() = default;
+
+  /// Final record of job `id` (its workload entry is `j`). The references
+  /// are only valid during the call.
+  virtual void on_record(JobId id, const JobRecord& record, const Job& j) = 0;
+
+  /// A killed execution attempt (fault injection only).
+  virtual void on_attempt(const AttemptRecord& attempt) { (void)attempt; }
+
+  /// A machine capacity step: available nodes after the step.
+  virtual void on_capacity_event(Time t, int capacity) {
+    (void)t;
+    (void)capacity;
+  }
+};
+
+/// What the streaming loop itself measures (everything else — objectives,
+/// fingerprints, resilience — lives in the sink).
+struct StreamStats {
+  std::size_t jobs = 0;
+  Time makespan = 0;
+  double scheduler_cpu_seconds = 0.0;
+  std::size_t max_queue_length = 0;
+  /// Peak size of the live window (arrived, record not yet emitted): the
+  /// run's actual memory witness — simulator state is O(this), not O(jobs).
+  std::size_t peak_live_jobs = 0;
+};
+
+/// Options for simulate_stream — SimOptions minus the pieces that require
+/// a materialized Schedule (validate, record_backlog).
+struct StreamOptions {
+  /// Measure CPU time spent in scheduler callbacks (Tables 7/8).
+  bool measure_scheduler_cpu = false;
+
+  /// Fault injection; identical semantics to SimOptions::faults.
+  fault::FaultOptions faults{};
+
+  /// Cooperative cancellation (not owned; may be null), polled once per
+  /// event-loop iteration like the materializing simulator.
+  const CancelToken* cancel = nullptr;
+};
+
+/// Run `scheduler` over the stream from `source` on `machine`, folding
+/// output into `sink`. Enforces the same scheduler contract as simulate()
+/// (unknown job / started twice / oversubscription → std::logic_error) and
+/// additionally validates the source stream as it is pulled (dense ids,
+/// sorted submits, valid fields, jobs no wider than the machine →
+/// std::invalid_argument).
+StreamStats simulate_stream(const Machine& machine, Scheduler& scheduler,
+                            workload::JobSource& source, RecordSink& sink,
+                            const StreamOptions& options = {});
+
+}  // namespace jsched::sim

@@ -1,10 +1,46 @@
 #include "util/journal.h"
 
+#include <charconv>
+#include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
 namespace jsched::util {
+
+BufferedWriter::BufferedWriter(std::ostream& out, std::size_t flush_threshold)
+    : out_(&out), threshold_(flush_threshold) {
+  buf_.reserve(threshold_ + 64);
+}
+
+BufferedWriter::~BufferedWriter() { drain(); }
+
+void BufferedWriter::append(std::string_view text) {
+  buf_.append(text);
+  maybe_drain();
+}
+
+void BufferedWriter::append(char c) {
+  buf_.push_back(c);
+  maybe_drain();
+}
+
+void BufferedWriter::append_int(std::int64_t v) {
+  char digits[24];
+  const auto [end, ec] = std::to_chars(digits, digits + sizeof(digits), v);
+  buf_.append(digits, static_cast<std::size_t>(end - digits));
+  maybe_drain();
+}
+
+void BufferedWriter::drain() {
+  if (buf_.empty()) return;
+  out_->write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+  buf_.clear();
+}
+
+void BufferedWriter::maybe_drain() {
+  if (buf_.size() >= threshold_) drain();
+}
 
 AppendLog::AppendLog(std::string path) : path_(std::move(path)) {
   out_.open(path_, std::ios::out | std::ios::app);
@@ -18,7 +54,14 @@ void AppendLog::append(std::string_view line) {
     throw std::invalid_argument("AppendLog: record contains a newline");
   }
   std::lock_guard<std::mutex> lock(mu_);
-  out_ << line << '\n';
+  // Format through the shared writer, then flush the stream: the
+  // record-at-a-time durability contract is the drain+flush, not the
+  // formatting.
+  {
+    BufferedWriter w(out_, /*flush_threshold=*/0);
+    w.append(line);
+    w.append('\n');
+  }
   out_.flush();
   if (!out_) {
     throw std::runtime_error("AppendLog: write failed: " + path_);

@@ -9,13 +9,49 @@
 // streams).
 #pragma once
 
+#include <cstdint>
 #include <fstream>
+#include <iosfwd>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace jsched::util {
+
+/// Chunked text writer over an std::ostream: records are formatted into an
+/// internal string (integers via std::to_chars — no locale machinery, no
+/// per-field virtual sentry) and handed to the stream in large blocks.
+/// This is the shared formatting layer of AppendLog (which drains + flushes
+/// per record, the crash-tolerance contract) and of bulk writers like
+/// write_swf (which drain every ~256 KiB and turn millions of tiny
+/// operator<< calls into a handful of block writes).
+class BufferedWriter {
+ public:
+  /// Buffer up to `flush_threshold` bytes between stream writes. The
+  /// destructor drains the buffer but does not flush the stream.
+  explicit BufferedWriter(std::ostream& out,
+                          std::size_t flush_threshold = 256 * 1024);
+  ~BufferedWriter();
+
+  BufferedWriter(const BufferedWriter&) = delete;
+  BufferedWriter& operator=(const BufferedWriter&) = delete;
+
+  void append(std::string_view text);
+  void append(char c);
+  /// Decimal integer, exactly as operator<< would print it.
+  void append_int(std::int64_t v);
+
+  /// Drain the buffer into the stream (does not flush the stream itself).
+  void drain();
+
+ private:
+  void maybe_drain();
+
+  std::ostream* out_;
+  std::string buf_;
+  std::size_t threshold_;
+};
 
 /// Append-only line log. Appends are serialized by an internal mutex and
 /// flushed per record, so every record written before a kill survives it.

@@ -1,0 +1,100 @@
+// Paged dense-index table with page reclamation.
+//
+// A drop-in bound for the "vector indexed by dense id" pattern whose ids
+// only grow: entries are stored in fixed-size pages allocated on first
+// touch and *freed when their last entry is erased*. With erasure roughly
+// tracking insertion (a scheduler forgetting finished jobs), resident
+// memory is O(live entries + pages), not O(total ids ever seen) — the
+// difference between ~500 MB and a few MB over a 10M-job streaming run.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace jsched::util {
+
+template <typename T>
+class PagedTable {
+ public:
+  static constexpr std::size_t kPageSize = 4096;
+
+  void clear() {
+    pages_.clear();
+    high_water_ = 0;
+    live_ = 0;
+  }
+
+  /// Insert or overwrite entry `i`. Overwriting a live entry is allowed
+  /// (a re-submitted job updates in place).
+  void put(std::size_t i, const T& v) {
+    Page& p = page_for(i);
+    const std::size_t s = i % kPageSize;
+    p.live_count += p.present[s] ? 0u : 1u;
+    live_ += p.present[s] ? 0u : 1u;
+    p.present[s] = 1;
+    p.slots[s] = v;
+    if (i + 1 > high_water_) high_water_ = i + 1;
+  }
+
+  const T& get(std::size_t i) const {
+    const std::size_t pi = i / kPageSize;
+    assert(pi < pages_.size() && pages_[pi] != nullptr &&
+           pages_[pi]->present[i % kPageSize]);
+    return pages_[pi]->slots[i % kPageSize];
+  }
+
+  bool contains(std::size_t i) const {
+    const std::size_t pi = i / kPageSize;
+    return pi < pages_.size() && pages_[pi] != nullptr &&
+           pages_[pi]->present[i % kPageSize] != 0;
+  }
+
+  /// Remove entry `i` (no-op when absent); frees the page when it empties.
+  void erase(std::size_t i) {
+    const std::size_t pi = i / kPageSize;
+    if (pi >= pages_.size() || pages_[pi] == nullptr) return;
+    Page& p = *pages_[pi];
+    const std::size_t s = i % kPageSize;
+    if (!p.present[s]) return;
+    p.present[s] = 0;
+    --p.live_count;
+    --live_;
+    if (p.live_count == 0) pages_[pi].reset();
+  }
+
+  /// One past the largest index ever put (monotone; survives erasure).
+  std::size_t high_water() const noexcept { return high_water_; }
+  /// Live (present) entries.
+  std::size_t size() const noexcept { return live_; }
+  /// Currently allocated pages — the memory witness tests assert on.
+  std::size_t pages_allocated() const noexcept {
+    std::size_t n = 0;
+    for (const auto& p : pages_) {
+      if (p != nullptr) ++n;
+    }
+    return n;
+  }
+
+ private:
+  struct Page {
+    std::vector<T> slots;
+    std::vector<unsigned char> present;
+    std::size_t live_count = 0;
+    Page() : slots(kPageSize), present(kPageSize, 0) {}
+  };
+
+  Page& page_for(std::size_t i) {
+    const std::size_t pi = i / kPageSize;
+    if (pi >= pages_.size()) pages_.resize(pi + 1);
+    if (pages_[pi] == nullptr) pages_[pi] = std::make_unique<Page>();
+    return *pages_[pi];
+  }
+
+  std::vector<std::unique_ptr<Page>> pages_;
+  std::size_t high_water_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace jsched::util

@@ -59,7 +59,8 @@ bool is_daytime(Time t) {
 
 }  // namespace
 
-Workload generate_ctc(const CtcModelParams& p, std::uint64_t seed) {
+CtcJobSource::CtcJobSource(const CtcModelParams& p, std::uint64_t seed)
+    : params_(p) {
   if (p.job_count == 0) throw std::invalid_argument("generate_ctc: job_count == 0");
   if (p.machine_nodes < 1) throw std::invalid_argument("generate_ctc: machine_nodes < 1");
   if (p.mean_interarrival <= 0 || p.interarrival_shape <= 0) {
@@ -70,16 +71,16 @@ Workload generate_ctc(const CtcModelParams& p, std::uint64_t seed) {
   }
 
   util::Rng rng(seed);
-  util::Rng arrival_rng = rng.split();
-  util::Rng shape_rng = rng.split();   // nodes
-  util::Rng runtime_rng = rng.split();
-  util::Rng estimate_rng = rng.split();
-  util::Rng user_rng = rng.split();
+  arrival_rng_ = rng.split();
+  shape_rng_ = rng.split();
+  runtime_rng_ = rng.split();
+  estimate_rng_ = rng.split();
+  user_rng_ = rng.split();
 
   // Weibull scale such that the mean equals mean_interarrival:
   // E[X] = scale * Gamma(1 + 1/shape).
   const double gamma_term = std::tgamma(1.0 + 1.0 / p.interarrival_shape);
-  const double scale = p.mean_interarrival / gamma_term;
+  scale_ = p.mean_interarrival / gamma_term;
 
   // Normalize the diurnal multipliers so the long-run mean inter-arrival
   // stays at mean_interarrival. Shorter day gaps mean *more* gaps fall in
@@ -87,12 +88,11 @@ Workload generate_ctc(const CtcModelParams& p, std::uint64_t seed) {
   // counts, not wall-time shares: with day/night gap multipliers d' and n',
   // arrivals per day are 10h/d' + 14h/n' (in units of 1/mean); scaling both
   // by alpha = (10/d + 14/n)/24 makes that exactly 24h/mean.
-  double day_mult = 1.0, night_mult = 1.0;
   if (p.diurnal_cycle) {
     const double alpha =
         (10.0 / p.day_speedup + 14.0 / p.night_slowdown) / 24.0;
-    day_mult = p.day_speedup * alpha;
-    night_mult = p.night_slowdown * alpha;
+    day_mult_ = p.day_speedup * alpha;
+    night_mult_ = p.night_slowdown * alpha;
   }
 
   // Zipf user-activity weights.
@@ -100,43 +100,48 @@ Workload generate_ctc(const CtcModelParams& p, std::uint64_t seed) {
   for (std::size_t u = 0; u < user_weights.size(); ++u) {
     user_weights[u] = 1.0 / static_cast<double>(u + 1);
   }
-  const util::DiscreteCdf user_cdf(user_weights);
+  user_cdf_ = util::DiscreteCdf(user_weights);
+}
 
-  Workload w;
-  Time now = 0;
-  for (std::size_t i = 0; i < p.job_count; ++i) {
-    double gap = arrival_rng.weibull(p.interarrival_shape, scale);
-    gap *= is_daytime(now) ? day_mult : night_mult;
-    now += std::max<Duration>(0, static_cast<Duration>(std::llround(gap)));
+bool CtcJobSource::next(Job& out) {
+  const CtcModelParams& p = params_;
+  if (emitted() == p.job_count) return false;
 
-    Job j;
-    j.submit = now;
-    j.nodes = sample_nodes(shape_rng, p.machine_nodes);
+  double gap = arrival_rng_.weibull(p.interarrival_shape, scale_);
+  gap *= is_daytime(now_) ? day_mult_ : night_mult_;
+  now_ += std::max<Duration>(0, static_cast<Duration>(std::llround(gap)));
 
-    const double raw_runtime =
-        runtime_rng.lognormal(p.runtime_log_mean, p.runtime_log_sigma);
-    j.runtime = std::clamp<Duration>(static_cast<Duration>(std::llround(raw_runtime)),
-                                     p.min_runtime, p.max_runtime);
+  Job j;
+  j.submit = now_;
+  j.nodes = sample_nodes(shape_rng_, p.machine_nodes);
 
-    double factor = 1.0;
-    if (!estimate_rng.bernoulli(p.exact_estimate_fraction)) {
-      factor = estimate_rng.log_uniform(1.0, p.max_overestimate);
-    }
-    auto est = static_cast<Duration>(
-        std::ceil(static_cast<double>(j.runtime) * factor));
-    if (p.estimate_granularity > 1) {
-      est = (est + p.estimate_granularity - 1) / p.estimate_granularity *
-            p.estimate_granularity;
-    }
-    j.estimate = std::clamp<Duration>(est, j.runtime,
-                                      std::max(p.max_runtime, j.runtime));
+  const double raw_runtime =
+      runtime_rng_.lognormal(p.runtime_log_mean, p.runtime_log_sigma);
+  j.runtime = std::clamp<Duration>(static_cast<Duration>(std::llround(raw_runtime)),
+                                   p.min_runtime, p.max_runtime);
 
-    j.user = static_cast<std::int32_t>(user_cdf.sample(user_rng));
-    w.add(j);
+  double factor = 1.0;
+  if (!estimate_rng_.bernoulli(p.exact_estimate_fraction)) {
+    factor = estimate_rng_.log_uniform(1.0, p.max_overestimate);
   }
-  w.set_name("ctc-like");
-  w.finalize();
-  return w;
+  auto est = static_cast<Duration>(
+      std::ceil(static_cast<double>(j.runtime) * factor));
+  if (p.estimate_granularity > 1) {
+    est = (est + p.estimate_granularity - 1) / p.estimate_granularity *
+          p.estimate_granularity;
+  }
+  j.estimate = std::clamp<Duration>(est, j.runtime,
+                                    std::max(p.max_runtime, j.runtime));
+
+  j.user = static_cast<std::int32_t>(user_cdf_.sample(user_rng_));
+  stamp(j);
+  out = j;
+  return true;
+}
+
+Workload generate_ctc(const CtcModelParams& p, std::uint64_t seed) {
+  CtcJobSource source(p, seed);
+  return materialize(source);
 }
 
 }  // namespace jsched::workload

@@ -19,7 +19,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
+#include "util/rng.h"
+#include "workload/job_source.h"
 #include "workload/workload.h"
 
 namespace jsched::workload {
@@ -61,6 +65,33 @@ struct CtcModelParams {
 
   /// Number of distinct users (Zipf-weighted activity).
   int user_count = 200;
+};
+
+/// Streaming CTC-like trace generator: emits the exact job stream
+/// `generate_ctc` builds, one job at a time in O(1) state (the batch
+/// generator is a thin materialize() over this source). Deterministic in
+/// (params, seed); throws std::invalid_argument on bad parameters.
+class CtcJobSource final : public JobSource {
+ public:
+  CtcJobSource(const CtcModelParams& params, std::uint64_t seed);
+
+  bool next(Job& out) override;
+  std::size_t size_hint() const noexcept override { return params_.job_count; }
+  const std::string& name() const noexcept override { return name_; }
+
+ private:
+  CtcModelParams params_;
+  util::Rng arrival_rng_;
+  util::Rng shape_rng_;  // nodes
+  util::Rng runtime_rng_;
+  util::Rng estimate_rng_;
+  util::Rng user_rng_;
+  double scale_ = 1.0;  // Weibull inter-arrival scale
+  double day_mult_ = 1.0;
+  double night_mult_ = 1.0;
+  util::DiscreteCdf user_cdf_;
+  Time now_ = 0;  // unshifted model clock (diurnal phase needs it)
+  std::string name_ = "ctc-like";
 };
 
 /// Generate a CTC-like trace. Deterministic in (params, seed).

@@ -1,0 +1,16 @@
+#include "workload/job_source.h"
+
+#include <utility>
+#include <vector>
+
+namespace jsched::workload {
+
+Workload materialize(JobSource& source) {
+  std::vector<Job> jobs;
+  jobs.reserve(source.size_hint());
+  Job j;
+  while (source.next(j)) jobs.push_back(j);
+  return Workload(std::move(jobs), source.name());
+}
+
+}  // namespace jsched::workload

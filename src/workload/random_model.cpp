@@ -1,12 +1,14 @@
 #include "workload/random_model.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/rng.h"
 
 namespace jsched::workload {
 
-Workload generate_random(const RandomModelParams& p, std::uint64_t seed) {
+RandomJobSource::RandomJobSource(const RandomModelParams& p, std::uint64_t seed)
+    : params_(p), rng_(seed) {
   if (p.job_count == 0) throw std::invalid_argument("generate_random: job_count == 0");
   if (p.min_nodes < 1 || p.max_nodes < p.min_nodes) {
     throw std::invalid_argument("generate_random: invalid node range");
@@ -17,22 +19,26 @@ Workload generate_random(const RandomModelParams& p, std::uint64_t seed) {
   if (p.min_runtime < 1) {
     throw std::invalid_argument("generate_random: invalid min_runtime");
   }
+}
 
-  util::Rng rng(seed);
-  Workload w;
-  Time now = 0;
-  for (std::size_t i = 0; i < p.job_count; ++i) {
-    now += rng.uniform_int(0, p.max_interarrival);
-    Job j;
-    j.submit = now;
-    j.nodes = static_cast<int>(rng.uniform_int(p.min_nodes, p.max_nodes));
-    j.estimate = rng.uniform_int(p.min_estimate, p.max_estimate);
-    j.runtime = rng.uniform_int(std::min(p.min_runtime, j.estimate), j.estimate);
-    w.add(j);
-  }
-  w.set_name("randomized");
-  w.finalize();
-  return w;
+bool RandomJobSource::next(Job& out) {
+  const RandomModelParams& p = params_;
+  if (emitted() == p.job_count) return false;
+
+  now_ += rng_.uniform_int(0, p.max_interarrival);
+  Job j;
+  j.submit = now_;
+  j.nodes = static_cast<int>(rng_.uniform_int(p.min_nodes, p.max_nodes));
+  j.estimate = rng_.uniform_int(p.min_estimate, p.max_estimate);
+  j.runtime = rng_.uniform_int(std::min(p.min_runtime, j.estimate), j.estimate);
+  stamp(j);
+  out = j;
+  return true;
+}
+
+Workload generate_random(const RandomModelParams& p, std::uint64_t seed) {
+  RandomJobSource source(p, seed);
+  return materialize(source);
 }
 
 }  // namespace jsched::workload

@@ -4,7 +4,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
+#include "util/rng.h"
+#include "workload/job_source.h"
 #include "workload/workload.h"
 
 namespace jsched::workload {
@@ -27,6 +30,23 @@ struct RandomModelParams {
 
   /// "Actual execution time 1 s - upper limit" (lower bound configurable).
   Duration min_runtime = 1;
+};
+
+/// Streaming randomized-workload generator: emits the exact stream
+/// `generate_random` builds, one job at a time in O(1) state.
+class RandomJobSource final : public JobSource {
+ public:
+  RandomJobSource(const RandomModelParams& params, std::uint64_t seed);
+
+  bool next(Job& out) override;
+  std::size_t size_hint() const noexcept override { return params_.job_count; }
+  const std::string& name() const noexcept override { return name_; }
+
+ private:
+  RandomModelParams params_;
+  util::Rng rng_;
+  Time now_ = 0;
+  std::string name_ = "randomized";
 };
 
 /// Generate the randomized workload. Deterministic in (params, seed).

@@ -96,46 +96,53 @@ double WorkloadStatistics::node_probability(int nodes) const {
   return node_cdf_.probability(static_cast<std::size_t>(nodes - 1));
 }
 
+StatsJobSource::StatsJobSource(const WorkloadStatistics& stats,
+                               std::size_t job_count, std::uint64_t seed)
+    : stats_(stats), job_count_(job_count) {
+  util::Rng rng(seed);
+  arrival_rng_ = rng.split();
+  node_rng_ = rng.split();
+  estimate_rng_ = rng.split();
+  accuracy_rng_ = rng.split();
+}
+
+bool StatsJobSource::next(Job& out) {
+  if (emitted() == job_count_) return false;
+  const WorkloadStatistics& st = stats_;
+
+  now_ += static_cast<Duration>(std::llround(
+      arrival_rng_.weibull(st.arrival_.shape, st.arrival_.scale)));
+
+  Job j;
+  j.submit = now_;
+  j.nodes = static_cast<int>(st.node_cdf_.sample(node_rng_)) + 1;
+
+  const std::size_t eb = st.estimate_cdf_.sample(estimate_rng_);
+  const double lo = eb == 0 ? 1.0 : st.estimate_bounds_[eb - 1];
+  const double hi = st.estimate_bounds_[eb];
+  j.estimate = std::max<Duration>(
+      1, static_cast<Duration>(std::llround(
+             estimate_rng_.log_uniform(std::max(lo, 1.0), hi))));
+
+  const std::size_t ab = st.accuracy_cdfs_[eb].sample(accuracy_rng_);
+  const double frac_lo =
+      static_cast<double>(ab) / static_cast<double>(st.accuracy_bins_);
+  const double frac_hi =
+      static_cast<double>(ab + 1) / static_cast<double>(st.accuracy_bins_);
+  const double frac = accuracy_rng_.uniform(frac_lo, frac_hi);
+  j.runtime = std::clamp<Duration>(
+      static_cast<Duration>(std::llround(frac * static_cast<double>(j.estimate))),
+      1, j.estimate);
+
+  stamp(j);
+  out = j;
+  return true;
+}
+
 Workload WorkloadStatistics::sample(std::size_t job_count,
                                     std::uint64_t seed) const {
-  util::Rng rng(seed);
-  util::Rng arrival_rng = rng.split();
-  util::Rng node_rng = rng.split();
-  util::Rng estimate_rng = rng.split();
-  util::Rng accuracy_rng = rng.split();
-
-  Workload w;
-  Time now = 0;
-  for (std::size_t i = 0; i < job_count; ++i) {
-    now += static_cast<Duration>(std::llround(
-        arrival_rng.weibull(arrival_.shape, arrival_.scale)));
-
-    Job j;
-    j.submit = now;
-    j.nodes = static_cast<int>(node_cdf_.sample(node_rng)) + 1;
-
-    const std::size_t eb = estimate_cdf_.sample(estimate_rng);
-    const double lo = eb == 0 ? 1.0 : estimate_bounds_[eb - 1];
-    const double hi = estimate_bounds_[eb];
-    j.estimate = std::max<Duration>(
-        1, static_cast<Duration>(std::llround(
-               estimate_rng.log_uniform(std::max(lo, 1.0), hi))));
-
-    const std::size_t ab = accuracy_cdfs_[eb].sample(accuracy_rng);
-    const double frac_lo =
-        static_cast<double>(ab) / static_cast<double>(accuracy_bins_);
-    const double frac_hi =
-        static_cast<double>(ab + 1) / static_cast<double>(accuracy_bins_);
-    const double frac = accuracy_rng.uniform(frac_lo, frac_hi);
-    j.runtime = std::clamp<Duration>(
-        static_cast<Duration>(std::llround(frac * static_cast<double>(j.estimate))),
-        1, j.estimate);
-
-    w.add(j);
-  }
-  w.set_name("probabilistic");
-  w.finalize();
-  return w;
+  StatsJobSource source(*this, job_count, seed);
+  return materialize(source);
 }
 
 Workload generate_probabilistic(const Workload& source, std::size_t job_count,

@@ -17,13 +17,17 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "util/rng.h"
 #include "util/stats.h"
+#include "workload/job_source.h"
 #include "workload/workload.h"
 
 namespace jsched::workload {
+
+class StatsJobSource;
 
 /// Distribution statistics extracted from a trace; a sampleable model.
 class WorkloadStatistics {
@@ -43,6 +47,8 @@ class WorkloadStatistics {
   std::size_t estimate_bin_count() const noexcept { return estimate_bounds_.size(); }
 
  private:
+  friend class StatsJobSource;
+
   util::WeibullFit arrival_{1.0, 1.0};
   util::DiscreteCdf node_cdf_;  // index i => (i+1) nodes
 
@@ -53,6 +59,30 @@ class WorkloadStatistics {
   // Per-estimate-bin accuracy (runtime/estimate in (0,1]) histograms.
   std::vector<util::DiscreteCdf> accuracy_cdfs_;
   std::size_t accuracy_bins_ = 20;
+};
+
+/// Streaming counterpart of WorkloadStatistics::sample: emits the exact
+/// same job stream one at a time. Holds its own copy of the (small,
+/// workload-size-independent) statistics, so the model object need not
+/// outlive the source.
+class StatsJobSource final : public JobSource {
+ public:
+  StatsJobSource(const WorkloadStatistics& stats, std::size_t job_count,
+                 std::uint64_t seed);
+
+  bool next(Job& out) override;
+  std::size_t size_hint() const noexcept override { return job_count_; }
+  const std::string& name() const noexcept override { return name_; }
+
+ private:
+  WorkloadStatistics stats_;
+  std::size_t job_count_;
+  util::Rng arrival_rng_;
+  util::Rng node_rng_;
+  util::Rng estimate_rng_;
+  util::Rng accuracy_rng_;
+  Time now_ = 0;
+  std::string name_ = "probabilistic";
 };
 
 /// One-call version of the paper's §6.2 workload: extract statistics from

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/journal.h"
+
 namespace jsched::workload {
 namespace {
 
@@ -98,98 +100,114 @@ std::string SwfParseReport::summary() const {
   return os.str();
 }
 
+namespace detail {
+
+SwfLineParser::SwfLineParser(const SwfOptions& options, SwfReadStats& stats)
+    : options_(options),
+      st_(&stats),
+      report_(options.lenient ? options.report : nullptr) {
+  *st_ = {};
+  if (report_ != nullptr) *report_ = {};
+}
+
+bool SwfLineParser::parse(const std::string& line, Job& out) {
+  SwfReadStats& st = *st_;
+  ++st.lines;
+  // Strip UTF-8 BOM / leading whitespace.
+  std::size_t first = line.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return false;
+  if (line[first] == ';') {
+    ++st.comments;
+    return false;
+  }
+
+  std::istringstream fields(line);
+  std::array<double, kFieldCount> f;
+  f.fill(-1.0);
+  std::size_t n = 0;
+  double v;
+  while (n < kFieldCount && fields >> v) f[n++] = v;
+  if (n < kReqTime + 1) {
+    // Too few numeric fields: either the line is short, or extraction
+    // died on non-numeric junk mid-record.
+    fields.clear();
+    std::string rest;
+    fields >> rest;
+    const char* reason = rest.empty() ? "short-record" : "non-numeric-field";
+    if (!options_.lenient) {
+      throw std::runtime_error("SWF: malformed record at line " +
+                               std::to_string(st.lines) + ": " + line);
+    }
+    ++st.skipped_malformed;
+    note_issue(report_, /*structural=*/true, st.lines, reason, line);
+    return false;
+  }
+  // Guard every field we cast to an integer type: a non-finite or
+  // absurdly large value would be undefined behavior at the cast.
+  const bool finite_ok =
+      time_field_ok(f[kSubmit]) && time_field_ok(f[kRunTime]) &&
+      time_field_ok(f[kReqTime]) && int_field_ok(f[kAllocProcs]) &&
+      int_field_ok(f[kReqProcs]) && int_field_ok(f[kStatus]) &&
+      int_field_ok(f[kUser]);
+  if (!finite_ok) {
+    const bool non_finite =
+        !std::isfinite(f[kSubmit]) || !std::isfinite(f[kRunTime]) ||
+        !std::isfinite(f[kReqTime]) || !std::isfinite(f[kAllocProcs]) ||
+        !std::isfinite(f[kReqProcs]) || !std::isfinite(f[kStatus]) ||
+        !std::isfinite(f[kUser]);
+    const char* reason =
+        non_finite ? "non-finite-field" : "out-of-range-field";
+    if (!options_.lenient) {
+      throw std::runtime_error("SWF: " + std::string(reason) + " at line " +
+                               std::to_string(st.lines) + ": " + line);
+    }
+    ++st.skipped_malformed;
+    note_issue(report_, /*structural=*/false, st.lines, reason, line);
+    return false;
+  }
+
+  Job j;
+  j.submit = static_cast<Time>(f[kSubmit]);
+  double procs = f[kReqProcs] > 0 ? f[kReqProcs] : f[kAllocProcs];
+  double runtime = f[kRunTime];
+  if (procs <= 0 || runtime <= 0 || j.submit < 0) {
+    ++st.skipped_invalid;
+    return false;
+  }
+  j.status = status_of(f[kStatus]);
+  if (options_.drop_unsuccessful && j.status != JobStatus::kCompleted) {
+    ++st.skipped_unsuccessful;
+    return false;
+  }
+  j.nodes = static_cast<int>(procs);
+  j.runtime = static_cast<Duration>(runtime);
+  j.estimate =
+      f[kReqTime] > 0 ? static_cast<Duration>(f[kReqTime]) : j.runtime;
+  if (j.estimate < j.runtime) {
+    // Archive traces contain jobs that overran their limit and were (or
+    // should have been) killed; model them as running to the limit.
+    j.estimate = j.runtime;
+    ++st.clamped_estimate;
+  }
+  j.user = f[kUser] > 0 ? static_cast<std::int32_t>(f[kUser]) : 0;
+  out = j;
+  ++st.accepted;
+  return true;
+}
+
+}  // namespace detail
+
 Workload read_swf(std::istream& in, std::string name, SwfReadStats* stats,
                   const SwfOptions& options) {
   SwfReadStats local;
-  SwfReadStats& st = stats ? *stats : local;
-  st = {};
-  SwfParseReport* report = options.lenient ? options.report : nullptr;
-  if (report != nullptr) *report = {};
+  detail::SwfLineParser parser(options, stats ? *stats : local);
 
   Workload w;
+  w.reserve(options.reserve_hint);
   std::string line;
+  Job j;
   while (std::getline(in, line)) {
-    ++st.lines;
-    // Strip UTF-8 BOM / leading whitespace.
-    std::size_t first = line.find_first_not_of(" \t\r");
-    if (first == std::string::npos) continue;
-    if (line[first] == ';') {
-      ++st.comments;
-      continue;
-    }
-
-    std::istringstream fields(line);
-    std::array<double, kFieldCount> f;
-    f.fill(-1.0);
-    std::size_t n = 0;
-    double v;
-    while (n < kFieldCount && fields >> v) f[n++] = v;
-    if (n < kReqTime + 1) {
-      // Too few numeric fields: either the line is short, or extraction
-      // died on non-numeric junk mid-record.
-      fields.clear();
-      std::string rest;
-      fields >> rest;
-      const char* reason = rest.empty() ? "short-record" : "non-numeric-field";
-      if (!options.lenient) {
-        throw std::runtime_error("SWF: malformed record at line " +
-                                 std::to_string(st.lines) + ": " + line);
-      }
-      ++st.skipped_malformed;
-      note_issue(report, /*structural=*/true, st.lines, reason, line);
-      continue;
-    }
-    // Guard every field we cast to an integer type: a non-finite or
-    // absurdly large value would be undefined behavior at the cast.
-    const bool finite_ok =
-        time_field_ok(f[kSubmit]) && time_field_ok(f[kRunTime]) &&
-        time_field_ok(f[kReqTime]) && int_field_ok(f[kAllocProcs]) &&
-        int_field_ok(f[kReqProcs]) && int_field_ok(f[kStatus]) &&
-        int_field_ok(f[kUser]);
-    if (!finite_ok) {
-      const bool non_finite =
-          !std::isfinite(f[kSubmit]) || !std::isfinite(f[kRunTime]) ||
-          !std::isfinite(f[kReqTime]) || !std::isfinite(f[kAllocProcs]) ||
-          !std::isfinite(f[kReqProcs]) || !std::isfinite(f[kStatus]) ||
-          !std::isfinite(f[kUser]);
-      const char* reason =
-          non_finite ? "non-finite-field" : "out-of-range-field";
-      if (!options.lenient) {
-        throw std::runtime_error("SWF: " + std::string(reason) +
-                                 " at line " + std::to_string(st.lines) +
-                                 ": " + line);
-      }
-      ++st.skipped_malformed;
-      note_issue(report, /*structural=*/false, st.lines, reason, line);
-      continue;
-    }
-
-    Job j;
-    j.submit = static_cast<Time>(f[kSubmit]);
-    double procs = f[kReqProcs] > 0 ? f[kReqProcs] : f[kAllocProcs];
-    double runtime = f[kRunTime];
-    if (procs <= 0 || runtime <= 0 || j.submit < 0) {
-      ++st.skipped_invalid;
-      continue;
-    }
-    j.status = status_of(f[kStatus]);
-    if (options.drop_unsuccessful && j.status != JobStatus::kCompleted) {
-      ++st.skipped_unsuccessful;
-      continue;
-    }
-    j.nodes = static_cast<int>(procs);
-    j.runtime = static_cast<Duration>(runtime);
-    j.estimate =
-        f[kReqTime] > 0 ? static_cast<Duration>(f[kReqTime]) : j.runtime;
-    if (j.estimate < j.runtime) {
-      // Archive traces contain jobs that overran their limit and were (or
-      // should have been) killed; model them as running to the limit.
-      j.estimate = j.runtime;
-      ++st.clamped_estimate;
-    }
-    j.user = f[kUser] > 0 ? static_cast<std::int32_t>(f[kUser]) : 0;
-    w.add(j);
-    ++st.accepted;
+    if (parser.parse(line, j)) w.add(j);
   }
   w.set_name(std::move(name));
   w.finalize();
@@ -200,22 +218,72 @@ Workload read_swf_file(const std::string& path, SwfReadStats* stats,
                        const SwfOptions& options) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open SWF file: " + path);
-  return read_swf(in, path, stats, options);
+  SwfOptions opts = options;
+  if (opts.reserve_hint == 0) {
+    // Reserve from the file size: archive records run ~60-120 bytes, so
+    // size/64 over-reserves slightly rather than growth-copying a
+    // multi-million-job vector several times.
+    in.seekg(0, std::ios::end);
+    const auto bytes = in.tellg();
+    in.seekg(0, std::ios::beg);
+    if (bytes > 0) {
+      opts.reserve_hint = static_cast<std::size_t>(bytes) / 64;
+    }
+  }
+  return read_swf(in, path, stats, opts);
+}
+
+SwfJobSource::SwfJobSource(const std::string& path, const SwfOptions& options,
+                           SwfReadStats* stats)
+    : in_(path),
+      st_(stats ? stats : &local_stats_),
+      parser_(options, *st_),
+      name_(path) {
+  if (!in_) throw std::runtime_error("cannot open SWF file: " + path);
+}
+
+bool SwfJobSource::next(Job& out) {
+  Job j;
+  while (std::getline(in_, line_)) {
+    if (!parser_.parse(line_, j)) continue;
+    if (j.submit < prev_raw_submit_) {
+      throw std::runtime_error(
+          "SwfJobSource: record at line " + std::to_string(st_->lines) +
+          " is out of submit order; streaming needs a sorted trace "
+          "(read_swf_file sorts in memory)");
+    }
+    prev_raw_submit_ = j.submit;
+    stamp(j);
+    out = j;
+    return true;
+  }
+  return false;
 }
 
 void write_swf(std::ostream& out, const Workload& w) {
   out << "; SWF written by jsched\n"
       << "; MaxProcs: " << w.max_nodes() << "\n"
       << "; Jobs: " << w.size() << "\n";
+  util::BufferedWriter buf(out);
   for (const auto& j : w) {
     // job submit wait run alloc cpu mem reqproc reqtime reqmem status user
     // group app queue part prev think
-    out << (j.id + 1) << ' ' << j.submit << ' ' << -1 << ' ' << j.runtime
-        << ' ' << j.nodes << ' ' << -1 << ' ' << -1 << ' ' << j.nodes << ' '
-        << j.estimate << ' ' << -1 << ' ' << status_code(j.status) << ' '
-        << j.user << ' ' << -1
-        << ' ' << -1 << ' ' << -1 << ' ' << -1 << ' ' << -1 << ' ' << -1
-        << '\n';
+    buf.append_int(static_cast<std::int64_t>(j.id) + 1);
+    buf.append(' ');
+    buf.append_int(j.submit);
+    buf.append(" -1 ");
+    buf.append_int(j.runtime);
+    buf.append(' ');
+    buf.append_int(j.nodes);
+    buf.append(" -1 -1 ");
+    buf.append_int(j.nodes);
+    buf.append(' ');
+    buf.append_int(j.estimate);
+    buf.append(" -1 ");
+    buf.append_int(status_code(j.status));
+    buf.append(' ');
+    buf.append_int(j.user);
+    buf.append(" -1 -1 -1 -1 -1 -1\n");
   }
 }
 

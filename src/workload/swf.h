@@ -14,11 +14,13 @@
 // time of -1 falls back to the run time (exact estimate).
 #pragma once
 
+#include <fstream>
 #include <iosfwd>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "workload/job_source.h"
 #include "workload/workload.h"
 
 namespace jsched::workload {
@@ -79,7 +81,34 @@ struct SwfOptions {
   /// Where lenient mode records what it skipped (optional, not owned).
   /// Reset at the start of each read. Ignored in strict mode.
   SwfParseReport* report = nullptr;
+
+  /// Pre-reserve this many job slots before parsing (0 = no reservation).
+  /// read_swf_file fills it from a file-size heuristic automatically.
+  std::size_t reserve_hint = 0;
 };
+
+namespace detail {
+
+/// Per-line SWF record parser shared by the batch reader (`read_swf`) and
+/// the streaming `SwfJobSource`: one call per input line, owning all the
+/// strict/lenient skip accounting. Holds pointers to the caller's stats /
+/// report (reset on construction); neither is owned.
+class SwfLineParser {
+ public:
+  SwfLineParser(const SwfOptions& options, SwfReadStats& stats);
+
+  /// Parse one line. Returns true and fills `out` (id unassigned) when the
+  /// line yields a job record; false for blanks, comments and skipped
+  /// records. Throws std::runtime_error on malformed lines in strict mode.
+  bool parse(const std::string& line, Job& out);
+
+ private:
+  SwfOptions options_;
+  SwfReadStats* st_;
+  SwfParseReport* report_;
+};
+
+}  // namespace detail
 
 /// Parse an SWF stream into a Workload. The status field (field 11) is
 /// surfaced as Job::status. Throws std::runtime_error on malformed
@@ -88,8 +117,38 @@ Workload read_swf(std::istream& in, std::string name = "swf",
                   SwfReadStats* stats = nullptr, const SwfOptions& options = {});
 
 /// Convenience file overload; throws std::runtime_error if unreadable.
+/// Reserves the job vector up front from a bytes-per-record heuristic over
+/// the file size, so multi-million-line traces load without growth copies.
 Workload read_swf_file(const std::string& path, SwfReadStats* stats = nullptr,
                        const SwfOptions& options = {});
+
+/// Streaming SWF file reader: pulls one record per next() in O(1) memory,
+/// reusing the exact strict/lenient per-line machinery of read_swf.
+///
+/// Because the stream cannot be sorted after the fact, the trace must
+/// already be ordered by submit time (archive traces are); an out-of-order
+/// record throws std::runtime_error naming the line. The emitted stream is
+/// origin-shifted and densely re-id'd exactly like a finalized Workload.
+class SwfJobSource final : public JobSource {
+ public:
+  /// Opens `path`; throws std::runtime_error if unreadable. `stats` is
+  /// optional and filled incrementally as the stream is pulled.
+  explicit SwfJobSource(const std::string& path,
+                        const SwfOptions& options = {},
+                        SwfReadStats* stats = nullptr);
+
+  bool next(Job& out) override;
+  const std::string& name() const noexcept override { return name_; }
+
+ private:
+  std::ifstream in_;
+  SwfReadStats local_stats_;
+  SwfReadStats* st_;  // where the parser accounts (caller's or local)
+  detail::SwfLineParser parser_;
+  std::string line_;
+  Time prev_raw_submit_ = 0;
+  std::string name_;
+};
 
 /// Serialize a workload as SWF (fields we don't model are -1). The output
 /// round-trips through read_swf.

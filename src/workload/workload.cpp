@@ -76,24 +76,28 @@ double WorkloadSummary::offered_load(int machine_nodes) const noexcept {
          (static_cast<double>(machine_nodes) * static_cast<double>(span));
 }
 
-WorkloadSummary summarize(const Workload& w) {
-  WorkloadSummary s;
-  s.job_count = w.size();
-  s.span = w.span();
-  Time prev = 0;
-  bool first = true;
-  for (const auto& j : w) {
-    if (!first) s.interarrival.add(static_cast<double>(j.submit - prev));
-    first = false;
-    prev = j.submit;
-    s.nodes.add(static_cast<double>(j.nodes));
-    s.runtime.add(static_cast<double>(j.runtime));
-    s.estimate.add(static_cast<double>(j.estimate));
-    s.overestimate_factor.add(static_cast<double>(j.estimate) /
-                              static_cast<double>(j.runtime));
-    s.total_area += j.area();
+void SummaryAccumulator::add(const Job& j) noexcept {
+  if (s_.job_count > 0) {
+    s_.interarrival.add(static_cast<double>(j.submit - prev_submit_));
   }
-  return s;
+  prev_submit_ = j.submit;
+  ++s_.job_count;
+  s_.span = j.submit;  // stream is submit-ordered: the last submit wins
+  s_.max_nodes = std::max(s_.max_nodes, j.nodes);
+  s_.nodes.add(static_cast<double>(j.nodes));
+  s_.runtime.add(static_cast<double>(j.runtime));
+  s_.estimate.add(static_cast<double>(j.estimate));
+  s_.overestimate_factor.add(static_cast<double>(j.estimate) /
+                             static_cast<double>(j.runtime));
+  s_.total_area += j.area();
+}
+
+WorkloadSummary summarize(const Workload& w) { return w.summary(); }
+
+WorkloadSummary Workload::summary() const {
+  SummaryAccumulator acc;
+  for (const auto& j : jobs_) acc.add(j);
+  return acc.summary();
 }
 
 std::string describe(const WorkloadSummary& s) {
@@ -112,25 +116,40 @@ std::string describe(const WorkloadSummary& s) {
   return os.str();
 }
 
-std::uint64_t fingerprint(const Workload& w) {
-  std::uint64_t h = 14695981039346656037ull;
-  const auto mix = [&h](std::uint64_t v) {
-    for (int byte = 0; byte < 8; ++byte) {
-      h ^= (v >> (8 * byte)) & 0xffu;
-      h *= 1099511628211ull;
-    }
-  };
-  mix(static_cast<std::uint64_t>(w.size()));
-  for (const Job& j : w) {
-    mix(static_cast<std::uint64_t>(j.submit));
-    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(j.nodes)));
-    mix(static_cast<std::uint64_t>(j.runtime));
-    mix(static_cast<std::uint64_t>(j.estimate));
-    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(j.user)));
-    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(j.priority_class)));
-    mix(static_cast<std::uint64_t>(static_cast<std::int8_t>(j.status)));
+namespace {
+
+inline std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) noexcept {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (v >> (8 * byte)) & 0xffu;
+    h *= 1099511628211ull;
   }
   return h;
+}
+
+}  // namespace
+
+void FingerprintAccumulator::add(const Job& j) noexcept {
+  std::uint64_t h = h_;
+  h = fnv_mix(h, static_cast<std::uint64_t>(j.submit));
+  h = fnv_mix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(j.nodes)));
+  h = fnv_mix(h, static_cast<std::uint64_t>(j.runtime));
+  h = fnv_mix(h, static_cast<std::uint64_t>(j.estimate));
+  h = fnv_mix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(j.user)));
+  h = fnv_mix(h,
+              static_cast<std::uint64_t>(static_cast<std::int64_t>(j.priority_class)));
+  h = fnv_mix(h, static_cast<std::uint64_t>(static_cast<std::int8_t>(j.status)));
+  h_ = h;
+  ++n_;
+}
+
+std::uint64_t FingerprintAccumulator::value() const noexcept {
+  return fnv_mix(h_, n_);
+}
+
+std::uint64_t fingerprint(const Workload& w) {
+  FingerprintAccumulator acc;
+  for (const Job& j : w) acc.add(j);
+  return acc.value();
 }
 
 }  // namespace jsched::workload

@@ -40,6 +40,9 @@ class Workload {
   /// Append a job (id is assigned); call finalize() before simulating.
   void add(Job j);
 
+  /// Pre-reserve capacity for `n` jobs (no-op when already that large).
+  void reserve(std::size_t n) { jobs_.reserve(n); }
+
   /// Sort by submit time, shift the time origin so the first submission is
   /// at 0, and re-assign dense ids. Throws on invalid jobs.
   void finalize();
@@ -56,6 +59,9 @@ class Workload {
   /// Total resource demand: sum of nodes x runtime.
   double total_area() const noexcept;
 
+  /// Aggregate statistics in one streaming pass (equals summarize(*this)).
+  struct WorkloadSummary summary() const;
+
  private:
   std::vector<Job> jobs_;
   std::string name_;
@@ -66,6 +72,7 @@ class Workload {
 struct WorkloadSummary {
   std::size_t job_count = 0;
   Time span = 0;
+  int max_nodes = 0;
   util::RunningStats interarrival;
   util::RunningStats nodes;
   util::RunningStats runtime;
@@ -77,12 +84,43 @@ struct WorkloadSummary {
   double offered_load(int machine_nodes) const noexcept;
 };
 
+/// Streaming builder for WorkloadSummary: feed jobs in stream order, read
+/// the summary at any point. One pass, O(1) state — usable against a
+/// JobSource that never materializes.
+class SummaryAccumulator {
+ public:
+  void add(const Job& j) noexcept;
+  const WorkloadSummary& summary() const noexcept { return s_; }
+
+ private:
+  WorkloadSummary s_;
+  Time prev_submit_ = 0;
+};
+
 WorkloadSummary summarize(const Workload& w);
 
+/// Streaming builder for `fingerprint`: feed jobs in stream order, read
+/// `value()` at the end. The job count is mixed in *last* (after every
+/// record), so a streaming writer can emit the running fingerprint into a
+/// trailer without knowing the count up front; `value()` is pure and may
+/// be read mid-stream for a fingerprint of the prefix.
+class FingerprintAccumulator {
+ public:
+  void add(const Job& j) noexcept;
+  /// Fingerprint of everything added so far (records then count).
+  std::uint64_t value() const noexcept;
+  std::uint64_t count() const noexcept { return n_; }
+
+ private:
+  std::uint64_t h_ = 14695981039346656037ull;
+  std::uint64_t n_ = 0;
+};
+
 /// FNV-1a (64-bit) fingerprint over every job's submit, nodes, runtime,
-/// estimate, user, priority class and status, plus the job count. Two
-/// workloads fingerprint equal iff they are field-identical job streams —
-/// the workload-identity half of a sweep-journal cell key (the name is
+/// estimate, user, priority class and status, plus the job count (mixed
+/// after the records — see FingerprintAccumulator). Two workloads
+/// fingerprint equal iff they are field-identical job streams — the
+/// workload-identity half of a sweep-journal cell key (the name is
 /// deliberately excluded: a renamed but identical trace is the same work).
 std::uint64_t fingerprint(const Workload& w);
 

@@ -1,0 +1,211 @@
+// JWB1 binary workload format: round-trip fidelity and corruption
+// detection. The format's promise is "either the exact job stream that was
+// written, or a named error" — never silently wrong jobs.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+#include "util/rng.h"
+#include "workload/binary.h"
+#include "workload/ctc_model.h"
+#include "workload/job_source.h"
+
+namespace jsched {
+namespace {
+
+class BinaryFormatTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/binary_format_test.jwb";
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string file_bytes() const {
+    std::ifstream in(path_, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+  }
+
+  void write_bytes(const std::string& bytes) const {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  void drain() const {
+    workload::BinaryJobSource source(path_);
+    Job j;
+    while (source.next(j)) {
+    }
+  }
+};
+
+TEST_F(BinaryFormatTest, RoundTripsCtcWorkloadFieldExact) {
+  workload::CtcModelParams params;
+  params.job_count = 1000;
+  const workload::Workload w = workload::generate_ctc(params, 1999);
+  workload::write_binary_file(path_, w);
+
+  const workload::Workload back = workload::read_binary_file(path_, w.name());
+  ASSERT_EQ(back.size(), w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_EQ(back[i].id, w[i].id) << "job " << i;
+    EXPECT_EQ(back[i].submit, w[i].submit) << "job " << i;
+    EXPECT_EQ(back[i].nodes, w[i].nodes) << "job " << i;
+    EXPECT_EQ(back[i].runtime, w[i].runtime) << "job " << i;
+    EXPECT_EQ(back[i].estimate, w[i].estimate) << "job " << i;
+    EXPECT_EQ(back[i].user, w[i].user) << "job " << i;
+    EXPECT_EQ(back[i].priority_class, w[i].priority_class) << "job " << i;
+    EXPECT_EQ(back[i].status, w[i].status) << "job " << i;
+  }
+  EXPECT_EQ(workload::fingerprint(back), workload::fingerprint(w));
+}
+
+TEST_F(BinaryFormatTest, RoundTripsRandomizedFuzzWorkloads) {
+  // Adversarial field values: huge runtimes, estimate far below/above
+  // runtime, negative users and classes, tiny and machine-wide jobs, equal
+  // submits — everything the varint/zigzag coding has to carry. The block
+  // size of 7 forces many partial blocks.
+  util::Rng rng(0xfeedu);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<Job> jobs;
+    Time submit = 0;
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 40));
+    for (std::size_t i = 0; i < n; ++i) {
+      Job j;
+      submit += rng.uniform_int(0, 1u << 20);
+      j.submit = submit;
+      j.nodes = static_cast<int>(rng.uniform_int(1, 4096));
+      j.runtime = rng.uniform_int(1, 1ll << 40);
+      j.estimate = rng.uniform_int(1, 1ll << 40);
+      j.user = static_cast<std::int32_t>(rng.uniform_int(-5, 100000));
+      j.priority_class = static_cast<std::int32_t>(rng.uniform_int(-3, 3));
+      j.status = static_cast<JobStatus>(rng.uniform_int(0, 3));
+      jobs.push_back(j);
+    }
+    workload::Workload w(std::move(jobs), "fuzz");
+    {
+      std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+      workload::write_binary(out, w, /*block_jobs=*/7);
+    }
+    const workload::Workload back = workload::read_binary_file(path_);
+    ASSERT_EQ(back.size(), w.size()) << "round " << round;
+    EXPECT_EQ(workload::fingerprint(back), workload::fingerprint(w))
+        << "round " << round;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      EXPECT_EQ(back[i].runtime, w[i].runtime) << "round " << round;
+      EXPECT_EQ(back[i].estimate, w[i].estimate) << "round " << round;
+      EXPECT_EQ(back[i].user, w[i].user) << "round " << round;
+    }
+  }
+}
+
+TEST_F(BinaryFormatTest, EmptyStreamRoundTrips) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    workload::BinaryWriter writer(out);
+    writer.finish();
+    EXPECT_EQ(writer.count(), 0u);
+  }
+  workload::BinaryJobSource source(path_);
+  Job j;
+  EXPECT_FALSE(source.next(j));
+}
+
+TEST_F(BinaryFormatTest, WriterRejectsOutOfOrderAndInvalidJobs) {
+  std::ostringstream out;
+  workload::BinaryWriter writer(out);
+  Job j;
+  j.submit = 100;
+  j.nodes = 1;
+  j.runtime = 10;
+  j.estimate = 10;
+  writer.add(j);
+  Job earlier = j;
+  earlier.submit = 99;
+  EXPECT_THROW(writer.add(earlier), std::invalid_argument);
+  Job invalid = j;
+  invalid.nodes = 0;
+  EXPECT_THROW(writer.add(invalid), std::invalid_argument);
+}
+
+TEST_F(BinaryFormatTest, TruncationAtEveryPrefixIsDetected) {
+  workload::CtcModelParams params;
+  params.job_count = 64;
+  const workload::Workload w = workload::generate_ctc(params, 3);
+  {
+    std::ofstream out(path_, std::ios::binary);
+    workload::write_binary(out, w, /*block_jobs=*/16);
+  }
+  const std::string bytes = file_bytes();
+  ASSERT_GT(bytes.size(), 8u);
+  // Every proper prefix must fail loudly — at open (bad header), at a
+  // block boundary (truncated block), or at the missing footer.
+  for (std::size_t cut = 0; cut < bytes.size(); cut += 13) {
+    write_bytes(bytes.substr(0, cut));
+    EXPECT_THROW(drain(), std::runtime_error) << "prefix " << cut;
+  }
+}
+
+TEST_F(BinaryFormatTest, PayloadCorruptionIsDetected) {
+  workload::CtcModelParams params;
+  params.job_count = 256;
+  const workload::Workload w = workload::generate_ctc(params, 4);
+  workload::write_binary_file(path_, w);
+  const std::string bytes = file_bytes();
+
+  // Flip one byte in the middle of the (single) block payload: the block
+  // checksum must catch it before any decoded job escapes.
+  std::string corrupt = bytes;
+  corrupt[corrupt.size() / 2] =
+      static_cast<char>(corrupt[corrupt.size() / 2] ^ 0x40);
+  write_bytes(corrupt);
+  EXPECT_THROW(drain(), std::runtime_error);
+}
+
+TEST_F(BinaryFormatTest, HeaderCorruptionIsDetected) {
+  workload::CtcModelParams params;
+  params.job_count = 16;
+  workload::write_binary_file(path_, workload::generate_ctc(params, 5));
+  std::string bytes = file_bytes();
+  bytes[0] = 'X';
+  write_bytes(bytes);
+  EXPECT_THROW(workload::BinaryJobSource{path_}, std::runtime_error);
+}
+
+TEST_F(BinaryFormatTest, FooterCountMismatchIsDetected) {
+  workload::CtcModelParams params;
+  params.job_count = 32;
+  workload::write_binary_file(path_, workload::generate_ctc(params, 6));
+  std::string bytes = file_bytes();
+  // The footer's u64 count is 16 bytes from the end (count + fingerprint);
+  // bump its low byte.
+  const std::size_t count_off = bytes.size() - 16;
+  bytes[count_off] = static_cast<char>(bytes[count_off] + 1);
+  write_bytes(bytes);
+  EXPECT_THROW(drain(), std::runtime_error);
+}
+
+TEST_F(BinaryFormatTest, StreamedReadMatchesSourceContract) {
+  workload::CtcModelParams params;
+  params.job_count = 300;
+  const workload::Workload w = workload::generate_ctc(params, 8);
+  workload::write_binary_file(path_, w);
+  workload::BinaryJobSource source(path_);
+  Job j;
+  JobId expected = 0;
+  Time prev = 0;
+  while (source.next(j)) {
+    EXPECT_EQ(j.id, expected++);
+    EXPECT_GE(j.submit, prev);
+    prev = j.submit;
+  }
+  EXPECT_EQ(expected, w.size());
+}
+
+}  // namespace
+}  // namespace jsched

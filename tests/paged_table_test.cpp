@@ -1,0 +1,95 @@
+// PagedTable: the page-reclaiming dense table behind JobStore — the
+// structure that keeps scheduler-side memory O(live jobs) in streaming
+// runs.
+#include <gtest/gtest.h>
+
+#include "core/job_store.h"
+#include "util/paged_table.h"
+
+namespace jsched {
+namespace {
+
+TEST(PagedTableTest, PutGetEraseRoundTrip) {
+  util::PagedTable<int> t;
+  t.put(0, 10);
+  t.put(5000, 20);  // second page
+  EXPECT_TRUE(t.contains(0));
+  EXPECT_TRUE(t.contains(5000));
+  EXPECT_FALSE(t.contains(1));
+  EXPECT_EQ(t.get(0), 10);
+  EXPECT_EQ(t.get(5000), 20);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.high_water(), 5001u);
+
+  t.erase(0);
+  EXPECT_FALSE(t.contains(0));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.high_water(), 5001u);  // monotone
+  t.erase(0);                        // idempotent
+  EXPECT_EQ(t.size(), 1u);
+  t.erase(12345678);  // never stored: no-op, no allocation
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(PagedTableTest, OverwriteDoesNotDoubleCount) {
+  util::PagedTable<int> t;
+  t.put(3, 1);
+  t.put(3, 2);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.get(3), 2);
+}
+
+TEST(PagedTableTest, PagesAreFreedWhenDrained) {
+  util::PagedTable<int> t;
+  const std::size_t n = 3 * util::PagedTable<int>::kPageSize;
+  for (std::size_t i = 0; i < n; ++i) t.put(i, static_cast<int>(i));
+  EXPECT_EQ(t.pages_allocated(), 3u);
+  // Erasure tracking insertion (the streaming access pattern): pages are
+  // handed back as their last entry dies.
+  for (std::size_t i = 0; i < util::PagedTable<int>::kPageSize; ++i) t.erase(i);
+  EXPECT_EQ(t.pages_allocated(), 2u);
+  for (std::size_t i = util::PagedTable<int>::kPageSize; i < n; ++i) t.erase(i);
+  EXPECT_EQ(t.pages_allocated(), 0u);
+  EXPECT_EQ(t.size(), 0u);
+
+  // A freed page is re-allocated on demand (fault re-submission pattern).
+  t.put(10, 7);
+  EXPECT_EQ(t.pages_allocated(), 1u);
+  EXPECT_EQ(t.get(10), 7);
+}
+
+TEST(PagedTableTest, ClearReleasesEverything) {
+  util::PagedTable<int> t;
+  for (std::size_t i = 0; i < 10000; i += 100) t.put(i, 1);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.high_water(), 0u);
+  EXPECT_EQ(t.pages_allocated(), 0u);
+}
+
+TEST(JobStorePagingTest, EraseKeepsStoreBounded) {
+  core::JobStore store;
+  // Simulate a sliding window of live jobs: put id, erase id - window.
+  constexpr std::size_t kWindow = 64;
+  constexpr std::size_t kTotal = 5 * util::PagedTable<Job>::kPageSize;
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    Job j;
+    j.id = static_cast<JobId>(i);
+    j.submit = static_cast<Time>(i);
+    j.nodes = 1;
+    j.runtime = 1;
+    j.estimate = 1;
+    store.put(j);
+    if (i >= kWindow) store.erase(static_cast<JobId>(i - kWindow));
+  }
+  EXPECT_EQ(store.size(), kWindow);
+  EXPECT_EQ(store.capacity(), kTotal);
+  // A window of 64 spans at most 2 pages.
+  EXPECT_LE(store.pages_allocated(), 2u);
+  // The live window is still readable.
+  EXPECT_EQ(store.get(static_cast<JobId>(kTotal - 1)).submit,
+            static_cast<Time>(kTotal - 1));
+}
+
+}  // namespace
+}  // namespace jsched
