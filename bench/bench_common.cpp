@@ -131,42 +131,13 @@ void write_grid_bench_json(const std::string& path, const BenchConfig& cfg,
                            double unweighted_wall,
                            const std::vector<eval::RunResult>& weighted,
                            double weighted_wall) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
-    return;
-  }
-  const auto emit_runs = [f](const char* key,
-                             const std::vector<eval::RunResult>& runs,
-                             double wall, bool last) {
-    std::fprintf(f, "  \"%s\": {\n", key);
-    std::fprintf(f, "    \"wall_seconds\": %.2f,\n", wall);
-    std::fprintf(f, "    \"configs\": [\n");
-    for (std::size_t i = 0; i < runs.size(); ++i) {
-      const eval::RunResult& r = runs[i];
-      std::fprintf(f,
-                   "      {\"scheduler\": \"%s\", "
-                   "\"scheduler_cpu_seconds\": %.4f, "
-                   "\"schedule_fnv\": \"%016llx\"}%s\n",
-                   r.scheduler_name.c_str(), r.scheduler_cpu_seconds,
-                   static_cast<unsigned long long>(r.schedule_fnv),
-                   i + 1 == runs.size() ? "" : ",");
-    }
-    std::fprintf(f, "    ]\n");
-    std::fprintf(f, "  }%s\n", last ? "" : ",");
-  };
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"benchmark\": \"full_grid\",\n");
-  std::fprintf(f, "  \"jobs\": %zu,\n", cfg.ctc_jobs);
-  std::fprintf(f, "  \"machine_nodes\": %d,\n", cfg.machine_nodes);
-  std::fprintf(f, "  \"seed\": %llu,\n",
-               static_cast<unsigned long long>(cfg.seed));
-  std::fprintf(f, "  \"threads\": %zu,\n", cfg.threads);
-  emit_runs("unweighted", unweighted, unweighted_wall, false);
-  emit_runs("weighted", weighted, weighted_wall, true);
-  std::fprintf(f, "}\n");
-  std::fclose(f);
-  std::printf("wrote %s\n\n", path.c_str());
+  eval::GridJsonMeta meta;
+  meta.jobs = cfg.ctc_jobs;
+  meta.machine_nodes = cfg.machine_nodes;
+  meta.seed = cfg.seed;
+  meta.threads = cfg.threads;
+  eval::write_grid_json(path, meta, unweighted, unweighted_wall, weighted,
+                        weighted_wall);
 }
 
 void write_fault_bench_json(

@@ -1,0 +1,261 @@
+// Sharded-sweep scaling bench: run the full grid (both objectives, 26
+// cells) as 1, 2, 4 and 8 worker *processes* via the shard coordinator,
+// verify every configuration's schedule fingerprint is bit-identical to
+// an in-process baseline, and write the wall-clock trajectory plus the
+// workload-cache savings to BENCH_shard.json.
+//
+// The bench re-execs itself as the shard workers (argv[1] == "--worker"),
+// so one binary exercises the whole driver stack: partition, spawn,
+// journal heartbeat, merge, resume-verify. Speedups are only expected to
+// exceed 1 on multi-core machines — the JSON records the hardware thread
+// count next to the walls so single-core CI numbers read as what they are.
+//
+// Env knobs: the usual workload set (JSCHED_CTC_JOBS, JSCHED_SEED,
+// JSCHED_MACHINE, JSCHED_JOBS) plus JSCHED_SHARD_MAX (default 8: highest
+// shard count to measure).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "eval/journal.h"
+#include "eval/shard.h"
+#include "eval/shard_driver.h"
+#include "util/env.h"
+#include "util/subprocess.h"
+#include "util/thread_pool.h"
+#include "workload/ctc_model.h"
+#include "workload/transforms.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace jsched;
+
+constexpr core::WeightKind kWeights[] = {core::WeightKind::kUnit,
+                                         core::WeightKind::kEstimatedArea};
+
+workload::Workload quiet_workload(const bench::BenchConfig& cfg) {
+  workload::CtcModelParams params;
+  params.job_count = cfg.ctc_jobs;
+  workload::Workload raw = workload::generate_ctc(params, cfg.seed);
+  workload::Workload trimmed =
+      workload::trim_to_machine(raw, cfg.machine_nodes, nullptr);
+  return bench::capped(std::move(trimmed), cfg);
+}
+
+int worker_main(const std::vector<std::string>& args) {
+  // args: --worker <shards> <index> <journal>
+  if (args.size() != 4) return 2;
+  const bench::BenchConfig cfg = bench::config_from_env();
+  eval::ShardWorkerConfig config;
+  config.machine = bench::machine_of(cfg);
+  config.journal_path = args[3];
+  config.shard = {static_cast<std::size_t>(std::stoull(args[2])),
+                  static_cast<std::size_t>(std::stoull(args[1]))};
+  config.options.threads = 1;  // process-level parallelism is the subject
+  config.workload_key = cfg.seed;
+  const eval::ShardWorkerReport report = eval::run_shard_worker(
+      [&cfg] { return quiet_workload(cfg); }, config);
+  return report.ok() ? 0 : 1;
+}
+
+struct ScalePoint {
+  std::size_t shards = 0;
+  double wall_seconds = 0.0;
+  std::size_t restarts = 0;
+  bool fingerprints_match = false;
+};
+
+/// Fingerprints of all 26 cells in enumeration order, resumed from a
+/// merged journal (throws if any cell is absent — merge was incomplete).
+std::vector<std::uint64_t> resumed_fingerprints(
+    const bench::BenchConfig& cfg, const workload::Workload& w,
+    const std::string& journal_path) {
+  eval::SweepJournal journal(journal_path);
+  eval::ExperimentOptions opt;
+  opt.journal = &journal;
+  std::vector<std::uint64_t> fnv;
+  for (core::WeightKind weight : kWeights) {
+    const eval::GridResult grid =
+        eval::run_grid_outcomes(bench::machine_of(cfg), weight, w, opt);
+    if (grid.resumed() != grid.cells.size()) {
+      throw std::runtime_error("merged journal at " + journal_path +
+                               " did not resume the full grid");
+    }
+    for (const eval::RunResult& r : grid.results()) fnv.push_back(r.schedule_fnv);
+  }
+  return fnv;
+}
+
+void write_shard_bench_json(const std::string& path,
+                            const bench::BenchConfig& cfg,
+                            const std::vector<ScalePoint>& points,
+                            const eval::WorkloadCache::Stats& cache,
+                            double baseline_wall) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"benchmark\": \"shard_scale\",\n");
+  std::fprintf(f, "  \"jobs\": %zu,\n", cfg.ctc_jobs);
+  std::fprintf(f, "  \"machine_nodes\": %d,\n", cfg.machine_nodes);
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(cfg.seed));
+  std::fprintf(f, "  \"hardware_threads\": %zu,\n",
+               util::ThreadPool::hardware_threads());
+  std::fprintf(f, "  \"in_process_wall_seconds\": %.2f,\n", baseline_wall);
+  std::fprintf(f, "  \"workload_cache\": {\"misses\": %zu, \"hits\": %zu, "
+               "\"generation_seconds\": %.3f, \"saved_seconds\": %.3f},\n",
+               cache.misses, cache.hits, cache.generation_seconds,
+               cache.saved_seconds);
+  std::fprintf(f, "  \"points\": [\n");
+  const double base = points.empty() ? 0.0 : points.front().wall_seconds;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const ScalePoint& p = points[i];
+    std::fprintf(f,
+                 "    {\"shards\": %zu, \"wall_seconds\": %.2f, "
+                 "\"speedup_vs_1_shard\": %.2f, \"restarts\": %zu, "
+                 "\"fingerprints_match\": %s}%s\n",
+                 p.shards, p.wall_seconds,
+                 p.wall_seconds > 0.0 ? base / p.wall_seconds : 0.0,
+                 p.restarts, p.fingerprints_match ? "true" : "false",
+                 i + 1 == points.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (!args.empty() && args[0] == "--worker") {
+    try {
+      return worker_main(args);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[worker] %s\n", e.what());
+      return 1;
+    }
+  }
+
+  const bench::BenchConfig cfg = bench::config_from_env();
+  const std::string dir = [] {
+    const char* tmp = std::getenv("TMPDIR");
+    std::string d = (tmp != nullptr ? std::string(tmp) : "/tmp");
+    d += "/jsched_shard_scale_" + std::to_string(::getpid());
+    return d;
+  }();
+  if (std::system(("mkdir -p '" + dir + "'").c_str()) != 0) {
+    std::fprintf(stderr, "cannot create %s\n", dir.c_str());
+    return 1;
+  }
+
+  std::printf("=== sharded sweep scaling (%zu jobs, %d nodes, %zu hw threads)"
+              " ===\n\n",
+              cfg.ctc_jobs, cfg.machine_nodes,
+              util::ThreadPool::hardware_threads());
+
+  // In-process baseline: both grids through one WorkloadCache. This is the
+  // fingerprint reference and the workload-cache measurement (the second
+  // grid's materialization is the cache hit).
+  const workload::Workload w = quiet_workload(cfg);
+  const std::uint64_t workload_fnv = workload::fingerprint(w);
+  eval::WorkloadCache cache;
+  std::vector<std::uint64_t> baseline_fnv;
+  const auto b0 = std::chrono::steady_clock::now();
+  for (core::WeightKind weight : kWeights) {
+    const auto cached =
+        cache.get(cfg.seed, [&cfg] { return quiet_workload(cfg); });
+    for (const eval::RunResult& r :
+         eval::run_grid(bench::machine_of(cfg), weight, *cached)) {
+      baseline_fnv.push_back(r.schedule_fnv);
+    }
+  }
+  const double baseline_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - b0)
+          .count();
+  const eval::WorkloadCache::Stats cache_stats = cache.stats();
+  std::printf("in-process baseline: %.1fs; workload cache: %zu miss %zu hit, "
+              "%.2fs generation, %.2fs saved\n\n",
+              baseline_wall, cache_stats.misses, cache_stats.hits,
+              cache_stats.generation_seconds, cache_stats.saved_seconds);
+
+  std::vector<std::uint64_t> expected;
+  for (core::WeightKind weight : kWeights) {
+    for (std::uint64_t key :
+         eval::grid_cell_keys(workload_fnv, cfg.machine_nodes, weight)) {
+      expected.push_back(key);
+    }
+  }
+
+  const std::string self = util::self_exe_path();
+  const auto max_shards =
+      static_cast<std::size_t>(util::env_int("JSCHED_SHARD_MAX", 8));
+  std::vector<ScalePoint> points;
+  for (std::size_t n = 1; n <= max_shards; n *= 2) {
+    const std::string run_dir = dir + "/n" + std::to_string(n);
+    if (std::system(("rm -rf '" + run_dir + "' && mkdir -p '" + run_dir + "'")
+                        .c_str()) != 0) {
+      std::fprintf(stderr, "cannot create %s\n", run_dir.c_str());
+      return 1;
+    }
+    eval::CoordinatorConfig coord;
+    for (std::size_t i = 0; i < n; ++i) {
+      eval::ShardProcess p;
+      p.journal_path = eval::shard_journal_path(run_dir, i);
+      p.argv = {self, "--worker", std::to_string(n), std::to_string(i),
+                p.journal_path};
+      coord.shards.push_back(std::move(p));
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const eval::CoordinatorReport report = eval::run_shard_coordinator(coord);
+    ScalePoint point;
+    point.shards = n;
+    point.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    point.restarts = report.total_restarts();
+    if (!report.all_ok()) {
+      std::fprintf(stderr, "shard run n=%zu: a worker failed\n", n);
+      return 1;
+    }
+
+    eval::ShardPlan plan(expected, n);
+    eval::MergeOptions merge;
+    for (std::size_t i = 0; i < n; ++i) {
+      merge.shard_paths.push_back(eval::shard_journal_path(run_dir, i));
+    }
+    merge.expected_keys = expected;
+    merge.sweep_fingerprint =
+        eval::sweep_fingerprint(workload_fnv, cfg.machine_nodes);
+    merge.out_path = run_dir + "/merged.journal";
+    merge.plan = &plan;
+    const eval::MergeReport mr = eval::merge_shard_journals(merge);
+    if (!mr.ok()) {
+      std::fprintf(stderr, "merge n=%zu: %s\n", n, mr.describe().c_str());
+      return 1;
+    }
+    point.fingerprints_match =
+        resumed_fingerprints(cfg, w, merge.out_path) == baseline_fnv;
+    std::printf("%zu shard%s: %.1fs wall, %zu restart%s, merge %s, "
+                "fingerprints %s\n",
+                n, n == 1 ? " " : "s", point.wall_seconds, point.restarts,
+                point.restarts == 1 ? "" : "s", mr.describe().c_str(),
+                point.fingerprints_match ? "bit-identical" : "MISMATCH");
+    if (!point.fingerprints_match) return 1;
+    points.push_back(point);
+  }
+
+  std::printf("\n");
+  write_shard_bench_json("BENCH_shard.json", cfg, points, cache_stats,
+                         baseline_wall);
+  (void)std::system(("rm -rf '" + dir + "'").c_str());
+  return 0;
+}

@@ -5,6 +5,7 @@
 
 #include "eval/internal.h"
 #include "eval/journal.h"
+#include "eval/shard.h"
 #include "metrics/objectives.h"
 #include "metrics/resilience.h"
 #include "metrics/streaming.h"
@@ -14,6 +15,17 @@
 #include "util/thread_pool.h"
 
 namespace jsched::eval {
+
+void ShardSpec::validate() const {
+  if (count == 0) {
+    throw std::invalid_argument("ShardSpec: count must be >= 1");
+  }
+  if (index >= count) {
+    throw std::invalid_argument("ShardSpec: index " + std::to_string(index) +
+                                " out of range for " + std::to_string(count) +
+                                " shard" + (count == 1 ? "" : "s"));
+  }
+}
 
 namespace detail {
 
@@ -244,9 +256,27 @@ GridResult run_grid_outcomes(const sim::Machine& machine,
                              core::WeightKind weight,
                              const workload::Workload& workload,
                              const ExperimentOptions& options) {
+  options.shard.validate();
   const std::vector<core::AlgorithmSpec> specs = core::paper_grid(weight);
+  // Cell keys serve two masters: journal checkpointing and the shard
+  // partition. Either one needs the workload fingerprint computed.
+  const bool keyed = options.journal != nullptr || options.shard.active();
   const std::uint64_t workload_fnv =
-      detail::journal_workload_fnv(options, workload);
+      keyed ? workload::fingerprint(workload) : 0;
+  std::vector<std::uint64_t> keys(specs.size(), 0);
+  if (keyed) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      keys[i] = cell_key(workload_fnv, machine.nodes, specs[i],
+                         options.journal_salt);
+    }
+  }
+  // The shard assignment is a pure function of this grid's key set, so
+  // every shard process derives the identical disjoint partition with no
+  // coordination (see shard.h).
+  std::unique_ptr<ShardPlan> plan;
+  if (options.shard.active()) {
+    plan = std::make_unique<ShardPlan>(keys, options.shard.count);
+  }
   const std::size_t threads = detail::resolved_threads(options);
 
   GridResult out;
@@ -261,10 +291,13 @@ GridResult run_grid_outcomes(const sim::Machine& machine,
   out.cells.resize(specs.size());
   const auto run_cell = [&](std::size_t i, const ExperimentOptions& opts) {
     const core::AlgorithmSpec& spec = specs[i];
-    const std::uint64_t key =
-        detail::grid_cell_key(opts, workload_fnv, machine.nodes, spec);
+    if (plan != nullptr && plan->shard_of(keys[i]) != opts.shard.index) {
+      out.cells[i] = RunOutcome::other_shard();
+      return;
+    }
     out.cells[i] = detail::run_cell_protected(
-        opts, key, spec, [&] { return run_one(machine, spec, workload, opts); });
+        opts, keys[i], spec,
+        [&] { return run_one(machine, spec, workload, opts); });
   };
 
   if (threads <= 1) {
@@ -291,6 +324,11 @@ std::vector<RunResult> run_grid(const sim::Machine& machine,
                                 core::WeightKind weight,
                                 const workload::Workload& workload,
                                 const ExperimentOptions& options) {
+  if (options.shard.active()) {
+    throw std::invalid_argument(
+        "run_grid: a sharded sweep produces a partial grid; use "
+        "run_grid_outcomes and merge the shard journals");
+  }
   GridResult grid = run_grid_outcomes(machine, weight, workload, options);
   // Only reachable under kIsolate / kRetryN: kFailFast already threw the
   // original exception from inside the sweep.

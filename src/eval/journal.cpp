@@ -264,4 +264,13 @@ std::size_t SweepJournal::hits() const noexcept {
   return hits_;
 }
 
+std::vector<std::pair<std::uint64_t, RunResult>> SweepJournal::snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::uint64_t, RunResult>> out;
+  out.reserve(cells_.size());
+  for (const auto& [key, cell] : cells_) out.emplace_back(key, cell.result);
+  return out;
+}
+
 }  // namespace jsched::eval

@@ -99,6 +99,12 @@ class SweepJournal {
   /// Record a completed cell (appends + flushes one line). Thread-safe.
   void record(std::uint64_t key, const RunResult& r);
 
+  /// Copy of every resumable cell (key -> stored result), in ascending key
+  /// order. This is the read side of the shard-merge step: a coordinator
+  /// drains each shard journal's cells and re-records them into one merged
+  /// journal. Thread-safe.
+  std::vector<std::pair<std::uint64_t, RunResult>> snapshot() const;
+
  private:
   /// Adopted-legacy marker: records written before segment headers
   /// existed. Matched by the first open_segment() regardless of its

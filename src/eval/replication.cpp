@@ -8,6 +8,7 @@
 
 #include "eval/internal.h"
 #include "eval/journal.h"
+#include "eval/shard.h"
 #include "util/thread_pool.h"
 
 namespace jsched::eval {
@@ -94,19 +95,25 @@ ReplicatedResult run_replicated(
     const std::uint64_t key =
         replicate_key(opts, machine.nodes, spec, seeds[i]);
     return detail::run_cell_protected(opts, key, spec, [&] {
-      workload::Workload w;
-      if (!tag_phases) {
-        w = make_workload(seeds[i]);
-      } else {
+      const auto materialize = [&]() -> workload::Workload {
+        if (!tag_phases) return make_workload(seeds[i]);
         try {
-          w = make_workload(seeds[i]);
+          return make_workload(seeds[i]);
         } catch (const std::exception& e) {
           throw detail::PhaseError(
               RunErrorKind::kWorkload,
               "make_workload(seed=" + std::to_string(seeds[i]) +
                   "): " + e.what());
         }
+      };
+      // With a cache, the seed identifies the materialization: a study
+      // sweeping many specs over the same seeds pays for each workload
+      // once, not once per (spec, seed) cell.
+      if (opts.workload_cache != nullptr) {
+        const auto w = opts.workload_cache->get(seeds[i], materialize);
+        return run_one(machine, spec, *w, opts);
       }
+      const workload::Workload w = materialize();
       return run_one(machine, spec, w, opts);
     });
   };

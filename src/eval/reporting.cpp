@@ -1,6 +1,7 @@
 #include "eval/reporting.h"
 
 #include <array>
+#include <cstdio>
 #include <utility>
 
 namespace jsched::eval {
@@ -118,8 +119,13 @@ util::Table failure_table(const GridResult& grid, const std::string& title) {
 
 std::string failure_summary(const GridResult& grid) {
   const std::size_t failed = grid.failed();
-  std::string out = std::to_string(grid.cells.size() - failed) + "/" +
-                    std::to_string(grid.cells.size()) + " cells ok";
+  const std::size_t skipped = grid.skipped();
+  const std::size_t mine = grid.cells.size() - skipped;
+  std::string out =
+      std::to_string(mine - failed) + "/" + std::to_string(mine) + " cells ok";
+  if (skipped > 0) {
+    out += ", " + std::to_string(skipped) + " on other shards";
+  }
   if (failed > 0) {
     // Count failures per kind for the parenthetical, in first-seen order.
     std::vector<std::pair<RunErrorKind, std::size_t>> kinds;
@@ -146,6 +152,49 @@ std::string failure_summary(const GridResult& grid) {
   }
   if (!grid.journal_note.empty()) out += "; " + grid.journal_note;
   return out;
+}
+
+void write_grid_json(const std::string& path, const GridJsonMeta& meta,
+                     const std::vector<RunResult>& unweighted,
+                     double unweighted_wall,
+                     const std::vector<RunResult>& weighted,
+                     double weighted_wall) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+    return;
+  }
+  const auto emit_runs = [f](const char* key,
+                             const std::vector<RunResult>& runs, double wall,
+                             bool last) {
+    std::fprintf(f, "  \"%s\": {\n", key);
+    std::fprintf(f, "    \"wall_seconds\": %.2f,\n", wall);
+    std::fprintf(f, "    \"configs\": [\n");
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const RunResult& r = runs[i];
+      std::fprintf(f,
+                   "      {\"scheduler\": \"%s\", "
+                   "\"scheduler_cpu_seconds\": %.4f, "
+                   "\"schedule_fnv\": \"%016llx\"}%s\n",
+                   r.scheduler_name.c_str(), r.scheduler_cpu_seconds,
+                   static_cast<unsigned long long>(r.schedule_fnv),
+                   i + 1 == runs.size() ? "" : ",");
+    }
+    std::fprintf(f, "    ]\n");
+    std::fprintf(f, "  }%s\n", last ? "" : ",");
+  };
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"benchmark\": \"full_grid\",\n");
+  std::fprintf(f, "  \"jobs\": %zu,\n", meta.jobs);
+  std::fprintf(f, "  \"machine_nodes\": %d,\n", meta.machine_nodes);
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(meta.seed));
+  std::fprintf(f, "  \"threads\": %zu,\n", meta.threads);
+  emit_runs("unweighted", unweighted, unweighted_wall, false);
+  emit_runs("weighted", weighted, weighted_wall, true);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n\n", path.c_str());
 }
 
 }  // namespace jsched::eval

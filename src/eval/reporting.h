@@ -40,7 +40,30 @@ std::string experiment_title(const std::string& workload_name,
 util::Table failure_table(const GridResult& grid, const std::string& title);
 
 /// One-line sweep health summary, e.g.
-/// "12/13 cells ok, 1 failed (scheduler=1), 4 resumed from journal".
+/// "12/13 cells ok, 1 failed (scheduler=1), 4 resumed from journal"; a
+/// sharded grid counts only its own cells ("7/7 cells ok, 6 on other
+/// shards").
 std::string failure_summary(const GridResult& grid);
+
+/// Metadata block of the full-grid perf-trajectory JSON.
+struct GridJsonMeta {
+  std::size_t jobs = 0;
+  int machine_nodes = 0;
+  std::uint64_t seed = 0;
+  std::size_t threads = 0;
+};
+
+/// Write the full-grid perf trajectory (the BENCH_grid.json format): wall
+/// seconds per objective plus, per configuration, the scheduler CPU
+/// seconds and the schedule fingerprint. One function emits the file for
+/// both the single-process bench and the sharded sweep driver, so "the
+/// merged grid reproduces BENCH_grid.json" is a byte-level statement about
+/// identical inputs, not two writers happening to agree. Prints a warning
+/// to stderr (and returns) when the file cannot be opened.
+void write_grid_json(const std::string& path, const GridJsonMeta& meta,
+                     const std::vector<RunResult>& unweighted,
+                     double unweighted_wall,
+                     const std::vector<RunResult>& weighted,
+                     double weighted_wall);
 
 }  // namespace jsched::eval

@@ -1,0 +1,173 @@
+#include "eval/shard.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "eval/journal.h"
+
+namespace jsched::eval {
+
+ShardPlan::ShardPlan(std::vector<std::uint64_t> keys, std::size_t count)
+    : sorted_(std::move(keys)), count_(count) {
+  if (count_ == 0) {
+    throw std::invalid_argument("ShardPlan: shard count must be >= 1");
+  }
+  std::sort(sorted_.begin(), sorted_.end());
+  const auto dup = std::adjacent_find(sorted_.begin(), sorted_.end());
+  if (dup != sorted_.end()) {
+    throw std::invalid_argument(
+        "ShardPlan: duplicate cell key " + std::to_string(*dup) +
+        " — two distinct cells may never share a key");
+  }
+}
+
+std::size_t ShardPlan::shard_of(std::uint64_t key) const {
+  const auto it = std::lower_bound(sorted_.begin(), sorted_.end(), key);
+  if (it == sorted_.end() || *it != key) {
+    throw std::out_of_range("ShardPlan: key " + std::to_string(key) +
+                            " is not part of this sweep");
+  }
+  return static_cast<std::size_t>(it - sorted_.begin()) % count_;
+}
+
+std::vector<std::uint64_t> ShardPlan::keys_of(std::size_t shard) const {
+  if (shard >= count_) {
+    throw std::out_of_range("ShardPlan: shard " + std::to_string(shard) +
+                            " of " + std::to_string(count_));
+  }
+  std::vector<std::uint64_t> out;
+  out.reserve(sorted_.size() / count_ + 1);
+  for (std::size_t rank = shard; rank < sorted_.size(); rank += count_) {
+    out.push_back(sorted_[rank]);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> grid_cell_keys(std::uint64_t workload_fnv,
+                                          int machine_nodes,
+                                          core::WeightKind weight,
+                                          std::uint64_t salt) {
+  std::vector<std::uint64_t> keys;
+  const std::vector<core::AlgorithmSpec> specs = core::paper_grid(weight);
+  keys.reserve(specs.size());
+  for (const core::AlgorithmSpec& spec : specs) {
+    keys.push_back(cell_key(workload_fnv, machine_nodes, spec, salt));
+  }
+  return keys;
+}
+
+std::string MergeReport::describe() const {
+  std::string out = std::to_string(merged) + " cells merged";
+  if (ok()) return out;
+  if (duplicates > 0) {
+    out += ", " + std::to_string(duplicates) + " duplicate" +
+           (duplicates == 1 ? "" : "s") + " across shards";
+  }
+  if (!missing.empty()) {
+    out += ", " + std::to_string(missing.size()) + " missing";
+    if (!missing_by_shard.empty()) {
+      out += " (";
+      bool first = true;
+      for (std::size_t s = 0; s < missing_by_shard.size(); ++s) {
+        if (missing_by_shard[s] == 0) continue;
+        if (!first) out += ", ";
+        out += "shard " + std::to_string(s) + ": " +
+               std::to_string(missing_by_shard[s]);
+        first = false;
+      }
+      out += ")";
+    }
+  }
+  if (unexpected > 0) {
+    out += ", " + std::to_string(unexpected) + " unexpected key" +
+           (unexpected == 1 ? "" : "s");
+  }
+  return out;
+}
+
+MergeReport merge_shard_journals(const MergeOptions& options) {
+  MergeReport report;
+  const std::unordered_set<std::uint64_t> expected(
+      options.expected_keys.begin(), options.expected_keys.end());
+  if (expected.size() != options.expected_keys.size()) {
+    throw std::invalid_argument(
+        "merge_shard_journals: expected_keys contains duplicates");
+  }
+
+  // Gather every shard's cells; the first shard (in index order) to
+  // provide a key wins, later providers count as duplicates. With the
+  // deterministic partition duplicates are impossible, so any hit here
+  // means two shards were launched with overlapping specs — worth failing
+  // the merge over, not silently resolving.
+  std::unordered_map<std::uint64_t, RunResult> found;
+  found.reserve(expected.size());
+  for (const std::string& path : options.shard_paths) {
+    if (!std::ifstream(path).good()) continue;  // never-started shard
+    SweepJournal shard(path);
+    for (auto& [key, result] : shard.snapshot()) {
+      if (expected.find(key) == expected.end()) {
+        ++report.unexpected;
+        continue;
+      }
+      if (!found.emplace(key, std::move(result)).second) {
+        ++report.duplicates;
+      }
+    }
+  }
+
+  // Rewrite in enumeration order. The v1 format round-trips exactly, and a
+  // serial single-process sweep journals cells in this same order, so the
+  // merged file is byte-identical to the never-sharded one.
+  std::remove(options.out_path.c_str());
+  SweepJournal merged(options.out_path);
+  merged.open_segment(options.sweep_fingerprint);
+  if (options.plan != nullptr) {
+    report.missing_by_shard.assign(options.plan->count(), 0);
+  }
+  for (const std::uint64_t key : options.expected_keys) {
+    const auto it = found.find(key);
+    if (it == found.end()) {
+      report.missing.push_back(key);
+      if (options.plan != nullptr) {
+        ++report.missing_by_shard[options.plan->shard_of(key)];
+      }
+      continue;
+    }
+    merged.record(key, it->second);
+    ++report.merged;
+  }
+  return report;
+}
+
+std::shared_ptr<const workload::Workload> WorkloadCache::get(
+    std::uint64_t key, const std::function<workload::Workload()>& make) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    stats_.saved_seconds += it->second.generation_seconds;
+    return it->second.workload;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  auto workload = std::make_shared<const workload::Workload>(make());
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ++stats_.misses;
+  stats_.generation_seconds += secs;
+  entries_.emplace(key, Entry{workload, secs});
+  return workload;
+}
+
+WorkloadCache::Stats WorkloadCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace jsched::eval

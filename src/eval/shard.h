@@ -1,0 +1,146 @@
+// Deterministic sweep partitioning and shard-journal merging.
+//
+// A sweep grid is a set of cells, each with a collision-free 64-bit FNV
+// cell key (eval/journal.h). To scale a sweep past one machine's cores,
+// the cell set is partitioned into N disjoint shards *by key*: sort the
+// keys, deal rank r to shard r % N. The assignment is pure arithmetic over
+// data every participant already has (the workload fingerprint, machine
+// size and algorithm specs), so N worker processes — spawned by the
+// tools/sweepd coordinator or launched by hand across machines — agree on
+// the partition with zero coordination, and the same partition is
+// recomputed identically on resume.
+//
+// Each shard appends finished cells to its own SweepJournal. The merge
+// step reads all shard journals, validates the partition invariants
+// (every expected cell present exactly once, nothing foreign, nothing
+// duplicated across shards) and writes a single merged journal whose
+// bytes are identical to what an uninterrupted single-process sweep with
+// threads=1 would have journaled — the v1 record format round-trips
+// exactly (doubles are IEEE-754 bit patterns), and records are emitted in
+// grid-enumeration order, which is the serial execution order. Resuming a
+// grid from the merged journal therefore reproduces every RunResult, and
+// every schedule fingerprint, bit for bit: how the computation was
+// partitioned is unobservable in the results.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+
+namespace jsched::eval {
+
+/// The deterministic cell-to-shard assignment for one sweep: keys are
+/// sorted ascending and rank r maps to shard r % count. Rank-based dealing
+/// (rather than key % count) guarantees balanced cell *counts* per shard
+/// for any key distribution while remaining a pure function of the key
+/// set. Construction throws std::invalid_argument on duplicate keys (two
+/// distinct cells may never share a key) or count == 0.
+class ShardPlan {
+ public:
+  ShardPlan(std::vector<std::uint64_t> keys, std::size_t count);
+
+  std::size_t count() const noexcept { return count_; }
+  std::size_t size() const noexcept { return sorted_.size(); }
+
+  /// Shard owning `key`; throws std::out_of_range when `key` is not part
+  /// of this sweep.
+  std::size_t shard_of(std::uint64_t key) const;
+
+  /// All keys assigned to `shard`, in ascending key order.
+  std::vector<std::uint64_t> keys_of(std::size_t shard) const;
+
+ private:
+  std::vector<std::uint64_t> sorted_;
+  std::size_t count_;
+};
+
+/// Cell keys of the full paper grid for one objective, in paper_grid
+/// (enumeration == serial execution) order. These are the exact keys
+/// run_grid_outcomes journals under, so a driver can pre-compute the
+/// expected cell set of a sweep it has not run yet.
+std::vector<std::uint64_t> grid_cell_keys(std::uint64_t workload_fnv,
+                                          int machine_nodes,
+                                          core::WeightKind weight,
+                                          std::uint64_t salt = 0);
+
+/// What merge_shard_journals found and wrote.
+struct MergeReport {
+  std::size_t merged = 0;      // records written to the merged journal
+  std::size_t duplicates = 0;  // keys present in more than one shard
+  /// Expected keys found in no shard journal, in enumeration order.
+  std::vector<std::uint64_t> missing;
+  /// missing split by owning shard (filled when a plan is supplied).
+  std::vector<std::size_t> missing_by_shard;
+  /// Keys found in shard journals but not expected — footprint of a shard
+  /// journal reused across different sweeps.
+  std::size_t unexpected = 0;
+
+  bool ok() const {
+    return duplicates == 0 && missing.empty() && unexpected == 0;
+  }
+  /// One-line human summary ("26 cells merged" / "2 missing (shard 1: 2)").
+  std::string describe() const;
+};
+
+struct MergeOptions {
+  /// Shard journal paths in shard-index order. A path may name a missing
+  /// file (a shard that never started): its cells simply report missing.
+  std::vector<std::string> shard_paths;
+  /// The complete expected cell set, in the order records should appear in
+  /// the merged journal (grid-enumeration order for bit-identity with a
+  /// serial single-process journal).
+  std::vector<std::uint64_t> expected_keys;
+  /// Segment fingerprint (eval::sweep_fingerprint) for the merged journal.
+  std::uint64_t sweep_fingerprint = 0;
+  /// Output path; an existing file is replaced, not appended to.
+  std::string out_path;
+  /// Optional assignment used to attribute missing cells to the shard that
+  /// should have produced them.
+  const ShardPlan* plan = nullptr;
+};
+
+/// Merge shard journals into one (see file comment for the invariants).
+/// All found expected cells are written even when the report is not ok(),
+/// so a partially crashed sweep merges to a journal that resumes exactly
+/// the missing cells. Throws on unreadable/corrupt journals.
+MergeReport merge_shard_journals(const MergeOptions& options);
+
+/// Memoized workload materializations, shared across sweep entry points
+/// via ExperimentOptions::workload_cache. Keys are caller-chosen (a
+/// generator seed, a workload fingerprint — whatever identifies the
+/// materialization); the first get() per key runs `make` and measures it,
+/// later ones return the cached Workload and credit the measured cost to
+/// saved_seconds. Generation runs under the cache lock, serializing
+/// concurrent misses of the same key into one materialization.
+class WorkloadCache {
+ public:
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    double generation_seconds = 0.0;  // total spent materializing misses
+    double saved_seconds = 0.0;       // generation cost avoided by hits
+  };
+
+  std::shared_ptr<const workload::Workload> get(
+      std::uint64_t key, const std::function<workload::Workload()>& make);
+
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const workload::Workload> workload;
+    double generation_seconds = 0.0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace jsched::eval

@@ -1,0 +1,146 @@
+#include "eval/shard_driver.h"
+
+#include <csignal>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/job_store.h"
+#include "eval/journal.h"
+#include "eval/reporting.h"
+
+namespace jsched::eval {
+
+std::string shard_journal_path(const std::string& dir, std::size_t index) {
+  return dir + "/shard-" + std::to_string(index) + ".journal";
+}
+
+ShardWorkerReport run_shard_worker(
+    const std::function<workload::Workload()>& make_workload,
+    const ShardWorkerConfig& config) {
+  config.shard.validate();
+  if (config.journal_path.empty()) {
+    throw std::invalid_argument("run_shard_worker: journal_path required");
+  }
+  SweepJournal journal(config.journal_path);
+
+  ExperimentOptions opts = config.options;
+  opts.journal = &journal;
+  opts.shard = config.shard;
+  WorkloadCache cache;
+  opts.workload_cache = &cache;
+
+  // Chaos kill: arm only on a virgin journal, so the relaunched worker
+  // (which finds the records its predecessor left) runs clean instead of
+  // dying on the same cell forever. on_run fires at the *start* of each
+  // fresh simulation and never for resumed cells, so with serial threads
+  // the raise() lands exactly after `chaos_kill_after` journaled records.
+  std::size_t fresh_started = 0;
+  if (config.chaos_kill_after > 0 && journal.loaded() == 0) {
+    const auto inner = opts.on_run;
+    opts.on_run = [&fresh_started, kill_after = config.chaos_kill_after,
+                   inner](const std::string& name) {
+      if (++fresh_started > kill_after) std::raise(SIGKILL);
+      if (inner) inner(name);
+    };
+  }
+
+  ShardWorkerReport report;
+  for (core::WeightKind weight : config.weights) {
+    const auto workload = cache.get(config.workload_key, make_workload);
+    GridResult grid = run_grid_outcomes(config.machine, weight, *workload, opts);
+    report.cells += grid.cells.size() - grid.skipped();
+    report.skipped += grid.skipped();
+    report.resumed += grid.resumed();
+    report.failed += grid.failed();
+    for (const RunOutcome& c : grid.cells) {
+      if (c.ok && c.attempts >= 1) ++report.ran;
+    }
+    if (config.log) {
+      config.log("shard " + std::to_string(config.shard.index) + "/" +
+                 std::to_string(config.shard.count) + " " +
+                 core::to_string(weight) + ": " + failure_summary(grid));
+    }
+  }
+  report.cache = cache.stats();
+  return report;
+}
+
+namespace {
+
+std::size_t journal_cells(const std::string& path) {
+  return util::count_complete_lines(path, "v1 ");
+}
+
+}  // namespace
+
+CoordinatorReport run_shard_coordinator(const CoordinatorConfig& config) {
+  if (config.shards.empty()) {
+    throw std::invalid_argument("run_shard_coordinator: no shards");
+  }
+  const std::size_t n = config.shards.size();
+  const auto say = [&config](const std::string& line) {
+    if (config.log) config.log(line);
+  };
+
+  CoordinatorReport report;
+  report.shards.resize(n);
+  std::vector<std::optional<util::Subprocess>> procs(n);
+  const auto launch = [&](std::size_t i) {
+    procs[i] = util::Subprocess::spawn(config.shards[i].argv,
+                                       config.shards[i].extra_env);
+    say("shard " + std::to_string(i) + ": pid " +
+        std::to_string(procs[i]->pid()));
+  };
+  for (std::size_t i = 0; i < n; ++i) launch(i);
+
+  std::size_t live = n;
+  auto last_beat = std::chrono::steady_clock::now();
+  while (live > 0) {
+    std::this_thread::sleep_for(config.poll_interval);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!procs[i].has_value()) continue;
+      const std::optional<util::ExitStatus> status = procs[i]->poll();
+      if (!status.has_value()) continue;
+      procs[i].reset();
+      --live;
+      ShardStatus& s = report.shards[i];
+      s.last_exit = *status;
+      if (status->success()) {
+        s.ok = true;
+        say("shard " + std::to_string(i) + ": done (" +
+            std::to_string(journal_cells(config.shards[i].journal_path)) +
+            " cells journaled)");
+      } else if (s.restarts < config.restart_budget) {
+        ++s.restarts;
+        say("shard " + std::to_string(i) + ": " + status->describe() +
+            "; restarting (" + std::to_string(s.restarts) + "/" +
+            std::to_string(config.restart_budget) + "), will resume " +
+            std::to_string(journal_cells(config.shards[i].journal_path)) +
+            " journaled cells");
+        launch(i);
+        ++live;
+      } else {
+        say("shard " + std::to_string(i) + ": " + status->describe() +
+            "; restart budget exhausted, giving up on this shard");
+      }
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (live > 0 && config.progress_interval.count() > 0 &&
+        now - last_beat >= config.progress_interval) {
+      last_beat = now;
+      std::string beat = "progress:";
+      for (std::size_t i = 0; i < n; ++i) {
+        beat += " shard" + std::to_string(i) + "=" +
+                std::to_string(journal_cells(config.shards[i].journal_path));
+      }
+      say(beat);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    report.shards[i].cells_done = journal_cells(config.shards[i].journal_path);
+  }
+  return report;
+}
+
+}  // namespace jsched::eval

@@ -1,0 +1,129 @@
+// Process-level runtime of a sharded sweep: the worker loop one shard
+// process runs, and the coordinator loop that spawns, monitors and
+// restarts N of them.
+//
+// The split keeps policy out of the binaries: tools/sweepd and the
+// bench/shard_scale harness both delegate here, differing only in how
+// they build argv for a worker and which workload they materialize. The
+// coordinator's knowledge of a worker is deliberately thin — an exit code
+// and the growing shard journal (util::count_complete_lines over "v1 "
+// records) — so the same monitoring works for workers it did not spawn,
+// e.g. shards launched by hand on other machines whose journals are
+// merged later with merge_shard_journals.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "eval/shard.h"
+#include "sim/machine.h"
+#include "util/subprocess.h"
+
+namespace jsched::eval {
+
+/// Conventional shard journal path: `<dir>/shard-<index>.journal`.
+std::string shard_journal_path(const std::string& dir, std::size_t index);
+
+/// One worker's whole assignment: the paper grid per objective in
+/// `weights`, filtered to the cells `shard` owns, checkpointed into
+/// `journal_path`.
+struct ShardWorkerConfig {
+  sim::Machine machine;
+  /// Objectives to sweep, in order. The default is the full evaluation:
+  /// the unweighted grid then the weighted one (26 cells total).
+  std::vector<core::WeightKind> weights{core::WeightKind::kUnit,
+                                        core::WeightKind::kEstimatedArea};
+  std::string journal_path;
+  ShardSpec shard{};
+  /// Base options for every grid; journal, shard and workload_cache are
+  /// overridden by the worker (error policy, threads, deadlines pass
+  /// through).
+  ExperimentOptions options{};
+  /// Cache identity of the materialized workload (e.g. its generator
+  /// seed): the grids share one materialization through a WorkloadCache,
+  /// whose hit/miss/saved statistics the report surfaces.
+  std::uint64_t workload_key = 0;
+  /// Crash-injection hook for the restart/resume drill (0 = off): SIGKILL
+  /// this process at the start of its (N+1)th fresh simulation, i.e. right
+  /// after N cells were journaled. Armed only when the journal starts
+  /// empty, so the restarted worker — which resumes those N cells — runs
+  /// to completion instead of dying in a loop. Use N >= 1.
+  std::size_t chaos_kill_after = 0;
+  /// Progress sink (one line per grid); may be empty.
+  std::function<void(const std::string&)> log;
+};
+
+struct ShardWorkerReport {
+  std::size_t cells = 0;    // cells this shard owns, across all weights
+  std::size_t ran = 0;      // freshly simulated this run
+  std::size_t resumed = 0;  // restored from the shard journal
+  std::size_t skipped = 0;  // cells owned by other shards
+  std::size_t failed = 0;
+  WorkloadCache::Stats cache;
+
+  bool ok() const noexcept { return failed == 0; }
+};
+
+/// Run one shard worker to completion in this process. `make_workload`
+/// materializes the sweep's workload (called through the cache — once,
+/// however many objectives run). Exceptions propagate: a worker process
+/// should let them kill it and leave the journal for its replacement.
+ShardWorkerReport run_shard_worker(
+    const std::function<workload::Workload()>& make_workload,
+    const ShardWorkerConfig& config);
+
+/// How the coordinator launches (and relaunches) one shard.
+struct ShardProcess {
+  std::vector<std::string> argv;
+  std::vector<std::pair<std::string, std::string>> extra_env;
+  /// The shard's journal, polled for the cells-done heartbeat.
+  std::string journal_path;
+};
+
+struct CoordinatorConfig {
+  std::vector<ShardProcess> shards;
+  /// Relaunches allowed per shard after a crash (nonzero exit or signal).
+  /// A relaunched worker resumes from its journal, so each restart repays
+  /// at most one in-flight cell.
+  std::size_t restart_budget = 2;
+  std::chrono::milliseconds poll_interval{100};
+  /// Cadence of the journal-tail progress heartbeat (0 = silent).
+  std::chrono::milliseconds progress_interval{2000};
+  std::function<void(const std::string&)> log;
+};
+
+struct ShardStatus {
+  bool ok = false;
+  std::size_t restarts = 0;
+  util::ExitStatus last_exit{};
+  /// Complete journal records at the final poll.
+  std::size_t cells_done = 0;
+};
+
+struct CoordinatorReport {
+  std::vector<ShardStatus> shards;
+
+  bool all_ok() const {
+    for (const ShardStatus& s : shards) {
+      if (!s.ok) return false;
+    }
+    return true;
+  }
+  std::size_t total_restarts() const {
+    std::size_t n = 0;
+    for (const ShardStatus& s : shards) n += s.restarts;
+    return n;
+  }
+};
+
+/// Spawn every shard, babysit them to completion (restart-on-crash within
+/// the budget), and report per-shard health. Does not merge journals —
+/// callers follow up with merge_shard_journals so the merge also covers
+/// shards this coordinator never ran.
+CoordinatorReport run_shard_coordinator(const CoordinatorConfig& config);
+
+}  // namespace jsched::eval

@@ -6,6 +6,11 @@
 #include <stdexcept>
 #include <utility>
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/env.h"
+
 namespace jsched::util {
 
 BufferedWriter::BufferedWriter(std::ostream& out, std::size_t flush_threshold)
@@ -42,11 +47,33 @@ void BufferedWriter::maybe_drain() {
   if (buf_.size() >= threshold_) drain();
 }
 
-AppendLog::AppendLog(std::string path) : path_(std::move(path)) {
+AppendLog::Durability AppendLog::durability_from_env() {
+  return env_bool("JSCHED_JOURNAL_FSYNC", false) ? Durability::kFsync
+                                                 : Durability::kFlush;
+}
+
+AppendLog::AppendLog(std::string path)
+    : AppendLog(std::move(path), durability_from_env()) {}
+
+AppendLog::AppendLog(std::string path, Durability durability)
+    : path_(std::move(path)), durability_(durability) {
   out_.open(path_, std::ios::out | std::ios::app);
   if (!out_) {
     throw std::runtime_error("AppendLog: cannot open for append: " + path_);
   }
+  if (durability_ == Durability::kFsync) {
+    // fsync(2) takes a file descriptor and the ofstream hides its own, so
+    // keep a second descriptor on the same file; fsync flushes the file's
+    // dirty pages regardless of which descriptor wrote them.
+    fsync_fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+    if (fsync_fd_ < 0) {
+      throw std::runtime_error("AppendLog: cannot open for fsync: " + path_);
+    }
+  }
+}
+
+AppendLog::~AppendLog() {
+  if (fsync_fd_ >= 0) ::close(fsync_fd_);
 }
 
 void AppendLog::append(std::string_view line) {
@@ -65,6 +92,9 @@ void AppendLog::append(std::string_view line) {
   out_.flush();
   if (!out_) {
     throw std::runtime_error("AppendLog: write failed: " + path_);
+  }
+  if (fsync_fd_ >= 0 && ::fsync(fsync_fd_) != 0) {
+    throw std::runtime_error("AppendLog: fsync failed: " + path_);
   }
 }
 

@@ -57,9 +57,26 @@ class BufferedWriter {
 /// flushed per record, so every record written before a kill survives it.
 class AppendLog {
  public:
+  /// Per-record durability level. kFlush (the default) flushes to the OS
+  /// after every record — survives any process kill, but a power loss can
+  /// still eat records the kernel had not written back. kFsync adds an
+  /// fsync(2) per record so journals survive power loss too; it is
+  /// ~10-100x slower per append and only worth it when a sweep shard is
+  /// expensive enough that replaying it beats trusting the page cache.
+  enum class Durability { kFlush, kFsync };
+
+  /// The process-wide default: Durability::kFsync when the environment
+  /// variable JSCHED_JOURNAL_FSYNC is truthy ("1"/"true"/"yes"/"on"),
+  /// kFlush otherwise. Read once per call, so tests can flip it.
+  static Durability durability_from_env();
+
   /// Opens `path` in append mode, creating the file when missing. Throws
   /// std::runtime_error when the file cannot be opened for writing.
+  /// `durability` defaults to the JSCHED_JOURNAL_FSYNC environment switch.
   explicit AppendLog(std::string path);
+  AppendLog(std::string path, Durability durability);
+
+  ~AppendLog();
 
   AppendLog(const AppendLog&) = delete;
   AppendLog& operator=(const AppendLog&) = delete;
@@ -82,6 +99,8 @@ class AppendLog {
   std::string path_;
   std::mutex mu_;
   std::ofstream out_;
+  Durability durability_ = Durability::kFlush;
+  int fsync_fd_ = -1;  // opened only under Durability::kFsync
 };
 
 }  // namespace jsched::util
