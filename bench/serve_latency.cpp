@@ -1,0 +1,99 @@
+// serve_latency: decision-latency SLOs for the online serving daemon.
+//
+// Drives serve::serve() with the open-loop Poisson generator at three
+// offered-load levels — ~1x machine capacity, ~4x, and a 10x overload run
+// with a bounded backlog and counted sheds — for FCFS+EASY and FCFS+CONS,
+// and publishes per-round decision latency (p50/p99/p999 from the
+// log-bucketed histogram), jobs/sec and decisions/sec to BENCH_serve.json.
+//
+// All runs are free-run (speed 0): virtual time advances event-to-event,
+// so the bench measures pure decision cost, not sleeping. Overload in
+// free-run shows up as scheduler backlog, which is why the overload row
+// bounds it with max_backlog — the admitted queue depth stays bounded and
+// the surplus is shed and counted, exactly the daemon's production
+// overload story.
+//
+// Env knobs: JSCHED_SERVE_JOBS (jobs per run, default 20000),
+// JSCHED_SEED, JSCHED_MACHINE (default 256).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/factory.h"
+#include "serve/daemon.h"
+#include "serve/loadgen.h"
+#include "serve/report.h"
+#include "util/env.h"
+
+namespace {
+
+using namespace jsched;
+
+struct LoadLevel {
+  const char* label;
+  double load;              // offered work / machine capacity
+  std::size_t max_backlog;  // 0 = unbounded
+};
+
+}  // namespace
+
+int main() {
+  const bench::BenchConfig cfg = bench::config_from_env();
+  const auto jobs =
+      static_cast<std::size_t>(util::env_int("JSCHED_SERVE_JOBS", 20'000));
+  const int nodes = cfg.machine_nodes;
+
+  // Offered load of the default loadgen job shape: nodes are log2-uniform
+  // in [1, 32] (mean ~9.2) and runtimes log-uniform in [30, 3600] s (mean
+  // ~746 s), so one job carries ~6.8k node-seconds. rate_1x is the Poisson
+  // rate at which that stream saturates the machine.
+  const double mean_job_node_seconds = 9.2 * 746.0;
+  const double rate_1x = static_cast<double>(nodes) / mean_job_node_seconds;
+
+  const LoadLevel levels[] = {
+      {"1x", 1.0, 0},
+      {"4x", 4.0, 0},
+      {"overload", 10.0, 500},
+  };
+  const char* specs[] = {"FCFS+EASY", "FCFS+CONS"};
+
+  std::vector<serve::ServeRunMeta> metas;
+  std::vector<serve::ServeReport> reports;
+  for (const char* spec : specs) {
+    for (const LoadLevel& level : levels) {
+      serve::OpenLoopConfig load;
+      load.rate = rate_1x * level.load;
+      load.job_count = jobs;
+      load.seed = cfg.seed;
+      serve::OpenLoopSource source(load);
+
+      serve::ServeOptions options;
+      options.machine.nodes = nodes;
+      options.spec = core::parse_spec(spec);
+      options.speed = 0;  // free-run: measure decisions, not sleeps
+      options.queue_capacity = 256;
+      options.overload = serve::OverloadPolicy::kShed;
+      options.max_backlog = level.max_backlog;
+      const serve::ServeReport report = serve::serve(source, options);
+
+      serve::ServeRunMeta meta;
+      meta.label = std::string(spec) + " @ " + level.label;
+      meta.source = "loadgen:rate=" + std::to_string(load.rate);
+      meta.seed = cfg.seed;
+      std::printf(
+          "%-20s %7zu served %6zu shed  p50 %6llu ns  p99 %8llu ns  "
+          "p999 %9llu ns  %10.0f jobs/s  backlog peak %zu\n",
+          meta.label.c_str(), report.completed,
+          report.shed_backlog + report.shed_capacity,
+          static_cast<unsigned long long>(report.decision_latency_ns.p50()),
+          static_cast<unsigned long long>(report.decision_latency_ns.p99()),
+          static_cast<unsigned long long>(report.decision_latency_ns.p999()),
+          report.jobs_per_second, report.peak_scheduler_queue);
+      metas.push_back(meta);
+      reports.push_back(report);
+    }
+  }
+  serve::write_serve_bench("BENCH_serve.json", metas, reports);
+  return 0;
+}

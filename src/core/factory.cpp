@@ -1,5 +1,6 @@
 #include "core/factory.h"
 
+#include <cctype>
 #include <stdexcept>
 
 #include "core/easy_backfill.h"
@@ -86,6 +87,57 @@ std::unique_ptr<sim::Scheduler> make_scheduler(const AlgorithmSpec& spec) {
   }
 
   return std::make_unique<ListScheduler>(std::move(order), std::move(dispatch));
+}
+
+AlgorithmSpec parse_spec(const std::string& name, WeightKind weight) {
+  std::string upper;
+  upper.reserve(name.size());
+  for (const char c : name) {
+    upper += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  std::string order = upper;
+  std::string dispatch;
+  if (const auto plus = upper.find('+'); plus != std::string::npos) {
+    order = upper.substr(0, plus);
+    dispatch = upper.substr(plus + 1);
+  }
+
+  AlgorithmSpec spec;
+  spec.weight = weight;
+  if (order == "GG" || order == "G&G" || order == "GAREY&GRAHAM") {
+    if (!dispatch.empty()) {
+      throw std::invalid_argument("parse_spec: Garey&Graham takes no "
+                                  "dispatcher suffix: " + name);
+    }
+    spec.order = OrderKind::kFcfs;
+    spec.dispatch = DispatchKind::kFirstFit;
+    return spec;
+  }
+  if (order == "FCFS") {
+    spec.order = OrderKind::kFcfs;
+  } else if (order == "PSRS") {
+    spec.order = OrderKind::kPsrs;
+  } else if (order == "SMART-FFIA") {
+    spec.order = OrderKind::kSmartFfia;
+  } else if (order == "SMART-NFIW") {
+    spec.order = OrderKind::kSmartNfiw;
+  } else {
+    throw std::invalid_argument("parse_spec: unknown ordering policy: " +
+                                name);
+  }
+  if (dispatch.empty() || dispatch == "LIST") {
+    spec.dispatch = DispatchKind::kList;
+  } else if (dispatch == "EASY") {
+    spec.dispatch = DispatchKind::kEasy;
+  } else if (dispatch == "CONS") {
+    spec.dispatch = DispatchKind::kConservative;
+  } else if (dispatch == "CONS-C") {
+    spec.dispatch = DispatchKind::kConservative;
+    spec.conservative.full_compression = true;
+  } else {
+    throw std::invalid_argument("parse_spec: unknown dispatcher: " + name);
+  }
+  return spec;
 }
 
 std::vector<AlgorithmSpec> paper_grid(WeightKind weight) {

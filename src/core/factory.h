@@ -36,6 +36,15 @@ struct AlgorithmSpec {
 
 std::unique_ptr<sim::Scheduler> make_scheduler(const AlgorithmSpec& spec);
 
+/// Parse a display-style algorithm name into a spec: an ordering policy
+/// ("FCFS", "PSRS", "SMART-FFIA", "SMART-NFIW") optionally followed by a
+/// dispatcher ("+LIST", "+CONS", "+CONS-C", "+EASY"); "GG" / "G&G" /
+/// "GAREY&GRAHAM" selects Garey&Graham. Case-insensitive; the inverse of
+/// AlgorithmSpec::display_name for every grid member. Throws
+/// std::invalid_argument on an unknown name.
+AlgorithmSpec parse_spec(const std::string& name,
+                         WeightKind weight = WeightKind::kUnit);
+
 /// The 13 configurations of the paper's evaluation (Tables 3-6 rows x
 /// columns): {FCFS, PSRS, SMART-FFIA, SMART-NFIW} x {list, conservative,
 /// EASY} plus Garey&Graham (list only — "application of backfilling will

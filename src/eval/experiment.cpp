@@ -156,6 +156,7 @@ RunResult run_streamed(const sim::Machine& machine,
   stream_options.measure_scheduler_cpu = options.measure_cpu;
   stream_options.faults = options.faults;
   sim::CancelToken token(options.cancel);
+  token.set_clock(options.clock);
   if (options.run_deadline.count() != 0) {
     token.set_deadline_after(options.run_deadline);
   }
@@ -208,6 +209,7 @@ RunResult run_one(const sim::Machine& machine, const core::AlgorithmSpec& spec,
   // Per-run deadline token, chained to the sweep-wide token (if any) so an
   // external cancel and a local deadline both stop this run.
   sim::CancelToken token(options.cancel);
+  token.set_clock(options.clock);
   if (options.run_deadline.count() != 0) {
     token.set_deadline_after(options.run_deadline);
   }

@@ -208,6 +208,10 @@ struct ExperimentOptions {
   /// Optional sweep-wide cancellation (not owned; may be null): cancelling
   /// it aborts every in-flight run at its next event-loop iteration.
   const sim::CancelToken* cancel = nullptr;
+  /// Time source for run_deadline arming and expiry checks (not owned; may
+  /// be null = the real steady clock). Tests inject a util::ManualClock and
+  /// advance it instead of sleeping, so deadline tests are deterministic.
+  const util::Clock* clock = nullptr;
   /// Checkpoint/resume journal (not owned; may be null). Completed cells
   /// are recorded; cells whose key is already journaled are skipped and
   /// their stored RunResult returned with attempts == 0. Works under every

@@ -94,10 +94,50 @@ CoordinatorReport run_shard_coordinator(const CoordinatorConfig& config) {
   };
   for (std::size_t i = 0; i < n; ++i) launch(i);
 
+  util::Clock& clock =
+      config.clock != nullptr ? *config.clock : util::real_clock();
+
+  // Graceful drain: SIGTERM everyone still running, give them drain_grace
+  // to flush and exit, SIGKILL the rest. Journals survive either way; the
+  // drained shards stay not-ok so the caller knows the sweep is partial.
+  const auto drain = [&](std::size_t& live_count) {
+    report.stopped_by_request = true;
+    say("stop requested: draining " + std::to_string(live_count) +
+        " live shard(s)");
+    for (std::size_t i = 0; i < n; ++i) {
+      if (procs[i].has_value()) procs[i]->kill(SIGTERM);
+    }
+    const auto deadline = clock.now() + config.drain_grace;
+    while (live_count > 0 && clock.now() < deadline) {
+      clock.sleep_for(config.poll_interval);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!procs[i].has_value()) continue;
+        const std::optional<util::ExitStatus> status = procs[i]->poll();
+        if (!status.has_value()) continue;
+        report.shards[i].last_exit = *status;
+        procs[i].reset();
+        --live_count;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!procs[i].has_value()) continue;
+      say("shard " + std::to_string(i) + ": unresponsive after " +
+          std::to_string(config.drain_grace.count()) + "ms, killing");
+      procs[i]->kill();
+      report.shards[i].last_exit = procs[i]->wait();
+      procs[i].reset();
+      --live_count;
+    }
+  };
+
   std::size_t live = n;
-  auto last_beat = std::chrono::steady_clock::now();
+  auto last_beat = clock.now();
   while (live > 0) {
-    std::this_thread::sleep_for(config.poll_interval);
+    if (config.poll_stop && config.poll_stop()) {
+      drain(live);
+      break;
+    }
+    clock.sleep_for(config.poll_interval);
     for (std::size_t i = 0; i < n; ++i) {
       if (!procs[i].has_value()) continue;
       const std::optional<util::ExitStatus> status = procs[i]->poll();
@@ -125,7 +165,7 @@ CoordinatorReport run_shard_coordinator(const CoordinatorConfig& config) {
             "; restart budget exhausted, giving up on this shard");
       }
     }
-    const auto now = std::chrono::steady_clock::now();
+    const auto now = clock.now();
     if (live > 0 && config.progress_interval.count() > 0 &&
         now - last_beat >= config.progress_interval) {
       last_beat = now;

@@ -21,6 +21,7 @@
 
 #include "eval/shard.h"
 #include "sim/machine.h"
+#include "util/clock.h"
 #include "util/subprocess.h"
 
 namespace jsched::eval {
@@ -94,6 +95,18 @@ struct CoordinatorConfig {
   /// Cadence of the journal-tail progress heartbeat (0 = silent).
   std::chrono::milliseconds progress_interval{2000};
   std::function<void(const std::string&)> log;
+  /// Polled once per loop iteration (may be empty). Returning true starts
+  /// a graceful drain: every live worker gets SIGTERM, the coordinator
+  /// waits up to `drain_grace` for them to exit (their journals keep every
+  /// completed cell), SIGKILLs stragglers, and returns with
+  /// stopped_by_request set. tools/sweepd wires this to SignalDrain so ^C
+  /// produces a summary instead of a mess of orphans.
+  std::function<bool()> poll_stop;
+  /// How long a drain waits for SIGTERM'd workers before SIGKILL.
+  std::chrono::milliseconds drain_grace{3000};
+  /// Time source for poll sleeps and the progress/drain timers (null = the
+  /// real clock). Tests drive the loop with a util::ManualClock.
+  util::Clock* clock = nullptr;
 };
 
 struct ShardStatus {
@@ -106,6 +119,11 @@ struct ShardStatus {
 
 struct CoordinatorReport {
   std::vector<ShardStatus> shards;
+  /// True when poll_stop ended the sweep early: still-running shards were
+  /// drained (SIGTERM, grace, SIGKILL) and are reported not-ok. The caller
+  /// should exit nonzero — the sweep is incomplete, though every journaled
+  /// cell survives for a resumed run.
+  bool stopped_by_request = false;
 
   bool all_ok() const {
     for (const ShardStatus& s : shards) {

@@ -1,0 +1,371 @@
+#include "serve/daemon.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace jsched::serve {
+
+namespace {
+
+/// A scheduled completion, ordered (t, id) like the offline simulator's.
+struct Completion {
+  Time t;
+  JobId id;
+  bool operator>(const Completion& o) const noexcept {
+    return t != o.t ? t > o.t : id > o.id;
+  }
+};
+
+/// Per-live-job state (the fault-free slice of the streaming simulator's
+/// Slot): jobs admitted but whose record is not yet final.
+struct Slot {
+  Job job;
+  sim::JobRecord rec;
+  bool running = false;
+  bool done = false;
+};
+
+}  // namespace
+
+ServeReport serve(Feed& feed, const ServeOptions& options) {
+  options.machine.validate();
+  if (options.queue_capacity < 1) {
+    throw std::invalid_argument("serve: queue_capacity must be >= 1");
+  }
+  if (options.speed < 0) {
+    throw std::invalid_argument("serve: speed must be >= 0");
+  }
+
+  util::Clock& clock =
+      options.clock != nullptr ? *options.clock : util::real_clock();
+  const bool paced_at_start = options.speed > 0;
+  bool paced = paced_at_start;
+  const double speed = options.speed;
+  const util::Clock::time_point epoch = clock.now();
+
+  // Virtual/wall mapping. vnow = floor(elapsed * speed); an event at
+  // virtual t falls due at epoch + ceil(t / speed) — the ceil guarantees
+  // vnow(due(t)) >= t, so sleeping until due never wakes early.
+  const auto vnow = [&]() -> Time {
+    if (!paced) return kTimeInfinity;
+    const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        clock.now() - epoch);
+    return static_cast<Time>(
+        std::floor(static_cast<double>(elapsed.count()) * speed * 1e-9));
+  };
+  const auto due_wall = [&](Time t) -> util::Clock::time_point {
+    const double ns = std::ceil(static_cast<double>(t) * 1e9 / speed);
+    return epoch + std::chrono::nanoseconds(static_cast<std::int64_t>(ns));
+  };
+
+  auto scheduler = options.scheduler_factory
+                       ? options.scheduler_factory(options.spec)
+                       : core::make_scheduler(options.spec);
+  scheduler->reset(options.machine);
+
+  ServeReport report;
+  report.scheduler_name = scheduler->name();
+  metrics::StreamingAggregator aggregator(options.machine.nodes);
+
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<>>
+      completions;
+  std::deque<Slot> window;  // slots for ids [frontier, frontier+size)
+  JobId frontier = 0;
+  JobId next_id = 0;
+  std::size_t undone = 0;
+  int free_nodes = options.machine.nodes;
+  Time prev_t = -1;
+
+  std::deque<SubmitRecord> admission;  // accepted, not yet delivered
+  std::deque<SubmitRecord> holdover;   // polled, blocked on a full queue
+  std::vector<SubmitRecord> batch;
+  std::vector<JobId> starts;
+  std::vector<JobId> completed;
+  starts.reserve(64);
+  completed.reserve(64);
+  bool feed_open = true;
+  Time last_stamp = 0;  // admission stamps are non-decreasing
+
+  const auto slot_of = [&](JobId id) -> Slot& { return window[id - frontier]; };
+
+  // Stamp + enqueue one polled record; returns false when it was dropped
+  // (shed / rejected). `from_holdover` marks records admitted late under
+  // kBlock backpressure.
+  const auto admit = [&](SubmitRecord r, bool from_holdover) {
+    if (r.nodes < 1 || r.runtime < 1 || r.estimate < 1 ||
+        r.nodes > options.machine.nodes) {
+      ++report.rejected_invalid;
+      if (options.log) {
+        options.log("rejected: " + std::to_string(r.nodes) + " nodes / " +
+                    std::to_string(r.estimate) + "s estimate (machine has " +
+                    std::to_string(options.machine.nodes) + " nodes)");
+      }
+      return;
+    }
+    if (options.max_backlog > 0 &&
+        scheduler->queue_length() + admission.size() >= options.max_backlog) {
+      ++report.shed_backlog;
+      return;
+    }
+    // Time can only move forward: a live record is stamped "now", and a
+    // timed record that shows up after its moment is clamped to the
+    // monotone floor (counted — late explicit submits are a client bug
+    // worth surfacing, not a daemon crash).
+    const Time floor_t = std::max<Time>(last_stamp, std::max<Time>(prev_t, 0));
+    Time stamp;
+    if (r.submit < 0) {
+      const Time v = paced ? vnow() : floor_t;
+      stamp = std::max(v, floor_t);
+    } else {
+      stamp = std::max(r.submit, floor_t);
+      if (stamp != r.submit) ++report.late_arrivals;
+    }
+    if (from_holdover) ++report.delayed_admissions;
+    r.submit = stamp;
+    last_stamp = stamp;
+    admission.push_back(r);
+    report.peak_admission_queue =
+        std::max(report.peak_admission_queue, admission.size());
+  };
+
+  auto last_report = clock.now();
+
+  while (true) {
+    // Signals: 1 = drain (stop intake, finish at full speed), 2 = abort.
+    if (options.poll_signal) {
+      const int sig = options.poll_signal();
+      if (sig >= 2) {
+        report.aborted = true;
+        break;
+      }
+      if (sig >= 1 && !report.drained) {
+        report.drained = true;
+        feed_open = false;
+        paced = false;
+        report.dropped_on_drain += holdover.size();
+        holdover.clear();
+        if (options.log) {
+          options.log("drain: feed closed, finishing " +
+                      std::to_string(undone + admission.size()) +
+                      " admitted job(s)");
+        }
+      }
+    }
+
+    if (!feed_open && holdover.empty() && admission.empty() && undone == 0) {
+      break;  // served everything
+    }
+
+    // Move blocked records into the queue as space frees up.
+    while (!holdover.empty() && admission.size() < options.queue_capacity) {
+      admit(holdover.front(), /*from_holdover=*/true);
+      holdover.pop_front();
+    }
+
+    // Next event from local state alone.
+    Time t = kTimeInfinity;
+    if (!admission.empty()) t = admission.front().submit;
+    if (!completions.empty()) t = std::min(t, completions.top().t);
+    const Time wake = scheduler->next_wakeup(prev_t);
+    if (wake > prev_t && wake < t) t = wake;
+
+    // Poll the feed. Paced: deliver whatever wall time has made due.
+    // Free-run: deliver only up to the next event (min(t, next_submit)) so
+    // a replayed trace streams through the bounded queue instead of being
+    // inhaled whole.
+    if (feed_open && holdover.empty() &&
+        (options.overload == OverloadPolicy::kShed ||
+         admission.size() < options.queue_capacity)) {
+      const Time ns = feed.next_submit();
+      const Time poll_at = paced ? vnow() : std::min(t, ns);
+      batch.clear();
+      feed_open = feed.poll(poll_at, batch);
+      for (const SubmitRecord& r : batch) {
+        if (admission.size() >= options.queue_capacity) {
+          if (options.overload == OverloadPolicy::kShed) {
+            ++report.shed_capacity;
+          } else {
+            holdover.push_back(r);
+          }
+          continue;
+        }
+        if (!holdover.empty()) {
+          holdover.push_back(r);  // keep arrival order behind blocked ones
+          continue;
+        }
+        admit(r, /*from_holdover=*/false);
+      }
+      // Recompute the event horizon — the poll may have admitted earlier
+      // arrivals.
+      t = kTimeInfinity;
+      if (!admission.empty()) t = admission.front().submit;
+      if (!completions.empty()) t = std::min(t, completions.top().t);
+      const Time wake2 = scheduler->next_wakeup(prev_t);
+      if (wake2 > prev_t && wake2 < t) t = wake2;
+    }
+
+    // The replay gate: while the feed still knows of arrivals at or before
+    // t, admit them first — equal-submit batches must reach the scheduler
+    // together, exactly as the offline simulator delivers them. A full
+    // kBlock queue overrides the gate (the arrival will be delayed; that
+    // is what backpressure means).
+    if (feed_open && holdover.empty()) {
+      const Time ns = feed.next_submit();
+      if (ns <= t) {
+        if (paced && vnow() < ns) clock.sleep_until(due_wall(ns));
+        continue;  // next iteration's poll picks it up
+      }
+    }
+
+    if (t == kTimeInfinity) {
+      if (!feed_open) {
+        if (undone > 0) {
+          throw std::logic_error("serve: no events left but " +
+                                 std::to_string(undone) + " jobs pending (" +
+                                 scheduler->name() + " starved them)");
+        }
+        continue;  // loop head terminates
+      }
+      // Live feed, nothing buffered: wait for input.
+      clock.sleep_for(options.poll_granularity);
+      continue;
+    }
+
+    if (paced && vnow() < t) {
+      // Wait for the event to fall due — but keep polling a live feed at
+      // poll_granularity so an earlier arrival can preempt it.
+      const auto due = due_wall(t);
+      if (feed_open) {
+        clock.sleep_until(
+            std::min(due, clock.now() + options.poll_granularity));
+      } else {
+        clock.sleep_until(due);
+      }
+      continue;
+    }
+
+    // ---- Process the event at t (offline event order: completions,
+    // arrivals, starts). One round = one decision sample.
+    prev_t = t;
+    const auto decision_start = clock.now();
+
+    completed.clear();
+    while (!completions.empty() && completions.top().t == t) {
+      const Completion c = completions.top();
+      completions.pop();
+      Slot& s = slot_of(c.id);
+      free_nodes += s.job.nodes;
+      s.running = false;
+      s.done = true;
+      --undone;
+      completed.push_back(c.id);
+    }
+    for (JobId id : completed) scheduler->on_complete(id, t);
+
+    while (!admission.empty() && admission.front().submit <= t) {
+      const SubmitRecord r = admission.front();
+      admission.pop_front();
+      window.emplace_back();
+      Slot& s = window.back();
+      s.job.id = next_id++;
+      s.job.submit = r.submit;
+      s.job.nodes = r.nodes;
+      s.job.runtime = r.runtime;
+      s.job.estimate = r.estimate;
+      s.job.user = r.user;
+      ++undone;
+      ++report.submitted;
+      scheduler->on_submit(Submission(s.job), t);
+    }
+
+    while (true) {
+      scheduler->select_starts(t, free_nodes, starts);
+      if (starts.empty()) break;
+      for (JobId id : starts) {
+        if (id >= frontier + window.size()) {
+          throw std::logic_error("serve: scheduler started unknown job");
+        }
+        if (id < frontier) {
+          throw std::logic_error("serve: scheduler started job " +
+                                 std::to_string(id) + " twice");
+        }
+        Slot& s = slot_of(id);
+        if (s.running || s.done) {
+          throw std::logic_error("serve: scheduler started job " +
+                                 std::to_string(id) + " twice");
+        }
+        if (s.job.nodes > free_nodes) {
+          throw std::logic_error(
+              "serve: scheduler oversubscribed the machine with job " +
+              std::to_string(id));
+        }
+        free_nodes -= s.job.nodes;
+        s.running = true;
+        // Rule 2: jobs run min(runtime, estimate); one that would exceed
+        // its estimate is cut off there and recorded as cancelled.
+        const Duration lifetime = std::min(s.job.runtime, s.job.estimate);
+        s.rec.submit = s.job.submit;
+        s.rec.start = t;
+        s.rec.nodes = s.job.nodes;
+        s.rec.end = t + lifetime;
+        s.rec.cancelled = s.job.runtime > s.job.estimate;
+        completions.push({t + lifetime, id});
+      }
+    }
+
+    const auto decision_end = clock.now();
+    report.decision_latency_ns.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(decision_end -
+                                                             decision_start)
+            .count()));
+    ++report.decisions;
+    report.peak_scheduler_queue =
+        std::max(report.peak_scheduler_queue, scheduler->queue_length());
+
+    // Finalize records in JobId order (what makes the aggregator — and its
+    // fingerprint — bit-identical to the offline pipeline).
+    while (!window.empty() && window.front().done) {
+      const Slot& s = window.front();
+      aggregator.on_record(frontier, s.rec, s.job);
+      report.virtual_makespan = std::max(report.virtual_makespan, s.rec.end);
+      ++report.completed;
+      window.pop_front();
+      ++frontier;
+    }
+
+    if (options.report_interval.count() > 0 && options.log &&
+        decision_end - last_report >= options.report_interval) {
+      last_report = decision_end;
+      options.log(
+          "t=" + std::to_string(t) + " submitted=" +
+          std::to_string(report.submitted) + " completed=" +
+          std::to_string(report.completed) + " queue=" +
+          std::to_string(scheduler->queue_length()) + " admission=" +
+          std::to_string(admission.size()) + " shed=" +
+          std::to_string(report.shed_capacity + report.shed_backlog) +
+          " p99=" + std::to_string(report.decision_latency_ns.p99()) + "ns");
+    }
+  }
+
+  const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      clock.now() - epoch);
+  report.wall_seconds = static_cast<double>(elapsed.count()) * 1e-9;
+  if (report.wall_seconds > 0) {
+    report.jobs_per_second =
+        static_cast<double>(report.completed) / report.wall_seconds;
+    report.decisions_per_second =
+        static_cast<double>(report.decisions) / report.wall_seconds;
+  }
+  if (report.completed > 0) {
+    report.metrics = aggregator.finish();
+    report.has_metrics = true;
+    report.schedule_fnv = report.metrics.schedule_fnv;
+  }
+  return report;
+}
+
+}  // namespace jsched::serve

@@ -1,0 +1,139 @@
+// The serve daemon: the simulator core as a long-lived online service.
+//
+// serve() drives one scheduler incrementally as submissions arrive from a
+// Feed, making decisions against *virtual* time mapped from the wall
+// clock: with `speed` = s, virtual second t falls due at wall nanosecond
+// ceil(t * 1e9 / s) after the run's epoch, and the current virtual time is
+// floor(elapsed * s). The ceil/floor pairing guarantees that sleeping
+// until an event's due time always lands at vnow >= t, so paced runs never
+// process an event early. speed = 0 is free-run: no pacing, the loop
+// processes events as fast as it can (replay verification, benches, CI).
+//
+// Bit-identity with the offline simulator: the decision loop replicates
+// sim::simulate_stream's fault-free event order exactly — at each event
+// time, completions, then arrivals, then start decisions, with the same
+// next_wakeup guard and the same (t, id)-ordered completion queue — and it
+// refuses to process any event at t >= Feed::next_submit(), so equal-time
+// arrival batches reach the scheduler together just as a replayed trace
+// delivers them offline. Serving a trace through a JobSourceFeed therefore
+// produces the *same schedule fingerprint* as sim::simulate on the same
+// workload, which is the acceptance test for the whole subsystem.
+//
+// Overload: an admission queue of `queue_capacity` buffers submissions
+// between feed and scheduler. When it is full, kBlock applies backpressure
+// (the feed is not polled; the transport's own buffering absorbs or blocks
+// the producer) while kShed drops new submissions and counts them. An
+// optional `max_backlog` bounds admission + scheduler queue together and
+// sheds above it regardless of policy — the daemon's memory stays bounded
+// under arbitrarily long overload instead of OOMing like an unbounded
+// queue would.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/factory.h"
+#include "metrics/streaming.h"
+#include "serve/feed.h"
+#include "sim/machine.h"
+#include "sim/scheduler.h"
+#include "util/clock.h"
+#include "util/latency.h"
+
+namespace jsched::serve {
+
+enum class OverloadPolicy {
+  kBlock,  // full queue: stop polling the feed (backpressure)
+  kShed,   // full queue: drop the submission, count it
+};
+
+struct ServeOptions {
+  sim::Machine machine;
+  core::AlgorithmSpec spec;
+
+  /// Virtual seconds per wall second; 0 = free-run (no pacing).
+  double speed = 0.0;
+
+  /// Admission queue bound (submissions accepted but not yet delivered to
+  /// the scheduler). Must be >= 1.
+  std::size_t queue_capacity = 4096;
+  OverloadPolicy overload = OverloadPolicy::kBlock;
+  /// Bound on admission queue + scheduler queue together; submissions
+  /// beyond it are shed (counted separately) under either policy.
+  /// 0 = unlimited.
+  std::size_t max_backlog = 0;
+
+  /// Time source (null = the real clock). Tests inject util::ManualClock:
+  /// sleeps jump virtual time forward and decision latencies read 0 —
+  /// fully deterministic serve runs.
+  util::Clock* clock = nullptr;
+
+  /// How often to poll a live feed while idle / waiting for a far event.
+  std::chrono::milliseconds poll_granularity{20};
+
+  /// Cadence of one-line progress reports through `log` (0 = silent).
+  std::chrono::milliseconds report_interval{0};
+  std::function<void(const std::string&)> log;
+
+  /// Polled once per loop: 0 = run, 1 = drain (stop polling the feed,
+  /// finish admitted work at full speed, then return), >= 2 = abort now
+  /// (return immediately; in-flight jobs are dropped from the metrics).
+  /// tools/schedd wires this to util::SignalDrain::count.
+  std::function<int()> poll_signal;
+
+  /// Scheduler construction override (tests); null = core::make_scheduler.
+  std::function<std::unique_ptr<sim::Scheduler>(const core::AlgorithmSpec&)>
+      scheduler_factory;
+};
+
+struct ServeReport {
+  std::string scheduler_name;
+
+  // Admission accounting.
+  std::size_t submitted = 0;         // jobs delivered to the scheduler
+  std::size_t completed = 0;         // jobs whose record was finalized
+  std::size_t shed_capacity = 0;     // dropped: admission queue full (kShed)
+  std::size_t shed_backlog = 0;      // dropped: max_backlog guard
+  std::size_t rejected_invalid = 0;  // dropped: malformed / wider than machine
+  std::size_t late_arrivals = 0;     // timed records clamped forward in time
+  std::size_t delayed_admissions = 0;  // admitted late under kBlock pressure
+  std::size_t dropped_on_drain = 0;    // polled but unadmitted at drain
+
+  // Depth / decision instrumentation.
+  std::size_t peak_admission_queue = 0;
+  std::size_t peak_scheduler_queue = 0;
+  std::size_t decisions = 0;  // event-loop scheduling rounds
+  /// Wall nanoseconds per scheduling round (completions + arrivals +
+  /// select_starts at one event time), measured with the daemon's clock.
+  util::LatencyHistogram decision_latency_ns;
+
+  // Throughput.
+  double wall_seconds = 0.0;
+  double jobs_per_second = 0.0;       // completed / wall
+  double decisions_per_second = 0.0;  // decisions / wall
+  Time virtual_makespan = 0;
+
+  // Outcome flags.
+  bool drained = false;  // ended by a drain request (signal)
+  bool aborted = false;  // ended by an abort request (second signal)
+
+  /// Full streamed metrics (ART, utilization, schedule_fnv, ...) over the
+  /// completed jobs; valid iff has_metrics (at least one job completed).
+  bool has_metrics = false;
+  metrics::StreamedMetrics metrics;
+  /// Convenience copy of metrics.schedule_fnv (0 when !has_metrics): the
+  /// bit-identity witness against the offline simulator.
+  std::uint64_t schedule_fnv = 0;
+};
+
+/// Run the daemon until the feed ends and all admitted work completes (or
+/// a drain/abort is requested). Throws std::invalid_argument on bad
+/// options and std::logic_error on scheduler contract violations, exactly
+/// like the offline simulator.
+ServeReport serve(Feed& feed, const ServeOptions& options);
+
+}  // namespace jsched::serve

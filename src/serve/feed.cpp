@@ -1,0 +1,339 @@
+#include "serve/feed.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace jsched::serve {
+
+namespace {
+
+/// Split `line` into whitespace-separated tokens (no allocation per char).
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ' && line[j] != '\t') ++j;
+    if (j > i) tokens.emplace_back(line.substr(i, j - i));
+    i = j;
+  }
+  return tokens;
+}
+
+bool to_i64(const std::string& s, std::int64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  out = v;
+  return true;
+}
+
+ParseResult fail(std::string* error, const std::string& why) {
+  if (error != nullptr) *error = why;
+  return ParseResult::kError;
+}
+
+}  // namespace
+
+ParseResult parse_submit_line(const std::string& line, SubmitRecord& out,
+                              std::string* error) {
+  // Strip a trailing CR so socket clients may send CRLF.
+  std::string body = line;
+  if (!body.empty() && body.back() == '\r') body.pop_back();
+  const std::size_t first = body.find_first_not_of(" \t");
+  if (first == std::string::npos) return ParseResult::kSkip;
+  if (body[first] == '#') return ParseResult::kSkip;
+
+  std::vector<std::string> tokens = tokenize(body);
+  if (tokens.size() == 1 && tokens[0] == "end") return ParseResult::kEnd;
+
+  SubmitRecord r;
+  std::size_t k = 0;
+  if (tokens[0][0] == '@') {
+    std::int64_t submit = 0;
+    if (!to_i64(tokens[0].substr(1), submit) || submit < 0) {
+      return fail(error, "bad @submit field: " + tokens[0]);
+    }
+    r.submit = submit;
+    k = 1;
+  }
+  if (tokens.size() - k < 3 || tokens.size() - k > 4) {
+    return fail(error,
+                "expected [@submit] nodes runtime estimate [user]: " + body);
+  }
+  std::int64_t nodes = 0, runtime = 0, estimate = 0, user = 0;
+  if (!to_i64(tokens[k], nodes) || nodes < 1) {
+    return fail(error, "bad nodes field: " + tokens[k]);
+  }
+  if (!to_i64(tokens[k + 1], runtime) || runtime < 1) {
+    return fail(error, "bad runtime field: " + tokens[k + 1]);
+  }
+  if (!to_i64(tokens[k + 2], estimate) || estimate < 1) {
+    return fail(error, "bad estimate field: " + tokens[k + 2]);
+  }
+  if (tokens.size() - k == 4 && !to_i64(tokens[k + 3], user)) {
+    return fail(error, "bad user field: " + tokens[k + 3]);
+  }
+  r.nodes = static_cast<int>(nodes);
+  r.runtime = runtime;
+  r.estimate = estimate;
+  r.user = static_cast<std::int32_t>(user);
+  out = r;
+  return ParseResult::kRecord;
+}
+
+// ---------------------------------------------------------------- ScriptFeed
+
+ScriptFeed::ScriptFeed(std::vector<SubmitRecord> records)
+    : records_(std::move(records)) {
+  Time prev = 0;
+  for (const SubmitRecord& r : records_) {
+    if (r.submit < 0) {
+      throw std::invalid_argument("ScriptFeed: live (-1) submits not allowed");
+    }
+    if (r.submit < prev) {
+      throw std::invalid_argument("ScriptFeed: submits must be sorted");
+    }
+    prev = r.submit;
+  }
+}
+
+bool ScriptFeed::poll(Time vnow, std::vector<SubmitRecord>& out) {
+  while (pos_ < records_.size() && records_[pos_].submit <= vnow) {
+    out.push_back(records_[pos_++]);
+  }
+  return pos_ < records_.size();
+}
+
+Time ScriptFeed::next_submit() const {
+  return pos_ < records_.size() ? records_[pos_].submit : kTimeInfinity;
+}
+
+// ------------------------------------------------------------- JobSourceFeed
+
+JobSourceFeed::JobSourceFeed(workload::JobSource& source) : source_(&source) {
+  pull();
+}
+
+void JobSourceFeed::pull() { has_pending_ = source_->next(pending_); }
+
+bool JobSourceFeed::poll(Time vnow, std::vector<SubmitRecord>& out) {
+  while (has_pending_ && pending_.submit <= vnow) {
+    SubmitRecord r;
+    r.submit = pending_.submit;
+    r.nodes = pending_.nodes;
+    r.runtime = pending_.runtime;
+    r.estimate = pending_.estimate;
+    r.user = pending_.user;
+    out.push_back(r);
+    pull();
+  }
+  return has_pending_;
+}
+
+Time JobSourceFeed::next_submit() const {
+  return has_pending_ ? pending_.submit : kTimeInfinity;
+}
+
+// ---------------------------------------------------------------- FdLineFeed
+
+FdLineFeed::FdLineFeed(int fd, bool tail, bool close_fd)
+    : fd_(fd), tail_(tail), close_fd_(close_fd) {
+  const int flags = fcntl(fd_, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+}
+
+FdLineFeed::~FdLineFeed() {
+  if (close_fd_ && fd_ >= 0) ::close(fd_);
+}
+
+void FdLineFeed::drain_fd() {
+  if (eof_ || ended_) return;
+  char buf[16384];
+  while (true) {
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      partial_.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      // In tail mode EOF just means "caught up" — keep watching.
+      if (!tail_) eof_ = true;
+      return;
+    }
+    return;  // EAGAIN/EINTR/...: no more data right now
+  }
+}
+
+void FdLineFeed::parse_buffered() {
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t nl = partial_.find('\n', start);
+    if (nl == std::string::npos) break;
+    const std::string line = partial_.substr(start, nl - start);
+    start = nl + 1;
+    if (ended_) continue;  // protocol over; drop trailing lines
+    SubmitRecord r;
+    std::string err;
+    switch (parse_submit_line(line, r, &err)) {
+      case ParseResult::kRecord:
+        parsed_.push_back(r);
+        break;
+      case ParseResult::kEnd:
+        ended_ = true;
+        break;
+      case ParseResult::kError:
+        ++parse_errors_;
+        std::fprintf(stderr, "feed: %s\n", err.c_str());
+        break;
+      case ParseResult::kSkip:
+        break;
+    }
+  }
+  partial_.erase(0, start);
+}
+
+bool FdLineFeed::poll(Time vnow, std::vector<SubmitRecord>& out) {
+  drain_fd();
+  parse_buffered();
+  while (!parsed_.empty()) {
+    const SubmitRecord& front = parsed_.front();
+    if (front.submit >= 0 && front.submit > vnow) break;
+    out.push_back(front);
+    parsed_.pop_front();
+  }
+  if (parsed_.empty() && (ended_ || eof_)) return false;
+  return true;
+}
+
+Time FdLineFeed::next_submit() const {
+  if (!parsed_.empty() && parsed_.front().submit >= 0) {
+    return parsed_.front().submit;
+  }
+  return kTimeInfinity;
+}
+
+// ------------------------------------------------------------------- TcpFeed
+
+TcpFeed::TcpFeed(std::uint16_t port) : listen_fd_(-1), port_(0) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("TcpFeed: socket() failed");
+  }
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // localhost only
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("TcpFeed: cannot bind 127.0.0.1:" +
+                             std::to_string(port));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+}
+
+TcpFeed::~TcpFeed() {
+  for (const Client& c : clients_) ::close(c.fd);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void TcpFeed::accept_clients() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) return;
+    clients_.push_back(Client{fd, {}});
+  }
+}
+
+void TcpFeed::drain_clients() {
+  for (std::size_t i = 0; i < clients_.size();) {
+    Client& c = clients_[i];
+    char buf[16384];
+    bool closed = false;
+    while (true) {
+      const ssize_t n = ::read(c.fd, buf, sizeof(buf));
+      if (n > 0) {
+        c.partial.append(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) closed = true;
+      break;
+    }
+    // Parse complete lines from this client's buffer.
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t nl = c.partial.find('\n', start);
+      if (nl == std::string::npos) break;
+      const std::string line = c.partial.substr(start, nl - start);
+      start = nl + 1;
+      if (ended_) continue;
+      SubmitRecord r;
+      std::string err;
+      switch (parse_submit_line(line, r, &err)) {
+        case ParseResult::kRecord:
+          parsed_.push_back(r);
+          break;
+        case ParseResult::kEnd:
+          ended_ = true;
+          break;
+        case ParseResult::kError:
+          ++parse_errors_;
+          std::fprintf(stderr, "feed: %s\n", err.c_str());
+          break;
+        case ParseResult::kSkip:
+          break;
+      }
+    }
+    c.partial.erase(0, start);
+    if (closed) {
+      ::close(c.fd);
+      clients_.erase(clients_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+bool TcpFeed::poll(Time vnow, std::vector<SubmitRecord>& out) {
+  if (!ended_) {
+    accept_clients();
+    drain_clients();
+  }
+  while (!parsed_.empty()) {
+    const SubmitRecord& front = parsed_.front();
+    if (front.submit >= 0 && front.submit > vnow) break;
+    out.push_back(front);
+    parsed_.pop_front();
+  }
+  return !(ended_ && parsed_.empty());
+}
+
+Time TcpFeed::next_submit() const {
+  if (!parsed_.empty() && parsed_.front().submit >= 0) {
+    return parsed_.front().submit;
+  }
+  return kTimeInfinity;
+}
+
+}  // namespace jsched::serve

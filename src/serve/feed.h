@@ -1,0 +1,179 @@
+// Submission feeds: where the serve daemon's jobs come from.
+//
+// The daemon is transport-agnostic; a Feed hides whether submissions come
+// from a replayed trace, an in-memory script, a pipe/tailed file, or a
+// localhost TCP socket. All transports speak one line protocol:
+//
+//   @<submit> <nodes> <runtime> <estimate> [user]   timed record (replay)
+//   <nodes> <runtime> <estimate> [user]             live record (submit = now)
+//   end                                             close the feed
+//   # ...                                           comment (ignored)
+//
+// `runtime` rides along because the daemon *simulates* execution — it is
+// the simulator side of the paper's information boundary; schedulers still
+// only ever see the Submission slice (nodes + estimate).
+//
+// The contract that makes replay serving bit-identical to the offline
+// simulator: `next_submit()` exposes the earliest *known future* arrival
+// so the decision loop can refuse to process any event at t >=
+// next_submit() before admitting it — equal-submit arrival batches then
+// reach the scheduler together, exactly as sim::simulate delivers them.
+// Live transports cannot know the future and return kTimeInfinity: no
+// gating, submissions are stamped as they arrive.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+#include "workload/job.h"
+#include "workload/job_source.h"
+
+namespace jsched::serve {
+
+/// One submission as it crosses the wire — a Job minus the id (the daemon
+/// assigns dense ids at admission, after overload shedding).
+struct SubmitRecord {
+  Time submit = -1;  // virtual seconds; -1 = live ("now" at admission)
+  int nodes = 1;
+  Duration runtime = 1;
+  Duration estimate = 1;
+  std::int32_t user = 0;
+};
+
+enum class ParseResult {
+  kRecord,  // a SubmitRecord was produced
+  kSkip,    // blank line or comment
+  kEnd,     // the "end" sentinel
+  kError,   // malformed (error message in *error)
+};
+
+/// Parse one protocol line (no trailing newline). On kError, `*error`
+/// (when non-null) receives a description.
+ParseResult parse_submit_line(const std::string& line, SubmitRecord& out,
+                              std::string* error = nullptr);
+
+class Feed {
+ public:
+  virtual ~Feed() = default;
+  Feed(const Feed&) = delete;
+  Feed& operator=(const Feed&) = delete;
+
+  /// Append every submission available at virtual time `vnow` to `out`
+  /// (kTimeInfinity = deliver everything you have — free-run). Returns
+  /// false once the feed has ended AND every record was delivered; a false
+  /// return is terminal.
+  virtual bool poll(Time vnow, std::vector<SubmitRecord>& out) = 0;
+
+  /// Earliest known future submission time, or kTimeInfinity when unknown
+  /// (live transports) or exhausted. See file comment: this is the replay
+  /// gate that keeps serving bit-identical to the offline simulator.
+  virtual Time next_submit() const = 0;
+
+ protected:
+  Feed() = default;
+};
+
+/// In-memory feed over a fixed list of records (tests, canned bursts).
+/// Records must be in non-decreasing submit order; live records (-1) are
+/// not allowed here — scripts are replay-style by definition.
+class ScriptFeed final : public Feed {
+ public:
+  explicit ScriptFeed(std::vector<SubmitRecord> records);
+
+  bool poll(Time vnow, std::vector<SubmitRecord>& out) override;
+  Time next_submit() const override;
+
+ private:
+  std::vector<SubmitRecord> records_;
+  std::size_t pos_ = 0;
+};
+
+/// Replay a workload::JobSource (trace file, synthetic generator) as a
+/// feed: every job becomes a timed record at its trace submit time. Does
+/// not own the source; one-job lookahead backs next_submit().
+class JobSourceFeed final : public Feed {
+ public:
+  explicit JobSourceFeed(workload::JobSource& source);
+
+  bool poll(Time vnow, std::vector<SubmitRecord>& out) override;
+  Time next_submit() const override;
+
+ private:
+  void pull();
+
+  workload::JobSource* source_;
+  Job pending_{};
+  bool has_pending_ = false;
+};
+
+/// Line-protocol feed over a file descriptor (stdin, a pipe, or a tailed
+/// file). Reads are non-blocking; partial lines are buffered across polls.
+/// In tail mode EOF does not end the feed (more data may be appended —
+/// `end` is the only terminator); otherwise EOF ends it. Does not own the
+/// descriptor unless `close_fd`.
+class FdLineFeed final : public Feed {
+ public:
+  FdLineFeed(int fd, bool tail, bool close_fd);
+  ~FdLineFeed() override;
+
+  bool poll(Time vnow, std::vector<SubmitRecord>& out) override;
+  /// A pipe cannot reveal the future: records already parsed are "available
+  /// now", so this is the earliest buffered timed record, else infinity.
+  Time next_submit() const override;
+
+  /// Malformed lines seen so far (each also logged to stderr).
+  std::size_t parse_errors() const noexcept { return parse_errors_; }
+
+ private:
+  void drain_fd();
+  void parse_buffered();
+
+  int fd_;
+  bool tail_;
+  bool close_fd_;
+  bool eof_ = false;
+  bool ended_ = false;
+  std::string partial_;
+  std::deque<SubmitRecord> parsed_;
+  std::size_t parse_errors_ = 0;
+};
+
+/// Localhost TCP feed: listens on 127.0.0.1:`port` (0 = ephemeral; see
+/// port()) and speaks the line protocol with any number of concurrent
+/// clients. `end` from any client ends the whole feed once every buffered
+/// record is delivered — the shared-cluster model, where one operator can
+/// close submissions. Non-blocking throughout; constructor throws
+/// std::runtime_error when the socket cannot be bound.
+class TcpFeed final : public Feed {
+ public:
+  explicit TcpFeed(std::uint16_t port);
+  ~TcpFeed() override;
+
+  bool poll(Time vnow, std::vector<SubmitRecord>& out) override;
+  Time next_submit() const override;
+
+  /// The bound port (useful with port 0).
+  std::uint16_t port() const noexcept { return port_; }
+  std::size_t parse_errors() const noexcept { return parse_errors_; }
+
+ private:
+  struct Client {
+    int fd;
+    std::string partial;
+  };
+
+  void accept_clients();
+  void drain_clients();
+
+  int listen_fd_;
+  std::uint16_t port_;
+  std::vector<Client> clients_;
+  bool ended_ = false;
+  std::deque<SubmitRecord> parsed_;
+  std::size_t parse_errors_ = 0;
+};
+
+}  // namespace jsched::serve

@@ -1,0 +1,89 @@
+// Open-loop load generation for the serve daemon.
+//
+// An *open-loop* source submits on its own schedule, never waiting for the
+// daemon — the arrival process a shared machine's users actually are, and
+// the only kind of load that can push a service past saturation (a closed
+// loop self-throttles, hiding the overload behavior this subsystem exists
+// to measure). Modeled on the prun master architecture the ROADMAP names:
+// a Poisson stream of ad-hoc jobs plus cron-style recurring templates
+// (nightly batch trains, periodic maintenance jobs).
+//
+// Deterministic: the whole arrival sequence is a pure function of the
+// config + seed (jsched's xoshiro Rng), and OpenLoopSource is a replay-
+// style Feed — submit times are known ahead, next_submit() gates — so a
+// loadgen run under a fake clock is exactly reproducible, and the same
+// seed produces the same job stream at every speed setting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/feed.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace jsched::serve {
+
+/// A recurring job template: fires at offset, offset+period, ... until the
+/// config horizon.
+struct CronTemplate {
+  Time period = 0;  // > 0
+  Time offset = 0;  // first fire time
+  int nodes = 1;
+  Duration runtime = 1;
+  Duration estimate = 1;
+  std::int32_t user = -1;
+};
+
+struct OpenLoopConfig {
+  /// Mean Poisson arrivals per virtual second (0 = cron templates only).
+  double rate = 10.0;
+  /// Generate arrivals in [0, horizon). Required when crons are present;
+  /// with rate-only configs either horizon or job_count may bound the run.
+  Time horizon = 0;
+  /// Stop the Poisson stream after this many jobs (0 = horizon-bound).
+  std::size_t job_count = 0;
+  std::uint64_t seed = 1;
+
+  // Ad-hoc job shape: nodes log2-uniform in [1, nodes_max], runtime
+  // log-uniform in [runtime_min, runtime_max], estimate = runtime unless
+  // padded by a factor up to estimate_factor_max.
+  int nodes_max = 32;
+  Duration runtime_min = 30;
+  Duration runtime_max = 3600;
+  double estimate_factor_max = 3.0;
+  /// Probability a user supplies an exact estimate (factor 1).
+  double exact_estimate_prob = 0.25;
+
+  std::vector<CronTemplate> crons;
+
+  /// Throws std::invalid_argument on inconsistent settings.
+  void validate() const;
+};
+
+/// The generator, as a Feed the daemon can serve directly.
+class OpenLoopSource final : public Feed {
+ public:
+  explicit OpenLoopSource(const OpenLoopConfig& config);
+
+  bool poll(Time vnow, std::vector<SubmitRecord>& out) override;
+  Time next_submit() const override;
+
+  /// Total records this source will ever emit (for progress reporting).
+  std::size_t emitted() const noexcept { return emitted_; }
+
+ private:
+  void advance_poisson();
+
+  OpenLoopConfig config_;
+  util::Rng arrivals_;  // inter-arrival draws
+  util::Rng shapes_;    // job-shape draws (split stream: adding a shape
+                        // field never perturbs the arrival process)
+  double poisson_clock_ = 0.0;  // fractional arrival time accumulator
+  Time next_poisson_ = kTimeInfinity;
+  std::size_t poisson_emitted_ = 0;
+  std::vector<Time> next_cron_;
+  std::size_t emitted_ = 0;
+};
+
+}  // namespace jsched::serve

@@ -1,0 +1,106 @@
+#include "serve/report.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace jsched::serve {
+
+namespace {
+
+void append(std::string& s, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void append(std::string& s, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  s += buf;
+}
+
+}  // namespace
+
+std::string serve_run_json(const ServeRunMeta& meta, const ServeReport& report,
+                           int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const char* p = pad.c_str();
+  const util::LatencyHistogram& h = report.decision_latency_ns;
+  std::string out;
+  append(out, "%s{\n", p);
+  append(out, "%s  \"label\": \"%s\",\n", p, meta.label.c_str());
+  append(out, "%s  \"source\": \"%s\",\n", p, meta.source.c_str());
+  append(out, "%s  \"scheduler\": \"%s\",\n", p,
+         report.scheduler_name.c_str());
+  append(out, "%s  \"speed\": %.3f,\n", p, meta.speed);
+  append(out, "%s  \"seed\": %" PRIu64 ",\n", p, meta.seed);
+  append(out, "%s  \"submitted\": %zu,\n", p, report.submitted);
+  append(out, "%s  \"completed\": %zu,\n", p, report.completed);
+  append(out, "%s  \"shed_capacity\": %zu,\n", p, report.shed_capacity);
+  append(out, "%s  \"shed_backlog\": %zu,\n", p, report.shed_backlog);
+  append(out, "%s  \"rejected_invalid\": %zu,\n", p, report.rejected_invalid);
+  append(out, "%s  \"late_arrivals\": %zu,\n", p, report.late_arrivals);
+  append(out, "%s  \"delayed_admissions\": %zu,\n", p,
+         report.delayed_admissions);
+  append(out, "%s  \"dropped_on_drain\": %zu,\n", p, report.dropped_on_drain);
+  append(out, "%s  \"peak_admission_queue\": %zu,\n", p,
+         report.peak_admission_queue);
+  append(out, "%s  \"peak_scheduler_queue\": %zu,\n", p,
+         report.peak_scheduler_queue);
+  append(out, "%s  \"decisions\": %zu,\n", p, report.decisions);
+  append(out,
+         "%s  \"decision_latency_ns\": {\"p50\": %" PRIu64 ", \"p99\": %" PRIu64
+         ", \"p999\": %" PRIu64 ", \"max\": %" PRIu64 ", \"mean\": %.1f},\n",
+         p, h.p50(), h.p99(), h.p999(), h.max(), h.mean());
+  append(out, "%s  \"wall_seconds\": %.3f,\n", p, report.wall_seconds);
+  append(out, "%s  \"jobs_per_second\": %.1f,\n", p, report.jobs_per_second);
+  append(out, "%s  \"decisions_per_second\": %.1f,\n", p,
+         report.decisions_per_second);
+  append(out, "%s  \"virtual_makespan\": %lld,\n", p,
+         static_cast<long long>(report.virtual_makespan));
+  append(out, "%s  \"drained\": %s,\n", p, report.drained ? "true" : "false");
+  append(out, "%s  \"aborted\": %s,\n", p, report.aborted ? "true" : "false");
+  if (report.has_metrics) {
+    append(out, "%s  \"art\": %.4f,\n", p, report.metrics.art);
+    append(out, "%s  \"utilization\": %.6f,\n", p,
+           report.metrics.utilization);
+  }
+  append(out, "%s  \"schedule_fnv\": \"%016" PRIx64 "\"\n", p,
+         report.schedule_fnv);
+  append(out, "%s}", p);
+  return out;
+}
+
+void write_serve_summary(const std::string& path, const ServeRunMeta& meta,
+                         const ServeReport& report) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"serve_summary\":\n%s\n}\n",
+               serve_run_json(meta, report, 2).c_str());
+  std::fclose(f);
+}
+
+void write_serve_bench(const std::string& path,
+                       const std::vector<ServeRunMeta>& metas,
+                       const std::vector<ServeReport>& reports) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"serve_latency\",\n  \"runs\": [\n");
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    std::fprintf(f, "%s%s\n",
+                 serve_run_json(metas[i], reports[i], 4).c_str(),
+                 i + 1 == reports.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace jsched::serve

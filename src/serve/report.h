@@ -1,0 +1,44 @@
+// SLO report serialization for the serve daemon.
+//
+// One JSON schema serves three consumers: schedd's final summary (written
+// on clean exit AND on signal drain — the operator always gets numbers),
+// bench/serve_latency's BENCH_serve.json (many labeled runs in one file),
+// and the CI smoke job, which parses the summary and enforces a p99
+// decision-latency budget. Latencies are nanoseconds; quantiles come from
+// the mergeable log-bucketed histogram (<= 3.2% overstatement, exact
+// counts).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "serve/daemon.h"
+
+namespace jsched::serve {
+
+/// Identification block of one serve run.
+struct ServeRunMeta {
+  std::string label;      // e.g. "FCFS+EASY @ 4x"
+  std::string source;     // e.g. "replay:ctc-79164" / "loadgen:rate=40"
+  double speed = 0.0;     // 0 = free-run
+  std::uint64_t seed = 0; // 0 = not applicable
+};
+
+/// One run as a JSON object (indented by `indent` spaces, no trailing
+/// newline): {"label": ..., "decision_latency_ns": {"p50": ...}, ...}.
+std::string serve_run_json(const ServeRunMeta& meta, const ServeReport& report,
+                           int indent);
+
+/// Write the standalone summary file schedd emits:
+/// {"serve_summary": <run object>}. Warns on stderr when the file cannot
+/// be opened.
+void write_serve_summary(const std::string& path, const ServeRunMeta& meta,
+                         const ServeReport& report);
+
+/// Write BENCH_serve.json: {"benchmark": "serve_latency", "runs": [...]}.
+void write_serve_bench(const std::string& path,
+                       const std::vector<ServeRunMeta>& metas,
+                       const std::vector<ServeReport>& reports);
+
+}  // namespace jsched::serve

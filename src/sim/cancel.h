@@ -21,6 +21,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/clock.h"
+
 namespace jsched::sim {
 
 /// Thrown by the simulator (from CancelToken::check) when a run is
@@ -64,10 +66,17 @@ class CancelToken {
     has_deadline_ = true;
   }
 
-  /// Deadline `budget` from now.
+  /// Deadline `budget` from now (as observed by this token's clock).
   void set_deadline_after(Clock::duration budget) {
-    set_deadline(Clock::now() + budget);
+    set_deadline(now() + budget);
   }
+
+  /// Route deadline checks through an injected time source. Null restores
+  /// the default (the real steady clock). Tests install a util::ManualClock
+  /// and *advance* it past the deadline instead of sleeping — the expiry
+  /// tests stop depending on the CI machine's scheduler. Not thread-safe:
+  /// set before sharing the token, like set_deadline.
+  void set_clock(const util::Clock* clock) noexcept { clock_ = clock; }
 
   bool cancelled() const noexcept {
     return cancelled_.load(std::memory_order_relaxed) ||
@@ -75,7 +84,7 @@ class CancelToken {
   }
 
   bool expired() const noexcept {
-    return (has_deadline_ && Clock::now() >= deadline_) ||
+    return (has_deadline_ && now() >= deadline_) ||
            (parent_ != nullptr && parent_->expired());
   }
 
@@ -94,7 +103,12 @@ class CancelToken {
   }
 
  private:
+  Clock::time_point now() const noexcept {
+    return clock_ != nullptr ? clock_->now() : Clock::now();
+  }
+
   const CancelToken* parent_ = nullptr;
+  const util::Clock* clock_ = nullptr;
   std::atomic<bool> cancelled_{false};
   bool has_deadline_ = false;
   Clock::time_point deadline_{};

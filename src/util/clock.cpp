@@ -1,0 +1,24 @@
+#include "util/clock.h"
+
+#include <thread>
+
+namespace jsched::util {
+
+namespace {
+
+class RealClock final : public Clock {
+ public:
+  time_point now() const noexcept override {
+    return std::chrono::steady_clock::now();
+  }
+  void sleep_until(time_point t) override { std::this_thread::sleep_until(t); }
+};
+
+}  // namespace
+
+Clock& real_clock() noexcept {
+  static RealClock clock;
+  return clock;
+}
+
+}  // namespace jsched::util

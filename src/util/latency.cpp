@@ -1,0 +1,75 @@
+#include "util/latency.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace jsched::util {
+
+namespace {
+
+constexpr std::uint64_t kSub = 1ULL << LatencyHistogram::kSubBits;  // 32
+
+}  // namespace
+
+std::size_t LatencyHistogram::bucket_of(std::uint64_t value) noexcept {
+  // Values below 2*kSub get one bucket each (exact); above that, 32 linear
+  // sub-buckets per power of two, so bucket width <= value / 32.
+  if (value < 2 * kSub) return static_cast<std::size_t>(value);
+  const unsigned msb = static_cast<unsigned>(std::bit_width(value)) - 1;
+  const unsigned shift = msb - kSubBits;  // >= 1 here
+  const std::uint64_t sub = (value >> shift) & (kSub - 1);
+  return static_cast<std::size_t>(shift) * kSub + kSub +
+         static_cast<std::size_t>(sub);
+}
+
+std::uint64_t LatencyHistogram::bucket_upper_bound(std::size_t index) noexcept {
+  if (index < 2 * kSub) return static_cast<std::uint64_t>(index);
+  const std::uint64_t shift = index / kSub - 1;
+  const std::uint64_t sub = index % kSub;
+  // Bucket covers [(kSub + sub) << shift, ((kSub + sub + 1) << shift) - 1].
+  return ((kSub + sub + 1) << shift) - 1;
+}
+
+void LatencyHistogram::record(std::uint64_t value) {
+  const std::size_t idx = bucket_of(value);
+  if (idx >= counts_.size()) counts_.resize(idx + 1, 0);
+  ++counts_[idx];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  if (other.counts_.size() > counts_.size()) {
+    counts_.resize(other.counts_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+std::uint64_t LatencyHistogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the sample we report: ceil(q * count), at least 1.
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  rank = std::clamp<std::uint64_t>(rank, 1, count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      return std::clamp(bucket_upper_bound(i), min_, max_);
+    }
+  }
+  return max_;  // unreachable: seen reaches count_ by the last bucket
+}
+
+}  // namespace jsched::util

@@ -1,0 +1,68 @@
+// Log-bucketed latency histogram (HdrHistogram-style, fixed precision).
+//
+// The serve daemon records one sample per scheduling decision; a run can
+// make millions of decisions, so per-sample storage is out and the summary
+// must still answer "what was p999" precisely enough to enforce an SLO.
+// Values (nanoseconds, but the class is unit-agnostic) are bucketed with
+// kSubBits sub-buckets per power of two: bucket width is at most
+// value / 2^kSubBits, so any reported quantile overstates the true sample
+// by < 2^-kSubBits (3.2% at the default 5 bits). Counts are exact, min/max/
+// sum are exact, and two histograms merge by adding bucket counts — which
+// is what lets sharded or per-scheduler runs combine their SLO reports
+// without keeping samples.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace jsched::util {
+
+class LatencyHistogram {
+ public:
+  /// Sub-bucket resolution: 2^kSubBits linear buckets per octave.
+  /// Quantile upper bounds overstate by less than 2^-kSubBits (~3.2%).
+  static constexpr unsigned kSubBits = 5;
+
+  /// Record one sample. O(1), no allocation beyond growing the (bounded,
+  /// <= ~2k entry) bucket vector to the sample's bucket.
+  void record(std::uint64_t value);
+
+  /// Fold `other` into this histogram. The result is exactly what
+  /// recording both sample streams into one histogram would have produced.
+  void merge(const LatencyHistogram& other);
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t sum() const noexcept { return sum_; }
+  /// Exact extremes; 0 when empty.
+  std::uint64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const noexcept { return max_; }
+  double mean() const noexcept {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Upper bound of the bucket holding the sample of rank ceil(q * count),
+  /// clamped into [min, max] — so quantiles of a single-valued distribution
+  /// are exact, q <= 0 returns min and q >= 1 returns max. Empty histogram
+  /// returns 0. `q` outside [0, 1] is clamped.
+  std::uint64_t quantile(double q) const noexcept;
+
+  std::uint64_t p50() const noexcept { return quantile(0.50); }
+  std::uint64_t p99() const noexcept { return quantile(0.99); }
+  std::uint64_t p999() const noexcept { return quantile(0.999); }
+
+  /// Bucket index of `value` (exposed for the boundary unit tests).
+  static std::size_t bucket_of(std::uint64_t value) noexcept;
+  /// Largest value mapping to bucket `index` (inverse of bucket_of).
+  static std::uint64_t bucket_upper_bound(std::size_t index) noexcept;
+
+ private:
+  std::vector<std::uint64_t> counts_;  // grown lazily to the highest bucket
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ULL;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace jsched::util

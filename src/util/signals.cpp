@@ -1,0 +1,50 @@
+#include "util/signals.h"
+
+#include <stdexcept>
+
+namespace jsched::util {
+
+namespace {
+
+volatile std::sig_atomic_t g_count = 0;
+volatile std::sig_atomic_t g_last = 0;
+bool g_installed = false;
+
+extern "C" void drain_handler(int sig) {
+  g_count = g_count + 1;
+  g_last = sig;
+}
+
+}  // namespace
+
+SignalDrain::SignalDrain() {
+  if (g_installed) {
+    throw std::logic_error("SignalDrain: already installed in this process");
+  }
+  g_installed = true;
+  g_count = 0;
+  g_last = 0;
+  struct sigaction sa = {};
+  sa.sa_handler = &drain_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: interrupt blocking reads so loops notice
+  sigaction(SIGINT, &sa, &prev_int_);
+  sigaction(SIGTERM, &sa, &prev_term_);
+}
+
+SignalDrain::~SignalDrain() {
+  sigaction(SIGINT, &prev_int_, nullptr);
+  sigaction(SIGTERM, &prev_term_, nullptr);
+  g_installed = false;
+}
+
+int SignalDrain::count() noexcept { return static_cast<int>(g_count); }
+
+int SignalDrain::last_signal() noexcept { return static_cast<int>(g_last); }
+
+void SignalDrain::reset() noexcept {
+  g_count = 0;
+  g_last = 0;
+}
+
+}  // namespace jsched::util

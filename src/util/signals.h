@@ -1,0 +1,44 @@
+// Cooperative SIGINT/SIGTERM draining, shared by the long-running tools.
+//
+// Both schedd (the serve daemon) and sweepd (the sharded sweep coordinator)
+// want the same shutdown contract: the first signal asks for a *drain* —
+// stop taking new work, finish or hand off what's in flight, emit the final
+// summary — and a second signal means "abort now". A plain signal() handler
+// can't carry that state safely, so SignalDrain installs async-signal-safe
+// counting handlers on construction and restores the previous disposition on
+// destruction; the polling loop reads the counters between iterations.
+#pragma once
+
+#include <csignal>
+
+namespace jsched::util {
+
+class SignalDrain {
+ public:
+  /// Installs handlers for SIGINT and SIGTERM. Only one instance may be
+  /// live at a time (the handlers count into process-wide state).
+  SignalDrain();
+  ~SignalDrain();
+
+  SignalDrain(const SignalDrain&) = delete;
+  SignalDrain& operator=(const SignalDrain&) = delete;
+
+  /// Number of SIGINT/SIGTERM received since construction.
+  static int count() noexcept;
+  /// The most recent signal number received, or 0 if none.
+  static int last_signal() noexcept;
+
+  /// First signal seen: finish in-flight work, emit the summary, exit.
+  static bool drain_requested() noexcept { return count() >= 1; }
+  /// Second signal seen: the user is impatient — stop immediately.
+  static bool abort_requested() noexcept { return count() >= 2; }
+
+  /// Reset counters (test hook; also used between schedd modes).
+  static void reset() noexcept;
+
+ private:
+  struct sigaction prev_int_;
+  struct sigaction prev_term_;
+};
+
+}  // namespace jsched::util

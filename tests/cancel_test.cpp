@@ -168,6 +168,54 @@ TEST(Cancel, ThreadedGridWithDeadlinesDrainsCleanly) {
   }
 }
 
+TEST(Cancel, ManualClockDeadlineExpiresExactlyOnAdvance) {
+  // The deadline is armed and checked against the injected clock, so the
+  // test controls expiry to the nanosecond instead of sleeping.
+  util::ManualClock clock;
+  sim::CancelToken token;
+  token.set_clock(&clock);
+  token.set_deadline_after(std::chrono::seconds(5));
+  EXPECT_FALSE(token.expired());
+  clock.advance(std::chrono::seconds(5) - std::chrono::nanoseconds(1));
+  EXPECT_FALSE(token.expired());
+  clock.advance(std::chrono::nanoseconds(1));
+  EXPECT_TRUE(token.expired());
+  try {
+    token.check();
+    FAIL() << "expected CancelledError";
+  } catch (const sim::CancelledError& e) {
+    EXPECT_EQ(e.reason(), sim::CancelledError::Reason::kDeadline);
+  }
+}
+
+TEST(Cancel, ManualClockMakesTightDeadlineDeterministic) {
+  // A 1ms budget against the real clock is a coin flip on a loaded CI
+  // machine; against a manual clock that never advances it can never fire,
+  // however slow the run — the timing-flake fix the clock adoption buys.
+  const workload::Workload w = test::small_mixed_workload();
+  sim::Machine m;
+  m.nodes = 16;
+  util::ManualClock clock;
+  eval::ExperimentOptions opt;
+  opt.measure_cpu = false;
+  opt.error_policy = eval::ErrorPolicy::kIsolate;
+  opt.run_deadline = std::chrono::milliseconds(1);
+  opt.clock = &clock;
+  const eval::RunOutcome out =
+      eval::run_one_outcome(m, core::AlgorithmSpec{}, w, opt);
+  ASSERT_TRUE(out.ok);
+
+  // And the mirror image: a frozen clock past its deadline always fires.
+  util::ManualClock expired_clock;
+  eval::ExperimentOptions late = opt;
+  late.clock = &expired_clock;
+  late.run_deadline = std::chrono::milliseconds(-1);
+  const eval::RunOutcome timed_out =
+      eval::run_one_outcome(m, core::AlgorithmSpec{}, w, late);
+  ASSERT_FALSE(timed_out.ok);
+  EXPECT_EQ(timed_out.error.kind, eval::RunErrorKind::kTimeout);
+}
+
 TEST(Cancel, GenerousDeadlineLeavesResultsBitIdentical) {
   // The deadline machinery active but not firing must not perturb the
   // schedule (inactive-options bit-identity guarantee).

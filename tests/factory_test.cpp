@@ -71,6 +71,36 @@ TEST(Factory, SchedulerIsReusableAcrossRuns) {
   }
 }
 
+TEST(Factory, ParseSpecRoundTripsTheGrid) {
+  // parse_spec(display_name) must reproduce every grid member.
+  for (const WeightKind weight :
+       {WeightKind::kUnit, WeightKind::kEstimatedArea}) {
+    for (const AlgorithmSpec& s : paper_grid(weight)) {
+      const AlgorithmSpec parsed = parse_spec(s.display_name(), weight);
+      EXPECT_EQ(parsed.order, s.order) << s.display_name();
+      EXPECT_EQ(parsed.dispatch, s.dispatch) << s.display_name();
+      EXPECT_EQ(parsed.weight, s.weight) << s.display_name();
+    }
+  }
+}
+
+TEST(Factory, ParseSpecIsCaseInsensitiveAndValidates) {
+  const AlgorithmSpec easy = parse_spec("fcfs+easy");
+  EXPECT_EQ(easy.order, OrderKind::kFcfs);
+  EXPECT_EQ(easy.dispatch, DispatchKind::kEasy);
+
+  const AlgorithmSpec cons_c = parse_spec("FCFS+cons-c");
+  EXPECT_EQ(cons_c.dispatch, DispatchKind::kConservative);
+  EXPECT_TRUE(cons_c.conservative.full_compression);
+
+  const AlgorithmSpec gg = parse_spec("gg");
+  EXPECT_EQ(gg.dispatch, DispatchKind::kFirstFit);
+
+  EXPECT_THROW(parse_spec("LIFO"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("FCFS+MAGIC"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("GG+EASY"), std::invalid_argument);
+}
+
 TEST(Factory, ToStringCoversAllKinds) {
   EXPECT_STREQ(to_string(OrderKind::kFcfs), "FCFS");
   EXPECT_STREQ(to_string(OrderKind::kPsrs), "PSRS");

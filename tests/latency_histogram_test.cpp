@@ -1,0 +1,163 @@
+#include "util/latency.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace jsched::util {
+namespace {
+
+constexpr std::uint64_t kSub = 1ULL << LatencyHistogram::kSubBits;  // 32
+
+TEST(Histogram, EmptyIsAllZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_EQ(h.p999(), 0u);
+}
+
+TEST(Histogram, SingleSampleAllQuantilesExact) {
+  LatencyHistogram h;
+  h.record(123'456'789);
+  for (double q : {0.0, 0.25, 0.5, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(h.quantile(q), 123'456'789u) << "q=" << q;
+  }
+  EXPECT_EQ(h.min(), 123'456'789u);
+  EXPECT_EQ(h.max(), 123'456'789u);
+  EXPECT_EQ(h.mean(), 123'456'789.0);
+}
+
+TEST(Histogram, AllEqualSamplesExact) {
+  LatencyHistogram h;
+  for (int i = 0; i < 1000; ++i) h.record(777);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.p50(), 777u);
+  EXPECT_EQ(h.p99(), 777u);
+  EXPECT_EQ(h.p999(), 777u);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  // Every value below 2*kSub gets its own bucket: quantiles are exact.
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 2 * kSub; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 2 * kSub);
+  EXPECT_EQ(h.quantile(0.5), kSub - 1);  // rank 32 of 64 -> value 31
+  EXPECT_EQ(h.quantile(1.0), 2 * kSub - 1);
+  EXPECT_EQ(h.quantile(0.0), 0u);
+}
+
+TEST(Histogram, BucketBoundariesRoundTrip) {
+  // bucket_upper_bound(bucket_of(v)) >= v, and the upper bound itself maps
+  // back to the same bucket (it is the largest member).
+  const std::vector<std::uint64_t> probes = {
+      0,      1,       31,      32,        33,        63,      64,
+      65,     127,     128,     1000,      4095,      4096,    4097,
+      65535,  65536,   1u << 20, (1u << 20) + 1,      ~0u,
+      1ULL << 40, (1ULL << 40) + 12345, ~0ULL >> 1, ~0ULL};
+  for (std::uint64_t v : probes) {
+    const auto idx = LatencyHistogram::bucket_of(v);
+    const auto ub = LatencyHistogram::bucket_upper_bound(idx);
+    EXPECT_GE(ub, v) << "v=" << v;
+    EXPECT_EQ(LatencyHistogram::bucket_of(ub), idx) << "v=" << v;
+    if (idx > 0) {
+      // Strictly above the previous bucket's upper bound.
+      EXPECT_GT(v, LatencyHistogram::bucket_upper_bound(idx - 1)) << "v=" << v;
+    }
+  }
+}
+
+TEST(Histogram, BucketsAreContiguous) {
+  // Walking values across several octaves never skips or reuses buckets
+  // out of order.
+  std::size_t last = LatencyHistogram::bucket_of(0);
+  EXPECT_EQ(last, 0u);
+  for (std::uint64_t v = 1; v < 1u << 14; ++v) {
+    const auto idx = LatencyHistogram::bucket_of(v);
+    EXPECT_TRUE(idx == last || idx == last + 1) << "v=" << v;
+    last = idx;
+  }
+}
+
+TEST(Histogram, RelativeErrorBounded) {
+  // Reported quantile of a point mass overstates by < 2^-kSubBits.
+  for (std::uint64_t v : {100u, 999u, 12345u, 1u << 22, 3u << 20}) {
+    LatencyHistogram h;
+    h.record(v);
+    h.record(v + v / 64);  // second sample in (likely) the next bucket
+    const auto p50 = h.quantile(0.5);
+    EXPECT_GE(p50, v);
+    EXPECT_LE(static_cast<double>(p50),
+              static_cast<double>(v) * (1.0 + 1.0 / kSub) + 1.0)
+        << "v=" << v;
+  }
+}
+
+TEST(Histogram, QuantileClampedToObservedRange) {
+  LatencyHistogram h;
+  h.record(1'000'000);
+  h.record(1'000'001);
+  EXPECT_GE(h.quantile(0.0), 1'000'000u);
+  EXPECT_LE(h.quantile(1.0), 1'000'001u);
+}
+
+TEST(Histogram, MergeMatchesCombinedRecording) {
+  LatencyHistogram a, b, combined;
+  std::uint64_t v = 1;
+  for (int i = 0; i < 200; ++i) {
+    v = v * 2862933555777941757ULL + 3037000493ULL;  // cheap LCG
+    const std::uint64_t sample = v % 10'000'000;
+    if (i % 2 == 0) {
+      a.record(sample);
+    } else {
+      b.record(sample);
+    }
+    combined.record(sample);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.sum(), combined.sum());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(a.quantile(q), combined.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity) {
+  LatencyHistogram a, empty;
+  a.record(42);
+  a.record(4242);
+  LatencyHistogram before = a;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), before.count());
+  EXPECT_EQ(a.p50(), before.p50());
+  // And merging into an empty histogram copies.
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), a.count());
+  EXPECT_EQ(empty.min(), a.min());
+  EXPECT_EQ(empty.max(), a.max());
+  EXPECT_EQ(empty.p999(), a.p999());
+}
+
+TEST(Histogram, QuantileMonotoneInQ) {
+  LatencyHistogram h;
+  std::uint64_t v = 7;
+  for (int i = 0; i < 5000; ++i) {
+    v = v * 6364136223846793005ULL + 1442695040888963407ULL;
+    h.record(v % 1'000'000'000);
+  }
+  std::uint64_t last = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const auto cur = h.quantile(q);
+    EXPECT_GE(cur, last) << "q=" << q;
+    last = cur;
+  }
+}
+
+}  // namespace
+}  // namespace jsched::util

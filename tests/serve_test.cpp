@@ -1,0 +1,561 @@
+// The serve subsystem: protocol parsing, feeds, the daemon's decision
+// loop, overload behavior, and the load generator.
+//
+// The headline test is bit-identity: serving a replayed trace through
+// serve() must produce the *same schedule fingerprint* as the offline
+// simulator on the same workload — the daemon is the simulator core
+// behind a feed, not a reimplementation. Overload tests pin *exact* shed
+// counts and queue depths (the admission path is deterministic), and the
+// paced tests run under util::ManualClock so no test ever actually waits.
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "metrics/streaming.h"
+#include "serve/daemon.h"
+#include "serve/feed.h"
+#include "serve/loadgen.h"
+#include "serve/report.h"
+#include "sim/streaming.h"
+#include "util/clock.h"
+#include "workload/ctc_model.h"
+#include "workload/job_source.h"
+#include "workload/transforms.h"
+
+namespace jsched {
+namespace {
+
+using serve::OverloadPolicy;
+using serve::ParseResult;
+using serve::ScriptFeed;
+using serve::ServeOptions;
+using serve::ServeReport;
+using serve::SubmitRecord;
+
+core::AlgorithmSpec fcfs_with(core::DispatchKind dispatch) {
+  core::AlgorithmSpec spec;
+  spec.order = core::OrderKind::kFcfs;
+  spec.dispatch = dispatch;
+  return spec;
+}
+
+/// n identical 1-node jobs submitted at t = 0 (the canonical burst).
+std::vector<SubmitRecord> burst(std::size_t n, Duration runtime = 100) {
+  std::vector<SubmitRecord> records(n);
+  for (SubmitRecord& r : records) {
+    r.submit = 0;
+    r.nodes = 1;
+    r.runtime = runtime;
+    r.estimate = runtime;
+  }
+  return records;
+}
+
+// ---------------------------------------------------------------- protocol
+
+TEST(Serve, ParsesTimedRecord) {
+  SubmitRecord r;
+  ASSERT_EQ(serve::parse_submit_line("@120 8 3600 7200 42", r),
+            ParseResult::kRecord);
+  EXPECT_EQ(r.submit, 120);
+  EXPECT_EQ(r.nodes, 8);
+  EXPECT_EQ(r.runtime, 3600);
+  EXPECT_EQ(r.estimate, 7200);
+  EXPECT_EQ(r.user, 42);
+}
+
+TEST(Serve, ParsesLiveRecordWithDefaultUser) {
+  SubmitRecord r;
+  ASSERT_EQ(serve::parse_submit_line("4 60 300", r), ParseResult::kRecord);
+  EXPECT_EQ(r.submit, -1);
+  EXPECT_EQ(r.nodes, 4);
+  EXPECT_EQ(r.runtime, 60);
+  EXPECT_EQ(r.estimate, 300);
+  EXPECT_EQ(r.user, 0);
+}
+
+TEST(Serve, ParseSkipsCommentsAndBlanks) {
+  SubmitRecord r;
+  EXPECT_EQ(serve::parse_submit_line("", r), ParseResult::kSkip);
+  EXPECT_EQ(serve::parse_submit_line("   ", r), ParseResult::kSkip);
+  EXPECT_EQ(serve::parse_submit_line("# a comment", r), ParseResult::kSkip);
+}
+
+TEST(Serve, ParseRecognizesEndSentinel) {
+  SubmitRecord r;
+  EXPECT_EQ(serve::parse_submit_line("end", r), ParseResult::kEnd);
+}
+
+TEST(Serve, ParseStripsCarriageReturn) {
+  SubmitRecord r;
+  ASSERT_EQ(serve::parse_submit_line("2 10 10\r", r), ParseResult::kRecord);
+  EXPECT_EQ(r.nodes, 2);
+}
+
+TEST(Serve, ParseRejectsMalformedLines) {
+  SubmitRecord r;
+  std::string error;
+  EXPECT_EQ(serve::parse_submit_line("1 2", r, &error), ParseResult::kError);
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(serve::parse_submit_line("one two three", r), ParseResult::kError);
+  EXPECT_EQ(serve::parse_submit_line("0 10 10", r), ParseResult::kError);
+  EXPECT_EQ(serve::parse_submit_line("1 0 10", r), ParseResult::kError);
+  EXPECT_EQ(serve::parse_submit_line("1 10 0", r), ParseResult::kError);
+  EXPECT_EQ(serve::parse_submit_line("@-5 1 10 10", r), ParseResult::kError);
+  EXPECT_EQ(serve::parse_submit_line("1 2 3 4 5 6", r), ParseResult::kError);
+}
+
+TEST(Serve, ScriptFeedRejectsUnsortedOrLiveRecords) {
+  std::vector<SubmitRecord> unsorted(2);
+  unsorted[0].submit = 10;
+  unsorted[1].submit = 5;
+  EXPECT_THROW(ScriptFeed feed(unsorted), std::invalid_argument);
+
+  std::vector<SubmitRecord> live(1);  // submit = -1
+  EXPECT_THROW(ScriptFeed feed(live), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ bit-identity
+
+metrics::StreamedMetrics run_offline(const core::AlgorithmSpec& spec,
+                                     const workload::Workload& w, int nodes) {
+  const sim::Machine machine{nodes};
+  auto scheduler = core::make_scheduler(spec);
+  workload::WorkloadSource source(w);
+  metrics::StreamingAggregator aggregator(machine.nodes);
+  sim::simulate_stream(machine, *scheduler, source, aggregator, {});
+  return aggregator.finish();
+}
+
+ServeReport run_served(const core::AlgorithmSpec& spec,
+                       const workload::Workload& w, int nodes) {
+  workload::WorkloadSource source(w);
+  serve::JobSourceFeed feed(source);
+  ServeOptions options;
+  options.machine.nodes = nodes;
+  options.spec = spec;
+  options.speed = 0;  // free-run
+  return serve::serve(feed, options);
+}
+
+const workload::Workload& replay_workload() {
+  static const workload::Workload w = [] {
+    workload::CtcModelParams params;
+    params.job_count = 1500;
+    return workload::trim_to_machine(workload::generate_ctc(params, 1999),
+                                     256);
+  }();
+  return w;
+}
+
+TEST(Serve, ReplayIsBitIdenticalToOfflineSimulatorEasy) {
+  const auto& w = replay_workload();
+  const metrics::StreamedMetrics offline =
+      run_offline(fcfs_with(core::DispatchKind::kEasy), w, 256);
+  const ServeReport served =
+      run_served(fcfs_with(core::DispatchKind::kEasy), w, 256);
+
+  ASSERT_TRUE(served.has_metrics);
+  EXPECT_EQ(served.submitted, w.size());
+  EXPECT_EQ(served.completed, w.size());
+  EXPECT_EQ(served.schedule_fnv, offline.schedule_fnv);
+  EXPECT_EQ(served.metrics.art, offline.art);    // bit-identical
+  EXPECT_EQ(served.metrics.awrt, offline.awrt);  // bit-identical
+  EXPECT_EQ(served.metrics.makespan, offline.makespan);
+  EXPECT_EQ(served.virtual_makespan, offline.makespan);
+  EXPECT_EQ(served.shed_capacity + served.shed_backlog, 0u);
+  EXPECT_EQ(served.decision_latency_ns.count(), served.decisions);
+  EXPECT_GT(served.decisions, 0u);
+}
+
+TEST(Serve, ReplayIsBitIdenticalToOfflineSimulatorConservative) {
+  const auto& w = replay_workload();
+  const metrics::StreamedMetrics offline =
+      run_offline(fcfs_with(core::DispatchKind::kConservative), w, 256);
+  const ServeReport served =
+      run_served(fcfs_with(core::DispatchKind::kConservative), w, 256);
+
+  ASSERT_TRUE(served.has_metrics);
+  EXPECT_EQ(served.completed, w.size());
+  EXPECT_EQ(served.schedule_fnv, offline.schedule_fnv);
+  EXPECT_EQ(served.metrics.art, offline.art);
+  EXPECT_EQ(served.metrics.utilization, offline.utilization);
+}
+
+TEST(Serve, FreeRunKeepsAdmissionQueueBounded) {
+  // The whole point of poll_at = min(t, next_submit): a replayed trace
+  // streams through the daemon instead of being inhaled into the queue.
+  const auto& w = replay_workload();
+  workload::WorkloadSource source(w);
+  serve::JobSourceFeed feed(source);
+  ServeOptions options;
+  options.machine.nodes = 256;
+  options.spec = fcfs_with(core::DispatchKind::kEasy);
+  options.queue_capacity = 64;
+  const ServeReport report = serve::serve(feed, options);
+  EXPECT_EQ(report.completed, w.size());
+  EXPECT_LE(report.peak_admission_queue, 64u);
+  // Arrivals are spread in time, so the queue never even approaches the
+  // workload size.
+  EXPECT_LT(report.peak_admission_queue, w.size() / 4);
+}
+
+// ---------------------------------------------------------------- overload
+
+TEST(Serve, ShedPolicyDropsExactOverflowOfABurst) {
+  ScriptFeed feed(burst(10));
+  ServeOptions options;
+  options.machine.nodes = 16;
+  options.spec = fcfs_with(core::DispatchKind::kEasy);
+  options.queue_capacity = 4;
+  options.overload = OverloadPolicy::kShed;
+  const ServeReport report = serve::serve(feed, options);
+
+  EXPECT_EQ(report.shed_capacity, 6u);  // 10 arrive, 4 fit
+  EXPECT_EQ(report.shed_backlog, 0u);
+  EXPECT_EQ(report.submitted, 4u);
+  EXPECT_EQ(report.completed, 4u);
+  EXPECT_EQ(report.peak_admission_queue, 4u);
+  EXPECT_EQ(report.delayed_admissions, 0u);
+}
+
+TEST(Serve, BlockPolicyDelaysButNeverDropsABurst) {
+  ScriptFeed feed(burst(10));
+  ServeOptions options;
+  options.machine.nodes = 16;
+  options.spec = fcfs_with(core::DispatchKind::kEasy);
+  options.queue_capacity = 4;
+  options.overload = OverloadPolicy::kBlock;
+  const ServeReport report = serve::serve(feed, options);
+
+  EXPECT_EQ(report.shed_capacity, 0u);
+  EXPECT_EQ(report.submitted, 10u);  // everyone gets in eventually
+  EXPECT_EQ(report.completed, 10u);
+  EXPECT_EQ(report.delayed_admissions, 6u);  // 10 arrive, 4 fit immediately
+  EXPECT_EQ(report.peak_admission_queue, 4u);
+}
+
+TEST(Serve, MaxBacklogShedsAcrossBothQueues) {
+  // One node, serial 50 s jobs: the backlog guard counts the scheduler's
+  // queue too, so only 3 of the 10 burst jobs are ever admitted.
+  ScriptFeed feed(burst(10, /*runtime=*/50));
+  ServeOptions options;
+  options.machine.nodes = 1;
+  options.spec = fcfs_with(core::DispatchKind::kEasy);
+  options.queue_capacity = 16;
+  options.overload = OverloadPolicy::kShed;
+  options.max_backlog = 3;
+  const ServeReport report = serve::serve(feed, options);
+
+  EXPECT_EQ(report.shed_backlog, 7u);
+  EXPECT_EQ(report.shed_capacity, 0u);
+  EXPECT_EQ(report.submitted, 3u);
+  EXPECT_EQ(report.completed, 3u);
+}
+
+TEST(Serve, RejectsJobsWiderThanTheMachine) {
+  std::vector<SubmitRecord> records = burst(3);
+  records[1].nodes = 500;  // machine has 16
+  ScriptFeed feed(records);
+  ServeOptions options;
+  options.machine.nodes = 16;
+  options.spec = fcfs_with(core::DispatchKind::kEasy);
+  const ServeReport report = serve::serve(feed, options);
+
+  EXPECT_EQ(report.rejected_invalid, 1u);
+  EXPECT_EQ(report.submitted, 2u);
+  EXPECT_EQ(report.completed, 2u);
+}
+
+// ---------------------------------------------------- pacing (ManualClock)
+
+TEST(Serve, PacedRunUnderManualClockIsDeterministic) {
+  std::vector<SubmitRecord> records(3);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    records[i].submit = static_cast<Time>(10 * i);
+    records[i].nodes = 1;
+    records[i].runtime = 5;
+    records[i].estimate = 5;
+  }
+  ScriptFeed feed(records);
+  util::ManualClock clock;
+  ServeOptions options;
+  options.machine.nodes = 4;
+  options.spec = fcfs_with(core::DispatchKind::kEasy);
+  options.speed = 100.0;  // 100 virtual seconds per wall second
+  options.clock = &clock;
+  const ServeReport report = serve::serve(feed, options);
+
+  EXPECT_EQ(report.completed, 3u);
+  EXPECT_EQ(report.virtual_makespan, 25);  // last job: submit 20 + 5 s
+  // The fake clock never moves during a decision: latencies read exactly 0.
+  EXPECT_EQ(report.decision_latency_ns.max(), 0u);
+  // Virtual second 25 at speed 100 falls due 0.25 wall seconds after the
+  // epoch; the paced loop slept the fake clock exactly there.
+  EXPECT_GE(report.wall_seconds, 0.25);
+  EXPECT_LT(report.wall_seconds, 0.30);
+}
+
+TEST(Serve, PacedReplayMatchesFreeRunFingerprint) {
+  // Pacing changes when decisions happen in wall time, never what they are.
+  const auto& w = replay_workload();
+  const ServeReport free_run =
+      run_served(fcfs_with(core::DispatchKind::kEasy), w, 256);
+
+  workload::WorkloadSource source(w);
+  serve::JobSourceFeed feed(source);
+  util::ManualClock clock;
+  ServeOptions options;
+  options.machine.nodes = 256;
+  options.spec = fcfs_with(core::DispatchKind::kEasy);
+  options.speed = 100000.0;
+  options.clock = &clock;
+  const ServeReport paced = serve::serve(feed, options);
+
+  EXPECT_EQ(paced.completed, free_run.completed);
+  EXPECT_EQ(paced.schedule_fnv, free_run.schedule_fnv);
+}
+
+// ------------------------------------------------------------ drain / abort
+
+TEST(Serve, DrainRequestStopsIntakeAndFinishesAdmittedWork) {
+  workload::CtcModelParams params;
+  params.job_count = 400;
+  const workload::Workload w =
+      workload::trim_to_machine(workload::generate_ctc(params, 7), 64);
+  workload::WorkloadSource source(w);
+  serve::JobSourceFeed feed(source);
+
+  int rounds = 0;
+  ServeOptions options;
+  options.machine.nodes = 64;
+  options.spec = fcfs_with(core::DispatchKind::kEasy);
+  options.poll_signal = [&rounds]() { return ++rounds > 50 ? 1 : 0; };
+  const ServeReport report = serve::serve(feed, options);
+
+  EXPECT_TRUE(report.drained);
+  EXPECT_FALSE(report.aborted);
+  EXPECT_GT(report.submitted, 0u);
+  EXPECT_LT(report.submitted, w.size());  // intake stopped early...
+  EXPECT_EQ(report.completed, report.submitted);  // ...but admitted work ran
+  ASSERT_TRUE(report.has_metrics);
+  EXPECT_NE(report.schedule_fnv, 0u);
+}
+
+TEST(Serve, AbortRequestReturnsImmediately) {
+  ScriptFeed feed(burst(5));
+  ServeOptions options;
+  options.machine.nodes = 16;
+  options.spec = fcfs_with(core::DispatchKind::kEasy);
+  options.poll_signal = []() { return 2; };
+  const ServeReport report = serve::serve(feed, options);
+
+  EXPECT_TRUE(report.aborted);
+  EXPECT_EQ(report.submitted, 0u);
+  EXPECT_FALSE(report.has_metrics);
+}
+
+// -------------------------------------------------------------- transports
+
+TEST(Serve, FdLineFeedServesAPipe) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  const std::string script =
+      "# two timed jobs, one junk line\n"
+      "@0 2 10 10\n"
+      "this is not a job\n"
+      "@5 1 20 30 7\n"
+      "end\n";
+  ASSERT_EQ(write(fds[1], script.data(), script.size()),
+            static_cast<ssize_t>(script.size()));
+  close(fds[1]);
+
+  serve::FdLineFeed feed(fds[0], /*tail=*/false, /*close_fd=*/true);
+  ServeOptions options;
+  options.machine.nodes = 4;
+  options.spec = fcfs_with(core::DispatchKind::kEasy);
+  const ServeReport report = serve::serve(feed, options);
+
+  EXPECT_EQ(feed.parse_errors(), 1u);
+  EXPECT_EQ(report.submitted, 2u);
+  EXPECT_EQ(report.completed, 2u);
+  // Job 0: [0, 10). Job 1: submits at 5, 2 free nodes, starts at once.
+  EXPECT_EQ(report.virtual_makespan, 25);
+}
+
+TEST(Serve, TcpFeedServesALocalhostClient) {
+  serve::TcpFeed feed(0);  // ephemeral port
+  ASSERT_GT(feed.port(), 0);
+
+  const int client = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(client, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(feed.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(connect(client, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string script = "@0 1 5 5\n@2 2 4 4\nend\n";
+  ASSERT_EQ(write(client, script.data(), script.size()),
+            static_cast<ssize_t>(script.size()));
+  close(client);
+
+  ServeOptions options;
+  options.machine.nodes = 4;
+  options.spec = fcfs_with(core::DispatchKind::kEasy);
+  const ServeReport report = serve::serve(feed, options);
+
+  EXPECT_EQ(report.submitted, 2u);
+  EXPECT_EQ(report.completed, 2u);
+  EXPECT_EQ(feed.parse_errors(), 0u);
+}
+
+// ----------------------------------------------------------------- loadgen
+
+std::vector<SubmitRecord> drain_source(serve::OpenLoopSource& source) {
+  std::vector<SubmitRecord> all;
+  while (source.poll(kTimeInfinity, all)) {
+  }
+  return all;
+}
+
+TEST(Serve, LoadgenIsDeterministicInSeed) {
+  serve::OpenLoopConfig config;
+  config.rate = 1.0;
+  config.job_count = 50;
+  config.seed = 123;
+  serve::OpenLoopSource a(config);
+  serve::OpenLoopSource b(config);
+  const auto ra = drain_source(a);
+  const auto rb = drain_source(b);
+
+  ASSERT_EQ(ra.size(), 50u);
+  ASSERT_EQ(rb.size(), 50u);
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].submit, rb[i].submit);
+    EXPECT_EQ(ra[i].nodes, rb[i].nodes);
+    EXPECT_EQ(ra[i].runtime, rb[i].runtime);
+    EXPECT_EQ(ra[i].estimate, rb[i].estimate);
+    EXPECT_EQ(ra[i].user, rb[i].user);
+  }
+  // Submits are non-decreasing and shapes respect the config bounds.
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GE(ra[i].submit, ra[i - 1].submit);
+    }
+    EXPECT_GE(ra[i].nodes, 1);
+    EXPECT_LE(ra[i].nodes, config.nodes_max);
+    EXPECT_GE(ra[i].runtime, 1);
+    EXPECT_GE(ra[i].estimate, ra[i].runtime);
+  }
+}
+
+TEST(Serve, LoadgenDifferentSeedsDiffer) {
+  serve::OpenLoopConfig config;
+  config.rate = 1.0;
+  config.job_count = 50;
+  config.seed = 1;
+  serve::OpenLoopSource a(config);
+  config.seed = 2;
+  serve::OpenLoopSource b(config);
+  const auto ra = drain_source(a);
+  const auto rb = drain_source(b);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < std::min(ra.size(), rb.size()); ++i) {
+    if (ra[i].submit != rb[i].submit || ra[i].runtime != rb[i].runtime) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Serve, LoadgenCronTemplatesFireOnSchedule) {
+  serve::OpenLoopConfig config;
+  config.rate = 0.0;  // crons only
+  config.horizon = 50;
+  serve::CronTemplate cron;
+  cron.period = 10;
+  cron.offset = 5;
+  cron.nodes = 3;
+  cron.runtime = 7;
+  cron.estimate = 8;
+  cron.user = 99;
+  config.crons.push_back(cron);
+  serve::OpenLoopSource source(config);
+  const auto records = drain_source(source);
+
+  ASSERT_EQ(records.size(), 5u);  // 5, 15, 25, 35, 45
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].submit, static_cast<Time>(5 + 10 * i));
+    EXPECT_EQ(records[i].nodes, 3);
+    EXPECT_EQ(records[i].runtime, 7);
+    EXPECT_EQ(records[i].estimate, 8);
+    EXPECT_EQ(records[i].user, 99);
+  }
+}
+
+TEST(Serve, LoadgenValidatesItsConfig) {
+  serve::OpenLoopConfig config;
+  config.rate = 1.0;  // no horizon, no job_count: unbounded stream
+  EXPECT_THROW(serve::OpenLoopSource source(config), std::invalid_argument);
+
+  config.rate = 0.0;  // nothing configured at all
+  EXPECT_THROW(serve::OpenLoopSource source(config), std::invalid_argument);
+
+  config.rate = -1.0;
+  config.job_count = 10;
+  EXPECT_THROW(serve::OpenLoopSource source(config), std::invalid_argument);
+}
+
+TEST(Serve, DaemonServesLoadgenEndToEnd) {
+  serve::OpenLoopConfig config;
+  config.rate = 0.5;
+  config.job_count = 200;
+  config.seed = 11;
+  config.nodes_max = 16;
+  serve::OpenLoopSource source(config);
+
+  ServeOptions options;
+  options.machine.nodes = 64;
+  options.spec = fcfs_with(core::DispatchKind::kEasy);
+  const ServeReport report = serve::serve(source, options);
+
+  EXPECT_EQ(report.submitted, 200u);
+  EXPECT_EQ(report.completed, 200u);
+  ASSERT_TRUE(report.has_metrics);
+  EXPECT_GT(report.metrics.utilization, 0.0);
+}
+
+// ------------------------------------------------------------------ report
+
+TEST(Serve, SummaryJsonCarriesTheKeyFields) {
+  ScriptFeed feed(burst(4));
+  ServeOptions options;
+  options.machine.nodes = 16;
+  options.spec = fcfs_with(core::DispatchKind::kEasy);
+  const ServeReport report = serve::serve(feed, options);
+
+  serve::ServeRunMeta meta;
+  meta.label = "test-run";
+  meta.source = "script:burst";
+  const std::string json = serve::serve_run_json(meta, report, 0);
+  EXPECT_NE(json.find("\"label\": \"test-run\""), std::string::npos);
+  EXPECT_NE(json.find("\"submitted\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"completed\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"decision_latency_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"schedule_fnv\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jsched

@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <random>
@@ -387,6 +389,48 @@ TEST(ShardWorker, RunsOwnedCellsThenResumes) {
   EXPECT_TRUE(second.ok());
   EXPECT_EQ(second.ran, 0u);
   EXPECT_EQ(second.resumed, 14u);
+}
+
+TEST(ShardCoordinator, PollStopDrainsWorkersGracefully) {
+  // Two long-running "workers" (sleep 30): poll_stop fires on the first
+  // loop iteration, the coordinator SIGTERMs both, and they exit within
+  // the grace window — no restarts burned, report flagged as stopped.
+  TempFile j0("drain0"), j1("drain1");
+  eval::CoordinatorConfig coord;
+  coord.shards.push_back({{"sleep", "30"}, {}, j0.path()});
+  coord.shards.push_back({{"sleep", "30"}, {}, j1.path()});
+  coord.restart_budget = 1;
+  coord.poll_interval = std::chrono::milliseconds(10);
+  coord.progress_interval = std::chrono::milliseconds(0);
+  coord.drain_grace = std::chrono::milliseconds(5000);
+  coord.poll_stop = [] { return true; };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const eval::CoordinatorReport report = eval::run_shard_coordinator(coord);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+
+  EXPECT_TRUE(report.stopped_by_request);
+  EXPECT_FALSE(report.all_ok());
+  EXPECT_EQ(report.total_restarts(), 0u);
+  ASSERT_EQ(report.shards.size(), 2u);
+  for (const eval::ShardStatus& s : report.shards) {
+    EXPECT_TRUE(s.last_exit.signaled);
+    EXPECT_EQ(s.last_exit.code, SIGTERM);
+  }
+  // Far below the 30s the workers would otherwise run.
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
+}
+
+TEST(ShardCoordinator, StopAfterCompletionIsNotADrain) {
+  // Workers that finish before poll_stop ever fires: a normal, ok report.
+  TempFile j0("fast0");
+  eval::CoordinatorConfig coord;
+  coord.shards.push_back({{"true"}, {}, j0.path()});
+  coord.poll_interval = std::chrono::milliseconds(5);
+  coord.progress_interval = std::chrono::milliseconds(0);
+  const eval::CoordinatorReport report = eval::run_shard_coordinator(coord);
+  EXPECT_FALSE(report.stopped_by_request);
+  EXPECT_TRUE(report.all_ok());
 }
 
 }  // namespace

@@ -1,0 +1,92 @@
+#include "util/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace jsched::util {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Clock, RealClockIsMonotonic) {
+  Clock& c = real_clock();
+  const auto a = c.now();
+  const auto b = c.now();
+  EXPECT_LE(a, b);
+}
+
+TEST(Clock, RealClockSleepUntilPastIsImmediate) {
+  Clock& c = real_clock();
+  // A target in the past must not block.
+  c.sleep_until(c.now() - 1h);
+  SUCCEED();
+}
+
+TEST(Clock, ManualClockStartsAtGivenTime) {
+  const Clock::time_point start(Clock::duration(1'000'000));
+  ManualClock c(start);
+  EXPECT_EQ(c.now(), start);
+}
+
+TEST(Clock, ManualClockAdvance) {
+  ManualClock c;
+  const auto t0 = c.now();
+  c.advance(250ms);
+  EXPECT_EQ(c.now() - t0, 250ms);
+  c.advance(1ns);
+  EXPECT_EQ(c.now() - t0, 250ms + 1ns);
+}
+
+TEST(Clock, ManualClockSleepUntilJumpsForward) {
+  ManualClock c;
+  const auto target = c.now() + 5s;
+  c.sleep_until(target);  // returns immediately, time lands on target
+  EXPECT_EQ(c.now(), target);
+}
+
+TEST(Clock, ManualClockSleepUntilNeverMovesBackwards) {
+  ManualClock c;
+  c.advance(10s);
+  const auto before = c.now();
+  c.sleep_until(before - 3s);
+  EXPECT_EQ(c.now(), before);
+}
+
+TEST(Clock, ManualClockSleepForUsesCurrentTime) {
+  ManualClock c;
+  c.advance(1s);
+  c.sleep_for(2s);
+  EXPECT_EQ(c.now().time_since_epoch(), Clock::duration(3s));
+}
+
+// Shared ManualClock: concurrent sleep_until/advance must neither tear nor
+// move time backwards (this is what the TSan job exercises).
+TEST(Clock, ManualClockConcurrentAdvanceIsMonotonic) {
+  ManualClock c;
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&c, t] {
+      for (int i = 0; i < 1000; ++i) {
+        if (t % 2 == 0) {
+          c.advance(std::chrono::nanoseconds(1));
+        } else {
+          c.sleep_until(c.now() + std::chrono::nanoseconds(2));
+        }
+      }
+    });
+  }
+  Clock::time_point last = c.now();
+  for (int i = 0; i < 1000; ++i) {
+    const auto cur = c.now();
+    EXPECT_LE(last, cur);
+    last = cur;
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_GE(c.now().time_since_epoch(), Clock::duration(2000));
+}
+
+}  // namespace
+}  // namespace jsched::util

@@ -47,6 +47,7 @@
 #include "eval/shard_driver.h"
 #include "sim/machine.h"
 #include "util/env.h"
+#include "util/signals.h"
 #include "util/subprocess.h"
 #include "workload/ctc_model.h"
 #include "workload/transforms.h"
@@ -266,8 +267,14 @@ int run_coordinator(const Cli& cli) {
   std::filesystem::create_directories(cli.journal_dir);
   const std::string self = util::self_exe_path();
 
+  // ^C / SIGTERM: forward to the workers, give them a grace period to
+  // journal their in-flight cell, then summarize and exit nonzero. The
+  // journals keep everything finished, so a rerun resumes, not restarts.
+  util::SignalDrain drain;
+
   eval::CoordinatorConfig coord;
   coord.restart_budget = cli.restarts;
+  coord.poll_stop = [] { return util::SignalDrain::drain_requested(); };
   coord.log = [](const std::string& line) {
     std::fprintf(stderr, "[sweepd] %s\n", line.c_str());
   };
@@ -297,6 +304,15 @@ int run_coordinator(const Cli& cli) {
   std::printf("sweep: %zu shards in %.1fs, %zu restart%s\n", cli.shards, wall,
               report.total_restarts(),
               report.total_restarts() == 1 ? "" : "s");
+  if (report.stopped_by_request) {
+    std::size_t done = 0;
+    for (const eval::ShardStatus& st : report.shards) done += st.cells_done;
+    std::fprintf(stderr,
+                 "[sweepd] interrupted by signal %d: %zu cell(s) journaled "
+                 "across %zu shard(s); rerun resumes from the journals\n",
+                 util::SignalDrain::last_signal(), done, cli.shards);
+    return 1;
+  }
   // Merge even when a shard gave up: the merged journal then carries every
   // finished cell and the report names exactly what is missing per shard.
   const SweepSetup s = setup_from_env();
