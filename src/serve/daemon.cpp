@@ -212,10 +212,13 @@ ServeReport serve(Feed& feed, const ServeOptions& options) {
     // t, admit them first — equal-submit batches must reach the scheduler
     // together, exactly as the offline simulator delivers them. A full
     // kBlock queue overrides the gate (the arrival will be delayed; that
-    // is what backpressure means).
+    // is what backpressure means). An idle live feed reports kTimeInfinity
+    // and must not trip the gate: with t also infinite that would spin the
+    // loop (and feed due_wall an unrepresentable time) instead of falling
+    // through to the idle sleep below.
     if (feed_open && holdover.empty()) {
       const Time ns = feed.next_submit();
-      if (ns <= t) {
+      if (ns != kTimeInfinity && ns <= t) {
         if (paced && vnow() < ns) clock.sleep_until(due_wall(ns));
         continue;  // next iteration's poll picks it up
       }

@@ -171,11 +171,24 @@ void FdLineFeed::drain_fd() {
     }
     if (n == 0) {
       // In tail mode EOF just means "caught up" — keep watching.
-      if (!tail_) eof_ = true;
+      if (!tail_) terminate_feed();
       return;
     }
-    return;  // EAGAIN/EINTR/...: no more data right now
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // no data right now
+    // Hard error (EBADF, EIO, ...): this fd will never produce data again;
+    // end the feed (even in tail mode) so the daemon doesn't poll forever.
+    std::fprintf(stderr, "feed: read: %s\n", std::strerror(errno));
+    terminate_feed();
+    return;
   }
+}
+
+void FdLineFeed::terminate_feed() {
+  eof_ = true;
+  // A final line without a trailing newline is still a line: terminate it
+  // so parse_buffered delivers it instead of dropping it silently.
+  if (!partial_.empty() && partial_.back() != '\n') partial_.push_back('\n');
 }
 
 void FdLineFeed::parse_buffered() {
@@ -277,8 +290,18 @@ void TcpFeed::drain_clients() {
         c.partial.append(buf, static_cast<std::size_t>(n));
         continue;
       }
-      if (n == 0) closed = true;
+      if (n == 0) {
+        closed = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      closed = true;  // hard error: treat as a hangup
       break;
+    }
+    // A closing client's final line counts even without a trailing newline.
+    if (closed && !c.partial.empty() && c.partial.back() != '\n') {
+      c.partial.push_back('\n');
     }
     // Parse complete lines from this client's buffer.
     std::size_t start = 0;

@@ -129,6 +129,7 @@ class FdLineFeed final : public Feed {
 
  private:
   void drain_fd();
+  void terminate_feed();
   void parse_buffered();
 
   int fd_;

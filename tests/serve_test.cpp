@@ -392,6 +392,74 @@ TEST(Serve, FdLineFeedServesAPipe) {
   EXPECT_EQ(report.virtual_makespan, 25);
 }
 
+TEST(Serve, IdleLiveFeedSleepsInsteadOfSpinning) {
+  // An open pipe with nothing buffered: next_submit() is kTimeInfinity and
+  // the local event horizon is too. The replay gate must not fire on
+  // inf <= inf — the loop has to fall through to the idle sleep (and in
+  // paced mode must never map kTimeInfinity onto the wall clock).
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  serve::FdLineFeed feed(fds[0], /*tail=*/false, /*close_fd=*/true);
+
+  util::ManualClock clock;
+  int rounds = 0;
+  const int wfd = fds[1];
+  ServeOptions options;
+  options.machine.nodes = 4;
+  options.spec = fcfs_with(core::DispatchKind::kEasy);
+  options.speed = 1.0;  // paced — the pre-fix UB path
+  options.clock = &clock;
+  options.poll_signal = [&rounds, wfd]() {
+    if (++rounds == 5) {
+      const std::string script = "1 5 5\nend\n";
+      EXPECT_EQ(write(wfd, script.data(), script.size()),
+                static_cast<ssize_t>(script.size()));
+      close(wfd);
+    }
+    return 0;
+  };
+  const ServeReport report = serve::serve(feed, options);
+
+  EXPECT_EQ(report.submitted, 1u);
+  EXPECT_EQ(report.completed, 1u);
+  // The live job was stamped at virtual 0 and ran 5 s; the idle rounds
+  // before it arrived slept poll_granularity each on the fake clock, so
+  // wall time advanced past the 5 s due point instead of spinning at 0.
+  EXPECT_GE(report.wall_seconds, 5.0);
+  EXPECT_LT(report.wall_seconds, 6.0);
+}
+
+TEST(Serve, FdLineFeedDeliversFinalLineWithoutNewline) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  const std::string script = "@0 1 5 5\n@3 2 7 7";  // last line unterminated
+  ASSERT_EQ(write(fds[1], script.data(), script.size()),
+            static_cast<ssize_t>(script.size()));
+  close(fds[1]);
+
+  serve::FdLineFeed feed(fds[0], /*tail=*/false, /*close_fd=*/true);
+  std::vector<SubmitRecord> out;
+  while (feed.poll(kTimeInfinity, out)) {
+  }
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].submit, 3);
+  EXPECT_EQ(out[1].nodes, 2);
+  EXPECT_EQ(feed.parse_errors(), 0u);
+}
+
+TEST(Serve, FdLineFeedEndsOnHardReadError) {
+  // A dead descriptor: read() fails with EBADF, not EAGAIN. Even a tail
+  // feed must end rather than report "more data coming" forever.
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  close(fds[0]);
+  close(fds[1]);
+  serve::FdLineFeed feed(fds[0], /*tail=*/true, /*close_fd=*/false);
+  std::vector<SubmitRecord> out;
+  EXPECT_FALSE(feed.poll(kTimeInfinity, out));
+  EXPECT_TRUE(out.empty());
+}
+
 TEST(Serve, TcpFeedServesALocalhostClient) {
   serve::TcpFeed feed(0);  // ephemeral port
   ASSERT_GT(feed.port(), 0);
@@ -416,6 +484,35 @@ TEST(Serve, TcpFeedServesALocalhostClient) {
 
   EXPECT_EQ(report.submitted, 2u);
   EXPECT_EQ(report.completed, 2u);
+  EXPECT_EQ(feed.parse_errors(), 0u);
+}
+
+TEST(Serve, TcpFeedFlushesClientFinalLineOnClose) {
+  serve::TcpFeed feed(0);
+  ASSERT_GT(feed.port(), 0);
+
+  const int client = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(client, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(feed.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(connect(client, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  // The sentinel lacks its newline; the hangup itself must terminate it,
+  // or the daemon would wait on an already-closed client forever.
+  const std::string script = "@0 1 2 2\nend";
+  ASSERT_EQ(write(client, script.data(), script.size()),
+            static_cast<ssize_t>(script.size()));
+  close(client);
+
+  ServeOptions options;
+  options.machine.nodes = 4;
+  options.spec = fcfs_with(core::DispatchKind::kEasy);
+  const ServeReport report = serve::serve(feed, options);
+
+  EXPECT_EQ(report.submitted, 1u);
+  EXPECT_EQ(report.completed, 1u);
   EXPECT_EQ(feed.parse_errors(), 0u);
 }
 
