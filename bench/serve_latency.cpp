@@ -13,8 +13,16 @@
 // the surplus is shed and counted, exactly the daemon's production
 // overload story.
 //
+// The recovery section measures crash safety's price and payoff at 1x and
+// 4x load (FCFS+EASY, a smaller job count — fsync-per-append runs are
+// slow by design): wall-clock overhead of journaling at both durability
+// levels against an unjournaled baseline, then a restart against the
+// finished journal timing the replay back to the first live decision,
+// asserting the recovered fingerprint matches the baseline bit for bit.
+//
 // Env knobs: JSCHED_SERVE_JOBS (jobs per run, default 20000),
-// JSCHED_SEED, JSCHED_MACHINE (default 256).
+// JSCHED_SERVE_RECOVERY_JOBS (default 2000; 0 skips the recovery
+// section), JSCHED_SEED, JSCHED_MACHINE (default 256).
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -22,9 +30,11 @@
 #include "bench_common.h"
 #include "core/factory.h"
 #include "serve/daemon.h"
+#include "serve/journal.h"
 #include "serve/loadgen.h"
 #include "serve/report.h"
 #include "util/env.h"
+#include "util/journal.h"
 
 namespace {
 
@@ -35,6 +45,84 @@ struct LoadLevel {
   double load;              // offered work / machine capacity
   std::size_t max_backlog;  // 0 = unbounded
 };
+
+serve::ServeReport recovery_run(double rate, std::size_t jobs, int nodes,
+                                std::uint64_t seed,
+                                serve::AdmissionJournal* journal) {
+  serve::OpenLoopConfig load;
+  load.rate = rate;
+  load.job_count = jobs;
+  load.seed = seed;
+  serve::OpenLoopSource source(load);
+  serve::ServeOptions options;
+  options.machine.nodes = nodes;
+  options.spec = core::parse_spec("FCFS+EASY");
+  options.speed = 0;
+  options.queue_capacity = 256;
+  options.overload = serve::OverloadPolicy::kShed;
+  options.journal = journal;
+  options.feed_restarts_from_start = true;  // the generator is replayable
+  return serve::serve(source, options);
+}
+
+/// One load level's recovery measurements as a JSON object.
+std::string recovery_json(const char* label, double rate, std::size_t jobs,
+                          int nodes, std::uint64_t seed) {
+  const std::string path = "BENCH_serve.journal.tmp";
+  const serve::ServeReport base = recovery_run(rate, jobs, nodes, seed,
+                                               nullptr);
+
+  std::remove(path.c_str());
+  serve::ServeReport flush_report;
+  {
+    serve::AdmissionJournal journal(path,
+                                    util::AppendLog::Durability::kFlush);
+    flush_report = recovery_run(rate, jobs, nodes, seed, &journal);
+  }
+
+  // Restart on the finished journal: replay the whole history, time the
+  // road back to live serving, and check the fingerprint survived.
+  serve::ServeReport restart_report;
+  {
+    serve::AdmissionJournal journal(path,
+                                    util::AppendLog::Durability::kFlush);
+    restart_report = recovery_run(rate, jobs, nodes, seed, &journal);
+  }
+
+  std::remove(path.c_str());
+  serve::ServeReport fsync_report;
+  {
+    serve::AdmissionJournal journal(path,
+                                    util::AppendLog::Durability::kFsync);
+    fsync_report = recovery_run(rate, jobs, nodes, seed, &journal);
+  }
+  std::remove(path.c_str());
+
+  const bool match = base.schedule_fnv == flush_report.schedule_fnv &&
+                     base.schedule_fnv == restart_report.schedule_fnv;
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"label\": \"FCFS+EASY @ %s\", \"jobs\": %zu,\n"
+      "     \"baseline_wall_seconds\": %.3f, \"journal_wall_seconds\": %.3f,"
+      " \"journal_overhead\": %.2f,\n"
+      "     \"fsync_wall_seconds\": %.3f, \"fsync_overhead\": %.2f,"
+      " \"journal_appends\": %zu,\n"
+      "     \"restart_replay_seconds\": %.3f, \"replayed_decisions\": %zu,"
+      " \"fingerprint_match\": %s}",
+      label, jobs, base.wall_seconds, flush_report.wall_seconds,
+      flush_report.wall_seconds / base.wall_seconds,
+      fsync_report.wall_seconds, fsync_report.wall_seconds / base.wall_seconds,
+      flush_report.journal_appends, restart_report.recovery_replay_seconds,
+      restart_report.replayed_decisions, match ? "true" : "false");
+  std::printf(
+      "recovery %-4s %6zu jobs  journal %.2fx  fsync %.2fx  restart "
+      "replay %.3fs  fingerprint %s\n",
+      label, jobs, flush_report.wall_seconds / base.wall_seconds,
+      fsync_report.wall_seconds / base.wall_seconds,
+      restart_report.recovery_replay_seconds, match ? "ok" : "MISMATCH");
+  return buf;
+}
 
 }  // namespace
 
@@ -94,6 +182,17 @@ int main() {
       reports.push_back(report);
     }
   }
-  serve::write_serve_bench("BENCH_serve.json", metas, reports);
+  std::string extra;
+  const auto recovery_jobs = static_cast<std::size_t>(
+      util::env_int("JSCHED_SERVE_RECOVERY_JOBS", 2'000));
+  if (recovery_jobs > 0) {
+    extra = "\"recovery\": [\n    " +
+            recovery_json("1x", rate_1x, recovery_jobs, nodes, cfg.seed) +
+            ",\n    " +
+            recovery_json("4x", rate_1x * 4.0, recovery_jobs, nodes,
+                          cfg.seed) +
+            "\n  ]";
+  }
+  serve::write_serve_bench("BENCH_serve.json", metas, reports, extra);
   return 0;
 }

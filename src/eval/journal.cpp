@@ -20,32 +20,13 @@ void mix(std::uint64_t& h, std::uint64_t v) noexcept {
   }
 }
 
-std::string hex64(std::uint64_t v) {
-  char buf[17];
-  for (int i = 15; i >= 0; --i) {
-    buf[i] = "0123456789abcdef"[v & 0xfu];
-    v >>= 4;
-  }
-  buf[16] = '\0';
-  return std::string(buf);
-}
+using util::hex64;
 
 std::uint64_t parse_hex64(const std::string& token, std::size_t line_no) {
-  if (token.size() != 16) {
+  std::uint64_t v = 0;
+  if (!util::parse_hex64(token, &v)) {
     throw std::runtime_error("sweep journal: bad hex field '" + token +
                              "' at record " + std::to_string(line_no));
-  }
-  std::uint64_t v = 0;
-  for (char c : token) {
-    v <<= 4;
-    if (c >= '0' && c <= '9') {
-      v |= static_cast<std::uint64_t>(c - '0');
-    } else if (c >= 'a' && c <= 'f') {
-      v |= static_cast<std::uint64_t>(c - 'a' + 10);
-    } else {
-      throw std::runtime_error("sweep journal: bad hex field '" + token +
-                               "' at record " + std::to_string(line_no));
-    }
   }
   return v;
 }
@@ -101,7 +82,23 @@ SweepJournal::SweepJournal(std::string path) : log_(std::move(path)) {
       }
       continue;
     }
-    if (tag != "v1") continue;  // unknown record versions are skipped
+    if (tag == "v2") {
+      // Checksummed record (PR 10): `v2 <fnv1a(body)> <body>` where the
+      // body carries the exact v1 field sequence. A failed checksum is
+      // corruption, not a format skew — surface it with position info.
+      std::string body;
+      try {
+        util::AppendLog::check_record(line, "v2", &body);
+      } catch (const util::CorruptRecordError& e) {
+        throw util::CorruptRecordError("sweep journal " + log_.path() + ": " +
+                                       e.what() + " at record " +
+                                       std::to_string(line_no));
+      }
+      in.str(body);
+      in.clear();
+    } else if (tag != "v1") {
+      continue;  // unknown record versions are skipped
+    }
 
     const auto fail = [&](const char* what) -> std::runtime_error {
       return std::runtime_error("sweep journal " + log_.path() + ": " + what +
@@ -219,7 +216,7 @@ std::size_t SweepJournal::stale_dropped() const noexcept {
 
 void SweepJournal::record(std::uint64_t key, const RunResult& r) {
   std::ostringstream os;
-  os << "v1 " << hex64(key) << ' ' << static_cast<int>(r.spec.order) << ' '
+  os << hex64(key) << ' ' << static_cast<int>(r.spec.order) << ' '
      << static_cast<int>(r.spec.dispatch) << ' '
      << static_cast<int>(r.spec.weight) << ' ' << r.jobs << ' '
      << r.max_queue_length << ' ' << r.kills << ' ' << r.jobs_hit << ' '
@@ -235,7 +232,9 @@ void SweepJournal::record(std::uint64_t key, const RunResult& r) {
     std::lock_guard<std::mutex> lock(mu_);
     cells_[key] = {segment_, r};
   }
-  log_.append(os.str());
+  // Checksummed v2 record; v1 journals (pre-PR 10) still load, the two
+  // formats coexist freely within one file across resumed runs.
+  log_.append_checked("v2", os.str());
 }
 
 bool SweepJournal::lookup(std::uint64_t key, const core::AlgorithmSpec& spec,

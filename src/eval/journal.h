@@ -15,11 +15,16 @@
 // from an uninterrupted one, fingerprints included.
 //
 // Record format (one line, space-separated):
-//   v1 <key> <order> <dispatch> <weight> <jobs> <maxq> <kills> <jobs_hit>
-//      <12 doubles as hex bit patterns> <schedule_fnv> <scheduler name...>
-// The scheduler name is the final field and runs to end of line. Unknown
-// leading tags are skipped (forward compatibility); a corrupt v1 line
-// throws — a journal that lies must not silently poison a resume.
+//   v2 <fnv1a(body)> <body>
+//   body: <key> <order> <dispatch> <weight> <jobs> <maxq> <kills> <jobs_hit>
+//         <12 doubles as hex bit patterns> <schedule_fnv> <scheduler name...>
+// The scheduler name is the final field and runs to end of line. New
+// records are written checksummed (v2, via util::AppendLog's checked
+// records) so mid-file bit corruption raises util::CorruptRecordError
+// instead of silently resuming garbage; legacy `v1 <body>` records
+// (pre-checksum journals) still load. Unknown leading tags are skipped
+// (forward compatibility); a corrupt complete record throws — a journal
+// that lies must not silently poison a resume.
 //
 // Stale-journal detection: a `v1seg <fingerprint>` line marks the start of
 // a *segment* — all records after it belong to the sweep identified by

@@ -69,7 +69,10 @@ ShardWorkerReport run_shard_worker(
 namespace {
 
 std::size_t journal_cells(const std::string& path) {
-  return util::count_complete_lines(path, "v1 ");
+  // Cell records only — v2 (checksummed, current) plus legacy v1; segment
+  // headers ("v1seg ") share no prefix with either and are not counted.
+  return util::count_complete_lines(path, "v2 ") +
+         util::count_complete_lines(path, "v1 ");
 }
 
 }  // namespace

@@ -6,8 +6,9 @@
 // bench/shard_scale harness both delegate here, differing only in how
 // they build argv for a worker and which workload they materialize. The
 // coordinator's knowledge of a worker is deliberately thin — an exit code
-// and the growing shard journal (util::count_complete_lines over "v1 "
-// records) — so the same monitoring works for workers it did not spawn,
+// and the growing shard journal (util::count_complete_lines over "v2 " /
+// legacy "v1 " records) — so the same monitoring works for workers it did
+// not spawn,
 // e.g. shards launched by hand on other machines whose journals are
 // merged later with merge_shard_journals.
 #pragma once

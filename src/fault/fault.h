@@ -73,6 +73,13 @@ struct FailureTrace {
 FailureTrace make_failure_trace(std::vector<FailureEvent> events,
                                 int machine_nodes);
 
+/// Available nodes at virtual time `t`: machine_nodes plus every delta at
+/// or before t. This is the wall-clock mapping helper of the serve daemon
+/// — a live run maps wall time to a virtual instant and needs the
+/// capacity in force *at* that instant (restart-from-journal resume
+/// points, progress reports) without replaying the event list by hand.
+int capacity_at(const FailureTrace& trace, Time t) noexcept;
+
 /// Replays an explicit event list — the test-facing injector. Thin wrapper
 /// over make_failure_trace that keeps the validated trace alive alongside
 /// the FaultOptions pointing at it.

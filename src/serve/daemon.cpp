@@ -2,29 +2,42 @@
 
 #include <algorithm>
 #include <cmath>
+#include <csignal>
 #include <deque>
 #include <queue>
 #include <stdexcept>
 #include <vector>
+
+#include "serve/journal.h"
 
 namespace jsched::serve {
 
 namespace {
 
 /// A scheduled completion, ordered (t, id) like the offline simulator's.
+/// `epoch` snapshots the job's kill counter at start so completions of
+/// killed attempts are recognized as stale.
 struct Completion {
   Time t;
   JobId id;
+  std::uint32_t epoch;
   bool operator>(const Completion& o) const noexcept {
     return t != o.t ? t > o.t : id > o.id;
   }
 };
 
-/// Per-live-job state (the fault-free slice of the streaming simulator's
-/// Slot): jobs admitted but whose record is not yet final.
+/// Per-live-job state (the serve twin of the streaming simulator's Slot):
+/// jobs admitted but whose record is not yet final. The fault fields are
+/// inert (epoch 0, overheads 0) when no trace is active, keeping the
+/// fault-free path bit-identical to the pre-fault loop.
 struct Slot {
   Job job;
   sim::JobRecord rec;
+  std::uint32_t epoch = 0;
+  Duration rem_life = 0;
+  Duration pending_overhead = 0;
+  Duration charged_overhead = 0;
+  Time start_of = 0;
   bool running = false;
   bool done = false;
 };
@@ -39,6 +52,26 @@ ServeReport serve(Feed& feed, const ServeOptions& options) {
   if (options.speed < 0) {
     throw std::invalid_argument("serve: speed must be >= 0");
   }
+  const bool faults_active = options.faults.active();
+  if (faults_active) {
+    const fault::FailureTrace& trace = *options.faults.trace;
+    if (trace.machine_nodes != options.machine.nodes) {
+      throw std::invalid_argument(
+          "serve: failure trace built for " +
+          std::to_string(trace.machine_nodes) + " nodes but the machine has " +
+          std::to_string(options.machine.nodes));
+    }
+    options.faults.recovery.validate();
+  }
+  const fault::RecoveryOptions& recovery = options.faults.recovery;
+  const bool checkpointing =
+      faults_active &&
+      recovery.policy == fault::RecoveryPolicy::kCheckpointRestart;
+  AdmissionJournal* const journal = options.journal;
+  if (options.chaos_kill_after_appends > 0 && journal == nullptr) {
+    throw std::invalid_argument(
+        "serve: chaos_kill_after_appends requires a journal");
+  }
 
   util::Clock& clock =
       options.clock != nullptr ? *options.clock : util::real_clock();
@@ -47,18 +80,73 @@ ServeReport serve(Feed& feed, const ServeOptions& options) {
   const double speed = options.speed;
   const util::Clock::time_point epoch = clock.now();
 
-  // Virtual/wall mapping. vnow = floor(elapsed * speed); an event at
-  // virtual t falls due at epoch + ceil(t / speed) — the ceil guarantees
-  // vnow(due(t)) >= t, so sleeping until due never wakes early.
+  ServeReport report;
+  report.min_capacity = options.machine.nodes;
+
+  // ---- Recovery preload. A journal with history turns the loop's first
+  // phase into a replay: the recovered admissions feed the event loop
+  // (bypassing admit() — they were stamped by the dead run), the feed
+  // stays un-polled until the replay drains, and the dead run's
+  // drop/late/delay counters are restored so the final report reads as if
+  // the daemon had never died.
+  std::deque<SubmitRecord> replay_queue;
+  std::size_t skip_feed = 0;
+  Time start_virtual = 0;
+  if (journal != nullptr && journal->has_history()) {
+    report.recovered = true;
+    report.recovered_jobs = journal->admitted().size();
+    report.recovered_completed = journal->completed_at_open();
+    for (const JournaledJob& j : journal->admitted()) {
+      replay_queue.push_back(j.record);
+    }
+    report.late_arrivals = journal->late_at_open();
+    report.delayed_admissions = journal->delayed_at_open();
+    report.rejected_invalid = journal->dropped_invalid();
+    report.shed_capacity = journal->dropped_shed_capacity();
+    report.shed_backlog = journal->dropped_shed_backlog();
+    if (options.feed_restarts_from_start) {
+      skip_feed = journal->consumed_feed_records();
+    }
+    // Resume the virtual clock at the last journaled instant: the replay
+    // runs at memory speed regardless of pacing, and wall-time mapping
+    // continues from where the dead run reached, not from zero.
+    start_virtual = journal->last_event_time();
+    if (options.log) {
+      options.log("journal " + journal->path() + ": replaying " +
+                  std::to_string(report.recovered_jobs) + " admission(s) (" +
+                  std::to_string(report.recovered_completed) +
+                  " completed), skipping " + std::to_string(skip_feed) +
+                  " consumed feed record(s), resuming at t=" +
+                  std::to_string(start_virtual));
+    }
+  }
+  if (journal != nullptr) journal->begin_run();
+
+  // Crash drill: die *for real* once this run has journaled enough. Placed
+  // after each append point so the kill lands mid-stream, between a
+  // journaled decision and whatever would have followed it.
+  const auto chaos_tick = [&] {
+    if (options.chaos_kill_after_appends > 0 &&
+        journal->appends() >= options.chaos_kill_after_appends) {
+      std::raise(SIGKILL);
+    }
+  };
+
+  // Virtual/wall mapping. vnow = V0 + floor(elapsed * speed); an event at
+  // virtual t falls due at epoch + ceil((t - V0) / speed) — the ceil
+  // guarantees vnow(due(t)) >= t, so sleeping until due never wakes
+  // early, and anything at or before the resume point V0 is due at once.
+  const Time v0 = start_virtual;
   const auto vnow = [&]() -> Time {
     if (!paced) return kTimeInfinity;
     const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
         clock.now() - epoch);
-    return static_cast<Time>(
-        std::floor(static_cast<double>(elapsed.count()) * speed * 1e-9));
+    return v0 + static_cast<Time>(std::floor(
+                    static_cast<double>(elapsed.count()) * speed * 1e-9));
   };
   const auto due_wall = [&](Time t) -> util::Clock::time_point {
-    const double ns = std::ceil(static_cast<double>(t) * 1e9 / speed);
+    if (t <= v0) return epoch;
+    const double ns = std::ceil(static_cast<double>(t - v0) * 1e9 / speed);
     return epoch + std::chrono::nanoseconds(static_cast<std::int64_t>(ns));
   };
 
@@ -67,7 +155,6 @@ ServeReport serve(Feed& feed, const ServeOptions& options) {
                        : core::make_scheduler(options.spec);
   scheduler->reset(options.machine);
 
-  ServeReport report;
   report.scheduler_name = scheduler->name();
   metrics::StreamingAggregator aggregator(options.machine.nodes);
 
@@ -77,7 +164,11 @@ ServeReport serve(Feed& feed, const ServeOptions& options) {
   JobId frontier = 0;
   JobId next_id = 0;
   std::size_t undone = 0;
-  int free_nodes = options.machine.nodes;
+  int capacity = options.machine.nodes;
+  int free_nodes = capacity;
+  std::size_t next_fault = 0;
+  std::vector<JobId> active;  // running jobs, for fault victim selection
+  if (faults_active) active.reserve(64);
   Time prev_t = -1;
 
   std::deque<SubmitRecord> admission;  // accepted, not yet delivered
@@ -85,20 +176,41 @@ ServeReport serve(Feed& feed, const ServeOptions& options) {
   std::vector<SubmitRecord> batch;
   std::vector<JobId> starts;
   std::vector<JobId> completed;
+  std::vector<JobId> resubmit;
   starts.reserve(64);
   completed.reserve(64);
   bool feed_open = true;
-  Time last_stamp = 0;  // admission stamps are non-decreasing
+  Time last_stamp = v0;  // admission stamps are non-decreasing
 
   const auto slot_of = [&](JobId id) -> Slot& { return window[id - frontier]; };
 
-  // Stamp + enqueue one polled record; returns false when it was dropped
-  // (shed / rejected). `from_holdover` marks records admitted late under
-  // kBlock backpressure.
+  // Graceful degradation: under faults the backlog bound shrinks with the
+  // surviving capacity (never below 1 — a transient total outage should
+  // not shed the job that would start the moment nodes return). With no
+  // faults, or a full machine, this is exactly options.max_backlog.
+  const auto effective_max_backlog = [&]() -> std::size_t {
+    if (options.max_backlog == 0) return 0;
+    if (!faults_active || capacity >= options.machine.nodes) {
+      return options.max_backlog;
+    }
+    if (capacity <= 0) return 1;
+    const std::size_t scaled =
+        options.max_backlog * static_cast<std::size_t>(capacity) /
+        static_cast<std::size_t>(options.machine.nodes);
+    return std::max<std::size_t>(scaled, 1);
+  };
+
+  // Stamp + enqueue one polled record; drops are counted (and journaled —
+  // a dropped record is still a *consumed* one). `from_holdover` marks
+  // records admitted late under kBlock backpressure.
   const auto admit = [&](SubmitRecord r, bool from_holdover) {
     if (r.nodes < 1 || r.runtime < 1 || r.estimate < 1 ||
         r.nodes > options.machine.nodes) {
       ++report.rejected_invalid;
+      if (journal != nullptr) {
+        journal->record_drop(DropKind::kInvalid);
+        chaos_tick();
+      }
       if (options.log) {
         options.log("rejected: " + std::to_string(r.nodes) + " nodes / " +
                     std::to_string(r.estimate) + "s estimate (machine has " +
@@ -106,9 +218,14 @@ ServeReport serve(Feed& feed, const ServeOptions& options) {
       }
       return;
     }
-    if (options.max_backlog > 0 &&
-        scheduler->queue_length() + admission.size() >= options.max_backlog) {
+    const std::size_t backlog = effective_max_backlog();
+    if (backlog > 0 &&
+        scheduler->queue_length() + admission.size() >= backlog) {
       ++report.shed_backlog;
+      if (journal != nullptr) {
+        journal->record_drop(DropKind::kShedBacklog);
+        chaos_tick();
+      }
       return;
     }
     // Time can only move forward: a live record is stamped "now", and a
@@ -117,19 +234,45 @@ ServeReport serve(Feed& feed, const ServeOptions& options) {
     // worth surfacing, not a daemon crash).
     const Time floor_t = std::max<Time>(last_stamp, std::max<Time>(prev_t, 0));
     Time stamp;
+    bool late = false;
     if (r.submit < 0) {
       const Time v = paced ? vnow() : floor_t;
       stamp = std::max(v, floor_t);
     } else {
       stamp = std::max(r.submit, floor_t);
-      if (stamp != r.submit) ++report.late_arrivals;
+      if (stamp != r.submit) {
+        ++report.late_arrivals;
+        late = true;
+      }
     }
     if (from_holdover) ++report.delayed_admissions;
     r.submit = stamp;
     last_stamp = stamp;
+    if (journal != nullptr) {
+      journal->record_admit(r, late, from_holdover);
+      chaos_tick();
+    }
     admission.push_back(r);
     report.peak_admission_queue =
         std::max(report.peak_admission_queue, admission.size());
+  };
+
+  // Deliver one admitted record to the scheduler at time `t` — shared by
+  // the replay queue and the live admission queue, which is what makes a
+  // recovered job indistinguishable from a freshly admitted one.
+  const auto deliver = [&](const SubmitRecord& r, Time t) {
+    window.emplace_back();
+    Slot& s = window.back();
+    s.job.id = next_id++;
+    s.job.submit = r.submit;
+    s.job.nodes = r.nodes;
+    s.job.runtime = r.runtime;
+    s.job.estimate = r.estimate;
+    s.job.user = r.user;
+    s.rem_life = std::min(r.runtime, r.estimate);
+    ++undone;
+    ++report.submitted;
+    scheduler->on_submit(Submission(s.job), t);
   };
 
   auto last_report = clock.now();
@@ -150,15 +293,19 @@ ServeReport serve(Feed& feed, const ServeOptions& options) {
         holdover.clear();
         if (options.log) {
           options.log("drain: feed closed, finishing " +
-                      std::to_string(undone + admission.size()) +
+                      std::to_string(undone + admission.size() +
+                                     replay_queue.size()) +
                       " admitted job(s)");
         }
       }
     }
 
-    if (!feed_open && holdover.empty() && admission.empty() && undone == 0) {
+    if (!feed_open && replay_queue.empty() && holdover.empty() &&
+        admission.empty() && undone == 0) {
       break;  // served everything
     }
+
+    const bool replaying = !replay_queue.empty();
 
     // Move blocked records into the queue as space frees up.
     while (!holdover.empty() && admission.size() < options.queue_capacity) {
@@ -166,18 +313,33 @@ ServeReport serve(Feed& feed, const ServeOptions& options) {
       holdover.pop_front();
     }
 
+    // Purge stale completion entries so the next-event time is real. An id
+    // below the frontier is a dead epoch of a job that has since finished.
+    while (!completions.empty()) {
+      const Completion& top = completions.top();
+      if (top.id >= frontier && top.epoch == slot_of(top.id).epoch) break;
+      completions.pop();
+    }
+
     // Next event from local state alone.
     Time t = kTimeInfinity;
-    if (!admission.empty()) t = admission.front().submit;
+    if (replaying) t = replay_queue.front().submit;
+    if (!admission.empty()) t = std::min(t, admission.front().submit);
     if (!completions.empty()) t = std::min(t, completions.top().t);
+    if (faults_active) {
+      const auto& events = options.faults.trace->events;
+      if (next_fault < events.size()) t = std::min(t, events[next_fault].t);
+    }
     const Time wake = scheduler->next_wakeup(prev_t);
     if (wake > prev_t && wake < t) t = wake;
 
     // Poll the feed. Paced: deliver whatever wall time has made due.
     // Free-run: deliver only up to the next event (min(t, next_submit)) so
     // a replayed trace streams through the bounded queue instead of being
-    // inhaled whole.
-    if (feed_open && holdover.empty() &&
+    // inhaled whole. During journal replay the feed is not touched at all:
+    // the recovered admissions must rebuild the exact pre-crash state
+    // before any fresh record can influence a decision.
+    if (feed_open && !replaying && holdover.empty() &&
         (options.overload == OverloadPolicy::kShed ||
          admission.size() < options.queue_capacity)) {
       const Time ns = feed.next_submit();
@@ -185,9 +347,17 @@ ServeReport serve(Feed& feed, const ServeOptions& options) {
       batch.clear();
       feed_open = feed.poll(poll_at, batch);
       for (const SubmitRecord& r : batch) {
+        if (skip_feed > 0) {
+          --skip_feed;  // consumed by the journaled run: already replayed
+          continue;
+        }
         if (admission.size() >= options.queue_capacity) {
           if (options.overload == OverloadPolicy::kShed) {
             ++report.shed_capacity;
+            if (journal != nullptr) {
+              journal->record_drop(DropKind::kShedCapacity);
+              chaos_tick();
+            }
           } else {
             holdover.push_back(r);
           }
@@ -204,6 +374,10 @@ ServeReport serve(Feed& feed, const ServeOptions& options) {
       t = kTimeInfinity;
       if (!admission.empty()) t = admission.front().submit;
       if (!completions.empty()) t = std::min(t, completions.top().t);
+      if (faults_active) {
+        const auto& events = options.faults.trace->events;
+        if (next_fault < events.size()) t = std::min(t, events[next_fault].t);
+      }
       const Time wake2 = scheduler->next_wakeup(prev_t);
       if (wake2 > prev_t && wake2 < t) t = wake2;
     }
@@ -215,8 +389,9 @@ ServeReport serve(Feed& feed, const ServeOptions& options) {
     // is what backpressure means). An idle live feed reports kTimeInfinity
     // and must not trip the gate: with t also infinite that would spin the
     // loop (and feed due_wall an unrepresentable time) instead of falling
-    // through to the idle sleep below.
-    if (feed_open && holdover.empty()) {
+    // through to the idle sleep below. Journal replay bypasses the gate
+    // for the same reason it bypasses the poll.
+    if (feed_open && !replaying && holdover.empty()) {
       const Time ns = feed.next_submit();
       if (ns != kTimeInfinity && ns <= t) {
         if (paced && vnow() < ns) clock.sleep_until(due_wall(ns));
@@ -251,40 +426,134 @@ ServeReport serve(Feed& feed, const ServeOptions& options) {
       continue;
     }
 
-    // ---- Process the event at t (offline event order: completions,
-    // arrivals, starts). One round = one decision sample.
+    // ---- Process the event at t, in the offline simulator's order:
+    // completions, fault batch, capacity change, arrivals, re-submissions,
+    // starts. One round = one decision sample.
     prev_t = t;
     const auto decision_start = clock.now();
 
+    // (1) completions at t — before fault events, so a job ending exactly
+    // when its nodes fail has completed, not been killed.
     completed.clear();
     while (!completions.empty() && completions.top().t == t) {
       const Completion c = completions.top();
       completions.pop();
+      if (c.id < frontier) continue;  // stale: attempt of a finished job
       Slot& s = slot_of(c.id);
+      if (c.epoch != s.epoch) continue;  // stale: attempt was killed
       free_nodes += s.job.nodes;
       s.running = false;
       s.done = true;
       --undone;
+      if (faults_active) {
+        active.erase(std::find(active.begin(), active.end(), c.id));
+      }
       completed.push_back(c.id);
     }
-    for (JobId id : completed) scheduler->on_complete(id, t);
-
-    while (!admission.empty() && admission.front().submit <= t) {
-      const SubmitRecord r = admission.front();
-      admission.pop_front();
-      window.emplace_back();
-      Slot& s = window.back();
-      s.job.id = next_id++;
-      s.job.submit = r.submit;
-      s.job.nodes = r.nodes;
-      s.job.runtime = r.runtime;
-      s.job.estimate = r.estimate;
-      s.job.user = r.user;
-      ++undone;
-      ++report.submitted;
-      scheduler->on_submit(Submission(s.job), t);
+    for (JobId id : completed) {
+      scheduler->on_complete(id, t);
+      if (journal != nullptr) {
+        if (journal->record_done(id, slot_of(id).epoch, t)) {
+          ++report.replayed_decisions;
+        } else {
+          chaos_tick();
+        }
+      }
     }
 
+    // (2) fault events at t. A failure first removes capacity; while usage
+    // exceeds the surviving capacity, running jobs are killed — latest
+    // start first (they lose the least work), larger id on ties.
+    resubmit.clear();
+    bool capacity_changed = false;
+    if (faults_active) {
+      const auto& events = options.faults.trace->events;
+      while (next_fault < events.size() && events[next_fault].t == t) {
+        capacity += events[next_fault].delta;
+        free_nodes += events[next_fault].delta;
+        ++next_fault;
+        capacity_changed = true;
+        ++report.capacity_events;
+        report.min_capacity = std::min(report.min_capacity, capacity);
+        while (free_nodes < 0) {
+          std::size_t vi = 0;
+          for (std::size_t k = 1; k < active.size(); ++k) {
+            const JobId a = active[k];
+            const JobId b = active[vi];
+            if (slot_of(a).start_of > slot_of(b).start_of ||
+                (slot_of(a).start_of == slot_of(b).start_of && a > b)) {
+              vi = k;
+            }
+          }
+          const JobId victim = active[vi];
+          Slot& s = slot_of(victim);
+          free_nodes += s.job.nodes;
+          s.running = false;
+          ++s.epoch;
+          active.erase(active.begin() + static_cast<std::ptrdiff_t>(vi));
+          const Duration elapsed = t - s.start_of;
+          // Progress excludes the attempt's restart overhead; checkpoints
+          // save whole intervals of progress only.
+          const Duration overhead_done = std::min(elapsed, s.charged_overhead);
+          const Duration progress = elapsed - overhead_done;
+          const Duration saved =
+              checkpointing ? (progress / recovery.checkpoint_interval) *
+                                  recovery.checkpoint_interval
+                            : 0;
+          s.rem_life -= saved;
+          s.pending_overhead = checkpointing ? recovery.restart_overhead : 0;
+          aggregator.on_attempt({victim, s.start_of, t, s.job.nodes, saved});
+          scheduler->on_complete(victim, t);
+          resubmit.push_back(victim);
+          ++report.killed;
+        }
+        aggregator.on_capacity_event(t, capacity);
+      }
+    }
+    if (capacity_changed) {
+      scheduler->on_capacity_change(t, capacity);
+    }
+
+    // (3) arrivals at t: the journal replay first (it rebuilds the
+    // pre-crash state and is always time-ordered before anything fresh —
+    // the feed stays closed until it drains), then the live queue.
+    while (!replay_queue.empty() && replay_queue.front().submit <= t) {
+      deliver(replay_queue.front(), t);
+      replay_queue.pop_front();
+      if (replay_queue.empty()) {
+        const auto elapsed =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(clock.now() -
+                                                                 epoch);
+        report.recovery_replay_seconds =
+            static_cast<double>(elapsed.count()) * 1e-9;
+        if (options.log) {
+          options.log("journal replay complete: " +
+                      std::to_string(report.recovered_jobs) +
+                      " admission(s) rebuilt in " +
+                      std::to_string(report.recovery_replay_seconds) +
+                      "s; feed open");
+        }
+      }
+    }
+    while (!admission.empty() && admission.front().submit <= t) {
+      deliver(admission.front(), t);
+      admission.pop_front();
+    }
+
+    // (4) re-submissions of the jobs killed at t, with an estimate that
+    // covers restart overhead + remaining work + the user's original
+    // slack.
+    for (JobId id : resubmit) {
+      const Slot& s = slot_of(id);
+      Job r = s.job;
+      const Duration headroom = r.estimate - std::min(r.runtime, r.estimate);
+      r.submit = t;
+      r.estimate = s.pending_overhead + s.rem_life + headroom;
+      scheduler->on_submit(Submission(r), t);
+      ++report.requeued;
+    }
+
+    // (5) start decisions.
     while (true) {
       scheduler->select_starts(t, free_nodes, starts);
       if (starts.empty()) break;
@@ -308,15 +577,27 @@ ServeReport serve(Feed& feed, const ServeOptions& options) {
         }
         free_nodes -= s.job.nodes;
         s.running = true;
-        // Rule 2: jobs run min(runtime, estimate); one that would exceed
-        // its estimate is cut off there and recorded as cancelled.
-        const Duration lifetime = std::min(s.job.runtime, s.job.estimate);
+        s.start_of = t;
+        if (faults_active) active.push_back(id);
+        s.charged_overhead = s.pending_overhead;
+        s.pending_overhead = 0;
+        // Rule 2: jobs run min(runtime, estimate) — here as remaining life
+        // plus any checkpoint-restart overhead; one that would exceed its
+        // original estimate is cut off there and recorded as cancelled.
+        const Duration lifetime = s.charged_overhead + s.rem_life;
         s.rec.submit = s.job.submit;
         s.rec.start = t;
         s.rec.nodes = s.job.nodes;
         s.rec.end = t + lifetime;
         s.rec.cancelled = s.job.runtime > s.job.estimate;
-        completions.push({t + lifetime, id});
+        completions.push({t + lifetime, id, s.epoch});
+        if (journal != nullptr) {
+          if (journal->record_start(id, s.epoch, t)) {
+            ++report.replayed_decisions;
+          } else {
+            chaos_tick();
+          }
+        }
       }
     }
 
@@ -350,6 +631,10 @@ ServeReport serve(Feed& feed, const ServeOptions& options) {
           std::to_string(scheduler->queue_length()) + " admission=" +
           std::to_string(admission.size()) + " shed=" +
           std::to_string(report.shed_capacity + report.shed_backlog) +
+          (faults_active
+               ? " capacity=" + std::to_string(capacity) + " killed=" +
+                     std::to_string(report.killed)
+               : "") +
           " p99=" + std::to_string(report.decision_latency_ns.p99()) + "ns");
     }
   }
@@ -363,10 +648,13 @@ ServeReport serve(Feed& feed, const ServeOptions& options) {
     report.decisions_per_second =
         static_cast<double>(report.decisions) / report.wall_seconds;
   }
+  if (journal != nullptr) report.journal_appends = journal->appends();
   if (report.completed > 0) {
     report.metrics = aggregator.finish();
     report.has_metrics = true;
     report.schedule_fnv = report.metrics.schedule_fnv;
+    report.wasted_node_seconds = report.metrics.resilience.wasted_node_seconds;
+    report.availability = report.metrics.resilience.availability;
   }
   return report;
 }

@@ -26,7 +26,25 @@
 // optional `max_backlog` bounds admission + scheduler queue together and
 // sheds above it regardless of policy — the daemon's memory stays bounded
 // under arbitrarily long overload instead of OOMing like an unbounded
-// queue would.
+// queue would. Under fault injection the backlog bound degrades
+// gracefully: it scales with surviving capacity, so an outage tightens
+// shedding instead of letting the queue balloon against a smaller machine.
+//
+// Faults: options.faults replays a fault::FailureTrace on the daemon's
+// virtual timeline with exactly simulate_faulty's event order at each
+// instant — completions, fault batch (kills: latest start first, larger id
+// on ties), one on_capacity_change, arrivals, re-submissions, starts — so
+// a served trace under a trace injector stays bit-identical to
+// sim::simulate_stream with the same FaultOptions.
+//
+// Crash safety: options.journal points the loop at a write-ahead
+// AdmissionJournal (serve/journal.h). Every consumed feed record and every
+// decision is journaled before the daemon acts on it; a daemon restarted
+// on a journal with history replays the admissions at their original
+// virtual times, re-derives (and verifies) the decisions, and resumes the
+// feed where the dead run left it — the final report, fingerprint
+// included, is bit-identical to an uninterrupted run. With no journal the
+// loop is byte-identical to its pre-journal behavior.
 #pragma once
 
 #include <chrono>
@@ -37,6 +55,7 @@
 #include <string>
 
 #include "core/factory.h"
+#include "fault/fault.h"
 #include "metrics/streaming.h"
 #include "serve/feed.h"
 #include "sim/machine.h"
@@ -45,6 +64,8 @@
 #include "util/latency.h"
 
 namespace jsched::serve {
+
+class AdmissionJournal;
 
 enum class OverloadPolicy {
   kBlock,  // full queue: stop polling the feed (backpressure)
@@ -88,6 +109,30 @@ struct ServeOptions {
   /// Scheduler construction override (tests); null = core::make_scheduler.
   std::function<std::unique_ptr<sim::Scheduler>(const core::AlgorithmSpec&)>
       scheduler_factory;
+
+  /// Node-failure injection on the daemon's virtual timeline. Same
+  /// semantics and per-instant event order as sim::simulate_faulty; the
+  /// default (null trace) leaves the loop bit-identical to fault-free
+  /// serving. The trace must be built for `machine.nodes` nodes.
+  fault::FaultOptions faults{};
+
+  /// Write-ahead admission journal (not owned; null = no journaling).
+  /// When it holds history, serve() replays it before opening the feed:
+  /// recovered admissions re-enter at their original virtual times,
+  /// decisions re-derive deterministically and are verified against the
+  /// journaled ones (serve/journal.h documents the protocol).
+  AdmissionJournal* journal = nullptr;
+
+  /// With a recovering journal: true when the feed re-delivers its stream
+  /// from the beginning on restart (trace replay, tailed files) so the
+  /// journaled consumed prefix must be skipped; false for live transports
+  /// (sockets, stdin), which re-deliver nothing.
+  bool feed_restarts_from_start = false;
+
+  /// Crash drill: raise SIGKILL after this many journal appends by this
+  /// run (0 = off; requires `journal`). The ServeRecovery tests and the
+  /// CI serve-recovery job use it to die mid-decision, unclean, for real.
+  std::size_t chaos_kill_after_appends = 0;
 };
 
 struct ServeReport {
@@ -116,6 +161,24 @@ struct ServeReport {
   double jobs_per_second = 0.0;       // completed / wall
   double decisions_per_second = 0.0;  // decisions / wall
   Time virtual_makespan = 0;
+
+  // Fault / resilience accounting (moves only under options.faults).
+  std::size_t killed = 0;    // running attempts killed by node failures
+  std::size_t requeued = 0;  // re-submissions delivered after those kills
+  std::size_t capacity_events = 0;  // trace instants applied
+  int min_capacity = 0;      // lowest available-node count seen
+  /// Copies of metrics.resilience fields (0 / 1.0 when !has_metrics), so
+  /// report consumers need not re-derive them.
+  double wasted_node_seconds = 0.0;
+  double availability = 1.0;
+
+  // Recovery accounting (moves only under options.journal).
+  bool recovered = false;            // the journal held history at start
+  std::size_t recovered_jobs = 0;    // admissions replayed from the journal
+  std::size_t recovered_completed = 0;  // of those, already done pre-crash
+  std::size_t replayed_decisions = 0;   // journaled starts/dones re-derived
+  std::size_t journal_appends = 0;      // records appended by this run
+  double recovery_replay_seconds = 0.0;  // wall time to drain the replay
 
   // Outcome flags.
   bool drained = false;  // ended by a drain request (signal)

@@ -6,11 +6,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 namespace jsched::serve {
@@ -272,10 +275,52 @@ TcpFeed::~TcpFeed() {
 }
 
 void TcpFeed::accept_clients() {
+  constexpr std::chrono::milliseconds kBackoffMin{10};
+  constexpr std::chrono::milliseconds kBackoffMax{2000};
+  if (accept_backoff_.count() > 0 &&
+      std::chrono::steady_clock::now() < accept_retry_at_) {
+    return;  // still backing off after resource exhaustion
+  }
   while (true) {
     const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
-    if (fd < 0) return;
-    clients_.push_back(Client{fd, {}});
+    if (fd >= 0) {
+      accept_backoff_ = std::chrono::milliseconds{0};
+      clients_.push_back(Client{fd, {}});
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      accept_backoff_ = std::chrono::milliseconds{0};
+      return;  // no pending connections
+    }
+    if (errno == ECONNABORTED) {
+      // The peer gave up during the handshake; its slot in the backlog is
+      // simply gone. Count it, take the next pending connection.
+      ++transient_accept_errors_;
+      continue;
+    }
+    if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+        errno == ENOMEM) {
+      // Resource exhaustion is transient by definition — fds free up when
+      // clients hang up. Killing the listener here would turn a burst of
+      // connections into a permanent outage; back off instead (capped
+      // exponential: retrying instantly would busy-loop on EMFILE) and
+      // keep serving the clients already connected.
+      ++transient_accept_errors_;
+      accept_backoff_ = accept_backoff_.count() == 0
+                            ? kBackoffMin
+                            : std::min(accept_backoff_ * 2, kBackoffMax);
+      accept_retry_at_ = std::chrono::steady_clock::now() + accept_backoff_;
+      std::fprintf(stderr,
+                   "feed: accept: %s (transient; retrying in %lldms)\n",
+                   std::strerror(errno),
+                   static_cast<long long>(accept_backoff_.count()));
+      return;
+    }
+    // Anything else is unexpected; log it and keep the listener alive —
+    // established clients are unaffected either way.
+    std::fprintf(stderr, "feed: accept: %s\n", std::strerror(errno));
+    return;
   }
 }
 
@@ -358,5 +403,100 @@ Time TcpFeed::next_submit() const {
   }
   return kTimeInfinity;
 }
+
+// ----------------------------------------------------------- TcpSubmitClient
+
+std::string format_submit_line(const SubmitRecord& r) {
+  char buf[128];
+  if (r.submit >= 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "@%" PRId64 " %d %" PRId64 " %" PRId64 " %" PRId32,
+                  static_cast<std::int64_t>(r.submit), r.nodes,
+                  static_cast<std::int64_t>(r.runtime),
+                  static_cast<std::int64_t>(r.estimate), r.user);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%d %" PRId64 " %" PRId64 " %" PRId32,
+                  r.nodes, static_cast<std::int64_t>(r.runtime),
+                  static_cast<std::int64_t>(r.estimate), r.user);
+  }
+  return buf;
+}
+
+TcpSubmitClient::TcpSubmitClient(std::uint16_t port, std::size_t max_attempts)
+    : port_(port), max_attempts_(max_attempts) {}
+
+TcpSubmitClient::~TcpSubmitClient() { drop_connection(); }
+
+void TcpSubmitClient::drop_connection() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool TcpSubmitClient::ensure_connected() {
+  constexpr std::chrono::milliseconds kBackoffMin{10};
+  constexpr std::chrono::milliseconds kBackoffMax{1000};
+  if (fd_ >= 0) return true;
+  std::size_t failures = 0;
+  while (true) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd >= 0) {
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(port_);
+      int rc;
+      do {
+        rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof(addr));
+      } while (rc != 0 && errno == EINTR);
+      if (rc == 0) {
+        fd_ = fd;
+        backoff_ = std::chrono::milliseconds{0};
+        if (ever_connected_) ++reconnects_;
+        ever_connected_ = true;
+        return true;
+      }
+      ::close(fd);
+    }
+    ++failures;
+    if (max_attempts_ != 0 && failures >= max_attempts_) return false;
+    backoff_ = backoff_.count() == 0 ? kBackoffMin
+                                     : std::min(backoff_ * 2, kBackoffMax);
+    std::this_thread::sleep_for(backoff_);
+  }
+}
+
+bool TcpSubmitClient::send_line(const std::string& line) {
+  const std::string wire = line + "\n";
+  while (true) {
+    if (!ensure_connected()) return false;
+    std::size_t off = 0;
+    bool broken = false;
+    while (off < wire.size()) {
+      const ssize_t n = ::send(fd_, wire.data() + off, wire.size() - off,
+                               MSG_NOSIGNAL);
+      if (n > 0) {
+        off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      broken = true;  // EPIPE/ECONNRESET/...: daemon went away mid-line
+      break;
+    }
+    if (!broken) return true;
+    // The daemon may have read a prefix of this line before dying; its
+    // restart drops the torn line at the buffer level (no trailing \n from
+    // a reset socket), so resending the whole line after reconnect is safe.
+    drop_connection();
+  }
+}
+
+bool TcpSubmitClient::send(const SubmitRecord& r) {
+  return send_line(format_submit_line(r));
+}
+
+bool TcpSubmitClient::send_end() { return send_line("end"); }
 
 }  // namespace jsched::serve

@@ -22,6 +22,7 @@
 // gating, submissions are stamped as they arrive.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -148,6 +149,14 @@ class FdLineFeed final : public Feed {
 /// record is delivered — the shared-cluster model, where one operator can
 /// close submissions. Non-blocking throughout; constructor throws
 /// std::runtime_error when the socket cannot be bound.
+///
+/// Resilience: transient accept() failures — fd exhaustion (EMFILE,
+/// ENFILE), aborted handshakes (ECONNABORTED), kernel buffer pressure
+/// (ENOBUFS/ENOMEM) — never kill the listener. Aborted connections are
+/// skipped on the spot; resource exhaustion arms a capped exponential
+/// backoff (10ms doubling to 2s) before the next accept attempt, while
+/// established clients keep being read the whole time. Every such event
+/// is counted (transient_accept_errors) and logged once per escalation.
 class TcpFeed final : public Feed {
  public:
   explicit TcpFeed(std::uint16_t port);
@@ -159,6 +168,10 @@ class TcpFeed final : public Feed {
   /// The bound port (useful with port 0).
   std::uint16_t port() const noexcept { return port_; }
   std::size_t parse_errors() const noexcept { return parse_errors_; }
+  /// Transient accept() failures survived so far.
+  std::size_t transient_accept_errors() const noexcept {
+    return transient_accept_errors_;
+  }
 
  private:
   struct Client {
@@ -175,6 +188,51 @@ class TcpFeed final : public Feed {
   bool ended_ = false;
   std::deque<SubmitRecord> parsed_;
   std::size_t parse_errors_ = 0;
+  std::size_t transient_accept_errors_ = 0;
+  std::chrono::milliseconds accept_backoff_{0};
+  std::chrono::steady_clock::time_point accept_retry_at_{};
+};
+
+/// Serialize a record back into one protocol line (no trailing newline):
+/// the exact inverse of parse_submit_line for valid records.
+std::string format_submit_line(const SubmitRecord& r);
+
+/// Line-protocol submit client with reconnect-and-retry: the producer
+/// half of feed resilience. Connects lazily to 127.0.0.1:`port` and
+/// delivers lines over a blocking socket; a refused connect or a dropped
+/// connection (daemon restarting, socket reset) is retried with a capped
+/// exponential backoff (10ms doubling to 1s) until the line is delivered
+/// or `max_attempts` connects have failed in a row (0 = keep trying
+/// forever). schedd's loadgen --connect mode drives a remote daemon
+/// through this.
+class TcpSubmitClient {
+ public:
+  explicit TcpSubmitClient(std::uint16_t port, std::size_t max_attempts = 0);
+  ~TcpSubmitClient();
+
+  TcpSubmitClient(const TcpSubmitClient&) = delete;
+  TcpSubmitClient& operator=(const TcpSubmitClient&) = delete;
+
+  /// Deliver one record / one raw protocol line / the `end` sentinel.
+  /// Returns false when the retry budget ran out (the line was not sent).
+  bool send(const SubmitRecord& r);
+  bool send_line(const std::string& line);
+  bool send_end();
+
+  /// Successful re-connections after the first (a health signal: how
+  /// often the daemon side went away mid-stream).
+  std::size_t reconnects() const noexcept { return reconnects_; }
+
+ private:
+  bool ensure_connected();
+  void drop_connection();
+
+  std::uint16_t port_;
+  std::size_t max_attempts_;
+  int fd_ = -1;
+  bool ever_connected_ = false;
+  std::size_t reconnects_ = 0;
+  std::chrono::milliseconds backoff_{0};
 };
 
 }  // namespace jsched::serve

@@ -61,6 +61,24 @@ std::string serve_run_json(const ServeRunMeta& meta, const ServeReport& report,
          static_cast<long long>(report.virtual_makespan));
   append(out, "%s  \"drained\": %s,\n", p, report.drained ? "true" : "false");
   append(out, "%s  \"aborted\": %s,\n", p, report.aborted ? "true" : "false");
+  if (report.capacity_events > 0 || report.killed > 0) {
+    append(out,
+           "%s  \"resilience\": {\"killed\": %zu, \"requeued\": %zu, "
+           "\"capacity_events\": %zu, \"min_capacity\": %d, "
+           "\"wasted_node_seconds\": %.1f, \"availability\": %.6f},\n",
+           p, report.killed, report.requeued, report.capacity_events,
+           report.min_capacity, report.wasted_node_seconds,
+           report.availability);
+  }
+  if (report.recovered || report.journal_appends > 0) {
+    append(out,
+           "%s  \"recovery\": {\"recovered\": %s, \"recovered_jobs\": %zu, "
+           "\"recovered_completed\": %zu, \"replayed_decisions\": %zu, "
+           "\"journal_appends\": %zu, \"replay_seconds\": %.3f},\n",
+           p, report.recovered ? "true" : "false", report.recovered_jobs,
+           report.recovered_completed, report.replayed_decisions,
+           report.journal_appends, report.recovery_replay_seconds);
+  }
   if (report.has_metrics) {
     append(out, "%s  \"art\": %.4f,\n", p, report.metrics.art);
     append(out, "%s  \"utilization\": %.6f,\n", p,
@@ -86,7 +104,8 @@ void write_serve_summary(const std::string& path, const ServeRunMeta& meta,
 
 void write_serve_bench(const std::string& path,
                        const std::vector<ServeRunMeta>& metas,
-                       const std::vector<ServeReport>& reports) {
+                       const std::vector<ServeReport>& reports,
+                       const std::string& extra) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
@@ -98,7 +117,8 @@ void write_serve_bench(const std::string& path,
                  serve_run_json(metas[i], reports[i], 4).c_str(),
                  i + 1 == reports.size() ? "" : ",");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ]%s%s\n}\n", extra.empty() ? "" : ",\n  ",
+               extra.c_str());
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
 }

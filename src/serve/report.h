@@ -37,8 +37,12 @@ void write_serve_summary(const std::string& path, const ServeRunMeta& meta,
                          const ServeReport& report);
 
 /// Write BENCH_serve.json: {"benchmark": "serve_latency", "runs": [...]}.
+/// `extra`, when nonempty, is a pre-rendered top-level JSON member (e.g.
+/// `"recovery": [...]`) appended after "runs" — how the bench publishes
+/// sections that are not per-run reports.
 void write_serve_bench(const std::string& path,
                        const std::vector<ServeRunMeta>& metas,
-                       const std::vector<ServeReport>& reports);
+                       const std::vector<ServeReport>& reports,
+                       const std::string& extra = "");
 
 }  // namespace jsched::serve

@@ -1,5 +1,6 @@
 #include "util/journal.h"
 
+#include <algorithm>
 #include <charconv>
 #include <ostream>
 #include <sstream>
@@ -12,6 +13,47 @@
 #include "util/env.h"
 
 namespace jsched::util {
+
+namespace {
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+}  // namespace
+
+std::uint64_t fnv1a(std::string_view data) noexcept {
+  std::uint64_t h = kFnvOffset;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  for (int i = 15; i >= 0; --i) {
+    buf[i] = "0123456789abcdef"[v & 0xfu];
+    v >>= 4;
+  }
+  buf[16] = '\0';
+  return std::string(buf);
+}
+
+bool parse_hex64(std::string_view token, std::uint64_t* out) noexcept {
+  if (token.size() != 16) return false;
+  std::uint64_t v = 0;
+  for (const char c : token) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = v;
+  return true;
+}
 
 BufferedWriter::BufferedWriter(std::ostream& out, std::size_t flush_threshold)
     : out_(&out), threshold_(flush_threshold) {
@@ -96,6 +138,49 @@ void AppendLog::append(std::string_view line) {
   if (fsync_fd_ >= 0 && ::fsync(fsync_fd_) != 0) {
     throw std::runtime_error("AppendLog: fsync failed: " + path_);
   }
+}
+
+void AppendLog::append_checked(std::string_view tag, std::string_view payload) {
+  if (tag.empty() || tag.find(' ') != std::string_view::npos) {
+    throw std::invalid_argument("AppendLog: bad checked-record tag");
+  }
+  std::string line;
+  line.reserve(tag.size() + payload.size() + 18);
+  line.append(tag);
+  line.push_back(' ');
+  line.append(hex64(fnv1a(payload)));
+  if (!payload.empty()) {
+    line.push_back(' ');
+    line.append(payload);
+  }
+  append(line);
+}
+
+bool AppendLog::check_record(std::string_view line, std::string_view tag,
+                             std::string* payload) {
+  if (line.size() < tag.size() + 1 || line.compare(0, tag.size(), tag) != 0 ||
+      line[tag.size()] != ' ') {
+    return false;
+  }
+  const auto corrupt = [&](const char* what) -> CorruptRecordError {
+    return CorruptRecordError("corrupt journal record (" + std::string(what) +
+                              "): " +
+                              std::string(line.substr(0, 48)) +
+                              (line.size() > 48 ? "..." : ""));
+  };
+  std::string_view rest = line.substr(tag.size() + 1);
+  const std::string_view crc_token = rest.substr(0, std::min<std::size_t>(
+                                                        rest.find(' '), 16));
+  std::uint64_t crc = 0;
+  if (!parse_hex64(crc_token, &crc)) throw corrupt("bad checksum field");
+  std::string_view body;
+  if (rest.size() > 16) {
+    if (rest[16] != ' ') throw corrupt("bad checksum field");
+    body = rest.substr(17);
+  }
+  if (fnv1a(body) != crc) throw corrupt("checksum mismatch");
+  payload->assign(body);
+  return true;
 }
 
 std::vector<std::string> AppendLog::read_lines(const std::string& path) {

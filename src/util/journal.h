@@ -13,11 +13,32 @@
 #include <fstream>
 #include <iosfwd>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace jsched::util {
+
+/// A complete record whose checksum does not match its payload: the file
+/// was bit-flipped (or hand-edited) *mid-file*, which the torn-tail rule
+/// cannot explain away. Raised by AppendLog::check_record so journal
+/// readers fail loudly instead of replaying garbage.
+class CorruptRecordError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// FNV-1a over `data` — the framework's standard 64-bit content hash
+/// (same constants as the schedule fingerprint), here exposed for
+/// per-record journal checksums.
+std::uint64_t fnv1a(std::string_view data) noexcept;
+
+/// `v` as exactly 16 lowercase hex digits.
+std::string hex64(std::uint64_t v);
+
+/// Parse a 16-hex-digit token; returns false on any malformation.
+bool parse_hex64(std::string_view token, std::uint64_t* out) noexcept;
 
 /// Chunked text writer over an std::ostream: records are formatted into an
 /// internal string (integers via std::to_chars — no locale machinery, no
@@ -88,6 +109,20 @@ class AppendLog {
   /// Throws std::invalid_argument on an embedded newline and
   /// std::runtime_error when the write fails.
   void append(std::string_view line);
+
+  /// Append one *checksummed* record: the line written is
+  /// `<tag> <fnv1a(payload) as 16 hex digits> <payload>`. The payload may
+  /// be empty; neither tag nor payload may contain a newline.
+  void append_checked(std::string_view tag, std::string_view payload);
+
+  /// The read half of append_checked. When `line` does not start with
+  /// `tag` followed by a space, returns false (not this record kind — the
+  /// caller skips or dispatches elsewhere). When it does, verifies the
+  /// checksum and stores the payload into `*payload`, returning true; a
+  /// checksum/framing mismatch throws CorruptRecordError — a complete line
+  /// with the right tag and wrong bits is corruption, never a torn tail.
+  static bool check_record(std::string_view line, std::string_view tag,
+                           std::string* payload);
 
   /// Every *complete* line of `path`, in file order. A trailing fragment
   /// without a final newline (the footprint of a process killed

@@ -125,6 +125,58 @@ TEST(Journal, AppendLogDropsTornTrailingLine) {
   EXPECT_EQ(lines[1], "complete-2");
 }
 
+TEST(Journal, ChecksummedRecordsRoundTrip) {
+  TempFile f("appendlog-checked");
+  {
+    util::AppendLog log(f.path());
+    log.append_checked("v2", "some payload with spaces");
+    log.append_checked("v2", "");  // empty payloads are legal
+  }
+  const auto lines = util::AppendLog::read_lines(f.path());
+  ASSERT_EQ(lines.size(), 2u);
+  std::string payload;
+  ASSERT_TRUE(util::AppendLog::check_record(lines[0], "v2", &payload));
+  EXPECT_EQ(payload, "some payload with spaces");
+  ASSERT_TRUE(util::AppendLog::check_record(lines[1], "v2", &payload));
+  EXPECT_EQ(payload, "");
+  // A different tag is "not this record kind", never an error.
+  EXPECT_FALSE(util::AppendLog::check_record(lines[0], "s1", &payload));
+  EXPECT_FALSE(util::AppendLog::check_record("v1 legacy line", "v2",
+                                             &payload));
+}
+
+TEST(Journal, CheckRecordThrowsOnTamperedPayload) {
+  TempFile f("appendlog-tamper");
+  {
+    util::AppendLog log(f.path());
+    log.append_checked("v2", "pristine payload");
+  }
+  std::string line = util::AppendLog::read_lines(f.path())[0];
+  std::string payload;
+  line[line.size() - 1] ^= 1;  // flip one payload bit
+  EXPECT_THROW(util::AppendLog::check_record(line, "v2", &payload),
+               util::CorruptRecordError);
+  // A mangled checksum field is corruption too, not a skip.
+  EXPECT_THROW(
+      util::AppendLog::check_record("v2 nothexnothexnot payload", "v2",
+                                    &payload),
+      util::CorruptRecordError);
+}
+
+TEST(Journal, Fnv1aMatchesKnownVector) {
+  // The empty string hashes to the FNV offset basis; "a" to the canonical
+  // FNV-1a test vector. Guards the constants against silent drift, since
+  // every journal checksum depends on them.
+  EXPECT_EQ(util::fnv1a(""), 14695981039346656037ull);
+  EXPECT_EQ(util::fnv1a("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(util::hex64(0xaf63dc4c8601ec8cull), "af63dc4c8601ec8c");
+  std::uint64_t v = 0;
+  ASSERT_TRUE(util::parse_hex64("af63dc4c8601ec8c", &v));
+  EXPECT_EQ(v, 0xaf63dc4c8601ec8cull);
+  EXPECT_FALSE(util::parse_hex64("af63", &v));          // short
+  EXPECT_FALSE(util::parse_hex64("zf63dc4c8601ec8c", &v));  // non-hex
+}
+
 TEST(Journal, AppendLogResumesAfterReopen) {
   TempFile f("appendlog-reopen");
   {
@@ -435,6 +487,62 @@ TEST(Journal, StaleJournalIsDetectedAndSegmented) {
   EXPECT_TRUE(third.journal_note.empty()) << third.journal_note;
   EXPECT_EQ(third.resumed(), grid_cells);
   EXPECT_EQ(journal.stale_dropped(), 0u);
+}
+
+TEST(Journal, SweepJournalDetectsMidFileCorruption) {
+  // A complete record whose bits were flipped must fail loudly on open —
+  // resuming from garbage would silently poison a sweep.
+  TempFile f("sweep-corrupt");
+  {
+    eval::SweepJournal journal(f.path());
+    journal.record(7, sample_result());
+  }
+  std::vector<std::string> lines = util::AppendLog::read_lines(f.path());
+  std::size_t victim = lines.size();
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].rfind("v2 ", 0) == 0) victim = i;
+  }
+  ASSERT_LT(victim, lines.size());
+  lines[victim].back() ^= 1;
+  std::remove(f.path().c_str());
+  {
+    std::ofstream out(f.path());
+    for (const std::string& l : lines) out << l << "\n";
+  }
+  EXPECT_THROW(eval::SweepJournal journal(f.path()),
+               util::CorruptRecordError);
+}
+
+TEST(Journal, SweepJournalLoadsUncheckedV1Records) {
+  // Journals written before per-record checksums (v1 records) must keep
+  // resuming bit-identically. Synthesize one by stripping the "v2 <crc>"
+  // framing from a fresh journal — the v1 body format is unchanged.
+  TempFile f("sweep-v1-compat");
+  const eval::RunResult r = sample_result();
+  const std::uint64_t key = eval::cell_key(3, 128, r.spec, 0);
+  {
+    eval::SweepJournal journal(f.path());
+    journal.record(key, r);
+  }
+  std::vector<std::string> rewritten;
+  for (const std::string& line : util::AppendLog::read_lines(f.path())) {
+    std::string payload;
+    if (util::AppendLog::check_record(line, "v2", &payload)) {
+      rewritten.push_back("v1 " + payload);
+    } else {
+      rewritten.push_back(line);  // segment headers are version-agnostic
+    }
+  }
+  std::remove(f.path().c_str());
+  {
+    util::AppendLog log(f.path());
+    for (const std::string& line : rewritten) log.append(line);
+  }
+  eval::SweepJournal resumed(f.path());
+  EXPECT_EQ(resumed.loaded(), 1u);
+  eval::RunResult out;
+  ASSERT_TRUE(resumed.lookup(key, r.spec, &out));
+  expect_bit_identical(r, out);
 }
 
 TEST(Journal, LegacyJournalWithoutSegmentsIsAdopted) {

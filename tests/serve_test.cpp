@@ -9,17 +9,20 @@
 // paced tests run under util::ManualClock so no test ever actually waits.
 #include <fcntl.h>
 #include <netinet/in.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/factory.h"
+#include "fault/fault.h"
 #include "metrics/streaming.h"
 #include "serve/daemon.h"
 #include "serve/feed.h"
@@ -652,6 +655,217 @@ TEST(Serve, SummaryJsonCarriesTheKeyFields) {
   EXPECT_NE(json.find("\"decision_latency_ns\""), std::string::npos);
   EXPECT_NE(json.find("\"schedule_fnv\""), std::string::npos);
   EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  // Fault-free, journal-free runs carry no resilience/recovery sections —
+  // the JSON stays byte-compatible with pre-robustness consumers.
+  EXPECT_EQ(json.find("\"resilience\""), std::string::npos);
+  EXPECT_EQ(json.find("\"recovery\""), std::string::npos);
+}
+
+// ------------------------------------------------------------------ faults
+
+TEST(Serve, FaultyServeIsBitIdenticalToFaultySimulator) {
+  // The ISSUE acceptance check: serving a trace through a TraceInjector
+  // must reproduce sim::simulate_stream's faulty schedule bit for bit,
+  // with consistent kill/requeue counters.
+  const workload::Workload& w = replay_workload();
+  fault::TraceInjector injector(
+      {{20'000, -64}, {100'000, +64}, {250'000, -128}, {400'000, +128}}, 256);
+  fault::FaultOptions faults;
+  faults.trace = &injector.trace();
+
+  const sim::Machine machine{256};
+  auto scheduler = core::make_scheduler(fcfs_with(core::DispatchKind::kEasy));
+  workload::WorkloadSource offline_source(w);
+  metrics::StreamingAggregator aggregator(machine.nodes);
+  sim::StreamOptions stream_options;
+  stream_options.faults = faults;
+  sim::simulate_stream(machine, *scheduler, offline_source, aggregator,
+                       stream_options);
+  const metrics::StreamedMetrics offline = aggregator.finish();
+
+  workload::WorkloadSource source(w);
+  serve::JobSourceFeed feed(source);
+  ServeOptions options;
+  options.machine.nodes = 256;
+  options.spec = fcfs_with(core::DispatchKind::kEasy);
+  options.speed = 0;
+  options.faults = faults;
+  const ServeReport served = serve::serve(feed, options);
+
+  EXPECT_EQ(served.schedule_fnv, offline.schedule_fnv);
+  EXPECT_EQ(served.metrics.art, offline.art);  // bit-identical
+  EXPECT_EQ(served.killed, offline.resilience.kills);
+  EXPECT_EQ(served.requeued, served.killed);
+  EXPECT_GT(served.killed, 0u);
+  EXPECT_EQ(served.capacity_events, injector.trace().events.size());
+  EXPECT_EQ(served.min_capacity, 128);
+  EXPECT_EQ(served.wasted_node_seconds, offline.resilience.wasted_node_seconds);
+  EXPECT_EQ(served.availability, offline.resilience.availability);
+}
+
+TEST(Serve, FaultTraceMustMatchTheMachine) {
+  fault::TraceInjector injector({{10, -1}, {20, +1}}, 8);
+  ScriptFeed feed(burst(2));
+  ServeOptions options;
+  options.machine.nodes = 16;  // trace built for 8
+  options.spec = fcfs_with(core::DispatchKind::kEasy);
+  options.faults.trace = &injector.trace();
+  EXPECT_THROW(serve::serve(feed, options), std::invalid_argument);
+}
+
+TEST(Serve, BacklogBoundDegradesWithLostCapacity) {
+  // 8 nodes, half of them failed from t=1: the max_backlog guard must
+  // tighten proportionally (8 -> 4) instead of queueing against a machine
+  // that no longer exists. A late burst then sheds where the fault-free
+  // run admits.
+  std::vector<SubmitRecord> records;
+  for (int i = 0; i < 12; ++i) {
+    SubmitRecord r;
+    r.submit = 10;
+    r.nodes = 1;
+    r.runtime = 1000;
+    r.estimate = 1000;
+    records.push_back(r);
+  }
+  const auto run = [&](const fault::FaultOptions& faults) {
+    ScriptFeed feed(records);
+    ServeOptions options;
+    options.machine.nodes = 8;
+    options.spec = fcfs_with(core::DispatchKind::kEasy);
+    options.max_backlog = 8;
+    options.faults = faults;
+    return serve::serve(feed, options);
+  };
+  const ServeReport intact = run({});
+  EXPECT_EQ(intact.shed_backlog, 4u);  // 12 offered, bound 8
+
+  fault::TraceInjector injector({{1, -4}, {100'000, +4}}, 8);
+  fault::FaultOptions faults;
+  faults.trace = &injector.trace();
+  const ServeReport degraded = run(faults);
+  EXPECT_EQ(degraded.shed_backlog, 8u);  // bound scaled to 4 survivors
+  EXPECT_EQ(degraded.min_capacity, 4);
+  EXPECT_LT(degraded.availability, 1.0);
+}
+
+// --------------------------------------------------------- feed resilience
+
+int connect_to(std::uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  return fd;
+}
+
+TEST(Serve, TcpFeedSurvivesFdExhaustion) {
+  // Regression: an EMFILE from accept() used to silently stop the accept
+  // loop for good. Lower the fd ceiling to exactly what is in use, let a
+  // client knock, and the feed must count a transient error, keep the
+  // listener alive, and accept the client once the ceiling lifts.
+  serve::TcpFeed feed(0);
+  ASSERT_GT(feed.port(), 0);
+  const int client = connect_to(feed.port());  // queued in the backlog
+
+  rlimit orig{};
+  ASSERT_EQ(getrlimit(RLIMIT_NOFILE, &orig), 0);
+  rlimit tight = orig;
+  tight.rlim_cur = 0;  // accept() of the queued client now hits EMFILE
+  ASSERT_EQ(setrlimit(RLIMIT_NOFILE, &tight), 0);
+
+  std::vector<SubmitRecord> out;
+  EXPECT_TRUE(feed.poll(kTimeInfinity, out));
+  EXPECT_GT(feed.transient_accept_errors(), 0u);
+  EXPECT_TRUE(out.empty());
+
+  ASSERT_EQ(setrlimit(RLIMIT_NOFILE, &orig), 0);
+  const std::string script = "@0 1 5 5\nend\n";
+  ASSERT_EQ(write(client, script.data(), script.size()),
+            static_cast<ssize_t>(script.size()));
+  // The feed armed a 10ms backoff when accept failed; after it expires the
+  // next polls must accept and read the waiting client.
+  bool open = true;
+  for (int i = 0; i < 100 && out.empty() && open; ++i) {
+    usleep(5'000);
+    open = feed.poll(kTimeInfinity, out);
+  }
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].nodes, 1);
+  close(client);
+}
+
+TEST(Serve, FormatSubmitLineIsParseInverse) {
+  SubmitRecord timed;
+  timed.submit = 120;
+  timed.nodes = 8;
+  timed.runtime = 3600;
+  timed.estimate = 7200;
+  timed.user = 42;
+  EXPECT_EQ(serve::format_submit_line(timed), "@120 8 3600 7200 42");
+  SubmitRecord parsed;
+  ASSERT_EQ(serve::parse_submit_line(serve::format_submit_line(timed), parsed),
+            ParseResult::kRecord);
+  EXPECT_EQ(parsed.submit, timed.submit);
+  EXPECT_EQ(parsed.user, timed.user);
+
+  SubmitRecord live;
+  live.submit = -1;
+  live.nodes = 2;
+  live.runtime = 60;
+  live.estimate = 90;
+  EXPECT_EQ(serve::format_submit_line(live), "2 60 90 0");
+  ASSERT_EQ(serve::parse_submit_line(serve::format_submit_line(live), parsed),
+            ParseResult::kRecord);
+  EXPECT_EQ(parsed.submit, -1);
+}
+
+TEST(Serve, SubmitClientGivesUpAfterItsRetryBudget) {
+  // Nothing listens on this freshly bound-then-closed port; a client with
+  // a 2-connect budget must fail fast instead of retrying forever.
+  std::uint16_t dead_port = 0;
+  {
+    serve::TcpFeed probe(0);
+    dead_port = probe.port();
+  }
+  serve::TcpSubmitClient client(dead_port, /*max_attempts=*/2);
+  SubmitRecord r;
+  r.submit = 0;
+  EXPECT_FALSE(client.send(r));
+  EXPECT_EQ(client.reconnects(), 0u);
+}
+
+TEST(Serve, SubmitClientReconnectsAcrossAListenerRestart) {
+  auto feed = std::make_unique<serve::TcpFeed>(0);
+  const std::uint16_t port = feed->port();
+  serve::TcpSubmitClient client(port);
+
+  SubmitRecord r;
+  r.submit = 0;
+  r.nodes = 1;
+  r.runtime = 5;
+  r.estimate = 5;
+  ASSERT_TRUE(client.send(r));
+  std::vector<SubmitRecord> out;
+  ASSERT_TRUE(feed->poll(kTimeInfinity, out));
+  ASSERT_EQ(out.size(), 1u);
+
+  // Restart the listener on the same port: the daemon died and came back.
+  feed.reset();
+  serve::TcpFeed reborn(port);
+  // The client's old connection is dead; sends hit the RST within a few
+  // tries, reconnect, and land on the reborn listener.
+  out.clear();
+  for (int i = 0; i < 50 && out.empty(); ++i) {
+    r.submit = i + 1;
+    ASSERT_TRUE(client.send(r));
+    usleep(2'000);
+    reborn.poll(kTimeInfinity, out);
+  }
+  ASSERT_FALSE(out.empty());
+  EXPECT_GE(client.reconnects(), 1u);
 }
 
 }  // namespace

@@ -29,6 +29,20 @@
 //     Drive the daemon with the open-loop Poisson generator — the way to
 //     push it past saturation and watch the overload policy work.
 //
+// Crash safety: --journal PATH arms the write-ahead admission journal. A
+// daemon killed (even -9) mid-run and restarted with the same flags and
+// journal replays its history and finishes with a bit-identical schedule
+// fingerprint — `replay --journal J --verify-offline` proves it against
+// the offline simulator. JSCHED_SERVE_CHAOS=N (requires --journal) kills
+// the process with SIGKILL after N journal appends: the crash drill the
+// CI serve-recovery job runs.
+//
+// Faults: --mtbf S (per-node mean seconds between failures; 0 = off)
+// generates a deterministic failure trace (--mttr, --fault-seed,
+// --fault-horizon shape it) and serves through it with requeue or
+// checkpoint-restart recovery (--recovery, --checkpoint-interval,
+// --restart-overhead), exactly as sim::simulate_faulty would.
+//
 // SIGINT/SIGTERM: first signal drains (stop intake, finish admitted jobs,
 // write the summary), second aborts. The summary JSON is always written,
 // drained or not. Exit codes: 0 clean, 1 verify mismatch / abort, 2 usage.
@@ -42,9 +56,11 @@
 #include <unistd.h>
 
 #include "core/factory.h"
+#include "fault/failure_model.h"
 #include "metrics/streaming.h"
 #include "serve/daemon.h"
 #include "serve/feed.h"
+#include "serve/journal.h"
 #include "serve/loadgen.h"
 #include "serve/report.h"
 #include "sim/streaming.h"
@@ -69,7 +85,14 @@ int usage() {
       "       schedd loadgen --spec NAME --rate R (--horizon H | --count N)\n"
       "                      [--seed S] [--machine N] [--speed X] [--queue Q]\n"
       "                      [--overload block|shed] [--max-backlog B]\n"
-      "                      [--summary PATH]\n"
+      "                      [--summary PATH] [--connect PORT]\n"
+      "crash safety (all modes): [--journal PATH]  (env JSCHED_SERVE_CHAOS=N\n"
+      "                      SIGKILLs the daemon after N journal appends)\n"
+      "faults (all modes):   [--mtbf S] [--mttr S] [--fault-seed S]\n"
+      "                      [--fault-horizon S] [--recovery requeue|"
+      "checkpoint]\n"
+      "                      [--checkpoint-interval S] [--restart-overhead "
+      "S]\n"
       "spec: FCFS, FCFS+EASY, FCFS+CONS, PSRS+EASY, SMART-FFIA+CONS, GG, "
       "...\n");
   return 2;
@@ -93,6 +116,15 @@ struct Cli {
   bool verify_offline = false;
   long report_interval_ms = 0;
   std::string summary;
+  std::string journal;
+  double mtbf = 0.0;  // per-node mean seconds between failures; 0 = no faults
+  double mttr = 2.0 * static_cast<double>(kHour);
+  std::uint64_t fault_seed = 42;
+  Time fault_horizon = 0;  // 0 = the failure model's default
+  std::string recovery = "requeue";
+  Time checkpoint_interval = kHour;
+  Time restart_overhead = 0;
+  int connect_port = 0;  // loadgen: feed a remote daemon instead of serving
 };
 
 std::optional<Cli> parse(const std::vector<std::string>& args) {
@@ -140,6 +172,25 @@ std::optional<Cli> parse(const std::vector<std::string>& args) {
       cli.report_interval_ms = std::stol(value);
     } else if (flag == "--summary") {
       cli.summary = value;
+    } else if (flag == "--journal") {
+      cli.journal = value;
+    } else if (flag == "--mtbf") {
+      cli.mtbf = std::stod(value);
+    } else if (flag == "--mttr") {
+      cli.mttr = std::stod(value);
+    } else if (flag == "--fault-seed") {
+      cli.fault_seed = std::stoull(value);
+    } else if (flag == "--fault-horizon") {
+      cli.fault_horizon = static_cast<Time>(std::stoll(value));
+    } else if (flag == "--recovery") {
+      if (value != "requeue" && value != "checkpoint") return std::nullopt;
+      cli.recovery = value;
+    } else if (flag == "--checkpoint-interval") {
+      cli.checkpoint_interval = static_cast<Time>(std::stoll(value));
+    } else if (flag == "--restart-overhead") {
+      cli.restart_overhead = static_cast<Time>(std::stoll(value));
+    } else if (flag == "--connect") {
+      cli.connect_port = std::stoi(value);
     } else {
       return std::nullopt;
     }
@@ -161,7 +212,64 @@ serve::ServeOptions serve_options(const Cli& cli) {
     std::fprintf(stderr, "[schedd] %s\n", line.c_str());
   };
   options.poll_signal = [] { return util::SignalDrain::count(); };
+  if (const char* chaos = std::getenv("JSCHED_SERVE_CHAOS")) {
+    options.chaos_kill_after_appends = std::strtoull(chaos, nullptr, 10);
+  }
   return options;
+}
+
+/// Owns the state ServeOptions only points at (fault trace, journal) so it
+/// outlives the serve() call; builds both from the command line.
+struct RunState {
+  fault::FailureTrace trace;
+  std::unique_ptr<serve::AdmissionJournal> journal;
+
+  fault::FaultOptions fault_options(const Cli& cli) const {
+    fault::FaultOptions faults;
+    if (!trace.empty()) {
+      faults.trace = &trace;
+      faults.recovery.policy = cli.recovery == "checkpoint"
+                                   ? fault::RecoveryPolicy::kCheckpointRestart
+                                   : fault::RecoveryPolicy::kRequeueFromScratch;
+      faults.recovery.checkpoint_interval = cli.checkpoint_interval;
+      faults.recovery.restart_overhead = cli.restart_overhead;
+    }
+    return faults;
+  }
+};
+
+/// `feed_restarts`: whether this mode's feed re-delivers its stream from
+/// the beginning on a restart (replay / loadgen generators do; live
+/// transports do not), which decides if a recovering daemon must skip the
+/// journaled consumed prefix. `state` must be caller-owned (options ends
+/// up pointing into it) and outlive the serve() call.
+void arm_resilience(const Cli& cli, serve::ServeOptions& options,
+                    bool feed_restarts, RunState& state) {
+  if (cli.mtbf > 0.0) {
+    fault::FailureModelParams params;
+    params.nodes = cli.machine;
+    params.mtbf = cli.mtbf;
+    params.mttr = cli.mttr;
+    if (cli.fault_horizon > 0) params.horizon = cli.fault_horizon;
+    state.trace = fault::generate_failures(params, cli.fault_seed);
+    std::fprintf(stderr,
+                 "[schedd] fault trace: %zu events, max %d nodes down\n",
+                 state.trace.events.size(), state.trace.max_down);
+  }
+  if (!cli.journal.empty()) {
+    state.journal = std::make_unique<serve::AdmissionJournal>(cli.journal);
+    if (state.journal->has_history()) {
+      std::fprintf(stderr,
+                   "[schedd] journal %s: run %zu, recovering %zu admissions "
+                   "(%zu complete)\n",
+                   cli.journal.c_str(), state.journal->runs(),
+                   state.journal->admitted().size(),
+                   state.journal->completed_at_open());
+    }
+    options.journal = state.journal.get();
+    options.feed_restarts_from_start = feed_restarts;
+  }
+  options.faults = state.fault_options(cli);
 }
 
 int finish(const Cli& cli, const serve::ServeRunMeta& meta,
@@ -187,6 +295,10 @@ workload::Workload replay_workload(const Cli& cli) {
 int run_serve(const Cli& cli) {
   serve::ServeOptions options = serve_options(cli);
   if (!cli.speed_set) options.speed = 1.0;  // a live daemon runs in real time
+  RunState state;
+  // tail:FILE re-reads the file from the start on restart; stdin/tcp don't.
+  arm_resilience(cli, options, /*feed_restarts=*/cli.feed.rfind("tail:", 0) == 0,
+                 state);
 
   std::unique_ptr<serve::Feed> feed;
   std::string source_name;
@@ -227,7 +339,9 @@ int run_replay(const Cli& cli) {
   const workload::Workload w = replay_workload(cli);
   workload::WorkloadSource source(w);
   serve::JobSourceFeed feed(source);
-  const serve::ServeOptions options = serve_options(cli);
+  serve::ServeOptions options = serve_options(cli);
+  RunState state;
+  arm_resilience(cli, options, /*feed_restarts=*/true, state);
   const serve::ServeReport report = serve::serve(feed, options);
 
   serve::ServeRunMeta meta;
@@ -244,7 +358,10 @@ int run_replay(const Cli& cli) {
   auto scheduler = core::make_scheduler(core::parse_spec(cli.spec));
   workload::WorkloadSource offline_source(w);
   metrics::StreamingAggregator aggregator(machine.nodes);
-  sim::simulate_stream(machine, *scheduler, offline_source, aggregator, {});
+  sim::StreamOptions offline_options;
+  offline_options.faults = state.fault_options(cli);  // same fault axis
+  sim::simulate_stream(machine, *scheduler, offline_source, aggregator,
+                       offline_options);
   const std::uint64_t offline_fnv = aggregator.finish().schedule_fnv;
   if (report.drained) {
     std::fprintf(stderr,
@@ -276,7 +393,35 @@ int run_loadgen(const Cli& cli) {
   config.seed = cli.seed;
   serve::OpenLoopSource source(config);
 
-  const serve::ServeOptions options = serve_options(cli);
+  if (cli.connect_port > 0) {
+    // Client mode: stream the generated jobs to a daemon already listening
+    // on tcp:PORT, through the reconnect-with-backoff submit client — a
+    // daemon restart mid-stream costs retries, not records.
+    serve::TcpSubmitClient client(
+        static_cast<std::uint16_t>(cli.connect_port));
+    std::vector<serve::SubmitRecord> batch;
+    std::size_t sent = 0;
+    while (true) {
+      const bool more = source.poll(kTimeInfinity, batch);
+      for (const serve::SubmitRecord& r : batch) {
+        if (!client.send(r)) {
+          std::fprintf(stderr, "schedd: loadgen: daemon unreachable\n");
+          return 1;
+        }
+        ++sent;
+      }
+      batch.clear();
+      if (!more) break;
+    }
+    client.send_end();
+    std::printf("{\"loadgen_client\": {\"sent\": %zu, \"reconnects\": %zu}}\n",
+                sent, client.reconnects());
+    return 0;
+  }
+
+  serve::ServeOptions options = serve_options(cli);
+  RunState state;
+  arm_resilience(cli, options, /*feed_restarts=*/true, state);
   const serve::ServeReport report = serve::serve(source, options);
   serve::ServeRunMeta meta;
   meta.label = cli.spec + " loadgen";
